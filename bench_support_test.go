@@ -1,0 +1,19 @@
+package fuzzydup
+
+import (
+	"strconv"
+
+	"fuzzydup/internal/dataset"
+)
+
+// orgRecords generates an Org relation for the size-sweep benchmark.
+func orgRecords(n int) ([]Record, error) {
+	ds := dataset.Org(dataset.Config{Size: n, Seed: 3})
+	records := make([]Record, ds.Len())
+	for i, r := range ds.Records {
+		records[i] = Record(r)
+	}
+	return records, nil
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/dataset"
+)
+
+func TestWriteDataset(t *testing.T) {
+	dir := t.TempDir()
+	ds := dataset.Restaurants(dataset.Config{Size: 100, Seed: 3})
+	if err := write(ds, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(filepath.Join(dir, "restaurants.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != ds.Len()+1 { // header + records
+		t.Errorf("csv rows = %d, want %d", len(rows), ds.Len()+1)
+	}
+	if rows[0][0] != "Name" {
+		t.Errorf("header = %v", rows[0])
+	}
+
+	truth, err := os.ReadFile(filepath.Join(dir, "restaurants.truth"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(truth)), "\n")
+	if len(lines) != len(ds.Truth) {
+		t.Errorf("truth lines = %d, want %d", len(lines), len(ds.Truth))
+	}
+	// Each line is comma-separated 1-based indices.
+	for _, line := range lines {
+		for _, tok := range strings.Split(line, ",") {
+			if tok == "" || tok == "0" {
+				t.Fatalf("bad truth token %q in %q", tok, line)
+			}
+		}
+	}
+}
+
+func TestWriteToUnwritableDir(t *testing.T) {
+	ds := dataset.Parks(dataset.Config{Size: 50, Seed: 1})
+	if err := write(ds, "/proc/definitely/not/writable"); err == nil {
+		t.Error("unwritable dir accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.csv")
+	content := "artist,track\nThe Doors,LA Woman\nDoors,LA Woman\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, rows, err := readCSV(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || len(rows) != 2 {
+		t.Fatalf("records = %v", records)
+	}
+	if records[0][0] != "The Doors" || records[1][1] != "LA Woman" {
+		t.Errorf("records = %v", records)
+	}
+
+	// Without header skipping, the header row becomes a record.
+	records, _, err = readCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[0][0] != "artist" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestReadCSVRagged(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ragged.csv")
+	if err := os.WriteFile(path, []byte("a,b\nc\nd,e,f\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := readCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Errorf("ragged rows should be accepted: %v", records)
+	}
+}
+
+func TestReadCSVMissingFile(t *testing.T) {
+	if _, _, err := readCSV("/nonexistent/x.csv", false); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (see DESIGN.md's per-experiment index for the mapping).
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments pr-ed fig8      # run selected experiment IDs
+//	experiments -size 2000 pr-fms
+//
+// Experiment IDs: table1, pr-ed, pr-fms, fig7, fig8, fig9, spread, est-c,
+// abl-criteria, abl-index, abl-indexsweep, abl-blocking, robustness,
+// p-sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"fuzzydup"
+	"fuzzydup/internal/dataset"
+	"fuzzydup/internal/eval"
+	"fuzzydup/internal/experiments"
+)
+
+var (
+	size = flag.Int("size", 800, "dataset size for quality experiments")
+	seed = flag.Int64("seed", 1, "generator seed")
+)
+
+var order = []string{
+	"table1", "pr-ed", "pr-fms", "fig7", "fig8", "fig9", "spread", "est-c",
+	"abl-criteria", "abl-index", "abl-indexsweep", "abl-blocking",
+	"robustness", "p-sweep",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q (known: %s)", id, strings.Join(order, ", "))
+		}
+		fmt.Printf("=== %s ===\n", id)
+		if err := run(); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println()
+	}
+}
+
+var runners = map[string]func() error{
+	"table1":         runTable1,
+	"pr-ed":          func() error { return runPR("ed") },
+	"pr-fms":         func() error { return runPR("fms") },
+	"fig7":           runFig7,
+	"fig8":           runFig8,
+	"fig9":           runFig9,
+	"spread":         runSpread,
+	"est-c":          runEstC,
+	"abl-criteria":   runAblCriteria,
+	"abl-index":      runAblIndex,
+	"abl-blocking":   runAblBlocking,
+	"abl-indexsweep": runAblIndexSweep,
+	"robustness":     runRobustness,
+	"p-sweep":        runPSweep,
+}
+
+func runAblIndexSweep() error {
+	for _, name := range []string{"restaurants", "media"} {
+		res, err := experiments.IndexSweep(name, *size, *seed, 3, 4)
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(res.Format())
+	}
+	return nil
+}
+
+func runAblBlocking() error {
+	for _, name := range []string{"media", "org"} {
+		res, err := experiments.BlockingAblation(name, *size, *seed, 4)
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(res.Format())
+	}
+	return nil
+}
+
+func runRobustness() error {
+	res, err := experiments.Robustness("media", *size, *seed, nil)
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Format())
+	return nil
+}
+
+func runPSweep() error {
+	res, err := experiments.PSweep("media", *size, *seed, nil)
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Format())
+	return nil
+}
+
+// runTable1 walks the motivating example end to end.
+func runTable1() error {
+	ds := dataset.Table1()
+	records := make([]fuzzydup.Record, ds.Len())
+	for i, r := range ds.Records {
+		records[i] = fuzzydup.Record(r)
+	}
+	d, err := fuzzydup.New(records, fuzzydup.Options{})
+	if err != nil {
+		return err
+	}
+	groups, err := d.GroupsBySize(3, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Println("DE_S(3), c=4 over the paper's Table 1:")
+	for _, g := range groups.Duplicates() {
+		var parts []string
+		for _, id := range g {
+			parts = append(parts, fmt.Sprintf("%d:%s — %s", id+1, ds.Records[id][0], ds.Records[id][1]))
+		}
+		fmt.Println("  {" + strings.Join(parts, " | ") + "}")
+	}
+	thrGroups, err := d.SingleLinkage(0.31)
+	if err != nil {
+		return err
+	}
+	fmt.Println("single-linkage at θ=0.31 (note the series merges):")
+	for _, g := range thrGroups.Duplicates() {
+		fmt.Printf("  %v\n", add1(g))
+	}
+	return nil
+}
+
+func add1(g []int) []int {
+	out := make([]int, len(g))
+	for i, v := range g {
+		out[i] = v + 1
+	}
+	return out
+}
+
+func runPR(metric string) error {
+	grid := eval.RecallGrid(0.3, 0.7, 5)
+	for _, name := range dataset.Names() {
+		res, err := experiments.PRCurves(experiments.PRConfig{
+			Dataset: name, Size: *size, Seed: *seed, Metric: metric,
+		})
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(res.Format())
+		fmt.Printf("  best DE precision gain over thr (recall 0.3-0.7): %+.3f\n\n",
+			res.BestDEPrecisionGain(grid))
+	}
+	return nil
+}
+
+func runFig7() error {
+	res, err := experiments.AggComparison(experiments.AggConfig{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Format())
+	fmt.Printf("  max F1 gap across aggregations: %.4f\n", res.MaxPairwiseF1Gap())
+	return nil
+}
+
+func runFig8() error {
+	res, err := experiments.BFOrdering(experiments.BFConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Format())
+	fmt.Printf("  BF throughput gain at the tightest buffer: %.2fx\n", res.ThroughputGain(128))
+	return nil
+}
+
+func runFig9() error {
+	res, err := experiments.Scalability(experiments.ScaleConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Format())
+	fmt.Printf("  phase-1 growth exponent (1.0 = linear): %.2f\n", res.Phase1GrowthExponent())
+	return nil
+}
+
+func runSpread() error {
+	for _, name := range []string{"restaurants", "media"} {
+		res, err := experiments.ParamSpread(experiments.SpreadConfig{Dataset: name, Size: *size, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(res.Format())
+	}
+	return nil
+}
+
+func runEstC() error {
+	res, err := experiments.EstimatorAccuracy(experiments.EstimatorConfig{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	os.Stdout.WriteString(res.Format())
+	return nil
+}
+
+func runAblCriteria() error {
+	for _, name := range []string{"media", "birdscott"} {
+		res, err := experiments.CriteriaAblation(name, *size, *seed, 4, 4, 0.3)
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(res.Format())
+	}
+	return nil
+}
+
+func runAblIndex() error {
+	for _, name := range []string{"restaurants", "media"} {
+		res, err := experiments.IndexAblation(name, *size, *seed, 3, 4)
+		if err != nil {
+			return err
+		}
+		os.Stdout.WriteString(res.Format())
+	}
+	return nil
+}

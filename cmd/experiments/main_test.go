@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestRunnersRegistered keeps the ID list and the runner map in sync.
+func TestRunnersRegistered(t *testing.T) {
+	for _, id := range order {
+		if _, ok := runners[id]; !ok {
+			t.Errorf("experiment %q listed but not registered", id)
+		}
+	}
+	for id := range runners {
+		found := false
+		for _, o := range order {
+			if o == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("runner %q not listed in order", id)
+		}
+	}
+}
+
+// TestRunTable1 exercises the cheapest experiment end to end (the others
+// are covered by internal/experiments tests and would dominate the suite).
+func TestRunTable1(t *testing.T) {
+	if err := runTable1(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Command sqlsh is an interactive shell for the embedded relational
+// engine (internal/sqldb) — the database substrate the paper's phase-2
+// partitioning runs on.
+//
+// Usage:
+//
+//	sqlsh            # empty database
+//	sqlsh -demo      # preloaded with the paper's Table 1 as table "media"
+//
+// Statements end at a newline; \q quits, \tables lists tables.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"fuzzydup/internal/dataset"
+	"fuzzydup/internal/sqldb"
+)
+
+func main() {
+	log.SetFlags(0)
+	demo := flag.Bool("demo", false, "preload the paper's Table 1 as table media(id, artist, track)")
+	flag.Parse()
+
+	db := sqldb.Open()
+	if *demo {
+		if err := loadDemo(db); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("loaded table media(id, artist, track) — try: SELECT * FROM media WHERE track = 'Are You Ready'")
+	}
+
+	repl(db, os.Stdin, os.Stdout)
+}
+
+// repl drives the read-eval-print loop; split from main for testability.
+func repl(db *sqldb.DB, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "sql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`, line == "quit", line == "exit":
+			return
+		case line == `\tables`:
+			fmt.Fprintln(out, "(tables are listed via their creation statements; query them directly)")
+		default:
+			res, err := db.Exec(line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				printResult(out, res)
+			}
+		}
+		fmt.Fprint(out, "sql> ")
+	}
+}
+
+func loadDemo(db *sqldb.DB) error {
+	if _, err := db.Exec("CREATE TABLE media (id INT, artist TEXT, track TEXT)"); err != nil {
+		return err
+	}
+	ds := dataset.Table1()
+	for i, rec := range ds.Records {
+		if err := db.Insert("media", sqldb.Int(int64(i+1)), sqldb.Text(rec[0]), sqldb.Text(rec[1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printResult(out io.Writer, res *sqldb.Result) {
+	if len(res.Cols) == 0 {
+		fmt.Fprintf(out, "ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	fmt.Fprintln(out, strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/sqldb"
+)
+
+func TestReplSession(t *testing.T) {
+	db := sqldb.Open()
+	in := strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT, b TEXT)",
+		"INSERT INTO t VALUES (1, 'one'), (2, 'two')",
+		"SELECT b FROM t ORDER BY a",
+		"BOGUS SYNTAX",
+		"",
+		`\tables`,
+		`\q`,
+		"SELECT never_reached FROM t",
+	}, "\n"))
+	var out strings.Builder
+	repl(db, in, &out)
+	got := out.String()
+	for _, want := range []string{"ok (0 rows affected)", "ok (2 rows affected)", "one", "two", "(2 rows)", "error:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "never_reached") {
+		t.Error("repl did not stop at \\q")
+	}
+}
+
+func TestLoadDemo(t *testing.T) {
+	db := sqldb.Open()
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 14 {
+		t.Errorf("demo rows = %v", res.Rows[0][0])
+	}
+	res, err = db.Exec("SELECT COUNT(*) FROM media WHERE track = 'Are You Ready'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 4 {
+		t.Errorf("series rows = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,43 @@
+// Package fuzzydup detects fuzzy duplicates — distinct tuples that
+// represent the same real-world entity — in a relation, implementing the
+// algorithm of Chaudhuri, Ganti, and Motwani, "Robust Identification of
+// Fuzzy Duplicates" (ICDE 2005).
+//
+// Unlike global-threshold approaches (single-linkage clustering over a
+// threshold graph), which cannot distinguish true duplicates from
+// confusable series of distinct entities, this package groups tuples only
+// when they satisfy two local structural criteria:
+//
+//   - the compact set (CS) criterion: a group must be a set of mutual
+//     nearest neighbors — every member closer to every other member than
+//     to anything outside, and
+//   - the sparse neighborhood (SN) criterion: every member's local
+//     neighborhood (a sphere of twice its nearest-neighbor distance) must
+//     contain few tuples.
+//
+// # Quick start
+//
+//	records := []fuzzydup.Record{
+//	    {"The Doors", "LA Woman"},
+//	    {"Doors", "LA Woman"},
+//	    {"Aaliyah", "Are You Ready"},
+//	}
+//	d, err := fuzzydup.New(records, fuzzydup.Options{Metric: fuzzydup.MetricEdit})
+//	if err != nil { ... }
+//	groups, err := d.GroupsBySize(3, 4) // DE_S(K=3) with SN threshold c=4
+//
+// GroupsBySize solves the DE_S(K) formulation (duplicate groups of at most
+// K tuples); GroupsByDiameter solves DE_D(θ) (groups of diameter below θ).
+// When the sparse-neighborhood threshold c is hard to pick, EstimateC
+// derives it from an estimate of the fraction of duplicate tuples
+// (Section 4.3 of the paper). SingleLinkage provides the global-threshold
+// baseline for comparison.
+//
+// The heavy lifting lives in internal packages: distance functions
+// (internal/distance), exact and probabilistic nearest-neighbor indexes
+// (internal/nnindex), the two-phase DE algorithm (internal/core), an
+// embedded relational engine that can run the partitioning phase as SQL,
+// reproducing the paper's client-over-database architecture
+// (internal/sqldb), and the full experiment harness regenerating every
+// figure of the paper's evaluation (internal/experiments).
+package fuzzydup

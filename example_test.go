@@ -1,0 +1,91 @@
+package fuzzydup_test
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydup"
+)
+
+// The motivating music relation of the paper's Table 1 (abridged).
+func exampleRecords() []fuzzydup.Record {
+	return []fuzzydup.Record{
+		{"The Doors", "LA Woman"},
+		{"Doors", "LA Woman"},
+		{"Shania Twain", "Im Holdin on to Love"},
+		{"Twian, Shania", "I'm Holding On To Love"},
+		{"Aaliyah", "Are You Ready"},
+		{"AC DC", "Are You Ready"},
+		{"Bob Dylan", "Are You Ready"},
+		{"Creed", "Are You Ready"},
+	}
+}
+
+func ExampleDeduper_GroupsBySize() {
+	d, err := fuzzydup.New(exampleRecords(), fuzzydup.Options{Metric: fuzzydup.MetricEdit})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := d.GroupsBySize(3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range groups.Duplicates() {
+		fmt.Println(g)
+	}
+	// Output:
+	// [0 1]
+	// [2 3]
+}
+
+func ExampleDeduper_GroupsByDiameter() {
+	d, err := fuzzydup.New(exampleRecords(), fuzzydup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := d.GroupsByDiameter(0.35, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(groups.Duplicates()), "duplicate groups")
+	// Output:
+	// 2 duplicate groups
+}
+
+func ExampleDeduper_SingleLinkage() {
+	d, err := fuzzydup.New(exampleRecords(), fuzzydup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// At a threshold high enough for the Twain pair (distance ~0.29), the
+	// global-threshold baseline also merges the four "Are You Ready"
+	// covers — the failure mode the CS/SN criteria avoid.
+	groups, err := d.SingleLinkage(0.31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range groups.Duplicates() {
+		fmt.Println(g)
+	}
+	// Output:
+	// [0 1]
+	// [2 3]
+	// [4 5 6 7]
+}
+
+func ExampleDeduper_Eliminate() {
+	d, err := fuzzydup.New(exampleRecords(), fuzzydup.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := d.GroupsBySize(2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept, replaced := d.Eliminate(groups)
+	fmt.Println("kept:", kept)
+	fmt.Println("removed:", len(replaced))
+	// Output:
+	// kept: [0 2 4 5 6 7]
+	// removed: 2
+}

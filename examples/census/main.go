@@ -1,0 +1,77 @@
+// Census-style record linkage with constraining knowledge (Section 4.4.1):
+// records with conflicting middle initials are never the same person, no
+// matter how close their names and addresses look. The predicate is
+// injected through Options.Exclude and the groups are bounded by diameter
+// (DE_D), the cut that gives finer control over match tightness.
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydup"
+	"fuzzydup/internal/dataset"
+	"fuzzydup/internal/eval"
+)
+
+func main() {
+	ds := dataset.Census(dataset.Config{Size: 1200, Seed: 19})
+	records := make([]fuzzydup.Record, ds.Len())
+	for i, r := range ds.Records {
+		records[i] = fuzzydup.Record(r)
+	}
+
+	// Negative knowledge: conflicting middle initials rule a pair out.
+	// (Field 2 is the middle initial; single-character fields survive the
+	// error channel untouched, so a conflict is meaningful.)
+	conflictingInitials := func(a, b int) bool {
+		ma, mb := ds.Records[a][2], ds.Records[b][2]
+		return ma != "" && mb != "" && ma != mb
+	}
+
+	run := func(name string, opts fuzzydup.Options) fuzzydup.Groups {
+		d, err := fuzzydup.New(records, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		groups, err := d.GroupsByDiameter(0.25, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr := eval.PrecisionRecall(groups, ds.Truth)
+		fmt.Printf("%-28s precision %.3f  recall %.3f  F1 %.3f\n",
+			name, pr.Precision, pr.Recall, pr.F1())
+		return groups
+	}
+
+	fmt.Printf("%d census records, %d true duplicate groups\n\n", ds.Len(), len(ds.Truth))
+	plain := run("DE_D(0.25), c=4", fuzzydup.Options{})
+	constrained := run("  + initial constraint", fuzzydup.Options{Exclude: conflictingInitials})
+
+	// Show a pair the constraint split.
+	plainPairs := map[[2]int]bool{}
+	for _, p := range plain.Pairs() {
+		plainPairs[p] = true
+	}
+	for _, p := range constrained.Pairs() {
+		delete(plainPairs, p)
+	}
+	fmt.Println("\npairs rejected by the constraint:")
+	shown := 0
+	for p := range plainPairs {
+		if !conflictingInitials(p[0], p[1]) {
+			continue
+		}
+		a, b := ds.Records[p[0]], ds.Records[p[1]]
+		fmt.Printf("  %s, %s %s. / %s, %s %s.\n", a[0], a[1], a[2], b[0], b[1], b[2])
+		shown++
+		if shown == 5 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (none in this run — the structural criteria already kept them apart)")
+	}
+}

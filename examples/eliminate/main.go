@@ -1,0 +1,52 @@
+// End-to-end elimination: detect duplicate groups, pick a representative
+// per group (the medoid), and materialize the cleaned relation — the
+// "eliminate" half of detect-and-eliminate, with before/after counts the
+// paper's introduction motivates (mailing costs, analytic-query skew).
+//
+//	go run ./examples/eliminate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydup"
+	"fuzzydup/internal/dataset"
+)
+
+func main() {
+	ds := dataset.Restaurants(dataset.Config{Size: 600, Seed: 99, DupFraction: 0.3})
+	records := make([]fuzzydup.Record, ds.Len())
+	for i, r := range ds.Records {
+		records[i] = fuzzydup.Record(r)
+	}
+
+	d, err := fuzzydup.New(records, fuzzydup.Options{Metric: fuzzydup.MetricJaroWinkler})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := d.GroupsBySize(3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kept, replacedBy := d.Eliminate(groups)
+	fmt.Printf("catalog: %d entries, %d duplicate groups detected\n", ds.Len(), len(groups.Duplicates()))
+	fmt.Printf("after elimination: %d entries (%d removed)\n\n", len(kept), len(replacedBy))
+
+	fmt.Println("sample merges (removed -> kept):")
+	shown := 0
+	for gone, rep := range replacedBy {
+		fmt.Printf("  %-32q -> %q\n", records[gone][0], records[rep][0])
+		shown++
+		if shown == 6 {
+			break
+		}
+	}
+
+	cleaned := d.Deduplicated(groups)
+	fmt.Printf("\ncleaned relation has %d records; first three:\n", len(cleaned))
+	for _, r := range cleaned[:3] {
+		fmt.Printf("  %s\n", r[0])
+	}
+}

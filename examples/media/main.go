@@ -1,0 +1,63 @@
+// Media catalog deduplication: a realistic music relation with multi-part
+// tracks and cover series, comparing the CS/SN framework against the
+// global-threshold baseline on precision and recall.
+//
+//	go run ./examples/media
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydup"
+	"fuzzydup/internal/dataset"
+	"fuzzydup/internal/eval"
+)
+
+func main() {
+	// A 1,000-tuple media relation with ground truth: ~25% of tuples are
+	// duplicates; confusable series ("X - Part II/III", covers of one
+	// title) are planted exactly as the paper's Table 1 motivates.
+	ds := dataset.Media(dataset.Config{Size: 1000, Seed: 42})
+	records := make([]fuzzydup.Record, ds.Len())
+	for i, r := range ds.Records {
+		records[i] = fuzzydup.Record(r)
+	}
+	d, err := fuzzydup.New(records, fuzzydup.Options{Metric: fuzzydup.MetricEdit})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d tuples, %d true duplicate groups\n\n", ds.Len(), len(ds.Truth))
+	fmt.Printf("%-26s %-10s %-10s %-10s\n", "algorithm", "precision", "recall", "F1")
+
+	report := func(name string, groups fuzzydup.Groups) {
+		pr := eval.PrecisionRecall(groups, ds.Truth)
+		fmt.Printf("%-26s %-10.3f %-10.3f %-10.3f\n", name, pr.Precision, pr.Recall, pr.F1())
+	}
+
+	for _, k := range []int{2, 3, 5} {
+		groups, err := d.GroupsBySize(k, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("DE_S(K=%d), c=4", k), groups)
+	}
+	for _, theta := range []float64{0.2, 0.3, 0.4} {
+		groups, err := d.GroupsByDiameter(theta, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("DE_D(θ=%.1f), c=4", theta), groups)
+	}
+	for _, theta := range []float64{0.2, 0.3, 0.4} {
+		groups, err := d.SingleLinkage(theta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("single-linkage θ=%.1f", theta), groups)
+	}
+
+	fmt.Println("\nAt matched recall, DE precision stays high where the global")
+	fmt.Println("threshold collapses confusable series into false-positive blobs.")
+}

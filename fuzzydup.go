@@ -1,0 +1,402 @@
+package fuzzydup
+
+import (
+	"fmt"
+
+	"fuzzydup/internal/baseline"
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+	"fuzzydup/internal/strutil"
+)
+
+// Record is one tuple of the relation being deduplicated: its attribute
+// values in order. Fields are joined (space-separated, empties skipped)
+// into the string the distance functions compare.
+type Record []string
+
+// Metric selects a built-in distance function.
+type Metric string
+
+// Built-in metrics. All are symmetric with range [0, 1].
+const (
+	// MetricEdit is normalized edit distance ("ed" in the paper).
+	MetricEdit Metric = "ed"
+	// MetricFMS is the symmetric fuzzy match similarity, combining
+	// per-token edit distance with IDF weights computed over the relation.
+	MetricFMS Metric = "fms"
+	// MetricCosine is token cosine distance with IDF weights.
+	MetricCosine Metric = "cosine"
+	// MetricJaccard is q-gram Jaccard distance.
+	MetricJaccard Metric = "jaccard"
+	// MetricJaro is Jaro distance.
+	MetricJaro Metric = "jaro"
+	// MetricJaroWinkler is Jaro-Winkler distance (prefix-boosted Jaro).
+	MetricJaroWinkler Metric = "jaro-winkler"
+	// MetricMongeElkan is the Monge-Elkan hybrid (token-level best match
+	// under Jaro-Winkler, averaged).
+	MetricMongeElkan Metric = "monge-elkan"
+	// MetricSoftTFIDF is soft TF-IDF (IDF-weighted cosine with fuzzy token
+	// matching), with IDF weights computed over the relation.
+	MetricSoftTFIDF Metric = "soft-tfidf"
+	// MetricSoundex is token-wise Soundex distance — coarse, phonetic.
+	MetricSoundex Metric = "soundex"
+	// MetricDamerau is normalized optimal-string-alignment distance
+	// (Levenshtein plus adjacent transpositions).
+	MetricDamerau Metric = "damerau"
+)
+
+// Agg selects the sparse-neighborhood aggregation function.
+type Agg string
+
+// Aggregation functions (paper, Figure 7).
+const (
+	// AggMax requires every member's neighborhood growth below c.
+	AggMax Agg = "max"
+	// AggAvg requires the mean neighborhood growth below c.
+	AggAvg Agg = "avg"
+	// AggMax2 requires the second-largest growth below c.
+	AggMax2 Agg = "max2"
+)
+
+// Index selects the nearest-neighbor index backing phase 1.
+type Index string
+
+// Available indexes.
+const (
+	// IndexExact scans the whole relation per query — exact for any
+	// metric, O(n) per lookup. The default.
+	IndexExact Index = "exact"
+	// IndexQGram is the probabilistic disk-backed q-gram inverted index
+	// (the paper's setting); recommended beyond ~10,000 records.
+	IndexQGram Index = "qgram"
+	// IndexVPTree is a vantage-point tree — exact for true metrics
+	// (Jaccard), near-exact for normalized edit distance, and safe for
+	// parallel queries.
+	IndexVPTree Index = "vptree"
+	// IndexMinHash is MinHash-LSH over q-gram shingles — probabilistic,
+	// strongest when the metric is (or correlates with) Jaccard.
+	IndexMinHash Index = "minhash"
+)
+
+// Options configures a Deduper. The zero value selects edit distance, the
+// exact index, p = 2, and the max aggregation.
+type Options struct {
+	// Metric selects a built-in distance function (default MetricEdit).
+	// Ignored when CustomMetric is set.
+	Metric Metric
+	// CustomMetric plugs in a bespoke symmetric distance in [0, 1]. The
+	// CS/SN criteria are orthogonal to the distance choice, so any domain
+	// distance works.
+	CustomMetric func(a, b string) float64
+	// Index selects the nearest-neighbor index (default IndexExact).
+	Index Index
+	// Approximate is a legacy alias: true selects IndexQGram when Index
+	// is unset.
+	Approximate bool
+	// P is the neighborhood growth-sphere factor (default 2, the paper's
+	// setting).
+	P float64
+	// Agg is the SN aggregation function (default AggMax).
+	Agg Agg
+	// MinimalCompact applies the Section 4.4.2 post-processing, splitting
+	// groups that are mergers of disjoint smaller compact sets.
+	MinimalCompact bool
+	// Exclude is a constraining predicate (Section 4.4.1): record pairs
+	// for which it returns true are never grouped together.
+	Exclude func(a, b int) bool
+	// UseSQL runs the partitioning phase as SQL against the embedded
+	// relational engine, reproducing the paper's architecture. The result
+	// is identical to the in-memory path; this exists for inspection and
+	// for exercising the full stack.
+	UseSQL bool
+	// Parallel, when > 1, fans phase-1 lookups across that many
+	// goroutines. Only effective with the exact index (the default); the
+	// output is identical to a serial run.
+	Parallel int
+}
+
+// Deduper runs fuzzy duplicate elimination over a fixed set of records.
+// It is not safe for concurrent use.
+//
+// Phase-1 results are cached across calls: a sweep over K or θ reuses the
+// widest neighbor lists computed so far (top-K lists are prefixes of
+// top-K' lists for K <= K', and θ-range lists truncate the same way), so
+// only the first call at a new maximum pays for nearest-neighbor
+// computation.
+type Deduper struct {
+	records []Record
+	keys    []string
+	metric  distance.Metric
+	index   nnindex.Index
+	opts    Options
+
+	cacheS *core.NNRelation // widest size-cut relation computed so far
+	cacheD *core.NNRelation // widest diameter-cut relation computed so far
+}
+
+// New builds a Deduper over the records. IDF-weighted metrics compute
+// their weights from these records.
+func New(records []Record, opts Options) (*Deduper, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("fuzzydup: no records")
+	}
+	keys := make([]string, len(records))
+	for i, r := range records {
+		keys[i] = strutil.JoinFields(r)
+	}
+	var metric distance.Metric
+	switch {
+	case opts.CustomMetric != nil:
+		metric = distance.Func{MetricName: "custom", F: opts.CustomMetric}
+	default:
+		m := opts.Metric
+		if m == "" {
+			m = MetricEdit
+		}
+		switch m {
+		case MetricEdit:
+			metric = distance.Edit{}
+		case MetricFMS:
+			metric = distance.NewFMS(keys)
+		case MetricCosine:
+			metric = distance.NewCosine(keys)
+		case MetricJaccard:
+			metric = distance.Jaccard{}
+		case MetricJaro:
+			metric = distance.Jaro{}
+		case MetricJaroWinkler:
+			metric = distance.JaroWinkler{}
+		case MetricMongeElkan:
+			metric = distance.MongeElkan{}
+		case MetricSoftTFIDF:
+			metric = distance.NewSoftTFIDF(keys, 0, nil)
+		case MetricSoundex:
+			metric = distance.SoundexDistance{}
+		case MetricDamerau:
+			metric = distance.Damerau{}
+		default:
+			return nil, fmt.Errorf("fuzzydup: unknown metric %q", m)
+		}
+	}
+	kind := opts.Index
+	if kind == "" {
+		if opts.Approximate {
+			kind = IndexQGram
+		} else {
+			kind = IndexExact
+		}
+	}
+	var index nnindex.Index
+	switch kind {
+	case IndexExact:
+		index = nnindex.NewExact(keys, metric)
+	case IndexQGram:
+		qg, err := nnindex.NewQGram(keys, metric, nnindex.QGramConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("fuzzydup: building index: %w", err)
+		}
+		index = qg
+	case IndexVPTree:
+		index = nnindex.NewVPTree(keys, metric)
+	case IndexMinHash:
+		mh, err := nnindex.NewMinHash(keys, metric, nnindex.MinHashConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("fuzzydup: building index: %w", err)
+		}
+		index = mh
+	default:
+		return nil, fmt.Errorf("fuzzydup: unknown index %q", kind)
+	}
+	return &Deduper{records: records, keys: keys, metric: metric, index: index, opts: opts}, nil
+}
+
+// Len returns the number of records.
+func (d *Deduper) Len() int { return len(d.records) }
+
+// Distance returns the configured metric's distance between two records
+// by index.
+func (d *Deduper) Distance(a, b int) float64 {
+	return d.metric.Distance(d.keys[a], d.keys[b])
+}
+
+func (d *Deduper) agg() core.Agg {
+	switch d.opts.Agg {
+	case AggAvg:
+		return core.AggAvg
+	case AggMax2:
+		return core.AggMax2
+	default:
+		return core.AggMax
+	}
+}
+
+func (d *Deduper) problem(cut core.Cut, c float64) core.Problem {
+	return core.Problem{
+		Cut:            cut,
+		Agg:            d.agg(),
+		C:              c,
+		P:              d.opts.P,
+		MinimalCompact: d.opts.MinimalCompact,
+		Exclude:        d.opts.Exclude,
+	}
+}
+
+// nnRelation returns the phase-1 relation for the cut, reusing and
+// widening the per-family cache as needed.
+func (d *Deduper) nnRelation(cut core.Cut) (*core.NNRelation, error) {
+	if cut.IsSize() {
+		if d.cacheS == nil || d.cacheS.Cut.MaxSize < cut.MaxSize {
+			rel, err := core.ComputeNN(d.index, core.Cut{MaxSize: cut.MaxSize}, d.growthP(), d.phase1Opts())
+			if err != nil {
+				return nil, err
+			}
+			d.cacheS = rel
+		}
+		return d.cacheS.TruncateSize(cut.MaxSize), nil
+	}
+	if d.cacheD == nil || d.cacheD.Cut.Diameter < cut.Diameter {
+		rel, err := core.ComputeNN(d.index, core.Cut{Diameter: cut.Diameter}, d.growthP(), d.phase1Opts())
+		if err != nil {
+			return nil, err
+		}
+		d.cacheD = rel
+	}
+	rel := d.cacheD.TruncateDiameter(cut.Diameter)
+	rel.Cut = cut // carry the size bound of a combined cut into phase 2
+	return rel, nil
+}
+
+func (d *Deduper) solve(prob core.Problem) (Groups, error) {
+	rel, err := d.nnRelation(prob.Cut)
+	if err != nil {
+		return nil, err
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if d.opts.UseSQL {
+		r := core.NewSQLRunner()
+		if err := r.LoadNNRelation(rel); err != nil {
+			return nil, err
+		}
+		if err := r.BuildCSPairs(); err != nil {
+			return nil, err
+		}
+		return r.Partition(prob)
+	}
+	return core.Partition(rel, prob)
+}
+
+// Groups is a partition of the record indices: every record appears in
+// exactly one group; groups of size >= 2 are the detected duplicate sets.
+type Groups [][]int
+
+// Duplicates returns only the non-trivial groups (size >= 2).
+func (g Groups) Duplicates() [][]int {
+	var out [][]int
+	for _, grp := range g {
+		if len(grp) >= 2 {
+			out = append(out, grp)
+		}
+	}
+	return out
+}
+
+// Pairs returns every detected duplicate pair (a < b).
+func (g Groups) Pairs() [][2]int {
+	var out [][2]int
+	for _, grp := range g {
+		for i := 0; i < len(grp); i++ {
+			for j := i + 1; j < len(grp); j++ {
+				out = append(out, [2]int{grp[i], grp[j]})
+			}
+		}
+	}
+	return out
+}
+
+// GroupsBySize solves the DE_S(K) problem: partition the records into the
+// minimum number of compact, sparse-neighborhood groups of size at most
+// maxSize, with SN threshold c (> 1).
+func (d *Deduper) GroupsBySize(maxSize int, c float64) (Groups, error) {
+	return d.solve(d.problem(core.Cut{MaxSize: maxSize}, c))
+}
+
+// GroupsByDiameter solves the DE_D(θ) problem: partition the records into
+// the minimum number of compact, sparse-neighborhood groups whose maximum
+// pairwise distance stays below theta, with SN threshold c (> 1).
+func (d *Deduper) GroupsByDiameter(theta, c float64) (Groups, error) {
+	return d.solve(d.problem(core.Cut{Diameter: theta}, c))
+}
+
+// GroupsBySizeAndDiameter applies both cut specifications together
+// (Section 3's combined form): groups of at most maxSize records whose
+// maximum pairwise distance stays below theta, with SN threshold c (> 1).
+func (d *Deduper) GroupsBySizeAndDiameter(maxSize int, theta, c float64) (Groups, error) {
+	return d.solve(d.problem(core.Cut{MaxSize: maxSize, Diameter: theta}, c))
+}
+
+// SingleLinkage runs the global-threshold baseline the paper compares
+// against: connected components of the threshold graph at theta.
+func (d *Deduper) SingleLinkage(theta float64) (Groups, error) {
+	rel, err := core.ComputeNN(d.index, core.Cut{Diameter: theta}, core.DefaultP, d.phase1Opts())
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]nnindex.Neighbor, len(rel.Rows))
+	for i, row := range rel.Rows {
+		lists[i] = row.NNList
+	}
+	return baseline.SingleLinkage(d.Len(), lists, theta), nil
+}
+
+// Explanation describes how the framework's criteria see a candidate
+// pair: their distance, whether they are mutual nearest neighbors (the
+// entry condition for any duplicate group), and their neighborhood
+// growths (a pair passes SN(max, c) iff MaxNG < c). The structural
+// criteria make every grouping decision inspectable — no opaque score.
+type Explanation = core.PairExplanation
+
+// Explain evaluates the pair diagnostics for records a and b, considering
+// each record's first k nearest neighbors.
+func (d *Deduper) Explain(a, b, k int) Explanation {
+	e := core.ExplainPair(d.index, a, b, k, d.opts.P)
+	// The public Deduper always knows the true distance.
+	e.Distance = d.Distance(a, b)
+	return e
+}
+
+// EstimateC derives the sparse-neighborhood threshold c from an estimate
+// of the fraction of records that are duplicates (paper, Section 4.3):
+// the least neighborhood-growth value at which the cumulative growth
+// distribution spikes near the dupFraction-percentile.
+func (d *Deduper) EstimateC(dupFraction float64) (float64, error) {
+	rel, err := d.nnRelation(core.Cut{MaxSize: 5})
+	if err != nil {
+		return 0, err
+	}
+	return core.EstimateSNThreshold(rel.NGValues(), dupFraction, core.EstimateOptions{})
+}
+
+// NeighborhoodGrowths returns ng(v) for every record — the diagnostic the
+// Section 4.3 estimator and the SN criterion are built on.
+func (d *Deduper) NeighborhoodGrowths() ([]int, error) {
+	rel, err := d.nnRelation(core.Cut{MaxSize: 5})
+	if err != nil {
+		return nil, err
+	}
+	return rel.NGValues(), nil
+}
+
+func (d *Deduper) growthP() float64 {
+	if d.opts.P == 0 {
+		return core.DefaultP
+	}
+	return d.opts.P
+}
+
+// phase1Opts derives the phase-1 options from the Deduper's configuration.
+func (d *Deduper) phase1Opts() core.Phase1Options {
+	return core.Phase1Options{Parallel: d.opts.Parallel}
+}

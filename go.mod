@@ -1,0 +1,3 @@
+module fuzzydup
+
+go 1.22

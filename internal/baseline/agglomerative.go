@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Linkage selects the cluster-distance rule for agglomerative clustering.
+type Linkage int
+
+// Linkage rules.
+const (
+	// LinkSingle merges on the minimum pairwise distance — equivalent to
+	// threshold-graph connected components when run to threshold θ.
+	LinkSingle Linkage = iota
+	// LinkComplete merges on the maximum pairwise distance, so every
+	// member of a merged cluster is within θ of every other (clique-like;
+	// this is the diameter discipline the paper's DE_D cut also enforces,
+	// but without the CS/SN criteria).
+	LinkComplete
+	// LinkAverage merges on the unweighted mean pairwise distance (UPGMA).
+	LinkAverage
+)
+
+// String implements fmt.Stringer.
+func (l Linkage) String() string {
+	switch l {
+	case LinkSingle:
+		return "single"
+	case LinkComplete:
+		return "complete"
+	case LinkAverage:
+		return "average"
+	default:
+		return fmt.Sprintf("linkage(%d)", int(l))
+	}
+}
+
+// Agglomerative runs hierarchical agglomerative clustering over n items
+// with the given linkage, merging greedily while the best cluster distance
+// stays below theta, and returns the resulting partition. dist is the
+// (symmetric) item distance oracle.
+//
+// The implementation keeps the full cluster-distance matrix and applies
+// Lance-Williams updates, so it is O(n²) memory and O(n³) worst-case time
+// — adequate for the baseline comparisons it exists for, not for the
+// million-row regime (which is what the paper's indexed algorithm is for).
+func Agglomerative(n int, dist func(i, j int) float64, link Linkage, theta float64) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	// active cluster state
+	members := make([][]int, n)
+	size := make([]int, n)
+	alive := make([]bool, n)
+	for i := 0; i < n; i++ {
+		members[i] = []int{i}
+		size[i] = 1
+		alive[i] = true
+	}
+	// distance matrix (cluster x cluster), row-major on original indices
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(i, j)
+			d[i][j], d[j][i] = v, v
+		}
+	}
+
+	for {
+		// Find the closest pair of alive clusters.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if d[i][j] < best || (d[i][j] == best && (bi == -1 || i < bi || (i == bi && j < bj))) {
+					bi, bj, best = i, j, d[i][j]
+				}
+			}
+		}
+		if bi < 0 || best >= theta {
+			break
+		}
+		// Merge bj into bi with the Lance-Williams update.
+		for k := 0; k < n; k++ {
+			if !alive[k] || k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch link {
+			case LinkSingle:
+				nd = math.Min(d[bi][k], d[bj][k])
+			case LinkComplete:
+				nd = math.Max(d[bi][k], d[bj][k])
+			case LinkAverage:
+				si, sj := float64(size[bi]), float64(size[bj])
+				nd = (si*d[bi][k] + sj*d[bj][k]) / (si + sj)
+			default:
+				nd = math.Min(d[bi][k], d[bj][k])
+			}
+			d[bi][k], d[k][bi] = nd, nd
+		}
+		members[bi] = append(members[bi], members[bj]...)
+		size[bi] += size[bj]
+		alive[bj] = false
+	}
+
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			g := append([]int(nil), members[i]...)
+			sort.Ints(g)
+			groups = append(groups, g)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}

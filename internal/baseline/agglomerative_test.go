@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fuzzydup/internal/nnindex"
+)
+
+// lineDist places items on a line at the given positions.
+func lineDist(pos []float64) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		d := pos[i] - pos[j]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+}
+
+func TestAgglomerativeSingleChains(t *testing.T) {
+	// Chain 0 - 0.1 - 0.2: single linkage at θ=0.15 merges all three even
+	// though the ends are 0.2 apart.
+	pos := []float64{0, 0.1, 0.2, 0.9}
+	groups := Agglomerative(4, lineDist(pos), LinkSingle, 0.15)
+	want := [][]int{{0, 1, 2}, {3}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("single = %v, want %v", groups, want)
+	}
+}
+
+func TestAgglomerativeCompleteBreaksChains(t *testing.T) {
+	// Complete linkage at the same θ refuses the chain: merging {0,1} with
+	// {2} would give diameter 0.2 >= 0.15.
+	pos := []float64{0, 0.1, 0.2, 0.9}
+	groups := Agglomerative(4, lineDist(pos), LinkComplete, 0.15)
+	// First merge is (0,1) or (1,2) — ties break toward the lower index
+	// pair, so {0,1} forms and 2 stays single.
+	want := [][]int{{0, 1}, {2}, {3}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("complete = %v, want %v", groups, want)
+	}
+}
+
+func TestAgglomerativeAverageBetween(t *testing.T) {
+	// Average linkage merges {0,1} with {2} iff mean(0.2, 0.1) = 0.15 < θ.
+	pos := []float64{0, 0.1, 0.2}
+	atLow := Agglomerative(3, lineDist(pos), LinkAverage, 0.14)
+	if len(atLow) != 2 {
+		t.Errorf("average θ=0.14 = %v", atLow)
+	}
+	atHigh := Agglomerative(3, lineDist(pos), LinkAverage, 0.16)
+	if len(atHigh) != 1 {
+		t.Errorf("average θ=0.16 = %v", atHigh)
+	}
+}
+
+func TestAgglomerativeSingleMatchesComponents(t *testing.T) {
+	// Single-linkage agglomerative to θ equals threshold-graph connected
+	// components — cross-validates the two implementations.
+	rng := rand.New(rand.NewSource(71))
+	const n = 40
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = rng.Float64()
+	}
+	dist := lineDist(pos)
+	const theta = 0.03
+	agg := Agglomerative(n, dist, LinkSingle, theta)
+
+	lists := make([][]nnindex.Neighbor, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				lists[i] = append(lists[i], nnindex.Neighbor{ID: j, Dist: dist(i, j)})
+			}
+		}
+	}
+	comp := SingleLinkage(n, lists, theta)
+	if !reflect.DeepEqual(agg, comp) {
+		t.Errorf("agglomerative single %v != components %v", agg, comp)
+	}
+}
+
+func TestAgglomerativeCompleteDiameterInvariant(t *testing.T) {
+	// Every complete-linkage cluster must have diameter < θ.
+	rng := rand.New(rand.NewSource(72))
+	const n = 30
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = rng.Float64()
+	}
+	dist := lineDist(pos)
+	const theta = 0.1
+	for _, g := range Agglomerative(n, dist, LinkComplete, theta) {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				if dist(g[i], g[j]) >= theta {
+					t.Fatalf("cluster %v has diameter >= θ", g)
+				}
+			}
+		}
+	}
+}
+
+func TestAgglomerativeDegenerate(t *testing.T) {
+	if got := Agglomerative(0, nil, LinkSingle, 0.5); got != nil {
+		t.Errorf("n=0 = %v", got)
+	}
+	got := Agglomerative(1, func(i, j int) float64 { return 0 }, LinkAverage, 0.5)
+	if !reflect.DeepEqual(got, [][]int{{0}}) {
+		t.Errorf("n=1 = %v", got)
+	}
+	// θ=0 merges nothing.
+	got = Agglomerative(3, lineDist([]float64{0, 0, 0}), LinkComplete, 0)
+	if len(got) != 3 {
+		t.Errorf("θ=0 = %v", got)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if LinkSingle.String() != "single" || LinkComplete.String() != "complete" || LinkAverage.String() != "average" {
+		t.Error("linkage names")
+	}
+	if Linkage(9).String() == "" {
+		t.Error("unknown linkage name")
+	}
+}

@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fuzzydup/internal/nnindex"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Same(0, 1) {
+		t.Error("fresh sets should be distinct")
+	}
+	if !uf.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if uf.Union(0, 1) {
+		t.Error("second union should be a no-op")
+	}
+	if !uf.Same(0, 1) || uf.Same(0, 2) {
+		t.Error("membership wrong after union")
+	}
+	uf.Union(2, 3)
+	uf.Union(1, 3)
+	groups := uf.Groups()
+	want := [][]int{{0, 1, 2, 3}, {4}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestUnionFindPartitionProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(5))}
+	f := func(pairs [][2]uint8) bool {
+		const n = 40
+		uf := NewUnionFind(n)
+		for _, p := range pairs {
+			uf.Union(int(p[0])%n, int(p[1])%n)
+		}
+		groups := uf.Groups()
+		seen := make(map[int]bool)
+		for _, g := range groups {
+			for _, id := range g {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// nnLists builds neighbor lists from an explicit distance matrix given as
+// a map of (a,b) -> d; missing entries mean "beyond any threshold".
+func nnLists(n int, d map[[2]int]float64) [][]nnindex.Neighbor {
+	lists := make([][]nnindex.Neighbor, n)
+	for key, dist := range d {
+		a, b := key[0], key[1]
+		lists[a] = append(lists[a], nnindex.Neighbor{ID: b, Dist: dist})
+		lists[b] = append(lists[b], nnindex.Neighbor{ID: a, Dist: dist})
+	}
+	return lists
+}
+
+func TestThresholdGraph(t *testing.T) {
+	d := map[[2]int]float64{
+		{0, 1}: 0.1,
+		{1, 2}: 0.3,
+		{3, 4}: 0.9,
+	}
+	edges := ThresholdGraph(nnLists(5, d), 0.5)
+	want := []Edge{{0, 1, 0.1}, {1, 2, 0.3}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Errorf("edges = %v, want %v", edges, want)
+	}
+	// Boundary is exclusive.
+	edges = ThresholdGraph(nnLists(5, d), 0.3)
+	if len(edges) != 1 || edges[0].B != 1 {
+		t.Errorf("exclusive boundary violated: %v", edges)
+	}
+}
+
+func TestThresholdGraphAsymmetricLists(t *testing.T) {
+	// Only tuple 0's list mentions tuple 1; the edge must still appear once.
+	lists := make([][]nnindex.Neighbor, 2)
+	lists[0] = []nnindex.Neighbor{{ID: 1, Dist: 0.2}}
+	edges := ThresholdGraph(lists, 0.5)
+	if len(edges) != 1 || edges[0].A != 0 || edges[0].B != 1 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestSingleLinkageChains(t *testing.T) {
+	// The transitivity failure the paper criticizes: a-b close, b-c close,
+	// a-c far. Single linkage still merges all three.
+	d := map[[2]int]float64{
+		{0, 1}: 0.2,
+		{1, 2}: 0.2,
+		{0, 2}: 0.9,
+	}
+	groups := SingleLinkage(4, nnLists(4, d), 0.5)
+	want := [][]int{{0, 1, 2}, {3}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("groups = %v, want %v", groups, want)
+	}
+}
+
+func TestSingleLinkageThresholdSweep(t *testing.T) {
+	d := map[[2]int]float64{
+		{0, 1}: 0.1,
+		{2, 3}: 0.4,
+		{1, 2}: 0.6,
+	}
+	lists := nnLists(4, d)
+	low := SingleLinkage(4, lists, 0.2)   // only 0-1 merge
+	mid := SingleLinkage(4, lists, 0.5)   // 0-1 and 2-3
+	high := SingleLinkage(4, lists, 0.95) // everything
+	if len(low) != 3 || len(mid) != 2 || len(high) != 1 {
+		t.Errorf("component counts = %d, %d, %d; want 3, 2, 1", len(low), len(mid), len(high))
+	}
+}
+
+func TestStar(t *testing.T) {
+	// Hub 1 connected to 0, 2, 3; 0-2 also connected. Star should pick the
+	// highest-degree node (1) as center and take everything.
+	d := map[[2]int]float64{
+		{0, 1}: 0.1,
+		{1, 2}: 0.1,
+		{1, 3}: 0.1,
+		{0, 2}: 0.1,
+	}
+	groups := Star(5, nnLists(5, d), 0.5)
+	want := [][]int{{0, 1, 2, 3}, {4}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("star groups = %v, want %v", groups, want)
+	}
+}
+
+func TestCliqueBreaksChains(t *testing.T) {
+	// Chain 0-1-2 without the 0-2 edge: clique componentization cannot put
+	// all three together.
+	d := map[[2]int]float64{
+		{0, 1}: 0.2,
+		{1, 2}: 0.2,
+	}
+	groups := Clique(3, nnLists(3, d), 0.5)
+	want := [][]int{{0, 1}, {2}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("clique groups = %v, want %v", groups, want)
+	}
+}
+
+func TestCliqueKeepsTriangles(t *testing.T) {
+	d := map[[2]int]float64{
+		{0, 1}: 0.2,
+		{1, 2}: 0.2,
+		{0, 2}: 0.2,
+	}
+	groups := Clique(3, nnLists(3, d), 0.5)
+	want := [][]int{{0, 1, 2}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("clique groups = %v, want %v", groups, want)
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	// All three componentizations must produce partitions (cover, disjoint).
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(6))}
+	f := func(raw [][3]uint8) bool {
+		const n = 30
+		d := make(map[[2]int]float64)
+		for _, e := range raw {
+			a, b := int(e[0])%n, int(e[1])%n
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			d[[2]int{a, b}] = float64(e[2]) / 255
+		}
+		lists := nnLists(n, d)
+		for _, groups := range [][][]int{
+			SingleLinkage(n, lists, 0.5),
+			Star(n, lists, 0.5),
+			Clique(n, lists, 0.5),
+		} {
+			seen := make(map[int]bool)
+			for _, g := range groups {
+				for _, id := range g {
+					if seen[id] {
+						return false
+					}
+					seen[id] = true
+				}
+			}
+			if len(seen) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"sort"
+
+	"fuzzydup/internal/nnindex"
+)
+
+// Edge is one edge of the threshold graph.
+type Edge struct {
+	A, B int // A < B
+	Dist float64
+}
+
+// ThresholdGraph induces the graph of the paper's Section 2 from the
+// per-tuple neighbor lists produced by phase 1: nodes are tuples, and an
+// edge connects u and v when d(u, v) < theta. Neighbor lists need not be
+// symmetric (a distant tuple may appear in only one direction's list);
+// edges are symmetrized. Each edge appears once with A < B, sorted by
+// (A, B).
+func ThresholdGraph(nn [][]nnindex.Neighbor, theta float64) []Edge {
+	seen := make(map[[2]int]float64)
+	for a, list := range nn {
+		for _, n := range list {
+			if n.Dist >= theta || n.ID == a {
+				continue
+			}
+			key := [2]int{a, n.ID}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if _, ok := seen[key]; !ok {
+				seen[key] = n.Dist
+			}
+		}
+	}
+	edges := make([]Edge, 0, len(seen))
+	for key, d := range seen {
+		edges = append(edges, Edge{A: key[0], B: key[1], Dist: d})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	return edges
+}
+
+// SingleLinkage is the paper's "thr" baseline: partition the n tuples into
+// the maximal connected components of the threshold graph at theta. This
+// is single-linkage clustering with a global threshold — the approach the
+// CS/SN criteria are designed to improve on.
+func SingleLinkage(n int, nn [][]nnindex.Neighbor, theta float64) [][]int {
+	uf := NewUnionFind(n)
+	for _, e := range ThresholdGraph(nn, theta) {
+		uf.Union(e.A, e.B)
+	}
+	return uf.Groups()
+}
+
+// Star componentizes the threshold graph greedily into stars: repeatedly
+// pick the uncovered node of highest threshold-degree as a star center and
+// group it with its uncovered neighbors. The paper notes (§5, §6) this
+// yields results similar to single linkage because real duplicate groups
+// are small.
+func Star(n int, nn [][]nnindex.Neighbor, theta float64) [][]int {
+	adj := adjacency(n, nn, theta)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(adj[order[i]]), len(adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	covered := make([]bool, n)
+	var groups [][]int
+	for _, center := range order {
+		if covered[center] {
+			continue
+		}
+		covered[center] = true
+		group := []int{center}
+		for _, u := range adj[center] {
+			if !covered[u] {
+				covered[u] = true
+				group = append(group, u)
+			}
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// Clique componentizes the threshold graph greedily into cliques: process
+// nodes in ID order; an uncovered node starts a clique, which absorbs its
+// uncovered neighbors (by ascending ID) that are adjacent to every current
+// member. A maximal-clique partition is NP-hard; the greedy version is the
+// standard practical variant and suffices because duplicate groups are
+// tiny.
+func Clique(n int, nn [][]nnindex.Neighbor, theta float64) [][]int {
+	adj := adjacency(n, nn, theta)
+	adjSet := make([]map[int]struct{}, n)
+	for v, list := range adj {
+		adjSet[v] = make(map[int]struct{}, len(list))
+		for _, u := range list {
+			adjSet[v][u] = struct{}{}
+		}
+	}
+	covered := make([]bool, n)
+	var groups [][]int
+	for v := 0; v < n; v++ {
+		if covered[v] {
+			continue
+		}
+		covered[v] = true
+		group := []int{v}
+		for _, u := range adj[v] {
+			if covered[u] {
+				continue
+			}
+			ok := true
+			for _, m := range group {
+				if _, adjacent := adjSet[u][m]; !adjacent {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				covered[u] = true
+				group = append(group, u)
+			}
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// adjacency builds sorted adjacency lists of the threshold graph.
+func adjacency(n int, nn [][]nnindex.Neighbor, theta float64) [][]int {
+	adj := make([][]int, n)
+	for _, e := range ThresholdGraph(nn, theta) {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return adj
+}

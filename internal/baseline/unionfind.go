@@ -1,0 +1,71 @@
+// Package baseline implements the comparison algorithms of the paper's
+// evaluation: global-threshold duplicate detection over the threshold
+// graph, where two tuples are connected when their distance is below θ.
+// The primary baseline ("thr") takes maximal connected components —
+// single-linkage clustering — and the star and clique componentizations
+// the paper mentions as near-equivalent alternatives are provided too.
+package baseline
+
+import "sort"
+
+// UnionFind is a standard disjoint-set forest with union by rank and path
+// compression, used to extract connected components of the threshold graph.
+type UnionFind struct {
+	parent []int
+	rank   []int
+}
+
+// NewUnionFind returns a forest of n singleton sets 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b and reports whether they were
+// previously distinct.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Groups returns all sets as sorted ID slices, ordered by their smallest
+// member. Singletons are included, so the result is a partition of 0..n-1.
+func (u *UnionFind) Groups() [][]int {
+	byRoot := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	for _, g := range byRoot {
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}

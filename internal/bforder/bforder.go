@@ -1,0 +1,101 @@
+// Package bforder implements the index lookup orders of the paper's
+// Section 4.1.1: the breadth-first (BF) order that visits each tuple right
+// after its nearest neighbors (Figure 5's PrepareNNLists procedure), and
+// the random order it is compared against in Figure 8.
+//
+// The BF order corresponds to a breadth-first traversal of a tree whose
+// root is an arbitrary tuple and whose children are a node's nearest
+// neighbors not already in the tree. The tree is never materialized: a
+// bounded FIFO queue of tuple IDs plus a visited bit vector realize the
+// traversal, and when the queue drains, the next unvisited tuple from a
+// sequential scan of the relation restarts it.
+package bforder
+
+import "math/rand"
+
+// Visitor is invoked exactly once per tuple, in lookup order. It performs
+// the actual index lookup (fetch NN-list, compute neighborhood growth,
+// emit the NN_Reln row) and returns the tuple IDs of the neighbors found,
+// which the BF driver enqueues as the tuple's children.
+type Visitor func(id int) (neighbors []int)
+
+// DefaultMaxQueue bounds the BF queue. The paper notes the queue holds
+// only tuple identifiers and stops admitting new entries when it outgrows
+// the memory made available; 1<<16 IDs is a few hundred kilobytes.
+const DefaultMaxQueue = 1 << 16
+
+// BF visits all n tuples in breadth-first order, calling visit once per
+// tuple, and returns the visit order. maxQueue bounds the pending queue
+// (<= 0 selects DefaultMaxQueue): when full, discovered neighbors are not
+// enqueued and will be reached by the scan instead, exactly as in the
+// paper's Figure 5 step 2c.
+func BF(n, maxQueue int, visit Visitor) []int {
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	queue := make([]int, 0, min(n, maxQueue))
+	scan := 0 // frontier of the sequential restart scan
+
+	for len(order) < n {
+		if len(queue) == 0 {
+			// Step 3: pull the next unvisited tuple from the scan of R.
+			for scan < n && visited[scan] {
+				scan++
+			}
+			if scan >= n {
+				break
+			}
+			queue = append(queue, scan)
+		}
+		v := queue[0]
+		queue = queue[1:]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		order = append(order, v)
+		for _, u := range visit(v) {
+			if u < 0 || u >= n || visited[u] {
+				continue
+			}
+			if len(queue) >= maxQueue {
+				break
+			}
+			queue = append(queue, u)
+		}
+	}
+	return order
+}
+
+// Random visits all n tuples in a seeded random permutation, calling visit
+// once per tuple, and returns the visit order. Neighbor results are
+// ignored; this is the baseline order of Figure 8.
+func Random(n int, seed int64, visit Visitor) []int {
+	order := rand.New(rand.NewSource(seed)).Perm(n)
+	for _, id := range order {
+		visit(id)
+	}
+	return order
+}
+
+// Sequential visits tuples 0..n-1 in ID order, calling visit once per
+// tuple, and returns the order. Useful as a third reference point: real
+// relations often have some insertion locality, so sequential order
+// typically falls between random and BF.
+func Sequential(n int, visit Visitor) []int {
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		order[i] = i
+		visit(i)
+	}
+	return order
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package bforder
+
+import (
+	"sort"
+	"testing"
+)
+
+// ringNeighbors returns a visitor over a ring topology: neighbors of i are
+// i-1 and i+1 (mod n).
+func ringNeighbors(n int, log *[]int) Visitor {
+	return func(id int) []int {
+		*log = append(*log, id)
+		return []int{(id + 1) % n, (id - 1 + n) % n}
+	}
+}
+
+func allVisitedOnce(t *testing.T, order []int, n int) {
+	t.Helper()
+	if len(order) != n {
+		t.Fatalf("visited %d tuples, want %d", len(order), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("tuple %d visited twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBFVisitsAllOnce(t *testing.T) {
+	const n = 100
+	var log []int
+	order := BF(n, 0, ringNeighbors(n, &log))
+	allVisitedOnce(t, order, n)
+	if len(log) != n {
+		t.Errorf("visitor called %d times, want %d", len(log), n)
+	}
+}
+
+func TestBFFollowsNeighbors(t *testing.T) {
+	// With a ring, BF from 0 should walk outward: 0, 1, n-1, 2, n-2, ...
+	const n = 10
+	var log []int
+	order := BF(n, 0, ringNeighbors(n, &log))
+	want := []int{0, 1, 9, 2, 8, 3, 7, 4, 6, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBFDisconnected(t *testing.T) {
+	// Tuples with no neighbors: the scan restart must still reach everyone.
+	const n = 25
+	order := BF(n, 0, func(id int) []int { return nil })
+	allVisitedOnce(t, order, n)
+	// With no neighbor hints the order degenerates to the scan order.
+	for i, id := range order {
+		if i != id {
+			t.Errorf("order[%d] = %d, want scan order", i, id)
+			break
+		}
+	}
+}
+
+func TestBFQueueBound(t *testing.T) {
+	// A hub topology where tuple 0 returns every other tuple as neighbor;
+	// with maxQueue 4 most must come from the scan. Everyone still visited.
+	const n = 50
+	hub := func(id int) []int {
+		if id == 0 {
+			out := make([]int, n-1)
+			for i := range out {
+				out[i] = i + 1
+			}
+			return out
+		}
+		return nil
+	}
+	order := BF(n, 4, hub)
+	allVisitedOnce(t, order, n)
+}
+
+func TestBFIgnoresBogusNeighbors(t *testing.T) {
+	const n = 10
+	order := BF(n, 0, func(id int) []int { return []int{-5, n + 3, id} })
+	allVisitedOnce(t, order, n)
+}
+
+func TestRandomVisitsAllOnce(t *testing.T) {
+	const n = 64
+	var log []int
+	order := Random(n, 42, func(id int) []int { log = append(log, id); return nil })
+	allVisitedOnce(t, order, n)
+	if len(log) != n {
+		t.Errorf("visitor called %d times", len(log))
+	}
+	// Determinism under the same seed.
+	order2 := Random(n, 42, func(id int) []int { return nil })
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatal("random order not deterministic for fixed seed")
+		}
+	}
+	// Different seeds give different orders (overwhelmingly likely).
+	order3 := Random(n, 43, func(id int) []int { return nil })
+	same := true
+	for i := range order {
+		if order[i] != order3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical order")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	const n = 7
+	order := Sequential(n, func(id int) []int { return nil })
+	if !sort.IntsAreSorted(order) || len(order) != n {
+		t.Errorf("sequential order = %v", order)
+	}
+}
+
+func TestBFZeroTuples(t *testing.T) {
+	order := BF(0, 0, func(id int) []int { t.Fatal("visitor called"); return nil })
+	if len(order) != 0 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestBFLocalityBeatsRandom(t *testing.T) {
+	// Measure order locality as the mean absolute gap between consecutive
+	// visits on a line topology (neighbors i-1, i+1). BF should be far more
+	// local than random.
+	const n = 200
+	line := func(id int) []int {
+		var out []int
+		if id > 0 {
+			out = append(out, id-1)
+		}
+		if id < n-1 {
+			out = append(out, id+1)
+		}
+		return out
+	}
+	gap := func(order []int) float64 {
+		total := 0.0
+		for i := 1; i < len(order); i++ {
+			d := order[i] - order[i-1]
+			if d < 0 {
+				d = -d
+			}
+			total += float64(d)
+		}
+		return total / float64(len(order)-1)
+	}
+	bfGap := gap(BF(n, 0, line))
+	rndGap := gap(Random(n, 1, func(id int) []int { return nil }))
+	if bfGap*5 > rndGap {
+		t.Errorf("BF gap %.1f should be well below random gap %.1f", bfGap, rndGap)
+	}
+}

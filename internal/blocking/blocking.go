@@ -1,0 +1,191 @@
+// Package blocking implements the candidate-generation methods the
+// paper's related work discusses (Section 6): standard key blocking and
+// the multi-pass sorted-neighborhood method. Both shrink the comparison
+// space by only considering pairs that share a block or fall inside a
+// sliding window of a sorted order.
+//
+// The paper explains why it cannot adopt them: the CS and SN criteria
+// need each tuple's true nearest neighbors and its neighborhood growth,
+// and blocking "does not guarantee that all required nearest neighbors of
+// a tuple are also in the same block". The Coverage helpers quantify that
+// argument (see the abl-blocking experiment): blocking keeps most true
+// duplicate pairs yet misses a tangible share of nearest-neighbor pairs,
+// which silently corrupts ng(v) and the mutual-NN structure.
+//
+// The package is still useful on its own — as a recall-ceiling analysis
+// tool, and as the candidate generator for plain threshold baselines.
+package blocking
+
+import (
+	"sort"
+	"strings"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/strutil"
+)
+
+// KeyFunc derives one or more blocking keys from a record's string form.
+// Records sharing any key land in a common block.
+type KeyFunc func(key string) []string
+
+// FirstNChars blocks by the first n runes of the normalized string —
+// the simplest (and most typo-fragile) traditional key.
+func FirstNChars(n int) KeyFunc {
+	return func(key string) []string {
+		norm := []rune(strutil.Normalize(key))
+		if len(norm) == 0 {
+			return nil
+		}
+		if len(norm) > n {
+			norm = norm[:n]
+		}
+		return []string{string(norm)}
+	}
+}
+
+// SoundexFirstToken blocks by the Soundex code of the first token,
+// tolerating spelling noise in exchange for coarser blocks.
+func SoundexFirstToken() KeyFunc {
+	return func(key string) []string {
+		toks := strutil.Tokens(key)
+		if len(toks) == 0 {
+			return nil
+		}
+		return []string{distance.Soundex(toks[0])}
+	}
+}
+
+// TokenKeys blocks by every token of at least minLen runes, so records
+// sharing any substantial word meet in some block (a multi-key scheme).
+func TokenKeys(minLen int) KeyFunc {
+	return func(key string) []string {
+		var out []string
+		for _, t := range strutil.Tokens(key) {
+			if len([]rune(t)) >= minLen {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+}
+
+// Blocks partitions record IDs by blocking key. Records producing no key
+// are absent from the result.
+func Blocks(keys []string, kf KeyFunc) map[string][]int {
+	blocks := make(map[string][]int)
+	for id, key := range keys {
+		seen := make(map[string]struct{})
+		for _, bk := range kf(key) {
+			if _, dup := seen[bk]; dup {
+				continue
+			}
+			seen[bk] = struct{}{}
+			blocks[bk] = append(blocks[bk], id)
+		}
+	}
+	return blocks
+}
+
+// CandidatePairs returns the union over all key functions of within-block
+// pairs (a < b).
+func CandidatePairs(keys []string, kfs ...KeyFunc) map[[2]int]bool {
+	pairs := make(map[[2]int]bool)
+	for _, kf := range kfs {
+		for _, block := range Blocks(keys, kf) {
+			for i := 0; i < len(block); i++ {
+				for j := i + 1; j < len(block); j++ {
+					a, b := block[i], block[j]
+					if a > b {
+						a, b = b, a
+					}
+					pairs[[2]int{a, b}] = true
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// Ordering maps a record string to its sort key for the sorted-
+// neighborhood method.
+type Ordering func(key string) string
+
+// NormalizedOrder sorts by the normalized string itself.
+func NormalizedOrder() Ordering { return strutil.Normalize }
+
+// ReversedTokenOrder sorts by the tokens in reverse sequence, so records
+// differing in their leading token (the classic failure of a single pass)
+// still meet in the second pass.
+func ReversedTokenOrder() Ordering {
+	return func(key string) string {
+		toks := strutil.Tokens(key)
+		for i, j := 0, len(toks)-1; i < j; i, j = i+1, j-1 {
+			toks[i], toks[j] = toks[j], toks[i]
+		}
+		return strings.Join(toks, " ")
+	}
+}
+
+// SortedNeighborhood runs the multi-pass sorted-neighborhood method:
+// for each ordering, sort the records by their sort key and emit every
+// pair within a sliding window of size w (w >= 2). The union over passes
+// is returned.
+func SortedNeighborhood(keys []string, w int, orderings ...Ordering) map[[2]int]bool {
+	if w < 2 {
+		w = 2
+	}
+	pairs := make(map[[2]int]bool)
+	for _, ord := range orderings {
+		ids := make([]int, len(keys))
+		for i := range ids {
+			ids[i] = i
+		}
+		sortKeys := make([]string, len(keys))
+		for i, k := range keys {
+			sortKeys[i] = ord(k)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			a, b := sortKeys[ids[i]], sortKeys[ids[j]]
+			if a != b {
+				return a < b
+			}
+			return ids[i] < ids[j]
+		})
+		for i := range ids {
+			for j := i + 1; j < len(ids) && j < i+w; j++ {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				pairs[[2]int{a, b}] = true
+			}
+		}
+	}
+	return pairs
+}
+
+// Coverage returns the fraction of required pairs present in the
+// candidate set — the hard recall ceiling the candidate generator imposes
+// on any downstream matcher. Returns 1 when required is empty.
+func Coverage(candidates, required map[[2]int]bool) float64 {
+	if len(required) == 0 {
+		return 1
+	}
+	hit := 0
+	for p := range required {
+		if candidates[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(required))
+}
+
+// ReductionRatio returns 1 - |candidates| / |all pairs|: the fraction of
+// the n-choose-2 comparison space the candidate generator eliminates.
+func ReductionRatio(candidates map[[2]int]bool, n int) float64 {
+	total := float64(n) * float64(n-1) / 2
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(len(candidates))/total
+}

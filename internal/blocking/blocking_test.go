@@ -1,0 +1,152 @@
+package blocking
+
+import (
+	"testing"
+
+	"fuzzydup/internal/dataset"
+)
+
+func TestFirstNChars(t *testing.T) {
+	kf := FirstNChars(4)
+	if got := kf("The Doors"); len(got) != 1 || got[0] != "the " {
+		t.Errorf("keys = %v", got)
+	}
+	if got := kf("ab"); len(got) != 1 || got[0] != "ab" {
+		t.Errorf("short keys = %v", got)
+	}
+	if got := kf("   "); got != nil {
+		t.Errorf("blank keys = %v", got)
+	}
+}
+
+func TestSoundexFirstToken(t *testing.T) {
+	kf := SoundexFirstToken()
+	a := kf("Robert Smith")
+	b := kf("Rupert Jones")
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("phonetic twins should share a block: %v vs %v", a, b)
+	}
+	if kf("") != nil {
+		t.Error("empty record should produce no key")
+	}
+}
+
+func TestTokenKeys(t *testing.T) {
+	kf := TokenKeys(4)
+	got := kf("The Golden Dragon")
+	if len(got) != 2 || got[0] != "golden" || got[1] != "dragon" {
+		t.Errorf("keys = %v", got)
+	}
+}
+
+func TestBlocksAndCandidatePairs(t *testing.T) {
+	keys := []string{
+		"alpha one", "alpha two", "beta one", "gamma three",
+	}
+	blocks := Blocks(keys, FirstNChars(5))
+	if len(blocks["alpha"]) != 2 {
+		t.Errorf("alpha block = %v", blocks["alpha"])
+	}
+	pairs := CandidatePairs(keys, FirstNChars(5))
+	if !pairs[[2]int{0, 1}] {
+		t.Error("alpha pair missing")
+	}
+	if pairs[[2]int{0, 2}] {
+		t.Error("cross-block pair present")
+	}
+	// Multi-key union: token blocking joins "one" records across blocks.
+	pairs = CandidatePairs(keys, FirstNChars(5), TokenKeys(3))
+	if !pairs[[2]int{0, 2}] {
+		t.Error("token-key pass should cover the 'one' pair")
+	}
+}
+
+func TestBlocksDeduplicatesKeys(t *testing.T) {
+	// A record repeating a token must appear once per block.
+	blocks := Blocks([]string{"dragon dragon"}, TokenKeys(3))
+	if len(blocks["dragon"]) != 1 {
+		t.Errorf("block = %v", blocks["dragon"])
+	}
+}
+
+func TestSortedNeighborhood(t *testing.T) {
+	keys := []string{"aaa", "aab", "zzz", "aac"}
+	pairs := SortedNeighborhood(keys, 2, NormalizedOrder())
+	// Sorted: aaa(0) aab(1) aac(3) zzz(2); window 2 pairs adjacent only.
+	for _, want := range [][2]int{{0, 1}, {1, 3}, {2, 3}} {
+		if !pairs[want] {
+			t.Errorf("missing window pair %v (pairs %v)", want, pairs)
+		}
+	}
+	if pairs[[2]int{0, 2}] {
+		t.Error("non-adjacent pair present at w=2")
+	}
+	// Window below 2 clamps to 2.
+	if got := SortedNeighborhood(keys, 0, NormalizedOrder()); len(got) != 3 {
+		t.Errorf("clamped window pairs = %v", got)
+	}
+}
+
+func TestReversedTokenOrder(t *testing.T) {
+	ord := ReversedTokenOrder()
+	if got := ord("The Golden Dragon"); got != "dragon golden the" {
+		t.Errorf("reversed = %q", got)
+	}
+	// The classic single-pass failure: leading-token difference separates
+	// "Doors, The" from "The Doors" in normalized order but not in
+	// reversed order... both passes together cover the pair.
+	keys := []string{
+		"The Doors", "Doors The", "Aardvark Act", "Zebra Zone",
+		"Middle Band", "Another Group",
+	}
+	single := SortedNeighborhood(keys, 2, NormalizedOrder())
+	multi := SortedNeighborhood(keys, 2, NormalizedOrder(), ReversedTokenOrder())
+	if len(multi) <= len(single) {
+		t.Error("second pass should add candidates")
+	}
+	// With a slightly wider window the multi-pass covers the pair that
+	// leading-token reordering pushes apart.
+	wide := SortedNeighborhood(keys, 3, NormalizedOrder(), ReversedTokenOrder())
+	if !wide[[2]int{0, 1}] {
+		t.Errorf("multi-pass w=3 should cover the Doors pair: %v", wide)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	cands := map[[2]int]bool{{0, 1}: true, {2, 3}: true}
+	required := map[[2]int]bool{{0, 1}: true, {4, 5}: true}
+	if got := Coverage(cands, required); got != 0.5 {
+		t.Errorf("coverage = %v", got)
+	}
+	if got := Coverage(cands, nil); got != 1 {
+		t.Errorf("empty required coverage = %v", got)
+	}
+}
+
+func TestReductionRatio(t *testing.T) {
+	cands := map[[2]int]bool{{0, 1}: true}
+	// n=4: 6 possible pairs, 1 candidate -> 1 - 1/6.
+	if got := ReductionRatio(cands, 4); got < 0.83 || got > 0.84 {
+		t.Errorf("reduction = %v", got)
+	}
+	if got := ReductionRatio(nil, 1); got != 0 {
+		t.Errorf("degenerate reduction = %v", got)
+	}
+}
+
+func TestBlockingOnRealDataset(t *testing.T) {
+	// The Section 6 argument, quantified: blocking retains most true
+	// duplicate pairs (high coverage, big reduction), yet it cannot be
+	// used under the CS/SN criteria because nearest-neighbor pairs leak.
+	ds := dataset.Media(dataset.Config{Size: 600, Seed: 5})
+	keys := ds.Keys()
+	cands := CandidatePairs(keys, FirstNChars(4), SoundexFirstToken(), TokenKeys(4))
+	cov := Coverage(cands, ds.TruePairs())
+	red := ReductionRatio(cands, ds.Len())
+	if cov < 0.9 {
+		t.Errorf("duplicate-pair coverage = %.3f, want >= 0.9", cov)
+	}
+	if red < 0.5 {
+		t.Errorf("reduction ratio = %.3f, want >= 0.5", red)
+	}
+}

@@ -1,0 +1,218 @@
+package buffer
+
+import (
+	"testing"
+
+	"fuzzydup/internal/storage"
+)
+
+func newDiskWithPages(n int) *storage.Disk {
+	d := storage.NewDisk()
+	buf := make([]byte, storage.PageSize)
+	for i := 0; i < n; i++ {
+		id := d.Alloc()
+		buf[0] = byte(i)
+		if err := d.Write(id, buf); err != nil {
+			panic(err)
+		}
+	}
+	d.ResetStats()
+	return d
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	d := newDiskWithPages(4)
+	p := NewPool(d, 2)
+	if p.Frames() != 2 {
+		t.Fatalf("frames = %d", p.Frames())
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+	if p.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %v", p.HitRatio())
+	}
+}
+
+func TestPoolEvictionLRU(t *testing.T) {
+	d := newDiskWithPages(3)
+	p := NewPool(d, 2)
+	mustGet := func(id storage.PageID) []byte {
+		t.Helper()
+		b, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	mustGet(0)
+	mustGet(1)
+	mustGet(0) // 0 now MRU; LRU order: 0, 1
+	mustGet(2) // evicts 1
+	p.ResetStats()
+	mustGet(0) // should hit
+	mustGet(2) // should hit
+	hits, misses := p.Stats()
+	if hits != 2 || misses != 0 {
+		t.Errorf("after eviction: %d hits %d misses, want 2/0", hits, misses)
+	}
+	mustGet(1) // miss: was evicted
+	_, misses = p.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+}
+
+func TestPoolWriteback(t *testing.T) {
+	d := newDiskWithPages(3)
+	p := NewPool(d, 1)
+	b, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[100] = 0xEE
+	p.MarkDirty(0)
+	if _, err := p.Get(1); err != nil { // evicts page 0, must write back
+		t.Fatal(err)
+	}
+	raw := make([]byte, storage.PageSize)
+	if err := d.Read(0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[100] != 0xEE {
+		t.Error("dirty page not written back on eviction")
+	}
+}
+
+func TestPoolFlush(t *testing.T) {
+	d := newDiskWithPages(2)
+	p := NewPool(d, 2)
+	b, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[7] = 0x77
+	p.MarkDirty(1)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, storage.PageSize)
+	if err := d.Read(1, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[7] != 0x77 {
+		t.Error("flush did not persist dirty page")
+	}
+	// Page stays resident after flush.
+	p.ResetStats()
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := p.Stats()
+	if hits != 1 {
+		t.Errorf("page evicted by flush: hits = %d", hits)
+	}
+}
+
+func TestPoolGetMissingPage(t *testing.T) {
+	d := newDiskWithPages(1)
+	p := NewPool(d, 1)
+	if _, err := p.Get(99); err == nil {
+		t.Error("expected error for unallocated page")
+	}
+}
+
+func TestMarkDirtyNonResident(t *testing.T) {
+	d := newDiskWithPages(1)
+	p := NewPool(d, 1)
+	p.MarkDirty(0) // must not panic
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 frames")
+		}
+	}()
+	NewPool(storage.NewDisk(), 0)
+}
+
+func TestLocalityImprovesHitRatio(t *testing.T) {
+	// The essence of Figure 8: a localized access pattern over a working
+	// set larger than the pool beats a scattered one.
+	const pages = 64
+	d := newDiskWithPages(pages)
+	pool := NewPool(d, 8)
+	// Scattered: stride through all pages repeatedly.
+	for rep := 0; rep < 4; rep++ {
+		for i := 0; i < pages; i++ {
+			if _, err := pool.Get(storage.PageID((i * 17) % pages)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	scattered := pool.HitRatio()
+
+	pool2 := NewPool(d, 8)
+	// Localized: repeated access within small windows.
+	for w := 0; w < pages; w += 4 {
+		for rep := 0; rep < 4; rep++ {
+			for i := 0; i < 4; i++ {
+				if _, err := pool2.Get(storage.PageID(w + i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	localized := pool2.HitRatio()
+	if localized <= scattered {
+		t.Errorf("localized hit ratio %v should exceed scattered %v", localized, scattered)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{CPUPerHit: 1, IOPerMiss: 100}
+	tm := m.Measure(90, 10)
+	if tm.CPUTime != 100 || tm.StallTime != 1000 {
+		t.Errorf("timing = %+v", tm)
+	}
+	if tm.Total() != 1100 {
+		t.Errorf("total = %v", tm.Total())
+	}
+	if pu := tm.ProcessorUsage(); pu < 0.09 || pu > 0.1 {
+		t.Errorf("PU = %v", pu)
+	}
+	if tp := tm.Throughput(100); tp <= 0 {
+		t.Errorf("throughput = %v", tp)
+	}
+	// All-hit workload: PU = 1.
+	if pu := m.Measure(100, 0).ProcessorUsage(); pu != 1 {
+		t.Errorf("all-hit PU = %v", pu)
+	}
+	var zero Timing
+	if zero.ProcessorUsage() != 0 || zero.Throughput(5) != 0 {
+		t.Error("zero timing should report zero PU/throughput")
+	}
+}
+
+func BenchmarkPoolGetHit(b *testing.B) {
+	d := newDiskWithPages(4)
+	p := NewPool(d, 4)
+	if _, err := p.Get(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

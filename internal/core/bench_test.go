@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+)
+
+// benchIndex builds a clustered synthetic instance of n tuples.
+func benchIndex(n int) *nnindex.Exact {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, 0, n)
+	letters := []rune("abcdefghijklmnopqrstuvwxyz")
+	for len(keys) < n {
+		base := make([]rune, 12)
+		for i := range base {
+			base[i] = letters[rng.Intn(len(letters))]
+		}
+		keys = append(keys, string(base))
+		if rng.Intn(3) == 0 && len(keys) < n {
+			noisy := append([]rune(nil), base...)
+			noisy[rng.Intn(len(noisy))] = letters[rng.Intn(len(letters))]
+			keys = append(keys, string(noisy))
+		}
+	}
+	return nnindex.NewExact(keys, distance.Edit{})
+}
+
+func BenchmarkComputeNN(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			idx := benchIndex(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeNN(idx, Cut{MaxSize: 4}, 2, Phase1Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	idx := benchIndex(400)
+	rel, err := ComputeNN(idx, Cut{MaxSize: 4}, 2, Phase1Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := Problem{Cut: Cut{MaxSize: 4}, Agg: AggMax, C: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(rel, prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLPhase2(b *testing.B) {
+	idx := benchIndex(200)
+	prob := Problem{Cut: Cut{MaxSize: 4}, Agg: AggMax, C: 4}
+	rel, err := ComputeNN(idx, prob.Cut, 2, Phase1Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewSQLRunner()
+		if err := r.LoadNNRelation(rel); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.BuildCSPairs(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Partition(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateSNThreshold(b *testing.B) {
+	ngs := make([]int, 10000)
+	rng := rand.New(rand.NewSource(9))
+	for i := range ngs {
+		ngs[i] = 2 + rng.Intn(8)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateSNThreshold(ngs, 0.25, EstimateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

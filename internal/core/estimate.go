@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EstimateOptions tunes the SN-threshold heuristic of Section 4.3. The
+// zero value selects the paper's settings.
+type EstimateOptions struct {
+	// Window is the half-width of the percentile interval searched around
+	// f (the paper suggests 0.05). Zero selects 0.05.
+	Window float64
+	// SpikeMass is the probability mass at a single NG value that counts
+	// as a "spike" in the cumulative distribution (the paper uses 0.1).
+	// Zero selects 0.1.
+	SpikeMass float64
+}
+
+func (o EstimateOptions) withDefaults() EstimateOptions {
+	if o.Window == 0 {
+		o.Window = 0.05
+	}
+	if o.SpikeMass == 0 {
+		o.SpikeMass = 0.1
+	}
+	return o
+}
+
+// EstimateSNThreshold implements the Section 4.3 heuristic for setting the
+// sparse-neighborhood threshold c from an easily estimated quantity: the
+// fraction f of duplicate tuples in the relation.
+//
+// Intuition: duplicate tuples have small neighborhood growths, unique
+// tuples larger ones, so in the cumulative NG distribution D the
+// f-percentile separates them. To be robust against f being only an
+// estimate, the returned threshold is the least NG value x in the
+// percentile window [f-w, f+w] at which D grows sharply (a "spike" — at
+// least SpikeMass of all tuples have NG exactly x); the spike marks where
+// the unique tuples' growths pile up, and c = x excludes them (groups
+// require ng < c). When no spike exists in the window, the (f+w)-percentile
+// is returned.
+//
+// ngs is the NG column of the phase-1 relation (re-used, as the paper
+// notes, since c is not needed until phase 2). f must lie in (0, 1).
+func EstimateSNThreshold(ngs []int, f float64, opts EstimateOptions) (float64, error) {
+	if len(ngs) == 0 {
+		return 0, fmt.Errorf("core: estimate needs a non-empty NG column")
+	}
+	if f <= 0 || f >= 1 {
+		return 0, fmt.Errorf("core: duplicate fraction f = %g must be in (0, 1)", f)
+	}
+	opts = opts.withDefaults()
+	sorted := append([]int(nil), ngs...)
+	sort.Ints(sorted)
+	n := len(sorted)
+
+	// Distinct NG values with the cumulative fraction strictly below the
+	// value ("below" = D(value-1)) and the point mass at the value.
+	type level struct {
+		value int
+		below float64 // fraction of tuples with NG < value
+		cum   float64 // D(value): fraction of tuples with NG <= value
+		mass  float64 // fraction of tuples with NG == value
+	}
+	var levels []level
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		levels = append(levels, level{
+			value: sorted[i],
+			below: float64(i) / float64(n),
+			cum:   float64(j) / float64(n),
+			mass:  float64(j-i) / float64(n),
+		})
+		i = j
+	}
+
+	// Groups require ng < c, so the duplicates (the f fraction with the
+	// smallest growths) must sit strictly below c. A spike at value x
+	// whose below-fraction is around f therefore marks where the unique
+	// tuples' growths pile up, and c = x excludes them while keeping the
+	// duplicates. Take the least such spike in the percentile window.
+	lo, hi := f-opts.Window, f+opts.Window
+	for _, l := range levels {
+		if l.below >= lo && l.below <= hi && l.mass > opts.SpikeMass {
+			return float64(l.value), nil
+		}
+	}
+	// No spike: fall back to the (f+w)-percentile value plus one — the
+	// least c such that at least f+w of the tuples have ng < c.
+	target := hi
+	if target > 1 {
+		target = 1
+	}
+	for _, l := range levels {
+		if l.cum >= target {
+			return float64(l.value) + 1, nil
+		}
+	}
+	return float64(levels[len(levels)-1].value) + 1, nil
+}

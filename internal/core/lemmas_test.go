@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fuzzydup/internal/nnindex"
+)
+
+// These tests exercise the formal properties of Section 3.1 (Lemmas 1-4)
+// on randomized instances: uniqueness (via label invariance), scale
+// invariance, split/merge consistency, and constrained richness.
+
+// randomMatrix builds a random symmetric distance matrix with distinct
+// off-diagonal entries in (0, 1).
+func randomMatrix(rng *rand.Rand, n int) [][]float64 {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.05 + 0.9*rng.Float64()
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d
+}
+
+// clusteredMatrix plants groups of the given sizes with small intra-group
+// distances and large inter-group distances, returning the matrix and the
+// planted partition.
+func clusteredMatrix(rng *rand.Rand, sizes []int) ([][]float64, [][]int) {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	var partition [][]int
+	id := 0
+	group := make([]int, n) // group index per tuple
+	for gi, s := range sizes {
+		var g []int
+		for k := 0; k < s; k++ {
+			group[id] = gi
+			g = append(g, id)
+			id++
+		}
+		partition = append(partition, g)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var v float64
+			if group[i] == group[j] {
+				v = 0.01 + 0.02*rng.Float64()
+			} else {
+				v = 0.5 + 0.4*rng.Float64()
+			}
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d, partition
+}
+
+func canon(groups [][]int) [][]int {
+	out := make([][]int, len(groups))
+	for i, g := range groups {
+		out[i] = append([]int(nil), g...)
+		sort.Ints(out[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func solveMatrix(t *testing.T, d [][]float64, prob Problem) [][]int {
+	t.Helper()
+	idx := matrixIndex(len(d), func(i, j int) float64 { return d[i][j] })
+	groups, _, err := Solve(idx, prob, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups
+}
+
+// TestLemma1Uniqueness: the DE solution is a function of the distance
+// structure alone — relabeling (permuting) the tuples permutes the
+// solution, independent of processing order.
+func TestLemma1Uniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(10)
+		d := randomMatrix(rng, n)
+		prob := Problem{Cut: Cut{MaxSize: 4}, Agg: AggMax, C: 4}
+		base := solveMatrix(t, d, prob)
+
+		perm := rng.Perm(n)
+		dp := make([][]float64, n)
+		for i := range dp {
+			dp[i] = make([]float64, n)
+			for j := range dp[i] {
+				dp[i][j] = d[perm[i]][perm[j]]
+			}
+		}
+		permuted := solveMatrix(t, dp, prob)
+		// Map the permuted solution back to original labels.
+		mapped := make([][]int, len(permuted))
+		for i, g := range permuted {
+			mapped[i] = make([]int, len(g))
+			for k, id := range g {
+				mapped[i][k] = perm[id]
+			}
+		}
+		if !reflect.DeepEqual(canon(base), canon(mapped)) {
+			t.Fatalf("trial %d: relabeling changed the partition\nbase: %v\nmapped: %v",
+				trial, canon(base), canon(mapped))
+		}
+	}
+}
+
+// TestLemma2ScaleInvariance: DE_S(K) returns the same partition under
+// alpha*d for any alpha > 0. (DE_D is deliberately not scale-invariant:
+// the diameter threshold has units.)
+func TestLemma2ScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(10)
+		d := randomMatrix(rng, n)
+		prob := Problem{Cut: Cut{MaxSize: 4}, Agg: AggMax, C: 4}
+		base := solveMatrix(t, d, prob)
+		for _, alpha := range []float64{0.25, 0.5, 2, 7.5} {
+			scaled := make([][]float64, n)
+			for i := range scaled {
+				scaled[i] = make([]float64, n)
+				for j := range scaled[i] {
+					scaled[i][j] = alpha * d[i][j]
+				}
+			}
+			got := solveMatrix(t, scaled, prob)
+			if !reflect.DeepEqual(canon(base), canon(got)) {
+				t.Fatalf("trial %d alpha %v: partition changed under scaling", trial, alpha)
+			}
+		}
+	}
+}
+
+// TestLemma2DiameterNotScaleInvariant documents the asymmetry: DE_D(θ)
+// changes under scaling (the triple of the integers example dissolves when
+// distances double past θ).
+func TestLemma2DiameterNotScaleInvariant(t *testing.T) {
+	idx := integersIndex()
+	prob := Problem{Cut: Cut{Diameter: 0.05}, Agg: AggMax, C: 4}
+	base, _, err := Solve(idx, prob, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 2, 4, 20, 22, 30, 32}
+	scaledIdx := matrixIndex(len(vals), func(i, j int) float64 {
+		d := vals[i] - vals[j]
+		if d < 0 {
+			d = -d
+		}
+		return 3 * d / 100 // alpha = 3
+	})
+	scaled, _, err := Solve(scaledIdx, prob, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(canon(base), canon(scaled)) {
+		t.Error("DE_D unexpectedly scale-invariant on the integers example")
+	}
+}
+
+// TestLemma3SplitMergeConsistency: under a P-conscious transformation
+// (shrink within-group distances, expand cross-group distances), each new
+// group is a subset of an old group or a union of old groups.
+func TestLemma3SplitMergeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		sizes := []int{2, 3, 2, 1, 4, 2, 1, 1}
+		d, _ := clusteredMatrix(rng, sizes)
+		n := len(d)
+		for _, cut := range []Cut{{MaxSize: 4}, {Diameter: 0.2}} {
+			prob := Problem{Cut: cut, Agg: AggMax, C: 5}
+			base := solveMatrix(t, d, prob)
+
+			// Build the P-conscious transformation from the *solution* P.
+			groupOf := make([]int, n)
+			for gi, g := range base {
+				for _, id := range g {
+					groupOf[id] = gi
+				}
+			}
+			dp := make([][]float64, n)
+			for i := range dp {
+				dp[i] = make([]float64, n)
+				for j := range dp[i] {
+					if i == j {
+						continue
+					}
+					if groupOf[i] == groupOf[j] {
+						dp[i][j] = d[i][j] * 0.8
+					} else {
+						dp[i][j] = d[i][j] * 1.2
+					}
+				}
+			}
+			got := solveMatrix(t, dp, prob)
+
+			// Verify: each new group is ⊆ an old group or a union of old
+			// groups.
+			for _, g := range got {
+				touched := map[int]bool{}
+				for _, id := range g {
+					touched[gi(groupOf, id)] = true
+				}
+				if len(touched) == 1 {
+					continue // subset of (or equal to) one old group
+				}
+				// Union case: every touched old group must be fully inside g.
+				inG := map[int]bool{}
+				for _, id := range g {
+					inG[id] = true
+				}
+				for oldGi := range touched {
+					for _, id := range base[oldGi] {
+						if !inG[id] {
+							t.Fatalf("trial %d cut %v: group %v straddles old group %v",
+								trial, cut, g, base[oldGi])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func gi(groupOf []int, id int) int { return groupOf[id] }
+
+// TestLemma4ConstrainedRichness: for any target partition into small
+// groups, a distance function exists for which DE_S returns exactly that
+// partition — verified constructively on random targets.
+func TestLemma4ConstrainedRichness(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 25; trial++ {
+		// Random target: group sizes in 1..4 summing to ~20 tuples.
+		var sizes []int
+		total := 0
+		for total < 20 {
+			s := 1 + rng.Intn(4)
+			sizes = append(sizes, s)
+			total += s
+		}
+		d, target := clusteredMatrix(rng, sizes)
+		maxSize := 0
+		for _, s := range sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		prob := Problem{Cut: Cut{MaxSize: max(maxSize, 2)}, Agg: AggMax, C: float64(maxSize) + 1}
+		got := solveMatrix(t, d, prob)
+		if !reflect.DeepEqual(canon(got), canon(target)) {
+			t.Fatalf("trial %d: target partition not realized\nwant %v\ngot  %v",
+				trial, canon(target), canon(got))
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestCompactSetsNestedFamily: closures of members of a compact set are
+// consistent — the structural fact the partitioning step's transitivity
+// argument rests on.
+func TestCompactSetsNestedFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 10; trial++ {
+		d, _ := clusteredMatrix(rng, []int{3, 2, 4, 1, 2})
+		idx := matrixIndex(len(d), func(i, j int) float64 { return d[i][j] })
+		rel, err := ComputeNN(idx, Cut{MaxSize: 5}, 2, Phase1Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range rel.Rows {
+			for j := 2; j <= 5 && j-1 <= len(rel.Rows[v].NNList); j++ {
+				if !IsCompactSet(rel.Rows, v, j) {
+					continue
+				}
+				// Every member w of the closure must agree: closure(w, j)
+				// is the same set and compact.
+				for _, nb := range rel.Rows[v].NNList[:j-1] {
+					if !IsCompactSet(rel.Rows, nb.ID, j) {
+						t.Fatalf("trial %d: member %d of compact closure(%d,%d) disagrees",
+							trial, nb.ID, v, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveMatchesManualPhases: Solve == ComputeNN + Partition.
+func TestSolveMatchesManualPhases(t *testing.T) {
+	idx := table1Index()
+	prob := Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4}
+	got, rel, err := Solve(idx, prob, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := ComputeNN(idx, prob.Cut, 2, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := Partition(rel2, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, manual) {
+		t.Error("Solve and manual phases disagree")
+	}
+	if !reflect.DeepEqual(rel.Rows, rel2.Rows) {
+		t.Error("NN relations disagree")
+	}
+}
+
+var _ = nnindex.Neighbor{} // keep the import for helper types

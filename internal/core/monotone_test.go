@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Monotonicity properties of the DE formulation, complementing the
+// Section 3.1 lemmas: relaxing the SN threshold c or the size cut K can
+// only coarsen the partition — every detected duplicate pair survives the
+// relaxation. This follows from the nested-closure structure: validity of
+// a closure at a given size is monotone in c and in K, so the maximal
+// valid closure of each tuple can only grow.
+
+func pairsOf(groups [][]int) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				a, b := g[i], g[j]
+				if a > b {
+					a, b = b, a
+				}
+				out[[2]int{a, b}] = true
+			}
+		}
+	}
+	return out
+}
+
+func subset(a, b map[[2]int]bool) bool {
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPairsMonotoneInC(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		d, _ := clusteredMatrix(rng, []int{2, 3, 4, 2, 1, 2, 3})
+		idx := matrixIndex(len(d), func(i, j int) float64 { return d[i][j] })
+		rel, err := ComputeNN(idx, Cut{MaxSize: 5}, 2, Phase1Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev map[[2]int]bool
+		for _, c := range []float64{2, 3, 4, 6, 10} {
+			groups, err := Partition(rel, Problem{Cut: Cut{MaxSize: 5}, Agg: AggMax, C: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := pairsOf(groups)
+			if prev != nil && !subset(prev, cur) {
+				t.Fatalf("trial %d: pairs at smaller c not preserved at c=%g", trial, c)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPairsMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 15; trial++ {
+		d, _ := clusteredMatrix(rng, []int{2, 4, 3, 2, 2, 1})
+		idx := matrixIndex(len(d), func(i, j int) float64 { return d[i][j] })
+		var prev map[[2]int]bool
+		for _, k := range []int{2, 3, 4, 5, 6} {
+			groups, _, err := Solve(idx, Problem{Cut: Cut{MaxSize: k}, Agg: AggMax, C: 6}, Phase1Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := pairsOf(groups)
+			if prev != nil && !subset(prev, cur) {
+				t.Fatalf("trial %d: pairs at smaller K not preserved at K=%d", trial, k)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPairsMonotoneInTheta(t *testing.T) {
+	// The diameter cut: enlarging θ relaxes the constraint the same way.
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 15; trial++ {
+		d, _ := clusteredMatrix(rng, []int{2, 3, 2, 4, 1, 2})
+		idx := matrixIndex(len(d), func(i, j int) float64 { return d[i][j] })
+		var prev map[[2]int]bool
+		for _, theta := range []float64{0.05, 0.1, 0.2, 0.4} {
+			groups, _, err := Solve(idx, Problem{Cut: Cut{Diameter: theta}, Agg: AggMax, C: 6}, Phase1Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := pairsOf(groups)
+			if prev != nil && !subset(prev, cur) {
+				t.Fatalf("trial %d: pairs at smaller θ not preserved at θ=%g", trial, theta)
+			}
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzydup/internal/nnindex"
+)
+
+// Partition runs phase 2: from the NN relation, partition the tuples into
+// the minimum number of groups such that each group is a compact set, an
+// SN(Agg, C) group, and satisfies the cut specification. The result is a
+// full partition of 0..n-1 (singletons included), canonically ordered.
+//
+// The algorithm follows Section 4.2: process tuples in ascending ID order;
+// for an unassigned tuple v, find the largest non-trivial compact SN group
+// {v} ∪ top_{j-1}(v) that also satisfies the cut and the optional
+// constraining predicate, emit it, and mark its members. Compactness is
+// decided by the pairwise CSj equalities of the CSPairs construction; set
+// equality being transitive, comparing every member against v suffices.
+func Partition(rel *NNRelation, prob Problem) ([][]int, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if prob.Cut != rel.Cut {
+		return nil, fmt.Errorf("core: NN relation computed for %v, problem asks %v", rel.Cut, prob.Cut)
+	}
+	n := len(rel.Rows)
+	assigned := make([]bool, n)
+	groups := make([][]int, 0, n)
+	for v := 0; v < n; v++ {
+		if assigned[v] {
+			continue
+		}
+		g := largestCompactSNGroup(rel, prob, assigned, v)
+		for _, id := range g {
+			assigned[id] = true
+		}
+		groups = append(groups, g)
+	}
+	if prob.MinimalCompact {
+		groups = splitNonMinimal(rel, groups)
+	}
+	return sortGroups(groups), nil
+}
+
+// largestCompactSNGroup returns the largest valid group anchored at v, or
+// the singleton {v} when none exists.
+func largestCompactSNGroup(rel *NNRelation, prob Problem, assigned []bool, v int) []int {
+	list := rel.Rows[v].NNList
+	jmax := len(list) + 1
+	if prob.Cut.MaxSize > 0 && jmax > prob.Cut.MaxSize {
+		jmax = prob.Cut.MaxSize
+	}
+	for j := jmax; j >= 2; j-- {
+		group := make([]int, 0, j)
+		group = append(group, v)
+		ok := true
+		for _, nb := range list[:j-1] {
+			if assigned[nb.ID] {
+				ok = false
+				break
+			}
+			group = append(group, nb.ID)
+		}
+		if !ok || !IsCompactSet(rel.Rows, v, j) {
+			continue
+		}
+		if !SNHolds(rel.Rows, group, prob.Agg, prob.C) {
+			continue
+		}
+		if prob.Exclude != nil && violatesExclude(group, prob.Exclude) {
+			continue
+		}
+		return group
+	}
+	return []int{v}
+}
+
+// violatesExclude reports whether any pair in the group is ruled out by
+// the constraining predicate (Section 4.4.1).
+func violatesExclude(group []int, exclude func(a, b int) bool) bool {
+	for i := 0; i < len(group); i++ {
+		for k := i + 1; k < len(group); k++ {
+			if exclude(group[i], group[k]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitNonMinimal applies the Section 4.4.2 minimality post-processing:
+// a group that contains two disjoint non-trivial compact subsets is a
+// merger of smaller compact sets and is split into minimal pieces.
+func splitNonMinimal(rel *NNRelation, groups [][]int) [][]int {
+	var out [][]int
+	for _, g := range groups {
+		out = append(out, splitGroup(rel, g)...)
+	}
+	return out
+}
+
+// splitGroup decomposes one group into minimal compact sets. Proper
+// non-trivial compact subsets of a group are closures of their members, so
+// it suffices to scan each member's closures that stay inside the group.
+func splitGroup(rel *NNRelation, g []int) [][]int {
+	if len(g) <= 2 {
+		return [][]int{g}
+	}
+	inG := make(map[int]struct{}, len(g))
+	for _, id := range g {
+		inG[id] = struct{}{}
+	}
+	// Collect proper compact sub-closures, smallest first, so the
+	// decomposition prefers minimal pieces.
+	type sub struct {
+		members []int
+		size    int
+	}
+	var subs []sub
+	for _, v := range g {
+		maxJ := len(g) - 1 // proper subsets only
+		if l := len(rel.Rows[v].NNList) + 1; l < maxJ {
+			maxJ = l
+		}
+		for j := 2; j <= maxJ; j++ {
+			if !IsCompactSet(rel.Rows, v, j) {
+				continue
+			}
+			members := []int{v}
+			inside := true
+			for _, nb := range rel.Rows[v].NNList[:j-1] {
+				if _, ok := inG[nb.ID]; !ok {
+					inside = false
+					break
+				}
+				members = append(members, nb.ID)
+			}
+			if inside {
+				subs = append(subs, sub{members: members, size: j})
+			}
+		}
+	}
+	if len(subs) == 0 {
+		return [][]int{g}
+	}
+	// The group is non-minimal only if two *disjoint* non-trivial compact
+	// subsets exist. Greedily take the smallest disjoint sub-closures.
+	taken := make(map[int]struct{})
+	var pieces [][]int
+	for size := 2; size < len(g); size++ {
+		for _, s := range subs {
+			if s.size != size {
+				continue
+			}
+			disjoint := true
+			for _, id := range s.members {
+				if _, ok := taken[id]; ok {
+					disjoint = false
+					break
+				}
+			}
+			if !disjoint {
+				continue
+			}
+			for _, id := range s.members {
+				taken[id] = struct{}{}
+			}
+			pieces = append(pieces, s.members)
+		}
+	}
+	if len(pieces) < 2 {
+		// At most one compact subset: no disjoint pair, the group is
+		// already minimal.
+		return [][]int{g}
+	}
+	// Leftover members become singletons.
+	for _, id := range g {
+		if _, ok := taken[id]; !ok {
+			pieces = append(pieces, []int{id})
+		}
+	}
+	return pieces
+}
+
+// Solve runs both phases end to end against a nearest-neighbor index.
+// It returns the partition and the intermediate NN relation (useful for
+// diagnostics and for the SN-threshold estimator).
+func Solve(idx nnindex.Index, prob Problem, opts Phase1Options) ([][]int, *NNRelation, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rel, err := ComputeNN(idx, prob.Cut, prob.growthFactor(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups, err := Partition(rel, prob)
+	if err != nil {
+		return nil, nil, err
+	}
+	return groups, rel, nil
+}
+
+// Diameter returns the maximum pairwise distance within the group under
+// the given index; used by tests to verify the DE_D(θ) guarantee.
+func Diameter(idx *nnindex.Exact, group []int) float64 {
+	var d float64
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			if dd := idx.Distance(group[i], group[j]); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fuzzydup/internal/bforder"
+	"fuzzydup/internal/nnindex"
+)
+
+// LookupOrder selects the phase-1 index lookup order (Section 4.1.1).
+type LookupOrder int
+
+// Lookup orders compared in Figure 8.
+const (
+	// OrderBF is the breadth-first order: each tuple is looked up right
+	// after its nearest neighbors, localizing index accesses.
+	OrderBF LookupOrder = iota
+	// OrderRandom is the random-permutation baseline.
+	OrderRandom
+	// OrderSequential scans tuples in ID order.
+	OrderSequential
+)
+
+// String implements fmt.Stringer.
+func (o LookupOrder) String() string {
+	switch o {
+	case OrderBF:
+		return "bf"
+	case OrderRandom:
+		return "random"
+	case OrderSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// Phase1Options tunes the nearest-neighbor computation phase.
+type Phase1Options struct {
+	// Order is the lookup order (default OrderBF).
+	Order LookupOrder
+	// Seed seeds the random order; ignored otherwise.
+	Seed int64
+	// MaxQueue bounds the BF queue (<= 0 selects the package default).
+	MaxQueue int
+	// Parallel, when > 1, fans the lookups across that many goroutines.
+	// Only honored for indexes that declare themselves safe for
+	// concurrent queries (Exact and VPTree are; the disk-backed q-gram
+	// index is not — its buffer pool and memo serialize poorly and the
+	// BF-order locality it depends on would be destroyed anyway). The
+	// output is identical to a serial run.
+	Parallel int
+	// Progress, when non-nil, is called after each tuple's lookup with
+	// the number completed so far and the total. Phase 1 dominates the
+	// algorithm's cost (the paper's complexity analysis), so this is the
+	// hook long-running callers want. Under Parallel it is invoked from
+	// worker goroutines (in completion order, with monotone counts).
+	Progress func(done, total int)
+}
+
+// ConcurrentQuerier marks an index whose query methods are safe for
+// concurrent use. Phase 1 parallelizes only across such indexes.
+type ConcurrentQuerier interface {
+	ConcurrentQueries()
+}
+
+// ComputeNN runs phase 1 of the algorithm (Figure 5's PrepareNNLists): for
+// every tuple, fetch its neighbor list under the cut specification — the
+// K nearest neighbors for DE_S(K), all neighbors within θ for DE_D(θ) —
+// and its neighborhood growth ng(v) = |{u : d(u,v) < p·nn(v)}| (self-
+// inclusive). Tuples are looked up in the order given by opts, which does
+// not change the output, only the index's access locality.
+func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRelation, error) {
+	if err := cut.Validate(); err != nil {
+		return nil, err
+	}
+	if p == 0 {
+		p = DefaultP
+	}
+	if p < 0 {
+		return nil, fmt.Errorf("core: growth factor p = %g must be positive", p)
+	}
+	n := idx.Len()
+	rel := &NNRelation{Rows: make([]NNRow, n), Cut: cut, P: p}
+
+	var done int64
+	visit := func(id int) []int {
+		row, neighbors := lookupOne(idx, cut, p, id)
+		rel.Rows[id] = row
+		if opts.Progress != nil {
+			opts.Progress(int(atomic.AddInt64(&done, 1)), n)
+		}
+		return neighbors
+	}
+
+	if opts.Parallel > 1 {
+		if _, ok := idx.(ConcurrentQuerier); ok {
+			parallelVisit(n, opts.Parallel, visit)
+			return rel, nil
+		}
+		// Fall through to the serial orders for indexes that cannot take
+		// concurrent queries.
+	}
+
+	switch opts.Order {
+	case OrderBF:
+		bforder.BF(n, opts.MaxQueue, visit)
+	case OrderRandom:
+		bforder.Random(n, opts.Seed, visit)
+	case OrderSequential:
+		bforder.Sequential(n, visit)
+	default:
+		return nil, fmt.Errorf("core: unknown lookup order %d", int(opts.Order))
+	}
+	return rel, nil
+}
+
+// parallelVisit fans ids 0..n-1 across workers. Each row is written by
+// exactly one goroutine, so no synchronization beyond the WaitGroup is
+// needed.
+func parallelVisit(n, workers int, visit func(id int) []int) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				id := int(atomic.AddInt64(&next, 1))
+				if id >= n {
+					return
+				}
+				visit(id)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// lookupOne performs the per-tuple phase-1 work: fetch the neighbor list
+// under the cut and compute the self-inclusive neighborhood growth.
+func lookupOne(idx nnindex.Index, cut Cut, p float64, id int) (NNRow, []int) {
+	var list []nnindex.Neighbor
+	if cut.IsSize() {
+		list = idx.TopK(id, cut.MaxSize)
+	} else {
+		list = idx.Range(id, cut.Diameter)
+	}
+	ng := 1 // the tuple itself is inside its own growth sphere
+	if len(list) > 0 {
+		nn := list[0].Dist
+		if nn == 0 {
+			// An exact duplicate at distance zero: the paper assumes
+			// distinct tuples have non-zero distances; we treat the
+			// growth sphere as the smallest positive radius, which
+			// counts exactly the zero-distance twins.
+			ng += idx.GrowthCount(id, smallestPositive)
+		} else {
+			ng += idx.GrowthCount(id, p*nn)
+		}
+	} else if !cut.IsSize() {
+		// Diameter cut with an empty θ-neighborhood: nn(v) > θ, so the
+		// growth sphere cannot be derived from the range query. Such a
+		// tuple can only ever be a singleton (any group mate would be
+		// within θ), so its NG is never aggregated; fall back to the
+		// index's nearest neighbor to keep the column meaningful.
+		if nn := idx.TopK(id, 1); len(nn) > 0 && nn[0].Dist > 0 {
+			ng += idx.GrowthCount(id, p*nn[0].Dist)
+		}
+	}
+	neighbors := make([]int, len(list))
+	for i, nb := range list {
+		neighbors[i] = nb.ID
+	}
+	return NNRow{NNList: list, NG: ng}, neighbors
+}
+
+// smallestPositive is the radius used for zero-distance nearest neighbors.
+const smallestPositive = 1e-12

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTruncateSize(t *testing.T) {
+	idx := integersIndex()
+	wide, err := ComputeNN(idx, Cut{MaxSize: 5}, 2, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 5} {
+		direct, err := ComputeNN(idx, Cut{MaxSize: k}, 2, Phase1Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc := wide.TruncateSize(k)
+		if !reflect.DeepEqual(direct.Rows, trunc.Rows) {
+			t.Errorf("K=%d: truncation differs from direct computation", k)
+		}
+		if trunc.Cut.MaxSize != k {
+			t.Errorf("K=%d: cut = %v", k, trunc.Cut)
+		}
+	}
+}
+
+func TestTruncateDiameter(t *testing.T) {
+	idx := integersIndex()
+	wide, err := ComputeNN(idx, Cut{Diameter: 0.5}, 2, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0.02, 0.05, 0.3, 0.5} {
+		direct, err := ComputeNN(idx, Cut{Diameter: theta}, 2, Phase1Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc := wide.TruncateDiameter(theta)
+		if !reflect.DeepEqual(direct.Rows, trunc.Rows) {
+			t.Errorf("θ=%g: truncation differs from direct computation", theta)
+		}
+	}
+}
+
+func TestTruncatePanics(t *testing.T) {
+	idx := integersIndex()
+	rel, err := ComputeNN(idx, Cut{MaxSize: 3}, 2, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("widen size", func() { rel.TruncateSize(5) })
+	mustPanic("size from diameter", func() {
+		relD, _ := ComputeNN(idx, Cut{Diameter: 0.3}, 2, Phase1Options{})
+		relD.TruncateSize(2)
+	})
+	mustPanic("widen diameter", func() {
+		relD, _ := ComputeNN(idx, Cut{Diameter: 0.3}, 2, Phase1Options{})
+		relD.TruncateDiameter(0.4)
+	})
+	mustPanic("diameter from size", func() { rel.TruncateDiameter(0.1) })
+}
+
+func TestExplainPair(t *testing.T) {
+	idx := integersIndex() // values 1,2,4,20,22,30,32
+	// 0 and 1 (values 1, 2): mutual NNs, sparse neighborhoods.
+	e := ExplainPair(idx, 0, 1, 3, 0)
+	if !e.MutualNN || e.RankAB != 1 || e.RankBA != 1 {
+		t.Errorf("mutual pair = %+v", e)
+	}
+	if e.Distance != 0.01 {
+		t.Errorf("distance = %v", e.Distance)
+	}
+	if e.NGA != 2 || e.NGB != 2 || e.MaxNG != 2 {
+		t.Errorf("growths = %+v", e)
+	}
+	// 1 and 2 (values 2, 4): 2's nearest is 1 but not vice versa.
+	e = ExplainPair(idx, 1, 2, 3, 0)
+	if e.MutualNN {
+		t.Errorf("non-mutual pair marked mutual: %+v", e)
+	}
+	if e.RankBA != 1 || e.RankAB != 2 {
+		t.Errorf("ranks = %+v", e)
+	}
+	// Far pair beyond k: distance still reported via the exact index.
+	e = ExplainPair(idx, 0, 6, 2, 0)
+	if e.RankAB != 0 || e.RankBA != 0 {
+		t.Errorf("far ranks = %+v", e)
+	}
+	if e.Distance != 0.31 {
+		t.Errorf("far distance = %v", e.Distance)
+	}
+}
+
+func TestBuildCSPairsFastErrorPaths(t *testing.T) {
+	r := NewSQLRunner()
+	// Without nn_reln loaded, the fast path must fail cleanly.
+	err := r.BuildCSPairsFast()
+	if err == nil {
+		t.Error("fast CSPairs without NN relation accepted")
+	}
+	if !strings.Contains(err.Error(), "nn_reln") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

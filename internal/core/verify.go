@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzydup/internal/nnindex"
+)
+
+// PairExplanation breaks down how the CS/SN criteria see a candidate
+// pair — the interpretability dividend of structural criteria over opaque
+// scores. Ranks are 1-based positions in each tuple's neighbor list
+// (0 = beyond the first k neighbors).
+type PairExplanation struct {
+	// Distance is the metric distance between the two tuples.
+	Distance float64
+	// RankAB is b's rank among a's nearest neighbors; RankBA the reverse.
+	RankAB, RankBA int
+	// MutualNN reports whether each is the other's first neighbor — the
+	// CS2 condition, the minimum bar for ever sharing a group.
+	MutualNN bool
+	// NGA and NGB are the tuples' neighborhood growths (self-inclusive).
+	NGA, NGB int
+	// MaxNG is the max aggregation of the two growths; the pair passes
+	// SN(max, c) iff MaxNG < c.
+	MaxNG int
+}
+
+// ExplainPair evaluates the pair diagnostics against the index, looking
+// at the first k neighbors of each tuple and growth factor p (0 selects
+// the paper's 2).
+func ExplainPair(idx nnindex.Index, a, b, k int, p float64) PairExplanation {
+	if p == 0 {
+		p = DefaultP
+	}
+	rank := func(of, want int) int {
+		for i, n := range idx.TopK(of, k) {
+			if n.ID == want {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	growth := func(v int) int {
+		nn := idx.TopK(v, 1)
+		if len(nn) == 0 {
+			return 1
+		}
+		radius := p * nn[0].Dist
+		if nn[0].Dist == 0 {
+			radius = smallestPositive
+		}
+		return idx.GrowthCount(v, radius) + 1
+	}
+	e := PairExplanation{
+		RankAB: rank(a, b),
+		RankBA: rank(b, a),
+		NGA:    growth(a),
+		NGB:    growth(b),
+	}
+	// Distance: read it off a's neighbor list when present; otherwise ask
+	// an index that can answer directly (Exact). Callers holding the
+	// metric (the public Deduper does) overwrite it regardless.
+	for _, n := range idx.TopK(a, k) {
+		if n.ID == b {
+			e.Distance = n.Dist
+		}
+	}
+	if e.Distance == 0 && a != b {
+		if ex, ok := idx.(*nnindex.Exact); ok {
+			e.Distance = ex.Distance(a, b)
+		}
+	}
+	e.MutualNN = e.RankAB == 1 && e.RankBA == 1
+	e.MaxNG = e.NGA
+	if e.NGB > e.MaxNG {
+		e.MaxNG = e.NGB
+	}
+	return e
+}
+
+// VerifyPartition independently checks that a partition is a valid
+// solution to the DE problem: it covers every tuple exactly once and each
+// group satisfies the compact-set criterion, the SN criterion, and the
+// cut specification, all evaluated directly against the index (not
+// against phase-1 artifacts). It returns nil for a valid partition and a
+// descriptive error for the first violation found.
+//
+// This is the executable form of the Section 4.2 correctness argument,
+// usable as a post-hoc audit: any partition produced by Partition or the
+// SQL runner must pass, whatever index produced the neighbor lists.
+func VerifyPartition(idx nnindex.Index, groups [][]int, prob Problem) error {
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	p := prob.growthFactor()
+	n := idx.Len()
+	seen := make([]bool, n)
+	total := 0
+	for _, g := range groups {
+		for _, id := range g {
+			if id < 0 || id >= n {
+				return fmt.Errorf("core: verify: tuple %d out of range", id)
+			}
+			if seen[id] {
+				return fmt.Errorf("core: verify: tuple %d in two groups", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("core: verify: %d of %d tuples covered", total, n)
+	}
+
+	groupOf := make([]int, n)
+	for gi, g := range groups {
+		for _, id := range g {
+			groupOf[id] = gi
+		}
+	}
+
+	for gi, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		if prob.Cut.MaxSize > 0 && len(g) > prob.Cut.MaxSize {
+			return fmt.Errorf("core: verify: group %d has %d members, cut allows %d", gi, len(g), prob.Cut.MaxSize)
+		}
+		// Compactness: every member's closest len(g)-1 tuples must be
+		// exactly the other members — equivalently, the farthest member
+		// is closer than the nearest outsider.
+		for _, v := range g {
+			ns := idx.TopK(v, len(g))
+			if len(ns) < len(g)-1 {
+				return fmt.Errorf("core: verify: tuple %d has too few neighbors", v)
+			}
+			for i := 0; i < len(g)-1; i++ {
+				if groupOf[ns[i].ID] != gi {
+					return fmt.Errorf("core: verify: group %d is not compact: tuple %d's neighbor %d is outside",
+						gi, v, ns[i].ID)
+				}
+			}
+			// Diameter check rides on the same neighbor list.
+			if prob.Cut.Diameter > 0 && ns[len(g)-2].Dist >= prob.Cut.Diameter {
+				return fmt.Errorf("core: verify: group %d exceeds diameter %g at tuple %d",
+					gi, prob.Cut.Diameter, v)
+			}
+		}
+		// SN criterion from first principles.
+		ngs := make([]int, len(g))
+		for i, v := range g {
+			nn := idx.TopK(v, 1)
+			if len(nn) == 0 {
+				return fmt.Errorf("core: verify: tuple %d has no neighbors", v)
+			}
+			radius := p * nn[0].Dist
+			if nn[0].Dist == 0 {
+				radius = smallestPositive
+			}
+			ngs[i] = idx.GrowthCount(v, radius) + 1
+		}
+		if agg := prob.Agg.Apply(ngs); agg >= prob.C {
+			return fmt.Errorf("core: verify: group %d violates SN: %s(%v) = %g >= c = %g",
+				gi, prob.Agg, ngs, agg, prob.C)
+		}
+		if prob.Exclude != nil && violatesExclude(g, prob.Exclude) {
+			return fmt.Errorf("core: verify: group %d violates the constraining predicate", gi)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestVerifyAcceptsSolverOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 10; trial++ {
+		d, _ := clusteredMatrix(rng, []int{2, 3, 4, 1, 2, 2})
+		idx := matrixIndex(len(d), func(i, j int) float64 { return d[i][j] })
+		for _, prob := range []Problem{
+			{Cut: Cut{MaxSize: 4}, Agg: AggMax, C: 5},
+			{Cut: Cut{Diameter: 0.2}, Agg: AggAvg, C: 5},
+			{Cut: Cut{MaxSize: 3, Diameter: 0.2}, Agg: AggMax2, C: 5},
+		} {
+			groups, _, err := Solve(idx, prob, Phase1Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyPartition(idx, groups, prob); err != nil {
+				t.Fatalf("trial %d prob %+v: solver output rejected: %v", trial, prob, err)
+			}
+		}
+	}
+}
+
+func TestVerifyAcceptsTable1(t *testing.T) {
+	idx := table1Index()
+	prob := Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4}
+	groups, _, err := Solve(idx, prob, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPartition(idx, groups, prob); err != nil {
+		t.Fatalf("table1 output rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsViolations(t *testing.T) {
+	idx := integersIndex() // values 1,2,4,20,22,30,32
+	prob := Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4}
+
+	cases := []struct {
+		name   string
+		groups [][]int
+		substr string
+	}{
+		{"missing tuple", [][]int{{0, 1, 2}, {3, 4}, {5}}, "covered"},
+		{"double assignment", [][]int{{0, 1}, {1, 2}, {3, 4}, {5, 6}, {0}}, "two groups"},
+		{"out of range", [][]int{{0, 99}, {1}, {2}, {3}, {4}, {5}, {6}}, "out of range"},
+		{"not compact", [][]int{{0, 1, 2}, {3, 5}, {4, 6}}, "not compact"},
+		{"size cut", [][]int{{0, 1, 2, 3}, {4}, {5, 6}}, ""}, // 4 > K=3; message mentions cut
+	}
+	for _, tc := range cases {
+		err := VerifyPartition(idx, tc.groups, prob)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if tc.substr != "" && !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestVerifyRejectsSNViolation(t *testing.T) {
+	// Force a dense pair into a group: tuples 10 and 11 from the Table 1
+	// "Are You Ready" series are mutually close but their neighborhoods
+	// are dense (ng >= 4); grouping them violates SN at c=4... but they
+	// must also be mutual NNs for compactness to pass first. Build a
+	// bespoke instance instead: a tight pair inside a crowd.
+	pos := []float64{0, 0.01, 0.05, 0.055, 0.06, 0.9}
+	idx := matrixIndex(len(pos), func(i, j int) float64 {
+		d := pos[i] - pos[j]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	})
+	// {2,3}: mutual NNs (d=.005), but growth spheres catch 4 and each
+	// other -> ng = 3 for both; c=3 rejects them.
+	prob := Problem{Cut: Cut{MaxSize: 2}, Agg: AggMax, C: 3}
+	groups := [][]int{{0, 1}, {2, 3}, {4}, {5}}
+	err := VerifyPartition(idx, groups, prob)
+	if err == nil || !strings.Contains(err.Error(), "SN") {
+		t.Errorf("SN violation not caught: %v", err)
+	}
+}
+
+func TestVerifyRejectsDiameterViolation(t *testing.T) {
+	idx := integersIndex()
+	prob := Problem{Cut: Cut{Diameter: 0.025}, Agg: AggMax, C: 4}
+	// {0,1,2} has diameter 0.03 >= 0.025.
+	groups := [][]int{{0, 1, 2}, {3, 4}, {5, 6}}
+	err := VerifyPartition(idx, groups, prob)
+	if err == nil || !strings.Contains(err.Error(), "diameter") {
+		t.Errorf("diameter violation not caught: %v", err)
+	}
+}
+
+func TestVerifyRejectsExcludeViolation(t *testing.T) {
+	idx := integersIndex()
+	prob := Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4,
+		Exclude: func(a, b int) bool { return a == 0 && b == 1 }}
+	groups := [][]int{{0, 1, 2}, {3, 4}, {5, 6}}
+	err := VerifyPartition(idx, groups, prob)
+	if err == nil || !strings.Contains(err.Error(), "predicate") {
+		t.Errorf("exclude violation not caught: %v", err)
+	}
+}
+
+func TestVerifyInvalidProblem(t *testing.T) {
+	idx := integersIndex()
+	if err := VerifyPartition(idx, nil, Problem{}); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/distance"
+)
+
+func allGenerators() []func(Config) *Dataset {
+	return []func(Config) *Dataset{Media, Org, Restaurants, BirdScott, Parks, Census}
+}
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, Config{Size: 400, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Name != name {
+			t.Errorf("name = %q, want %q", ds.Name, name)
+		}
+		if ds.Len() < 300 || ds.Len() > 600 {
+			t.Errorf("%s: %d tuples for target 400", name, ds.Len())
+		}
+		if len(ds.Fields) == 0 {
+			t.Errorf("%s: no fields", name)
+		}
+		for i, rec := range ds.Records {
+			if len(rec) != len(ds.Fields) {
+				t.Fatalf("%s: record %d has %d fields, want %d", name, i, len(rec), len(ds.Fields))
+			}
+		}
+		// Truth groups index valid tuples, sizes in [2, MaxGroupSize].
+		for _, g := range ds.Truth {
+			if len(g) < 2 || len(g) > 3 {
+				t.Errorf("%s: truth group size %d", name, len(g))
+			}
+			for _, id := range g {
+				if id < 0 || id >= ds.Len() {
+					t.Errorf("%s: truth index %d out of range", name, id)
+				}
+			}
+		}
+		// Duplicate fraction near the configured value.
+		f := ds.DuplicateFraction()
+		if f < 0.10 || f > 0.45 {
+			t.Errorf("%s: duplicate fraction %.3f far from configured 0.25", name, f)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", Config{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, gen := range allGenerators() {
+		a := gen(Config{Size: 300, Seed: 5})
+		b := gen(Config{Size: 300, Seed: 5})
+		if !reflect.DeepEqual(a.Records, b.Records) || !reflect.DeepEqual(a.Truth, b.Truth) {
+			t.Errorf("%s: same seed produced different data", a.Name)
+		}
+		c := gen(Config{Size: 300, Seed: 6})
+		if reflect.DeepEqual(a.Records, c.Records) {
+			t.Errorf("%s: different seeds produced identical data", a.Name)
+		}
+	}
+}
+
+func TestTruePairs(t *testing.T) {
+	ds := &Dataset{Truth: [][]int{{1, 5, 9}, {2, 3}}}
+	pairs := ds.TruePairs()
+	want := [][2]int{{1, 5}, {1, 9}, {5, 9}, {2, 3}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range want {
+		if !pairs[p] {
+			t.Errorf("missing pair %v", p)
+		}
+	}
+}
+
+func TestTable1Fixture(t *testing.T) {
+	ds := Table1()
+	if ds.Len() != 14 || len(ds.Truth) != 3 {
+		t.Fatalf("table1 shape: %d tuples, %d groups", ds.Len(), len(ds.Truth))
+	}
+	keys := ds.Keys()
+	if keys[0] != "The Doors LA Woman" {
+		t.Errorf("key[0] = %q", keys[0])
+	}
+	if ds.DuplicateFraction() != 6.0/14 {
+		t.Errorf("dup fraction = %v", ds.DuplicateFraction())
+	}
+}
+
+func TestDuplicatesCloserThanStrangers(t *testing.T) {
+	// The generated error channel must keep duplicates closer (on average)
+	// than random distinct pairs, or no dedup algorithm could work.
+	for _, gen := range allGenerators() {
+		ds := gen(Config{Size: 300, Seed: 11})
+		keys := ds.Keys()
+		m := distance.Edit{}
+		var dupSum float64
+		dupN := 0
+		for p := range ds.TruePairs() {
+			dupSum += m.Distance(keys[p[0]], keys[p[1]])
+			dupN++
+		}
+		if dupN == 0 {
+			t.Fatalf("%s: no duplicate pairs generated", ds.Name)
+		}
+		rng := rand.New(rand.NewSource(1))
+		var strangerSum float64
+		truePairs := ds.TruePairs()
+		strangerN := 0
+		for strangerN < 200 {
+			a, b := rng.Intn(ds.Len()), rng.Intn(ds.Len())
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if truePairs[[2]int{a, b}] {
+				continue
+			}
+			strangerSum += m.Distance(keys[a], keys[b])
+			strangerN++
+		}
+		dupAvg := dupSum / float64(dupN)
+		strangerAvg := strangerSum / float64(strangerN)
+		if dupAvg >= strangerAvg {
+			t.Errorf("%s: duplicates (%.3f) not closer than strangers (%.3f)", ds.Name, dupAvg, strangerAvg)
+		}
+	}
+}
+
+func TestSeriesDatasetsContainConfusables(t *testing.T) {
+	// Media and BirdScott must contain close *non-duplicate* pairs — the
+	// phenomenon that defeats global thresholds. Parks must contain far
+	// fewer of them.
+	// A confusable is a non-duplicate pair closer than the dataset's median
+	// duplicate distance — the pairs that force a global threshold to
+	// trade recall against precision.
+	countConfusable := func(ds *Dataset) int {
+		keys := ds.Keys()
+		m := distance.Edit{}
+		truePairs := ds.TruePairs()
+		var dupDists []float64
+		for p := range truePairs {
+			dupDists = append(dupDists, m.Distance(keys[p[0]], keys[p[1]]))
+		}
+		if len(dupDists) == 0 {
+			t.Fatalf("%s: no duplicates", ds.Name)
+		}
+		sort.Float64s(dupDists)
+		median := dupDists[len(dupDists)/2]
+		n := 0
+		for a := 0; a < ds.Len(); a++ {
+			for b := a + 1; b < ds.Len(); b++ {
+				if truePairs[[2]int{a, b}] {
+					continue
+				}
+				if m.Distance(keys[a], keys[b]) < median {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	media := countConfusable(Media(Config{Size: 400, Seed: 3}))
+	birds := countConfusable(BirdScott(Config{Size: 400, Seed: 3}))
+	parks := countConfusable(Parks(Config{Size: 400, Seed: 3}))
+	if media == 0 {
+		t.Error("media has no confusable non-duplicate pairs")
+	}
+	if birds == 0 {
+		t.Error("birdscott has no confusable non-duplicate pairs")
+	}
+	if parks > birds/2 || parks > media/2 {
+		t.Errorf("parks confusables (%d) should be well below media (%d) and birdscott (%d)", parks, media, birds)
+	}
+}
+
+func TestErrorOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if got := typoTranspose(rng, "ab"); got != "ba" {
+		t.Errorf("transpose = %q", got)
+	}
+	if got := typoTranspose(rng, "x"); got != "x" {
+		t.Errorf("transpose short = %q", got)
+	}
+	if got := typoDelete(rng, "a"); got != "a" {
+		t.Errorf("delete short = %q", got)
+	}
+	if got := tokenSwap(rng, "single"); got != "single" {
+		t.Errorf("swap single token = %q", got)
+	}
+	if got := tokenDrop(rng, "only"); got != "only" {
+		t.Errorf("drop single token = %q", got)
+	}
+	if got := theConvention(rng, "The Doors"); got != "Doors, The" {
+		t.Errorf("the-convention = %q", got)
+	}
+	if got := theConvention(rng, "Doors, The"); got != "The Doors" {
+		t.Errorf("the-convention back = %q", got)
+	}
+	if got := theConvention(rng, "Middle The Word"); got != "Middle The Word" {
+		t.Errorf("the-convention unrelated = %q", got)
+	}
+	if got := informalize(rng, "I'm Holding"); got != "Im Holding" {
+		t.Errorf("informalize apostrophe = %q", got)
+	}
+	if got := informalize(rng, "Holding On"); got != "Holdin On" {
+		t.Errorf("informalize ing = %q", got)
+	}
+	if got := abbreviate(rng, "Acme Corporation"); got != "Acme Corp" {
+		t.Errorf("abbreviate = %q", got)
+	}
+	// Abbreviation round-trips through expansion.
+	expanded := abbreviate(rng, "Acme Corp")
+	if expanded != "Acme Corporation" {
+		t.Errorf("expand = %q", expanded)
+	}
+	// Insert grows length by one.
+	if got := typoInsert(rng, "abc"); len(got) != 4 {
+		t.Errorf("insert = %q", got)
+	}
+	if got := typoSubstitute(rng, ""); got != "" {
+		t.Errorf("substitute empty = %q", got)
+	}
+}
+
+func TestFieldErrorPreservesArity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	fields := []string{"Golden Dragon", "123 Main Street", "Seattle"}
+	for i := 0; i < 100; i++ {
+		out := fieldError(rng, fields)
+		if len(out) != len(fields) {
+			t.Fatalf("arity changed: %v", out)
+		}
+	}
+	// Original slice untouched.
+	if fields[0] != "Golden Dragon" {
+		t.Error("input mutated")
+	}
+	// Degenerate all-short fields: unchanged.
+	short := []string{"a", "b"}
+	if got := fieldError(rng, short); !reflect.DeepEqual(got, short) {
+		t.Errorf("short fields changed: %v", got)
+	}
+	if got := lightError(rng, short); !reflect.DeepEqual(got, short) {
+		t.Errorf("lightError short fields changed: %v", got)
+	}
+}
+
+func TestKeysJoinFields(t *testing.T) {
+	ds := Census(Config{Size: 100, Seed: 2})
+	keys := ds.Keys()
+	for i, k := range keys {
+		for _, f := range ds.Records[i] {
+			if strings.TrimSpace(f) != "" && !strings.Contains(k, strings.Fields(f)[0]) {
+				t.Fatalf("key %q missing field %q", k, f)
+			}
+		}
+	}
+}
+
+func TestLargeGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation")
+	}
+	ds := Org(Config{Size: 20000, Seed: 4})
+	if ds.Len() < 18000 {
+		t.Errorf("org large: %d tuples", ds.Len())
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// The error channel: realistic corruptions applied to duplicate copies.
+// Each operation takes and returns a full field slice, mutating one field,
+// so multi-attribute records corrupt naturally.
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// typoSubstitute replaces one character.
+func typoSubstitute(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) == 0 {
+		return s
+	}
+	i := rng.Intn(len(r))
+	r[i] = rune(letters[rng.Intn(len(letters))])
+	return string(r)
+}
+
+// typoDelete removes one character.
+func typoDelete(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) <= 1 {
+		return s
+	}
+	i := rng.Intn(len(r))
+	return string(append(r[:i], r[i+1:]...))
+}
+
+// typoInsert inserts one character.
+func typoInsert(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	i := rng.Intn(len(r) + 1)
+	c := rune(letters[rng.Intn(len(letters))])
+	out := make([]rune, 0, len(r)+1)
+	out = append(out, r[:i]...)
+	out = append(out, c)
+	out = append(out, r[i:]...)
+	return string(out)
+}
+
+// typoTranspose swaps two adjacent characters ("Shania" -> "Shaina").
+func typoTranspose(rng *rand.Rand, s string) string {
+	r := []rune(s)
+	if len(r) < 2 {
+		return s
+	}
+	i := rng.Intn(len(r) - 1)
+	r[i], r[i+1] = r[i+1], r[i]
+	return string(r)
+}
+
+// tokenSwap exchanges two tokens ("Lisa Simpson" -> "Simpson Lisa").
+func tokenSwap(rng *rand.Rand, s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 {
+		return s
+	}
+	i := rng.Intn(len(toks) - 1)
+	toks[i], toks[i+1] = toks[i+1], toks[i]
+	return strings.Join(toks, " ")
+}
+
+// tokenDrop removes one token ("With A Little Help" -> "A Little Help").
+func tokenDrop(rng *rand.Rand, s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 {
+		return s
+	}
+	i := rng.Intn(len(toks))
+	return strings.Join(append(toks[:i], toks[i+1:]...), " ")
+}
+
+// abbreviations maps long forms to short forms (applied in both
+// directions).
+var abbreviations = map[string]string{
+	"corporation":   "corp",
+	"incorporated":  "inc",
+	"company":       "co",
+	"limited":       "ltd",
+	"street":        "st",
+	"avenue":        "ave",
+	"boulevard":     "blvd",
+	"road":          "rd",
+	"drive":         "dr",
+	"north":         "n",
+	"south":         "s",
+	"east":          "e",
+	"west":          "w",
+	"saint":         "st",
+	"mount":         "mt",
+	"national":      "natl",
+	"united states": "usa",
+	"restaurant":    "rest",
+	"international": "intl",
+}
+
+// abbreviate shortens or expands a known token.
+func abbreviate(rng *rand.Rand, s string) string {
+	toks := strings.Fields(s)
+	for _, i := range rng.Perm(len(toks)) {
+		lower := strings.ToLower(toks[i])
+		if short, ok := abbreviations[lower]; ok {
+			toks[i] = matchCase(toks[i], short)
+			return strings.Join(toks, " ")
+		}
+		for long, short := range abbreviations {
+			if lower == short && !strings.Contains(long, " ") {
+				toks[i] = matchCase(toks[i], long)
+				return strings.Join(toks, " ")
+			}
+		}
+	}
+	return s
+}
+
+// matchCase applies src's leading-capital convention to repl.
+func matchCase(src, repl string) string {
+	if len(src) > 0 && src[0] >= 'A' && src[0] <= 'Z' && len(repl) > 0 {
+		return strings.ToUpper(repl[:1]) + repl[1:]
+	}
+	return repl
+}
+
+// theConvention rewrites "The X" as "X, The" and back.
+func theConvention(rng *rand.Rand, s string) string {
+	if strings.HasPrefix(s, "The ") {
+		return s[4:] + ", The"
+	}
+	if strings.HasSuffix(s, ", The") {
+		return "The " + s[:len(s)-5]
+	}
+	return s
+}
+
+// dropApostropheG turns "Holding" style endings into "Holdin" and drops
+// apostrophes ("I'm" -> "Im"), mimicking informal transcriptions.
+func informalize(rng *rand.Rand, s string) string {
+	if strings.Contains(s, "'") {
+		return strings.Replace(s, "'", "", 1)
+	}
+	toks := strings.Fields(s)
+	for _, i := range rng.Perm(len(toks)) {
+		if strings.HasSuffix(strings.ToLower(toks[i]), "ing") && len(toks[i]) > 4 {
+			toks[i] = toks[i][:len(toks[i])-1]
+			return strings.Join(toks, " ")
+		}
+	}
+	return s
+}
+
+// fieldError applies one randomly chosen error operation to one randomly
+// chosen non-empty field.
+func fieldError(rng *rand.Rand, fields []string) []string {
+	out := append([]string(nil), fields...)
+	// Pick a field, preferring non-trivial ones.
+	candidates := make([]int, 0, len(out))
+	for i, f := range out {
+		if len(f) >= 3 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return out
+	}
+	fi := candidates[rng.Intn(len(candidates))]
+	ops := []func(*rand.Rand, string) string{
+		typoSubstitute, typoDelete, typoInsert, typoTranspose,
+		tokenSwap, tokenDrop, abbreviate, theConvention, informalize,
+	}
+	out[fi] = ops[rng.Intn(len(ops))](rng, out[fi])
+	return out
+}
+
+// lightError applies only character-level typos — used where the paper's
+// duplicates are near-identical (e.g. Census records).
+func lightError(rng *rand.Rand, fields []string) []string {
+	out := append([]string(nil), fields...)
+	candidates := make([]int, 0, len(out))
+	for i, f := range out {
+		if len(f) >= 3 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return out
+	}
+	fi := candidates[rng.Intn(len(candidates))]
+	ops := []func(*rand.Rand, string) string{
+		typoSubstitute, typoDelete, typoInsert, typoTranspose,
+	}
+	out[fi] = ops[rng.Intn(len(ops))](rng, out[fi])
+	return out
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads a relation from a CSV file. When header is true the first
+// row names the fields; otherwise fields are named col1..colN.
+func LoadCSV(path string, header bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, header, strings.TrimSuffix(pathBase(path), ".csv"))
+}
+
+// ReadCSV reads a relation from CSV content.
+func ReadCSV(r io.Reader, header bool, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	ds := &Dataset{Name: name}
+	if header && len(rows) > 0 {
+		ds.Fields = rows[0]
+		rows = rows[1:]
+	}
+	for _, row := range rows {
+		ds.Records = append(ds.Records, row)
+	}
+	if ds.Fields == nil && len(ds.Records) > 0 {
+		for i := range ds.Records[0] {
+			ds.Fields = append(ds.Fields, fmt.Sprintf("col%d", i+1))
+		}
+	}
+	return ds, nil
+}
+
+// LoadTruth reads ground-truth duplicate groups in the cmd/datagen format:
+// one line per group, comma-separated 1-based row numbers. The returned
+// groups use 0-based indices, matching Dataset.Truth.
+func LoadTruth(path string) ([][]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTruth(string(data))
+}
+
+// ParseTruth parses truth-file content.
+func ParseTruth(content string) ([][]int, error) {
+	var groups [][]int
+	for ln, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var g []int
+		for _, tok := range strings.Split(line, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("dataset: truth line %d: bad index %q", ln+1, tok)
+			}
+			g = append(g, v-1)
+		}
+		if len(g) >= 2 {
+			groups = append(groups, g)
+		}
+	}
+	return groups, nil
+}
+
+// pathBase returns the final path element without importing path/filepath
+// into a package otherwise free of OS-path concerns.
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "Name,City\nGolden Dragon,Seattle\nGolden Dragn,Seattle\n"
+	ds, err := ReadCSV(strings.NewReader(in), true, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds.Fields, []string{"Name", "City"}) {
+		t.Errorf("fields = %v", ds.Fields)
+	}
+	if ds.Len() != 2 || ds.Records[1][0] != "Golden Dragn" {
+		t.Errorf("records = %v", ds.Records)
+	}
+	// Headerless: synthetic field names.
+	ds, err = ReadCSV(strings.NewReader("a,b\nc,d\n"), false, "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Fields[0] != "col1" {
+		t.Errorf("headerless = %v %v", ds.Fields, ds.Records)
+	}
+}
+
+func TestLoadCSVRoundTripWithDatagenFormat(t *testing.T) {
+	// Generate, write (like cmd/datagen), reload, and compare.
+	dir := t.TempDir()
+	orig := Parks(Config{Size: 120, Seed: 3})
+	path := filepath.Join(dir, "parks.csv")
+	var sb strings.Builder
+	sb.WriteString(strings.Join(orig.Fields, ",") + "\n")
+	for _, rec := range orig.Records {
+		sb.WriteString(strings.Join(rec, ",") + "\n")
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadCSV(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "parks" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	if ds.Len() != orig.Len() {
+		t.Fatalf("len = %d vs %d", ds.Len(), orig.Len())
+	}
+	for i := range ds.Records {
+		if !reflect.DeepEqual(ds.Records[i], orig.Records[i]) {
+			t.Fatalf("record %d differs: %v vs %v", i, ds.Records[i], orig.Records[i])
+		}
+	}
+}
+
+func TestLoadCSVMissing(t *testing.T) {
+	if _, err := LoadCSV("/nonexistent.csv", true); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseTruth(t *testing.T) {
+	groups, err := ParseTruth("1,2\n\n5,6,7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {4, 5, 6}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Errorf("groups = %v, want %v", groups, want)
+	}
+	// Singleton lines are dropped; bad tokens error.
+	groups, err = ParseTruth("3\n1,2\n")
+	if err != nil || len(groups) != 1 {
+		t.Errorf("singleton handling: %v, %v", groups, err)
+	}
+	if _, err := ParseTruth("1,x"); err == nil {
+		t.Error("bad token accepted")
+	}
+	if _, err := ParseTruth("0,1"); err == nil {
+		t.Error("zero index accepted (format is 1-based)")
+	}
+}
+
+func TestLoadTruthFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.truth")
+	if err := os.WriteFile(path, []byte("2,3\n10,11\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := LoadTruth(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(groups, [][]int{{1, 2}, {9, 10}}) {
+		t.Errorf("groups = %v", groups)
+	}
+	if _, err := LoadTruth(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing truth accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package dataset
+
+// Vocabulary pools for the synthetic generators. Sizes are chosen so that
+// relations up to a few hundred thousand tuples can be generated with
+// realistic token-frequency skew (common suffixes like "Corporation" or
+// "Park" get low IDF, name tokens high IDF — the structure the fms metric
+// exploits).
+
+var firstNames = []string{
+	"James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+	"Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Aaliyah",
+	"Shania", "Bob", "Marvin", "Aretha", "Otis", "Stevie", "Diana", "Ella",
+	"Nina", "Etta", "Sam", "Wilson", "Curtis", "Isaac", "Albert", "Freddie",
+	"Janis", "Jimi", "Carlos", "Eric", "Duane", "Gregg", "Lowell", "Bonnie",
+	"Emmylou", "Townes", "Guy", "Steve", "Rodney", "Rosanne",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Dylan", "Twain", "Simpson", "Gaye", "Redding",
+	"Franklin", "Cooke", "Mayfield", "Hayes", "Collins",
+}
+
+var bandWords = []string{
+	"Doors", "Beatles", "Stones", "Eagles", "Byrds", "Kinks", "Animals",
+	"Zombies", "Turtles", "Monkees", "Hollies", "Searchers", "Shadows",
+	"Ventures", "Shirelles", "Ronettes", "Crystals", "Supremes",
+	"Temptations", "Miracles", "Impressions", "Drifters", "Coasters",
+	"Platters", "Flamingos", "Orioles", "Ravens", "Crows", "Penguins",
+	"Moonglows", "Spaniels", "Clovers", "Cadillacs", "Elgins", "Marvelettes",
+}
+
+var trackWords = []string{
+	"Love", "Heart", "Night", "Day", "Dream", "Time", "Road", "River",
+	"Fire", "Rain", "Sun", "Moon", "Star", "Sky", "Wind", "Storm", "Light",
+	"Shadow", "Soul", "Mind", "Eyes", "Woman", "Man", "Girl", "Boy", "Baby",
+	"Angel", "Devil", "Heaven", "Highway", "Train", "City", "Town", "Home",
+	"Street", "Door", "Window", "Wall", "Bridge", "Mountain", "Valley",
+	"Ocean", "Island", "Garden", "Rose", "Diamond", "Gold", "Silver",
+	"Blue", "Red", "Black", "White", "Summer", "Winter", "Morning",
+	"Midnight", "Tomorrow", "Yesterday", "Forever", "Goodbye",
+}
+
+var trackTemplates = []string{
+	"%s %s", "%s of %s", "%s in the %s", "My %s %s", "The %s %s",
+	"%s on the %s", "Waiting for the %s", "Dancing in the %s",
+	"Song of %s", "%s Blues", "Sweet %s", "Lonely %s", "Crazy %s",
+	"Are You Ready for %s", "Take Me to the %s", "Back to %s",
+}
+
+var orgAdjectives = []string{
+	"Global", "United", "American", "National", "Pacific", "Atlantic",
+	"Northern", "Southern", "Eastern", "Western", "Central", "Advanced",
+	"Allied", "Consolidated", "Digital", "Dynamic", "First", "General",
+	"Integrated", "Premier", "Prime", "Royal", "Standard", "Sterling",
+	"Summit", "Superior", "Universal", "Metro", "Coastal", "Pioneer",
+}
+
+var orgNouns = []string{
+	"Systems", "Technologies", "Industries", "Solutions", "Services",
+	"Partners", "Holdings", "Enterprises", "Dynamics", "Networks",
+	"Materials", "Logistics", "Energy", "Electric", "Motors", "Foods",
+	"Brands", "Media", "Capital", "Financial", "Insurance", "Airlines",
+	"Railways", "Shipping", "Mining", "Steel", "Paper", "Chemical",
+	"Pharmaceutical", "Instruments", "Devices", "Semiconductors",
+	"Software", "Analytics", "Robotics", "Aerospace",
+}
+
+var orgSuffixes = []string{
+	"Corporation", "Inc", "Corp", "Company", "LLC", "Ltd", "Group", "Co",
+}
+
+var streetNames = []string{
+	"Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake",
+	"Hill", "Park", "Spring", "Ridge", "Church", "Mill", "River", "Meadow",
+	"Forest", "Sunset", "Highland", "Franklin", "Jefferson", "Lincoln",
+	"Madison", "Monroe", "Adams", "Jackson", "Harrison", "Cleveland",
+}
+
+var streetTypes = []string{"Street", "Avenue", "Road", "Boulevard", "Drive", "Lane", "Court", "Way"}
+
+var cities = []string{
+	"Seattle", "Portland", "Denver", "Austin", "Boston", "Chicago",
+	"Atlanta", "Phoenix", "Dallas", "Houston", "Miami", "Detroit",
+	"Cleveland", "Columbus", "Nashville", "Memphis", "Charlotte",
+	"Raleigh", "Pittsburgh", "Baltimore", "Richmond", "Sacramento",
+	"Oakland", "Tucson", "Omaha", "Tulsa", "Wichita", "Boise", "Spokane",
+	"Tacoma",
+}
+
+var states = []string{
+	"WA", "OR", "CO", "TX", "MA", "IL", "GA", "AZ", "FL", "MI", "OH",
+	"TN", "NC", "PA", "MD", "VA", "CA", "NE", "OK", "KS", "ID", "NY",
+}
+
+var cuisines = []string{
+	"Golden", "Jade", "Lucky", "Royal", "Imperial", "Grand", "Little",
+	"Blue", "Red", "Green", "Silver", "Happy", "Sunny", "Cozy", "Rustic",
+	"Urban", "Old Town", "Riverside", "Hilltop", "Lakeside",
+}
+
+var restaurantNouns = []string{
+	"Dragon", "Panda", "Lotus", "Bamboo", "Garden", "Palace", "House",
+	"Kitchen", "Table", "Fork", "Spoon", "Plate", "Grill", "Smokehouse",
+	"Cantina", "Taqueria", "Trattoria", "Bistro", "Brasserie", "Diner",
+	"Cafe", "Deli", "Pizzeria", "Steakhouse", "Chophouse", "Oyster Bar",
+	"Noodle Bar", "Tea Room", "Bakery", "Creamery",
+}
+
+var birdModifiers = []string{
+	"American", "Northern", "Southern", "Eastern", "Western", "Common",
+	"Great", "Greater", "Lesser", "Little", "Mountain", "Prairie",
+	"Marsh", "Sedge", "Golden", "Ruby", "Scarlet", "Vermilion", "Painted",
+	"Spotted", "Striped", "Barred", "Banded", "Hooded", "Crowned",
+	"Crested", "Tufted", "Bearded", "Whiskered", "Collared",
+}
+
+var birdBases = []string{
+	"Warbler", "Sparrow", "Finch", "Thrush", "Wren", "Vireo", "Tanager",
+	"Bunting", "Grosbeak", "Flycatcher", "Kingbird", "Phoebe", "Swallow",
+	"Martin", "Swift", "Hummingbird", "Woodpecker", "Sapsucker", "Flicker",
+	"Nuthatch", "Creeper", "Kinglet", "Gnatcatcher", "Pipit", "Longspur",
+	"Blackbird", "Oriole", "Meadowlark", "Cowbird", "Grackle", "Starling",
+	"Waxwing", "Shrike", "Towhee", "Junco", "Redstart", "Ovenbird",
+	"Waterthrush", "Chat", "Catbird", "Mockingbird", "Thrasher", "Robin",
+	"Bluebird", "Solitaire", "Veery", "Dipper", "Lark", "Plover",
+	"Sandpiper", "Curlew",
+}
+
+// birdScaffolds are long compound prefixes whose species differ only in a
+// short color word — the classic "Black-throated Blue / Green / Gray
+// Warbler" confusables that sit *below* typical duplicate distances.
+var birdScaffolds = []string{
+	"Black-throated", "White-crowned", "Golden-winged", "Blue-winged",
+	"Chestnut-sided", "Bay-breasted", "Yellow-rumped", "Orange-crowned",
+	"Ruby-crowned", "Rose-breasted", "Red-shouldered", "Sharp-shinned",
+	"Broad-winged", "Swallow-tailed", "Fork-tailed", "Scissor-tailed",
+}
+
+var birdColorVariants = []string{"Blue", "Green", "Gray", "Grey", "Gold", "Red"}
+
+// nameFamilies are groups of similar first names; census confusable
+// series draw siblings from one family so that distinct people differ by
+// only a couple of characters on an otherwise identical record — the
+// contested zone where a global threshold must trade precision for
+// recall.
+var nameFamilies = [][]string{
+	{"Janis", "Janet", "Jane", "Janie"},
+	{"John", "Jon", "Joan", "Johan"},
+	{"Christine", "Christina", "Kristine", "Kristina"},
+	{"Steven", "Stephen", "Stefan"},
+	{"Eric", "Erik", "Erick"},
+	{"Ann", "Anne", "Anna", "Annie"},
+	{"Carl", "Karl", "Carlo"},
+	{"Marian", "Marion", "Miriam"},
+	{"Allan", "Allen", "Alan"},
+	{"Catherine", "Katherine", "Kathryn"},
+	{"Frances", "Francis", "Frances"},
+	{"Lesley", "Leslie", "Lessie"},
+}
+
+var parkWords = []string{
+	"Yellowstone", "Yosemite", "Glacier", "Rainier", "Olympic", "Cascade",
+	"Sierra", "Redwood", "Sequoia", "Canyon", "Mesa", "Badlands",
+	"Everglades", "Smoky", "Shenandoah", "Acadia", "Denali", "Katmai",
+	"Arches", "Zion", "Bryce", "Capitol", "Saguaro", "Joshua", "Mojave",
+	"Lassen", "Shasta", "Crater", "Teton", "Wind", "Carlsbad", "Mammoth",
+	"Cumberland", "Apostle", "Voyageurs", "Isle", "Pictured", "Sleeping",
+	"Indiana", "Congaree", "Biscayne", "Dry", "Channel", "Pinnacles",
+	"Kobuk", "Gates", "Wrangell", "Kenai", "Haleakala", "Volcanoes",
+}
+
+var parkTypes = []string{
+	"National Park", "State Park", "National Monument", "Nature Preserve",
+	"Wildlife Refuge", "Recreation Area", "National Forest", "Wilderness",
+}

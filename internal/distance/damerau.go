@@ -1,0 +1,68 @@
+package distance
+
+import "fuzzydup/internal/strutil"
+
+// OSADistance returns the optimal string alignment distance — Levenshtein
+// plus transposition of adjacent runes as a single edit ("Shania" →
+// "Shaina" costs 1 instead of 2). It is the restricted form of
+// Damerau-Levenshtein (no substring is edited twice), the variant used
+// throughout the record-linkage literature for typo-heavy data.
+func OSADistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		curr[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < v {
+					v = t
+				}
+			}
+			curr[j] = v
+		}
+		prev2, prev, curr = prev, curr, prev2
+	}
+	return prev[lb]
+}
+
+// Damerau is the normalized optimal-string-alignment distance metric:
+// OSA distance over the normalized strings divided by the longer length.
+type Damerau struct{}
+
+// Name implements Metric.
+func (Damerau) Name() string { return "damerau" }
+
+// Distance implements Metric.
+func (Damerau) Distance(a, b string) float64 {
+	na, nb := strutil.Normalize(a), strutil.Normalize(b)
+	if na == nb {
+		return 0
+	}
+	la, lb := len([]rune(na)), len([]rune(nb))
+	denom := la
+	if lb > denom {
+		denom = lb
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(OSADistance(na, nb)) / float64(denom)
+}

@@ -1,0 +1,66 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOSADistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"shania", "shaina", 1},  // adjacent transposition: 1, not 2
+		{"ca", "ac", 1},          // transposition
+		{"ca", "abc", 3},         // the classic OSA-vs-full-Damerau case
+		{"kitten", "sitting", 3}, // no transpositions: plain Levenshtein
+		{"abcdef", "abcfed", 2},  // d<->f swap is not adjacent: 2 edits... ef->fe + d/f
+	}
+	for _, tt := range tests {
+		if got := OSADistance(tt.a, tt.b); got != tt.want {
+			t.Errorf("OSADistance(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestOSANeverExceedsLevenshtein(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(29))}
+	f := func(a, b string) bool {
+		if len(a) > 15 {
+			a = a[:15]
+		}
+		if len(b) > 15 {
+			b = b[:15]
+		}
+		osa := OSADistance(a, b)
+		lev := Levenshtein(a, b)
+		return osa <= lev && osa >= 0 && OSADistance(a, b) == OSADistance(b, a)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDamerauMetric(t *testing.T) {
+	m := Damerau{}
+	if m.Name() != "damerau" {
+		t.Error("name")
+	}
+	if d := m.Distance("The Doors", "the doors"); d != 0 {
+		t.Errorf("normalized equal = %v", d)
+	}
+	if d := m.Distance("", ""); d != 0 {
+		t.Errorf("empty = %v", d)
+	}
+	// Transposed typo costs less than under plain edit distance.
+	dam := m.Distance("Shania Twain", "Shaina Twain")
+	ed := (Edit{}).Distance("Shania Twain", "Shaina Twain")
+	if dam >= ed {
+		t.Errorf("damerau %v should be below ed %v on a transposition", dam, ed)
+	}
+}

@@ -1,0 +1,239 @@
+// Package distance implements the record distance functions evaluated in
+// the paper: edit distance (ed), token cosine similarity with IDF weights,
+// and the symmetric fuzzy match similarity (fms) that combines per-token
+// edit distance with IDF weighting. All metrics are symmetric and return
+// distances in [0, 1], matching the paper's d: R x R -> [0, 1].
+//
+// Metrics operate on strings; callers that hold multi-attribute records
+// join the fields first (see strutil.JoinFields). IDF-weighted metrics are
+// constructed from a corpus so that document frequencies reflect the
+// relation being deduplicated.
+package distance
+
+import (
+	"math"
+
+	"fuzzydup/internal/strutil"
+)
+
+// Metric is a symmetric distance function over string representations of
+// tuples, with range [0, 1]: 0 means identical, 1 means maximally far.
+type Metric interface {
+	// Name identifies the metric in experiment output ("ed", "fms", ...).
+	Name() string
+	// Distance returns the distance between a and b. Implementations must
+	// be symmetric and return 0 for equal strings.
+	Distance(a, b string) float64
+}
+
+// Func adapts a plain function to the Metric interface. It is used by
+// tests and by callers with bespoke domain distances (e.g. the absolute
+// difference over integers in the paper's Section 3 example).
+type Func struct {
+	MetricName string
+	F          func(a, b string) float64
+}
+
+// Name implements Metric.
+func (f Func) Name() string { return f.MetricName }
+
+// Distance implements Metric.
+func (f Func) Distance(a, b string) float64 { return f.F(a, b) }
+
+// Scaled wraps a metric and multiplies every distance by Alpha. It exists
+// to exercise the scale-invariance property (Lemma 2): DE_S(K) must return
+// the same partition under d and alpha*d. Note the scaled distance may
+// exceed 1 when Alpha > 1; the DE formulation does not depend on the bound.
+type Scaled struct {
+	M     Metric
+	Alpha float64
+}
+
+// Name implements Metric.
+func (s Scaled) Name() string { return s.M.Name() + "*scaled" }
+
+// Distance implements Metric.
+func (s Scaled) Distance(a, b string) float64 { return s.Alpha * s.M.Distance(a, b) }
+
+// Levenshtein returns the unit-cost edit distance (insertions, deletions,
+// substitutions) between a and b, computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	return levRunes(ra, rb)
+}
+
+func levRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string in rb to minimize the row size.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		curr[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(rb)]
+}
+
+// BoundedLevenshtein returns the edit distance between a and b if it is at
+// most maxDist, and maxDist+1 otherwise. It uses the standard band
+// optimization: only cells within maxDist of the diagonal are computed, so
+// the cost is O(maxDist * min(len(a), len(b))) instead of quadratic.
+func BoundedLevenshtein(a, b string, maxDist int) int {
+	ra, rb := []rune(a), []rune(b)
+	if abs(len(ra)-len(rb)) > maxDist {
+		return maxDist + 1
+	}
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		if len(ra) > maxDist {
+			return maxDist + 1
+		}
+		return len(ra)
+	}
+	const inf = math.MaxInt32 / 2
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := max(1, i-maxDist)
+		hi := min(len(rb), i+maxDist)
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			if i <= maxDist {
+				curr[0] = i
+			} else {
+				curr[0] = inf
+			}
+		}
+		rowMin := curr[lo-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if j-1 >= lo-1 && curr[j-1]+1 < v {
+				v = curr[j-1] + 1
+			}
+			if j <= i+maxDist-1 && prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < len(rb) {
+			curr[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return maxDist + 1
+		}
+		prev, curr = curr, prev
+	}
+	if prev[len(rb)] > maxDist {
+		return maxDist + 1
+	}
+	return prev[len(rb)]
+}
+
+// Edit is the normalized edit distance metric: Levenshtein distance over
+// the normalized strings divided by the length of the longer string. It is
+// the "ed" function of the paper's evaluation.
+type Edit struct{}
+
+// Name implements Metric.
+func (Edit) Name() string { return "ed" }
+
+// Distance implements Metric.
+func (Edit) Distance(a, b string) float64 {
+	na, nb := strutil.Normalize(a), strutil.Normalize(b)
+	if na == nb {
+		return 0
+	}
+	ra, rb := []rune(na), []rune(nb)
+	denom := len(ra)
+	if len(rb) > denom {
+		denom = len(rb)
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(levRunes(ra, rb)) / float64(denom)
+}
+
+// NormalizedTokenED returns 1 - normalized edit distance between two
+// already-normalized tokens; a similarity in [0, 1]. It is the per-token
+// similarity used inside fms.
+func NormalizedTokenED(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	denom := len(ra)
+	if len(rb) > denom {
+		denom = len(rb)
+	}
+	if denom == 0 {
+		return 1
+	}
+	return 1 - float64(levRunes(ra, rb))/float64(denom)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

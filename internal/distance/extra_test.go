@@ -1,0 +1,239 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroSim(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+		tol  float64
+	}{
+		{"martha", "marhta", 0.9444, 0.001},
+		{"dixon", "dicksonx", 0.7667, 0.001},
+		{"jellyfish", "smellyfish", 0.8963, 0.001},
+		{"abc", "abc", 1, 0},
+		{"", "", 1, 0},
+		{"abc", "", 0, 0},
+		{"", "abc", 0, 0},
+		{"a", "b", 0, 0},
+	}
+	for _, tt := range tests {
+		if got := JaroSim(tt.a, tt.b); math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("JaroSim(%q,%q) = %.4f, want %.4f", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestJaroWinklerSim(t *testing.T) {
+	// The canonical Winkler example.
+	if got := JaroWinklerSim("martha", "marhta"); math.Abs(got-0.9611) > 0.001 {
+		t.Errorf("JaroWinklerSim(martha,marhta) = %.4f, want 0.9611", got)
+	}
+	// Prefix boost only applies above the floor.
+	lo := JaroSim("abcdef", "uvwxyz")
+	if JaroWinklerSim("abcdef", "uvwxyz") != lo {
+		t.Error("boost applied below floor")
+	}
+	// Winkler never decreases the similarity.
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		return JaroWinklerSim(a, b) >= JaroSim(a, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroMetrics(t *testing.T) {
+	for _, m := range []Metric{Jaro{}, JaroWinkler{}} {
+		if m.Distance("The Doors", "the doors") != 0 {
+			t.Errorf("%s: normalization not applied", m.Name())
+		}
+		d1 := m.Distance("Lisa Simpson", "Simson Lisa")
+		d2 := m.Distance("Lisa Simpson", "Bart Flanders")
+		if d1 >= d2 {
+			t.Errorf("%s: near-duplicate (%v) not closer than stranger (%v)", m.Name(), d1, d2)
+		}
+	}
+	if (Jaro{}).Name() != "jaro" || (JaroWinkler{}).Name() != "jaro-winkler" {
+		t.Error("names wrong")
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	m := MongeElkan{}
+	if m.Name() != "monge-elkan" {
+		t.Error("name")
+	}
+	if d := m.Distance("", ""); d != 0 {
+		t.Errorf("empty = %v", d)
+	}
+	if d := m.Distance("x", ""); d != 1 {
+		t.Errorf("one empty = %v", d)
+	}
+	// Token reordering is nearly free.
+	if d := m.Distance("Lisa Simpson", "Simpson Lisa"); d > 0.01 {
+		t.Errorf("reorder distance = %v", d)
+	}
+	// Misspelled token still matches well.
+	dup := m.Distance("Microsoft Corporation", "Microsft Corporation")
+	far := m.Distance("Microsoft Corporation", "Boeing Aerospace")
+	if dup >= far {
+		t.Errorf("dup %v should be closer than far %v", dup, far)
+	}
+	// Custom inner similarity is honored.
+	exact := MongeElkan{Inner: func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}}
+	if d := exact.Distance("a b", "a c"); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("exact-inner distance = %v, want 0.5", d)
+	}
+}
+
+func TestSoftTFIDF(t *testing.T) {
+	corpus := []string{
+		"microsoft corporation", "boeing corporation", "acme corporation",
+		"globex corporation", "microsft corporation",
+	}
+	s := NewSoftTFIDF(corpus, 0, nil)
+	if s.Name() != "soft-tfidf" {
+		t.Error("name")
+	}
+	dup := s.Distance("microsoft corporation", "microsft corporation")
+	far := s.Distance("microsoft corporation", "boeing corporation")
+	if dup >= far {
+		t.Errorf("soft-tfidf: dup %v should be closer than far %v", dup, far)
+	}
+	// Unlike hard cosine, the misspelled pair is close despite sharing no
+	// exact high-IDF token.
+	if dup > 0.3 {
+		t.Errorf("soft-tfidf dup distance too high: %v", dup)
+	}
+	if d := s.Distance("", ""); d != 0 {
+		t.Errorf("empty = %v", d)
+	}
+	if d := s.Distance("x", ""); d != 1 {
+		t.Errorf("one empty = %v", d)
+	}
+}
+
+func TestSoftTFIDFRange(t *testing.T) {
+	corpus := []string{"a b c", "c d e", "e f g"}
+	s := NewSoftTFIDF(corpus, 0.85, nil)
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	f := func(a, b string) bool {
+		if len(a) > 25 {
+			a = a[:25]
+		}
+		if len(b) > 25 {
+			b = b[:25]
+		}
+		d := s.Distance(a, b)
+		return d >= 0 && d <= 1 && math.Abs(d-s.Distance(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	tests := []struct {
+		word string
+		want string
+	}{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Rubin", "R150"},
+		{"Ashcraft", "A261"}, // h does not split the run
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", "0000"},
+		{"123", "0000"},
+		{"a", "A000"},
+	}
+	for _, tt := range tests {
+		if got := Soundex(tt.word); got != tt.want {
+			t.Errorf("Soundex(%q) = %q, want %q", tt.word, got, tt.want)
+		}
+	}
+}
+
+func TestSoundexDistance(t *testing.T) {
+	m := SoundexDistance{}
+	if m.Name() != "soundex" {
+		t.Error("name")
+	}
+	if d := m.Distance("Robert Smith", "Rupert Smyth"); d != 0 {
+		t.Errorf("phonetic twins = %v, want 0", d)
+	}
+	if d := m.Distance("Robert", "Lopez"); d != 1 {
+		t.Errorf("phonetic strangers = %v, want 1", d)
+	}
+	if d := m.Distance("", ""); d != 0 {
+		t.Errorf("empty = %v", d)
+	}
+	if d := m.Distance("x", ""); d != 1 {
+		t.Errorf("one empty = %v", d)
+	}
+	// Partial overlap is fractional.
+	d := m.Distance("Robert Smith", "Rupert Jones")
+	if d <= 0 || d >= 1 {
+		t.Errorf("partial = %v", d)
+	}
+}
+
+func TestNewMetricsSatisfyAxioms(t *testing.T) {
+	corpus := []string{"alpha beta", "gamma delta"}
+	metrics := []Metric{
+		Jaro{}, JaroWinkler{}, MongeElkan{}, NewSoftTFIDF(corpus, 0, nil), SoundexDistance{},
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}
+	for _, m := range metrics {
+		m := m
+		f := func(a, b string) bool {
+			if len(a) > 20 {
+				a = a[:20]
+			}
+			if len(b) > 20 {
+				b = b[:20]
+			}
+			d := m.Distance(a, b)
+			return d >= 0 && d <= 1+1e-12 &&
+				math.Abs(d-m.Distance(b, a)) < 1e-9 &&
+				m.Distance(a, a) < 1e-9
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JaroWinklerSim("the beatles a little help from my friends", "beatles the with a little help from my friend")
+	}
+}
+
+func BenchmarkMongeElkan(b *testing.B) {
+	m := MongeElkan{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Distance("the beatles a little help from my friends", "beatles the with a little help from my friend")
+	}
+}

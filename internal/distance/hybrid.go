@@ -1,0 +1,144 @@
+package distance
+
+import (
+	"math"
+
+	"fuzzydup/internal/strutil"
+)
+
+// MongeElkan is the Monge-Elkan hybrid distance: each token of one string
+// is matched against its best-scoring token in the other under an inner
+// token similarity (Jaro-Winkler by default), and the per-token scores
+// are averaged. The two directions are averaged for symmetry, then
+// converted to a distance.
+type MongeElkan struct {
+	// Inner scores a pair of normalized tokens in [0, 1]; nil selects
+	// JaroWinklerSim.
+	Inner func(a, b string) float64
+}
+
+// Name implements Metric.
+func (MongeElkan) Name() string { return "monge-elkan" }
+
+// Distance implements Metric.
+func (m MongeElkan) Distance(a, b string) float64 {
+	inner := m.Inner
+	if inner == nil {
+		inner = JaroWinklerSim
+	}
+	ta := strutil.Tokens(a)
+	tb := strutil.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 1
+	}
+	sim := (mongeDir(ta, tb, inner) + mongeDir(tb, ta, inner)) / 2
+	return 1 - sim
+}
+
+func mongeDir(src, dst []string, inner func(a, b string) float64) float64 {
+	var total float64
+	for _, s := range src {
+		best := 0.0
+		for _, d := range dst {
+			if v := inner(s, d); v > best {
+				best = v
+				if best == 1 {
+					break
+				}
+			}
+		}
+		total += best
+	}
+	return total / float64(len(src))
+}
+
+// SoftTFIDF is the Cohen-Ravikumar-Fienberg hybrid: TF-IDF cosine where
+// tokens "match" when their inner similarity exceeds a threshold, so that
+// misspelled tokens still contribute their IDF weight. Built over a
+// corpus like the other IDF metrics.
+type SoftTFIDF struct {
+	idf       *IDFTable
+	threshold float64
+	inner     func(a, b string) float64
+}
+
+// NewSoftTFIDF builds the metric over the corpus. Threshold <= 0 selects
+// 0.9 (the customary setting); inner nil selects JaroWinklerSim.
+func NewSoftTFIDF(corpus []string, threshold float64, inner func(a, b string) float64) *SoftTFIDF {
+	if threshold <= 0 {
+		threshold = 0.9
+	}
+	if inner == nil {
+		inner = JaroWinklerSim
+	}
+	return &SoftTFIDF{idf: NewIDFTable(corpus), threshold: threshold, inner: inner}
+}
+
+// Name implements Metric.
+func (*SoftTFIDF) Name() string { return "soft-tfidf" }
+
+// Distance implements Metric.
+func (s *SoftTFIDF) Distance(a, b string) float64 {
+	ta := strutil.Tokens(a)
+	tb := strutil.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 1
+	}
+	sim := (s.dir(ta, tb) + s.dir(tb, ta)) / 2
+	if sim > 1 {
+		sim = 1
+	}
+	return 1 - sim
+}
+
+// dir computes the directional soft TF-IDF score from src to dst.
+func (s *SoftTFIDF) dir(src, dst []string) float64 {
+	var num float64
+	normSrc := s.vectorNorm(src)
+	normDst := s.vectorNorm(dst)
+	if normSrc == 0 || normDst == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(src))
+	for _, t := range src {
+		counts[t]++
+	}
+	dstCounts := make(map[string]int, len(dst))
+	for _, t := range dst {
+		dstCounts[t]++
+	}
+	for t, tf := range counts {
+		best, bestTok := 0.0, ""
+		for u := range dstCounts {
+			if v := s.inner(t, u); v > best {
+				best, bestTok = v, u
+			}
+		}
+		if best < s.threshold {
+			continue
+		}
+		wSrc := float64(tf) * s.idf.Weight(t)
+		wDst := float64(dstCounts[bestTok]) * s.idf.Weight(bestTok)
+		num += wSrc * wDst * best
+	}
+	return num / (normSrc * normDst)
+}
+
+func (s *SoftTFIDF) vectorNorm(tokens []string) float64 {
+	counts := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		counts[t]++
+	}
+	var sum float64
+	for t, tf := range counts {
+		w := float64(tf) * s.idf.Weight(t)
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}

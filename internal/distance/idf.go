@@ -1,0 +1,150 @@
+package distance
+
+import (
+	"math"
+
+	"fuzzydup/internal/strutil"
+)
+
+// IDFTable holds inverse-document-frequency weights for tokens computed
+// over a corpus (the relation being deduplicated). Tokens absent from the
+// corpus receive the maximum weight, as a previously-unseen token is by
+// definition rare.
+type IDFTable struct {
+	weights map[string]float64
+	maxW    float64
+	docs    int
+}
+
+// NewIDFTable computes IDF weights from the corpus, where each corpus
+// entry is one tuple's string representation. The weight of token t is
+// log(1 + N/df(t)) with N the corpus size and df the number of tuples
+// containing t.
+func NewIDFTable(corpus []string) *IDFTable {
+	df := make(map[string]int)
+	for _, doc := range corpus {
+		seen := make(map[string]struct{})
+		for _, tok := range strutil.Tokens(doc) {
+			if _, ok := seen[tok]; ok {
+				continue
+			}
+			seen[tok] = struct{}{}
+			df[tok]++
+		}
+	}
+	n := len(corpus)
+	t := &IDFTable{weights: make(map[string]float64, len(df)), docs: n}
+	t.maxW = math.Log(1 + float64(n))
+	for tok, d := range df {
+		t.weights[tok] = math.Log(1 + float64(n)/float64(d))
+	}
+	return t
+}
+
+// Weight returns the IDF weight of token tok. Unknown tokens get the
+// maximum weight log(1+N).
+func (t *IDFTable) Weight(tok string) float64 {
+	if w, ok := t.weights[tok]; ok {
+		return w
+	}
+	return t.maxW
+}
+
+// Docs returns the corpus size the table was built from.
+func (t *IDFTable) Docs() int { return t.docs }
+
+// Cosine is the token cosine-similarity metric with TF-IDF weights,
+// converted to a distance as 1 - cos(a, b). With IDF weighting, common
+// tokens ("corporation") contribute little, so "microsft corporation" is
+// far from "boeing corporation" even though they share a token.
+type Cosine struct {
+	idf *IDFTable
+}
+
+// NewCosine builds the metric, computing IDF weights over the corpus.
+func NewCosine(corpus []string) *Cosine {
+	return &Cosine{idf: NewIDFTable(corpus)}
+}
+
+// Name implements Metric.
+func (*Cosine) Name() string { return "cosine" }
+
+// Distance implements Metric.
+func (c *Cosine) Distance(a, b string) float64 {
+	va := c.vector(a)
+	vb := c.vector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 0
+	}
+	if len(va) == 0 || len(vb) == 0 {
+		return 1
+	}
+	var dot float64
+	// Iterate over the smaller vector.
+	if len(vb) < len(va) {
+		va, vb = vb, va
+	}
+	for tok, wa := range va {
+		if wb, ok := vb[tok]; ok {
+			dot += wa * wb
+		}
+	}
+	sim := dot / (norm(va) * norm(vb))
+	if sim > 1 {
+		sim = 1 // guard against floating-point drift
+	}
+	return 1 - sim
+}
+
+func (c *Cosine) vector(s string) map[string]float64 {
+	counts := strutil.TokenCounts(s)
+	v := make(map[string]float64, len(counts))
+	for tok, tf := range counts {
+		v[tok] = float64(tf) * c.idf.Weight(tok)
+	}
+	return v
+}
+
+func norm(v map[string]float64) float64 {
+	var s float64
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Jaccard is the q-gram Jaccard distance: 1 - |A ∩ B| / |A ∪ B| over the
+// distinct q-gram sets of the two strings. It is cheap, metric, and a
+// reasonable proxy for edit distance; the nearest-neighbor index uses the
+// same q-gram decomposition.
+type Jaccard struct {
+	// Q is the gram length; the zero value is treated as 3.
+	Q int
+}
+
+// Name implements Metric.
+func (j Jaccard) Name() string { return "jaccard" }
+
+// Distance implements Metric.
+func (j Jaccard) Distance(a, b string) float64 {
+	q := j.Q
+	if q <= 0 {
+		q = 3
+	}
+	sa := strutil.QGramSet(a, q)
+	sb := strutil.QGramSet(b, q)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	for g := range sa {
+		if _, ok := sb[g]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return 1 - float64(inter)/float64(union)
+}

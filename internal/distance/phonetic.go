@@ -1,0 +1,104 @@
+package distance
+
+import (
+	"strings"
+
+	"fuzzydup/internal/strutil"
+)
+
+// Soundex returns the classic 4-character Soundex code of a word: its
+// first letter followed by three digits encoding consonant classes, with
+// adjacent duplicates collapsed and vowels dropped. Non-letters are
+// ignored; the empty word codes as "0000".
+func Soundex(word string) string {
+	word = strutil.Normalize(word)
+	var letters []rune
+	for _, r := range word {
+		if r >= 'a' && r <= 'z' {
+			letters = append(letters, r)
+		}
+	}
+	if len(letters) == 0 {
+		return "0000"
+	}
+	code := func(r rune) byte {
+		switch r {
+		case 'b', 'f', 'p', 'v':
+			return '1'
+		case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+			return '2'
+		case 'd', 't':
+			return '3'
+		case 'l':
+			return '4'
+		case 'm', 'n':
+			return '5'
+		case 'r':
+			return '6'
+		default:
+			return 0 // vowels and h, w, y
+		}
+	}
+	var b strings.Builder
+	b.WriteByte(byte(letters[0] - 'a' + 'A'))
+	prev := code(letters[0])
+	for _, r := range letters[1:] {
+		c := code(r)
+		// h and w do not reset the run; vowels do.
+		if r == 'h' || r == 'w' {
+			continue
+		}
+		if c != 0 && c != prev {
+			b.WriteByte(c)
+			if b.Len() == 4 {
+				break
+			}
+		}
+		prev = c
+	}
+	out := b.String()
+	for len(out) < 4 {
+		out += "0"
+	}
+	return out
+}
+
+// SoundexDistance compares two strings token-wise by Soundex code: the
+// fraction of tokens (of the longer token list) without a phonetic match
+// on the other side. It is coarse — useful as a blocking key or a cheap
+// first-pass metric, not as the final matcher.
+type SoundexDistance struct{}
+
+// Name implements Metric.
+func (SoundexDistance) Name() string { return "soundex" }
+
+// Distance implements Metric.
+func (SoundexDistance) Distance(a, b string) float64 {
+	ta := strutil.Tokens(a)
+	tb := strutil.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 1
+	}
+	codesA := make(map[string]int)
+	for _, t := range ta {
+		codesA[Soundex(t)]++
+	}
+	codesB := make(map[string]int)
+	for _, t := range tb {
+		codesB[Soundex(t)]++
+	}
+	matches := 0
+	for c, na := range codesA {
+		if nb, ok := codesB[c]; ok {
+			matches += min(na, nb)
+		}
+	}
+	longer := len(ta)
+	if len(tb) > longer {
+		longer = len(tb)
+	}
+	return 1 - float64(matches)/float64(longer)
+}

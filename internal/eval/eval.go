@@ -1,0 +1,224 @@
+// Package eval implements the paper's evaluation metrics (Section 5):
+// pairwise precision and recall of a computed partition against
+// ground-truth duplicate groups, and precision-recall curves over
+// parameter sweeps.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PR is one precision/recall measurement.
+type PR struct {
+	// Param is the swept parameter value that produced this point (K or θ
+	// or the threshold of the baseline).
+	Param float64
+	// Precision is the fraction of returned duplicate pairs that are true
+	// duplicates; 1 when no pairs are returned.
+	Precision float64
+	// Recall is the fraction of true duplicate pairs returned; 1 when the
+	// ground truth has no pairs.
+	Recall float64
+	// TruePositives, Returned, and Actual expose the raw counts.
+	TruePositives int
+	Returned      int
+	Actual        int
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p PR) F1() float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+// String renders the point for experiment output.
+func (p PR) String() string {
+	return fmt.Sprintf("param=%.4g recall=%.3f precision=%.3f", p.Param, p.Recall, p.Precision)
+}
+
+// pairsOf enumerates the unordered pairs within each group of size >= 2.
+func pairsOf(groups [][]int) map[[2]int]bool {
+	pairs := make(map[[2]int]bool)
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				a, b := g[i], g[j]
+				if a > b {
+					a, b = b, a
+				}
+				pairs[[2]int{a, b}] = true
+			}
+		}
+	}
+	return pairs
+}
+
+// PrecisionRecall scores a partition against ground-truth groups at the
+// pair level, the metric of the paper's Section 5: recall is the fraction
+// of true duplicate pairs identified, precision the fraction of returned
+// pairs that are truly duplicates.
+func PrecisionRecall(groups, truth [][]int) PR {
+	returned := pairsOf(groups)
+	actual := pairsOf(truth)
+	tp := 0
+	for p := range returned {
+		if actual[p] {
+			tp++
+		}
+	}
+	pr := PR{TruePositives: tp, Returned: len(returned), Actual: len(actual), Precision: 1, Recall: 1}
+	if len(returned) > 0 {
+		pr.Precision = float64(tp) / float64(len(returned))
+	}
+	if len(actual) > 0 {
+		pr.Recall = float64(tp) / float64(len(actual))
+	}
+	return pr
+}
+
+// GroupStats counts whole-group outcomes, a stricter lens than pairwise
+// PR: a truth group only counts as recovered when the algorithm emits it
+// exactly (same members, nothing extra).
+type GroupStats struct {
+	// TruthGroups is the number of ground-truth duplicate groups.
+	TruthGroups int
+	// ExactlyRecovered is how many of them appear verbatim in the output.
+	ExactlyRecovered int
+	// EmittedGroups is the number of non-trivial groups the algorithm
+	// produced.
+	EmittedGroups int
+}
+
+// ExactRate returns ExactlyRecovered / TruthGroups (1 when there are no
+// truth groups).
+func (g GroupStats) ExactRate() float64 {
+	if g.TruthGroups == 0 {
+		return 1
+	}
+	return float64(g.ExactlyRecovered) / float64(g.TruthGroups)
+}
+
+// GroupExactMatch computes whole-group recovery statistics.
+func GroupExactMatch(groups, truth [][]int) GroupStats {
+	canon := func(g []int) string {
+		c := append([]int(nil), g...)
+		sort.Ints(c)
+		b := make([]byte, 0, len(c)*4)
+		for _, id := range c {
+			b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		return string(b)
+	}
+	emitted := make(map[string]bool)
+	stats := GroupStats{TruthGroups: len(truth)}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			stats.EmittedGroups++
+			emitted[canon(g)] = true
+		}
+	}
+	for _, g := range truth {
+		if len(g) >= 2 && emitted[canon(g)] {
+			stats.ExactlyRecovered++
+		}
+	}
+	return stats
+}
+
+// Curve is a named series of PR points (one algorithm configuration swept
+// over its parameter).
+type Curve struct {
+	Name   string
+	Points []PR
+}
+
+// SortByRecall orders the points by ascending recall (then precision),
+// the form in which precision-recall plots are drawn.
+func (c *Curve) SortByRecall() {
+	sort.Slice(c.Points, func(i, j int) bool {
+		if c.Points[i].Recall != c.Points[j].Recall {
+			return c.Points[i].Recall < c.Points[j].Recall
+		}
+		return c.Points[i].Precision < c.Points[j].Precision
+	})
+}
+
+// PrecisionAt interpolates the best precision the curve achieves at recall
+// >= r. Returns NaN when the curve never reaches recall r.
+func (c *Curve) PrecisionAt(r float64) float64 {
+	best := math.NaN()
+	for _, p := range c.Points {
+		if p.Recall >= r {
+			if math.IsNaN(best) || p.Precision > best {
+				best = p.Precision
+			}
+		}
+	}
+	return best
+}
+
+// MaxF1 returns the best F1 across the curve, 0 for an empty curve.
+func (c *Curve) MaxF1() float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if f := p.F1(); f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// DominanceGain compares curve a against curve b: the mean precision
+// advantage of a over b across the recall grid points both curves reach.
+// Positive means a dominates. Returns 0 when the curves share no reachable
+// recall levels.
+func DominanceGain(a, b *Curve, grid []float64) float64 {
+	var sum float64
+	n := 0
+	for _, r := range grid {
+		pa, pb := a.PrecisionAt(r), b.PrecisionAt(r)
+		if math.IsNaN(pa) || math.IsNaN(pb) {
+			continue
+		}
+		sum += pa - pb
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RecallGrid returns an evenly spaced recall grid in [lo, hi].
+func RecallGrid(lo, hi float64, steps int) []float64 {
+	if steps < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
+	}
+	return out
+}
+
+// Spread summarizes how widely a curve's points scatter in PR space —
+// used for the paper's observation that DE_S points concentrate while
+// DE_D points spread (Section 5.1).
+func Spread(c *Curve) (recallRange, precisionRange float64) {
+	if len(c.Points) == 0 {
+		return 0, 0
+	}
+	minR, maxR := 1.0, 0.0
+	minP, maxP := 1.0, 0.0
+	for _, p := range c.Points {
+		minR = math.Min(minR, p.Recall)
+		maxR = math.Max(maxR, p.Recall)
+		minP = math.Min(minP, p.Precision)
+		maxP = math.Max(maxP, p.Precision)
+	}
+	return maxR - minR, maxP - minP
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionRecall(t *testing.T) {
+	truth := [][]int{{0, 1}, {2, 3, 4}} // pairs: (0,1),(2,3),(2,4),(3,4) = 4
+	groups := [][]int{{0, 1}, {2, 3}, {5, 6}, {7}}
+	pr := PrecisionRecall(groups, truth)
+	// returned pairs: (0,1),(2,3),(5,6) = 3; tp = 2.
+	if pr.TruePositives != 2 || pr.Returned != 3 || pr.Actual != 4 {
+		t.Fatalf("counts = %+v", pr)
+	}
+	if math.Abs(pr.Precision-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", pr.Precision)
+	}
+	if pr.Recall != 0.5 {
+		t.Errorf("recall = %v", pr.Recall)
+	}
+	if f := pr.F1(); math.Abs(f-2*(2.0/3)*0.5/(2.0/3+0.5)) > 1e-12 {
+		t.Errorf("f1 = %v", f)
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	// No returned pairs: precision defined as 1.
+	pr := PrecisionRecall([][]int{{0}, {1}}, [][]int{{0, 1}})
+	if pr.Precision != 1 || pr.Recall != 0 {
+		t.Errorf("no-output pr = %+v", pr)
+	}
+	// No true pairs: recall defined as 1.
+	pr = PrecisionRecall([][]int{{0, 1}}, nil)
+	if pr.Recall != 1 || pr.Precision != 0 {
+		t.Errorf("no-truth pr = %+v", pr)
+	}
+	// Both empty: perfect.
+	pr = PrecisionRecall(nil, nil)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Errorf("empty pr = %+v", pr)
+	}
+	if pr.F1() != 1 {
+		t.Errorf("empty f1 = %v", pr.F1())
+	}
+	var zero PR
+	if zero.F1() != 0 {
+		t.Errorf("zero f1 = %v", zero.F1())
+	}
+}
+
+func TestPerfectPartition(t *testing.T) {
+	truth := [][]int{{1, 2}, {4, 5, 6}}
+	pr := PrecisionRecall(truth, truth)
+	if pr.Precision != 1 || pr.Recall != 1 {
+		t.Errorf("perfect = %+v", pr)
+	}
+}
+
+func TestGroupExactMatch(t *testing.T) {
+	truth := [][]int{{0, 1}, {2, 3, 4}, {7, 8}}
+	groups := [][]int{{1, 0}, {2, 3}, {7, 8}, {5}, {6}}
+	stats := GroupExactMatch(groups, truth)
+	if stats.TruthGroups != 3 || stats.EmittedGroups != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// {0,1} recovered (order-insensitive), {7,8} recovered, {2,3,4} split.
+	if stats.ExactlyRecovered != 2 {
+		t.Errorf("recovered = %d, want 2", stats.ExactlyRecovered)
+	}
+	if r := stats.ExactRate(); r < 0.66 || r > 0.67 {
+		t.Errorf("rate = %v", r)
+	}
+	empty := GroupExactMatch(nil, nil)
+	if empty.ExactRate() != 1 {
+		t.Errorf("empty rate = %v", empty.ExactRate())
+	}
+}
+
+func TestCurveSortAndPrecisionAt(t *testing.T) {
+	c := &Curve{Name: "x", Points: []PR{
+		{Param: 3, Recall: 0.9, Precision: 0.5},
+		{Param: 1, Recall: 0.3, Precision: 0.95},
+		{Param: 2, Recall: 0.6, Precision: 0.8},
+	}}
+	c.SortByRecall()
+	if c.Points[0].Recall != 0.3 || c.Points[2].Recall != 0.9 {
+		t.Errorf("sort order wrong: %+v", c.Points)
+	}
+	if got := c.PrecisionAt(0.5); got != 0.8 {
+		t.Errorf("PrecisionAt(0.5) = %v", got)
+	}
+	if got := c.PrecisionAt(0.95); !math.IsNaN(got) {
+		t.Errorf("unreachable recall should be NaN, got %v", got)
+	}
+	if got := c.PrecisionAt(0.0); got != 0.95 {
+		t.Errorf("PrecisionAt(0) = %v", got)
+	}
+	if got := c.MaxF1(); got < 0.6 {
+		t.Errorf("MaxF1 = %v", got)
+	}
+	empty := &Curve{}
+	if empty.MaxF1() != 0 {
+		t.Error("empty MaxF1")
+	}
+}
+
+func TestDominanceGain(t *testing.T) {
+	a := &Curve{Points: []PR{{Recall: 0.5, Precision: 0.9}, {Recall: 0.8, Precision: 0.7}}}
+	b := &Curve{Points: []PR{{Recall: 0.5, Precision: 0.8}, {Recall: 0.8, Precision: 0.5}}}
+	grid := []float64{0.4, 0.6, 0.8}
+	gain := DominanceGain(a, b, grid)
+	if gain <= 0 {
+		t.Errorf("a should dominate b: gain = %v", gain)
+	}
+	if rev := DominanceGain(b, a, grid); math.Abs(gain+rev) > 1e-12 {
+		t.Errorf("dominance not antisymmetric: %v vs %v", gain, rev)
+	}
+	// Grid entirely beyond both curves: zero.
+	if g := DominanceGain(a, b, []float64{0.99}); g != 0 {
+		t.Errorf("unreachable grid gain = %v", g)
+	}
+}
+
+func TestRecallGrid(t *testing.T) {
+	g := RecallGrid(0.2, 0.8, 4)
+	want := []float64{0.2, 0.4, 0.6, 0.8}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("grid = %v", g)
+		}
+	}
+	if g := RecallGrid(0.5, 0.9, 1); len(g) != 1 || g[0] != 0.5 {
+		t.Errorf("degenerate grid = %v", g)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	tight := &Curve{Points: []PR{
+		{Recall: 0.70, Precision: 0.90},
+		{Recall: 0.72, Precision: 0.91},
+	}}
+	wide := &Curve{Points: []PR{
+		{Recall: 0.3, Precision: 0.99},
+		{Recall: 0.9, Precision: 0.5},
+	}}
+	tr, tp := Spread(tight)
+	wr, wp := Spread(wide)
+	if tr >= wr || tp >= wp {
+		t.Errorf("tight (%v,%v) should be narrower than wide (%v,%v)", tr, tp, wr, wp)
+	}
+	if r, p := Spread(&Curve{}); r != 0 || p != 0 {
+		t.Error("empty spread")
+	}
+}
+
+func TestPRString(t *testing.T) {
+	s := PR{Param: 3, Recall: 0.5, Precision: 0.25}.String()
+	if s == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockingAblation(t *testing.T) {
+	res, err := BlockingAblation("media", 500, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byScheme := map[string]BlockingRow{}
+	for _, row := range res.Rows {
+		byScheme[row.Scheme] = row
+		if row.Reduction <= 0 {
+			t.Errorf("%s: no reduction (%v) — blocking would be pointless", row.Scheme, row.Reduction)
+		}
+	}
+	multi := byScheme["multi-key"]
+	// Blocking does its designed job: most true duplicate pairs survive.
+	if multi.DupCoverage < 0.9 {
+		t.Errorf("multi-key dup coverage = %.3f", multi.DupCoverage)
+	}
+	// The paper's objection: the NN pairs the CS/SN framework needs leak —
+	// some tuples lose growth-sphere members and their ng(v) is corrupted.
+	if multi.NNCoverage >= 0.999 {
+		t.Errorf("multi-key NN coverage = %.3f; expected leakage (the §6 argument)", multi.NNCoverage)
+	}
+	if multi.GrowthIntact >= 0.999 {
+		t.Errorf("growth-intact = %.3f; expected some corruption", multi.GrowthIntact)
+	}
+	// Coarser schemes leak more.
+	if byScheme["first4chars"].NNCoverage > multi.NNCoverage {
+		t.Error("single-key scheme should not beat the multi-key union")
+	}
+	if !strings.Contains(res.Format(), "nn-cov") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestIndexSweep(t *testing.T) {
+	res, err := IndexSweep("restaurants", 400, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var exactF1 float64
+	for _, row := range res.Rows {
+		if row.Index == "exact" {
+			exactF1 = row.F1
+		}
+	}
+	for _, row := range res.Rows {
+		// Every approximate index must land within a small band of the
+		// exact quality on this data.
+		if row.F1 < exactF1-0.08 {
+			t.Errorf("%s F1 %.3f well below exact %.3f", row.Index, row.F1, exactF1)
+		}
+	}
+	if !strings.Contains(res.Format(), "vptree") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestRobustnessSweep(t *testing.T) {
+	res, err := Robustness("media", 400, 2, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// DE's best F1 must not fall below the baseline's: the robustness
+		// claim of the title.
+		if row.DEF1 < row.ThrF1 {
+			t.Errorf("errors=%d: DE F1 %.3f below thr F1 %.3f", row.ErrorsPerDup, row.DEF1, row.ThrF1)
+		}
+	}
+	// Quality degrades (weakly) with corruption for both methods.
+	if res.Rows[1].DEF1 > res.Rows[0].DEF1+0.05 {
+		t.Errorf("DE F1 improved under heavier corruption: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Format(), "errors") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestPSweep(t *testing.T) {
+	res, err := PSweep("media", 400, 2, []float64{1.25, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's setting p=2 should sit near the plateau: within a few F1
+	// points of the small-p end and clearly above the large-p end, where
+	// inflated growths start rejecting real duplicates.
+	mid := res.Rows[1].F1
+	if mid+0.05 < res.Rows[0].F1 {
+		t.Errorf("p=2 far below small-p setting: %+v", res.Rows)
+	}
+	if mid < res.Rows[2].F1 {
+		t.Errorf("p=2 should beat p=4: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Format(), "growth factor") {
+		t.Error("format output malformed")
+	}
+}

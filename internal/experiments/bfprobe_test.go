@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestBFProbe is a diagnostic sweep (run explicitly with -run TestBFProbe
+// -v); it prints the Figure 8 quantities across a wide range of pool
+// sizes. Skipped in normal runs.
+func TestBFProbe(t *testing.T) {
+	if testing.Short() || testing.Verbose() == false {
+		t.Skip("diagnostic only")
+	}
+	res, err := BFOrdering(BFConfig{Size: 8000, Seed: 2, K: 5,
+		PoolFrames: []int{128, 192, 224, 240}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+}

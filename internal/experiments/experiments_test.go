@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/eval"
+)
+
+func TestPRCurvesMediaShape(t *testing.T) {
+	// The headline result: on series-bearing datasets, DE dominates the
+	// global-threshold baseline in precision at comparable recall.
+	res, err := PRCurves(PRConfig{Dataset: "media", Size: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 5 { // thr + (DE_S, DE_D) x (c=4, c=6)
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	grid := eval.RecallGrid(0.3, 0.7, 5)
+	gain := res.BestDEPrecisionGain(grid)
+	if gain <= 0 {
+		t.Errorf("DE should dominate thr on media: gain = %.4f", gain)
+	}
+	if !strings.Contains(res.Format(), "precision vs recall") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestPRCurvesBirdScottShape(t *testing.T) {
+	res, err := PRCurves(PRConfig{Dataset: "birdscott", Size: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.BestDEPrecisionGain(eval.RecallGrid(0.3, 0.7, 5))
+	if gain <= 0 {
+		t.Errorf("DE should dominate thr on birdscott: gain = %.4f", gain)
+	}
+}
+
+func TestPRCurvesCensusShape(t *testing.T) {
+	// Census families (similar first names at one address) are the
+	// contested-zone confusables; DE must dominate here too.
+	res, err := PRCurves(PRConfig{Dataset: "census", Size: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.BestDEPrecisionGain(eval.RecallGrid(0.3, 0.7, 5))
+	if gain <= 0 {
+		t.Errorf("DE should dominate thr on census: gain = %.4f", gain)
+	}
+}
+
+func TestPRCurvesParksNoImprovement(t *testing.T) {
+	// The paper's negative control: Parks duplicates are cleanly
+	// separated, so DE cannot improve much on the threshold baseline.
+	res, err := PRCurves(PRConfig{Dataset: "parks", Size: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.BestDEPrecisionGain(eval.RecallGrid(0.3, 0.7, 5))
+	if gain > 0.05 {
+		t.Errorf("parks gain should be negligible, got %.4f", gain)
+	}
+	// And the baseline itself must do well: high max F1.
+	for _, c := range res.Curves {
+		if c.Name == "thr" {
+			if f1 := c.MaxF1(); f1 < 0.85 {
+				t.Errorf("thr max F1 on parks = %.3f, want high", f1)
+			}
+		}
+	}
+}
+
+func TestPRCurvesFMS(t *testing.T) {
+	res, err := PRCurves(PRConfig{Dataset: "media", Size: 500, Seed: 3, Metric: "fms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.BestDEPrecisionGain(eval.RecallGrid(0.3, 0.7, 5))
+	if gain <= 0 {
+		t.Errorf("DE should dominate thr under fms: gain = %.4f", gain)
+	}
+}
+
+func TestPRCurvesWithQGramIndex(t *testing.T) {
+	// The probabilistic index must preserve the headline comparison.
+	res, err := PRCurves(PRConfig{Dataset: "media", Size: 500, Seed: 2, UseQGram: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.BestDEPrecisionGain(eval.RecallGrid(0.3, 0.7, 5))
+	if gain <= 0 {
+		t.Errorf("DE should dominate thr under the q-gram index: gain = %.4f", gain)
+	}
+}
+
+func TestPRCurvesTable1Fixture(t *testing.T) {
+	// The fixture dataset flows through the same driver.
+	res, err := PRCurves(PRConfig{Dataset: "table1", Ks: []int{2, 3}, Thetas: []float64{0.3, 0.35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 14 {
+		t.Errorf("n = %d", res.N)
+	}
+	for _, c := range res.Curves {
+		for _, p := range c.Points {
+			if p.Recall < 0 || p.Recall > 1 || p.Precision < 0 || p.Precision > 1 {
+				t.Fatalf("out-of-range PR point %+v in %s", p, c.Name)
+			}
+		}
+	}
+}
+
+func TestPRCurvesUnknowns(t *testing.T) {
+	if _, err := PRCurves(PRConfig{Dataset: "nope"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := PRCurves(PRConfig{Dataset: "media", Metric: "nope"}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestAggComparisonFig7(t *testing.T) {
+	res, err := AggComparison(AggConfig{Size: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 6 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+	// Figure 7's claim: all aggregation functions yield very similar
+	// results (most groups are pairs).
+	if gap := res.MaxPairwiseF1Gap(); gap > 0.05 {
+		t.Errorf("aggregation F1 gap = %.4f, want < 0.05", gap)
+	}
+	if !strings.Contains(res.Format(), "aggregation") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestBFOrderingFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second IO experiment")
+	}
+	frameSet := []int{96, 144, 168}
+	res, err := BFOrdering(BFConfig{Size: 6000, Seed: 2, PoolFrames: frameSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.IndexPages <= frameSet[len(frameSet)-1] {
+		t.Fatalf("index (%d pages) must exceed the largest pool (%d)", res.IndexPages, frameSet[2])
+	}
+	// At every pool size, BF must beat random on all three measures.
+	byKey := map[string]BFRow{}
+	for _, row := range res.Rows {
+		byKey[row.Order+"/"+itoa(row.Frames)] = row
+	}
+	for _, frames := range frameSet {
+		bf := byKey["bf/"+itoa(frames)]
+		rnd := byKey["rnd/"+itoa(frames)]
+		if bf.HitRatio <= rnd.HitRatio {
+			t.Errorf("frames %d: BF hit ratio %.3f <= random %.3f", frames, bf.HitRatio, rnd.HitRatio)
+		}
+		if bf.PU <= rnd.PU {
+			t.Errorf("frames %d: BF PU %.3f <= random %.3f", frames, bf.PU, rnd.PU)
+		}
+		if bf.Throughput <= rnd.Throughput {
+			t.Errorf("frames %d: BF throughput %.3f <= random %.3f", frames, bf.Throughput, rnd.Throughput)
+		}
+	}
+	// The paper reports ~100% throughput improvement at the tight buffer.
+	if gain := res.ThroughputGain(frameSet[0]); gain < 1.3 {
+		t.Errorf("BF throughput gain at tight buffer = %.2fx, want >= 1.3x", gain)
+	}
+	if !strings.Contains(res.Format(), "BHR") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestScalabilityFig9(t *testing.T) {
+	res, err := Scalability(ScaleConfig{Sizes: []int{500, 1000, 2000}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Time grows with n.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Phase1 <= res.Rows[i-1].Phase1/2 {
+			t.Errorf("phase1 time not growing: %v", res.Rows)
+		}
+	}
+	// Near-linear growth (the paper's log-log linearity): exponent < 2.
+	if e := res.Phase1GrowthExponent(); e > 2.0 {
+		t.Errorf("phase1 growth exponent = %.2f, want near-linear", e)
+	}
+	if !strings.Contains(res.Format(), "phase1") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestEstimatorAccuracy(t *testing.T) {
+	res, err := EstimatorAccuracy(EstimatorConfig{Size: 500, Seed: 2,
+		Datasets: []string{"media", "restaurants"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.EstimatedC <= 1 {
+			t.Errorf("%s: estimated c = %v", row.Dataset, row.EstimatedC)
+		}
+		if row.F1AtEst < 0.7*row.BestOracle {
+			t.Errorf("%s: estimator F1 %.3f far below oracle %.3f",
+				row.Dataset, row.F1AtEst, row.BestOracle)
+		}
+	}
+	if !strings.Contains(res.Format(), "est c") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestParamSpread(t *testing.T) {
+	res, err := ParamSpread(SpreadConfig{Size: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sRecall, dRecall float64
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row.Curve, "DE_S") && row.RecallRange > sRecall {
+			sRecall = row.RecallRange
+		}
+		if strings.HasPrefix(row.Curve, "DE_D") && row.RecallRange > dRecall {
+			dRecall = row.RecallRange
+		}
+	}
+	// Section 5.1: the θ sweep spreads much more than the K sweep.
+	if dRecall <= sRecall {
+		t.Errorf("DE_D recall spread (%.3f) should exceed DE_S (%.3f)", dRecall, sRecall)
+	}
+	if !strings.Contains(res.Format(), "spread") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestCriteriaAblation(t *testing.T) {
+	res, err := CriteriaAblation("media", 500, 2, 4, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CriteriaRow{}
+	for _, row := range res.Rows {
+		byName[row.Config] = row
+	}
+	full := byName["CS+SN (full)"]
+	csOnly := byName["CS only (c=inf)"]
+	if full.Precision < csOnly.Precision {
+		t.Errorf("dropping SN should not raise precision: full %.3f vs CS-only %.3f",
+			full.Precision, csOnly.Precision)
+	}
+	if !strings.Contains(res.Format(), "ablation") {
+		t.Error("format output malformed")
+	}
+}
+
+func TestIndexAblation(t *testing.T) {
+	res, err := IndexAblation("restaurants", 400, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's assumption: the probabilistic index does not hurt end
+	// results. Allow a small slack.
+	if res.QGramF1 < res.ExactF1-0.05 {
+		t.Errorf("qgram F1 %.3f well below exact %.3f", res.QGramF1, res.ExactF1)
+	}
+	if !strings.Contains(res.Format(), "qgram") {
+		t.Error("format output malformed")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(digits)
+	}
+	return string(digits)
+}

@@ -1,0 +1,205 @@
+package nnindex
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/strutil"
+)
+
+// MinHashConfig tunes the MinHash-LSH index.
+type MinHashConfig struct {
+	// Q is the gram length for the shingle sets (default 3).
+	Q int
+	// Hashes is the signature length (default 64). Must be divisible by
+	// Bands.
+	Hashes int
+	// Bands is the LSH band count (default 16); rows per band =
+	// Hashes/Bands. More bands -> higher candidate recall, more
+	// candidates.
+	Bands int
+	// MaxCandidates caps verification work per query (default 512).
+	MaxCandidates int
+}
+
+func (c MinHashConfig) withDefaults() (MinHashConfig, error) {
+	if c.Q <= 0 {
+		c.Q = 3
+	}
+	if c.Hashes <= 0 {
+		c.Hashes = 60
+	}
+	if c.Bands <= 0 {
+		// Three rows per band: a pair at Jaccard similarity s collides in
+		// some band with probability 1-(1-s³)^20 — above 0.99 for s ≥ 0.6,
+		// under 0.15 for s ≤ 0.2 — a good operating point for duplicate
+		// detection, where moderate similarities must still surface.
+		c.Bands = 20
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 512
+	}
+	if c.Hashes%c.Bands != 0 {
+		return c, fmt.Errorf("nnindex: minhash Hashes (%d) must be divisible by Bands (%d)", c.Hashes, c.Bands)
+	}
+	return c, nil
+}
+
+// MinHash is a MinHash-LSH candidate index over q-gram shingle sets: each
+// tuple gets a signature of per-hash minima; tuples colliding in any LSH
+// band become candidates, verified with the actual metric. Like QGram it
+// is probabilistic — the collision probability of a band rises sharply
+// with Jaccard similarity, so near-duplicates are found with high
+// probability while far pairs are never compared.
+//
+// MinHash is not safe for concurrent use (it keeps the one-entry query
+// memo the phase-1 driver relies on).
+type MinHash struct {
+	keys    []string
+	metric  distance.Metric
+	cfg     MinHashConfig
+	buckets []map[uint64][]int32 // one bucket map per band
+
+	sigs [][]uint64 // per-tuple signatures (kept for diagnostics)
+
+	memoID        int
+	memoNeighbors []Neighbor
+}
+
+// NewMinHash builds the index over keys under metric (the metric is used
+// only for candidate verification and may differ from Jaccard, though the
+// candidate recall guarantee is with respect to Jaccard similarity).
+func NewMinHash(keys []string, metric distance.Metric, cfg MinHashConfig) (*MinHash, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &MinHash{
+		keys:    keys,
+		metric:  metric,
+		cfg:     cfg,
+		buckets: make([]map[uint64][]int32, cfg.Bands),
+		sigs:    make([][]uint64, len(keys)),
+		memoID:  -1,
+	}
+	for b := range m.buckets {
+		m.buckets[b] = make(map[uint64][]int32)
+	}
+	rows := cfg.Hashes / cfg.Bands
+	for id, key := range keys {
+		sig := m.signature(key)
+		m.sigs[id] = sig
+		for b := 0; b < cfg.Bands; b++ {
+			h := bandHash(sig[b*rows : (b+1)*rows])
+			m.buckets[b][h] = append(m.buckets[b][h], int32(id))
+		}
+	}
+	return m, nil
+}
+
+// signature computes the MinHash signature of a key's q-gram set. The i-th
+// hash function is a seeded FNV variant: fnv(gram) mixed with the i-th odd
+// multiplier — deterministic across runs.
+func (m *MinHash) signature(key string) []uint64 {
+	sig := make([]uint64, m.cfg.Hashes)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for g := range strutil.QGramSet(key, m.cfg.Q) {
+		h := fnv.New64a()
+		h.Write([]byte(g))
+		base := h.Sum64()
+		for i := range sig {
+			// Mix with a distinct odd multiplier per hash function.
+			v := (base ^ uint64(i)*0x9e3779b97f4a7c15) * (2*uint64(i) + 0xc2b2ae3d27d4eb4f)
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// bandHash combines one band's rows into a bucket key.
+func bandHash(rows []uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range rows {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Len implements Index.
+func (m *MinHash) Len() int { return len(m.keys) }
+
+// TopK implements Index.
+func (m *MinHash) TopK(id, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	ns := m.verified(id)
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// Range implements Index.
+func (m *MinHash) Range(id int, theta float64) []Neighbor {
+	ns := m.verified(id)
+	cut := sort.Search(len(ns), func(i int) bool { return ns[i].Dist >= theta })
+	return ns[:cut]
+}
+
+// GrowthCount implements Index.
+func (m *MinHash) GrowthCount(id int, r float64) int {
+	ns := m.verified(id)
+	return sort.Search(len(ns), func(i int) bool { return ns[i].Dist >= r })
+}
+
+// verified returns the metric-verified candidates of tuple id, memoized.
+func (m *MinHash) verified(id int) []Neighbor {
+	if m.memoID == id {
+		return m.memoNeighbors
+	}
+	rows := m.cfg.Hashes / m.cfg.Bands
+	counts := make(map[int32]int)
+	sig := m.sigs[id]
+	for b := 0; b < m.cfg.Bands; b++ {
+		h := bandHash(sig[b*rows : (b+1)*rows])
+		for _, cand := range m.buckets[b][h] {
+			if int(cand) != id {
+				counts[cand]++
+			}
+		}
+	}
+	type scored struct {
+		id    int32
+		bands int
+	}
+	ranked := make([]scored, 0, len(counts))
+	for cand, cnt := range counts {
+		ranked = append(ranked, scored{cand, cnt})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].bands != ranked[j].bands {
+			return ranked[i].bands > ranked[j].bands
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if len(ranked) > m.cfg.MaxCandidates {
+		ranked = ranked[:m.cfg.MaxCandidates]
+	}
+	ns := make([]Neighbor, 0, len(ranked))
+	qk := m.keys[id]
+	for _, s := range ranked {
+		ns = append(ns, Neighbor{ID: int(s.id), Dist: m.metric.Distance(qk, m.keys[s.id])})
+	}
+	sortNeighbors(ns)
+	m.memoID = id
+	m.memoNeighbors = ns
+	return ns
+}

@@ -1,0 +1,142 @@
+package nnindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fuzzydup/internal/distance"
+)
+
+func TestMinHashFindsNearDuplicates(t *testing.T) {
+	metric := distance.Jaccard{Q: 3}
+	mh, err := NewMinHash(table1Keys, metric, MinHashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Len() != len(table1Keys) {
+		t.Fatalf("Len = %d", mh.Len())
+	}
+	exact := NewExact(table1Keys, metric)
+	// Near-duplicate pairs must be found as top-1 neighbors.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {4, 5}} {
+		got := mh.TopK(pair[0], 1)
+		want := exact.TopK(pair[0], 1)
+		if len(got) != 1 || got[0].ID != want[0].ID {
+			t.Errorf("tuple %d: minhash top1 %+v, exact %+v", pair[0], got, want)
+		}
+	}
+}
+
+func TestMinHashRecallOnSynthetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	letters := []rune("abcdefghijklmnopqrstuvwxyz")
+	randWord := func(n int) string {
+		w := make([]rune, n)
+		for i := range w {
+			w[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(w)
+	}
+	var keys []string
+	for i := 0; i < 200; i++ {
+		base := randWord(8) + " " + randWord(10)
+		keys = append(keys, base)
+		b := []rune(base)
+		b[rng.Intn(len(b))] = letters[rng.Intn(len(letters))]
+		keys = append(keys, string(b))
+	}
+	metric := distance.Jaccard{Q: 3}
+	exact := NewExact(keys, metric)
+	mh, err := NewMinHash(keys, metric, MinHashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for id := range keys {
+		e := exact.TopK(id, 1)
+		g := mh.TopK(id, 1)
+		if len(g) == 1 && g[0].ID == e[0].ID {
+			agree++
+		}
+	}
+	recall := float64(agree) / float64(len(keys))
+	if recall < 0.95 {
+		t.Errorf("minhash top-1 recall = %.3f, want >= 0.95", recall)
+	}
+}
+
+func TestMinHashRangeAndGrowth(t *testing.T) {
+	metric := distance.Jaccard{Q: 3}
+	mh, err := NewMinHash(table1Keys, metric, MinHashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range results are sorted and bounded.
+	ns := mh.Range(0, 0.5)
+	for i, n := range ns {
+		if n.Dist >= 0.5 {
+			t.Errorf("range violation: %+v", n)
+		}
+		if i > 0 && ns[i].Dist < ns[i-1].Dist {
+			t.Error("range not sorted")
+		}
+	}
+	// Growth count consistent with range.
+	if g := mh.GrowthCount(0, 0.5); g != len(ns) {
+		t.Errorf("growth %d != range %d", g, len(ns))
+	}
+	// Memo: repeated queries agree.
+	again := mh.Range(0, 0.5)
+	if len(again) != len(ns) {
+		t.Error("memoized query differs")
+	}
+	if mh.TopK(0, 0) != nil {
+		t.Error("k=0 should be nil")
+	}
+}
+
+func TestMinHashConfigValidation(t *testing.T) {
+	if _, err := NewMinHash([]string{"a"}, distance.Jaccard{}, MinHashConfig{Hashes: 10, Bands: 3}); err == nil {
+		t.Error("indivisible hashes/bands accepted")
+	}
+}
+
+func TestMinHashDeterministic(t *testing.T) {
+	metric := distance.Jaccard{Q: 3}
+	a, err := NewMinHash(table1Keys, metric, MinHashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMinHash(table1Keys, metric, MinHashConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range table1Keys {
+		av, bv := a.TopK(id, 3), b.TopK(id, 3)
+		if len(av) != len(bv) {
+			t.Fatal("nondeterministic candidate sets")
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatal("nondeterministic results")
+			}
+		}
+	}
+}
+
+func BenchmarkMinHashTopK(b *testing.B) {
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tuple %d payload %d extra %d", i, i*i, i*7)
+	}
+	mh, err := NewMinHash(keys, distance.Jaccard{Q: 3}, MinHashConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mh.TopK(i%len(keys), 5)
+	}
+}

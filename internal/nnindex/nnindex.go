@@ -1,0 +1,128 @@
+// Package nnindex provides the nearest-neighbor index substrate of the
+// paper's phase 1: given a relation and a distance function, answer
+// "K nearest neighbors of tuple v", "all neighbors of v within θ", and
+// "how many tuples lie within radius r of v" (the neighborhood-growth
+// count).
+//
+// Two implementations are provided. Exact scans the whole relation per
+// query and is the ground truth. QGram is the stand-in for the
+// probabilistic disk-based indexes the paper cites ([24, 23, 9]): an
+// inverted index from q-grams to posting lists, stored page-wise behind a
+// buffer pool, with candidate generation followed by metric verification.
+// The paper treats such indexes as exact; our tests quantify how close
+// that is.
+package nnindex
+
+import (
+	"sort"
+
+	"fuzzydup/internal/distance"
+)
+
+// Neighbor is one entry of a nearest-neighbor answer: the neighbor's tuple
+// ID and its distance from the query tuple.
+type Neighbor struct {
+	ID   int
+	Dist float64
+}
+
+// Index answers nearest-neighbor queries over a fixed relation whose
+// tuples are identified by dense integer IDs 0..N-1.
+type Index interface {
+	// Len returns the number of tuples indexed.
+	Len() int
+	// TopK returns up to k nearest neighbors of tuple id (excluding id
+	// itself), ordered by ascending (distance, ID).
+	TopK(id, k int) []Neighbor
+	// Range returns all neighbors u of tuple id with d(u, id) < theta
+	// (excluding id itself), ordered by ascending (distance, ID).
+	Range(id int, theta float64) []Neighbor
+	// GrowthCount returns |{u != id : d(u, id) < r}|, the neighborhood
+	// growth numerator of the SN criterion.
+	GrowthCount(id int, r float64) int
+}
+
+// sortNeighbors orders by (distance, ID), the deterministic tie-break the
+// whole system relies on (see DESIGN.md "Nearest-neighbor ties").
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// Exact is the reference index: every query scans the full relation. It is
+// O(n) per query but exact for any metric, and is what small-relation runs
+// and the accuracy experiments use.
+type Exact struct {
+	keys   []string
+	metric distance.Metric
+}
+
+// NewExact builds an exact index over keys (the string representation of
+// each tuple; tuple i has ID i) under the given metric.
+func NewExact(keys []string, metric distance.Metric) *Exact {
+	return &Exact{keys: keys, metric: metric}
+}
+
+// Len implements Index.
+func (e *Exact) Len() int { return len(e.keys) }
+
+// ConcurrentQueries marks the index safe for concurrent queries: it holds
+// no mutable state.
+func (e *Exact) ConcurrentQueries() {}
+
+// Distance exposes the underlying metric between two indexed tuples; used
+// by diagnostics and tests.
+func (e *Exact) Distance(a, b int) float64 {
+	return e.metric.Distance(e.keys[a], e.keys[b])
+}
+
+// TopK implements Index.
+func (e *Exact) TopK(id, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	all := e.allNeighbors(id)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Range implements Index.
+func (e *Exact) Range(id int, theta float64) []Neighbor {
+	all := e.allNeighbors(id)
+	cut := sort.Search(len(all), func(i int) bool { return all[i].Dist >= theta })
+	return all[:cut]
+}
+
+// GrowthCount implements Index.
+func (e *Exact) GrowthCount(id int, r float64) int {
+	n := 0
+	q := e.keys[id]
+	for u, key := range e.keys {
+		if u == id {
+			continue
+		}
+		if e.metric.Distance(q, key) < r {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Exact) allNeighbors(id int) []Neighbor {
+	q := e.keys[id]
+	ns := make([]Neighbor, 0, len(e.keys)-1)
+	for u, key := range e.keys {
+		if u == id {
+			continue
+		}
+		ns = append(ns, Neighbor{ID: u, Dist: e.metric.Distance(q, key)})
+	}
+	sortNeighbors(ns)
+	return ns
+}

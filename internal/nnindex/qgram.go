@@ -1,0 +1,358 @@
+package nnindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fuzzydup/internal/buffer"
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/storage"
+	"fuzzydup/internal/strutil"
+)
+
+// QGramConfig tunes the probabilistic q-gram index.
+type QGramConfig struct {
+	// Q is the gram length (default 3).
+	Q int
+	// MaxDF caps the document frequency of grams used at query time; more
+	// frequent "stop grams" are skipped during candidate generation (their
+	// posting lists are long and nearly information-free). Default
+	// max(64, n/20).
+	MaxDF int
+	// MaxCandidates caps the number of candidates verified with the real
+	// metric per query, keeping per-query cost bounded. Candidates are
+	// ranked by shared-gram count. Default 512.
+	MaxCandidates int
+	// MaxProbeGrams, when positive, probes only the rarest (lowest-df)
+	// grams of the query — the prefix-filter optimization of the indexes
+	// the paper cites. It bounds the per-query page footprint, which is
+	// what lets a small buffer pool capture cross-query locality (the
+	// Figure 8 experiment). Zero probes every eligible gram.
+	MaxProbeGrams int
+	// PoolFrames is the buffer-pool size in pages for posting-list reads.
+	// Default 256.
+	PoolFrames int
+}
+
+func (c QGramConfig) withDefaults(n int) QGramConfig {
+	if c.Q <= 0 {
+		c.Q = 3
+	}
+	if c.MaxDF <= 0 {
+		c.MaxDF = n / 20
+		if c.MaxDF < 64 {
+			c.MaxDF = 64
+		}
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 512
+	}
+	if c.PoolFrames <= 0 {
+		c.PoolFrames = 256
+	}
+	return c
+}
+
+// chunkRef locates one chunk of a posting list on disk.
+type chunkRef struct {
+	page storage.PageID
+	slot int
+}
+
+// lexEntry is the in-memory dictionary entry for a gram: its document
+// frequency and the disk locations of its posting chunks. Keeping the
+// lexicon in RAM with postings on disk is the classic IR arrangement the
+// paper's cited indexes use.
+type lexEntry struct {
+	df     int
+	chunks []chunkRef
+}
+
+// QGram is the probabilistic disk-backed nearest-neighbor index: an
+// inverted index from q-grams to tuple-ID posting lists. Queries gather
+// candidates from the query tuple's rare grams, then verify candidates
+// with the actual metric. Posting pages are read through an LRU buffer
+// pool, so consecutive queries over similar tuples hit the same pages —
+// the locality that the paper's breadth-first lookup order exploits
+// (Figure 8).
+//
+// QGram is not safe for concurrent use: it keeps a one-entry query memo so
+// that a GrowthCount immediately following a TopK/Range for the same tuple
+// reuses the verified candidate distances instead of re-probing the index,
+// matching the paper's single-lookup-per-tuple phase 1.
+type QGram struct {
+	keys    []string
+	metric  distance.Metric
+	cfg     QGramConfig
+	disk    *storage.Disk
+	pool    *buffer.Pool
+	lexicon map[string]lexEntry
+	grams   [][]string // per-tuple sorted distinct grams
+
+	memoID        int
+	memoNeighbors []Neighbor // all verified candidates, sorted by (dist, id)
+}
+
+// NewQGram builds the index over keys under metric. Construction writes
+// posting lists to a fresh accounting disk; queries read them back through
+// the buffer pool.
+func NewQGram(keys []string, metric distance.Metric, cfg QGramConfig) (*QGram, error) {
+	cfg = cfg.withDefaults(len(keys))
+	idx := &QGram{
+		keys:    keys,
+		metric:  metric,
+		cfg:     cfg,
+		disk:    storage.NewDisk(),
+		lexicon: make(map[string]lexEntry),
+		grams:   make([][]string, len(keys)),
+		memoID:  -1,
+	}
+	postings := make(map[string][]int32)
+	for id, key := range keys {
+		set := strutil.QGramSet(key, cfg.Q)
+		gs := make([]string, 0, len(set))
+		for g := range set {
+			gs = append(gs, g)
+		}
+		sort.Strings(gs)
+		idx.grams[id] = gs
+		for _, g := range gs {
+			postings[g] = append(postings[g], int32(id))
+		}
+	}
+	if err := idx.writePostings(postings); err != nil {
+		return nil, err
+	}
+	idx.pool = buffer.NewPool(idx.disk, cfg.PoolFrames)
+	return idx, nil
+}
+
+// writePostings serializes posting lists to slotted pages in tuple
+// co-occurrence order: walking the tuples in key-sorted order, each
+// tuple's not-yet-placed grams are laid out together. Grams that appear in
+// the same (and in textually similar) tuples therefore share pages, so a
+// single lookup touches few pages and lookups for similar tuples touch the
+// same pages — the "similar strings access the same portion of the index"
+// property of the disk-based indexes the paper cites, and the physical
+// locality the BF lookup order turns into buffer hits (Figure 8).
+func (q *QGram) writePostings(postings map[string][]int32) error {
+	grams := make([]string, 0, len(postings))
+	placed := make(map[string]bool, len(postings))
+	tupleOrder := make([]int, len(q.keys))
+	for i := range tupleOrder {
+		tupleOrder[i] = i
+	}
+	sort.Slice(tupleOrder, func(i, j int) bool {
+		a, b := q.keys[tupleOrder[i]], q.keys[tupleOrder[j]]
+		if a != b {
+			return a < b
+		}
+		return tupleOrder[i] < tupleOrder[j]
+	})
+	for _, t := range tupleOrder {
+		for _, g := range q.grams[t] {
+			if !placed[g] {
+				placed[g] = true
+				grams = append(grams, g)
+			}
+		}
+	}
+	// Any gram not covered by the tuple walk (impossible today, since all
+	// postings come from tuples) is appended in sorted order for
+	// determinism.
+	var leftover []string
+	for g := range postings {
+		if !placed[g] {
+			leftover = append(leftover, g)
+		}
+	}
+	sort.Strings(leftover)
+	grams = append(grams, leftover...)
+
+	pageBuf := make([]byte, storage.PageSize)
+	page := storage.NewSlotted(pageBuf)
+	page.Init()
+	pid := q.disk.Alloc()
+	flush := func() error {
+		if err := q.disk.Write(pid, pageBuf); err != nil {
+			return fmt.Errorf("nnindex: flush posting page: %w", err)
+		}
+		return nil
+	}
+
+	const chunkIDs = 1024 // 4 KiB chunks; at most two per page
+	for _, g := range grams {
+		ids := postings[g]
+		entry := lexEntry{df: len(ids)}
+		for off := 0; off < len(ids); off += chunkIDs {
+			end := off + chunkIDs
+			if end > len(ids) {
+				end = len(ids)
+			}
+			rec := encodePosting(ids[off:end])
+			slot := page.Insert(rec)
+			if slot < 0 {
+				if err := flush(); err != nil {
+					return err
+				}
+				pid = q.disk.Alloc()
+				page.Init()
+				slot = page.Insert(rec)
+				if slot < 0 {
+					return fmt.Errorf("nnindex: posting chunk of %d bytes does not fit an empty page", len(rec))
+				}
+			}
+			entry.chunks = append(entry.chunks, chunkRef{page: pid, slot: slot})
+		}
+		q.lexicon[g] = entry
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	q.disk.ResetStats()
+	return nil
+}
+
+func encodePosting(ids []int32) []byte {
+	rec := make([]byte, 4*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(rec[4*i:], uint32(id))
+	}
+	return rec
+}
+
+// Len implements Index.
+func (q *QGram) Len() int { return len(q.keys) }
+
+// Pool exposes the posting-page buffer pool for experiment instrumentation
+// (hit ratio, miss counts).
+func (q *QGram) Pool() *buffer.Pool { return q.pool }
+
+// Disk exposes the accounting disk holding the posting lists.
+func (q *QGram) Disk() *storage.Disk { return q.disk }
+
+// TopK implements Index.
+func (q *QGram) TopK(id, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	ns := q.verified(id)
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	return ns
+}
+
+// Range implements Index.
+func (q *QGram) Range(id int, theta float64) []Neighbor {
+	ns := q.verified(id)
+	cut := sort.Search(len(ns), func(i int) bool { return ns[i].Dist >= theta })
+	return ns[:cut]
+}
+
+// GrowthCount implements Index. Counting is over the verified candidate
+// set; tuples sharing no rare gram with the query are assumed outside any
+// reasonable growth radius.
+func (q *QGram) GrowthCount(id int, r float64) int {
+	ns := q.verified(id)
+	cut := sort.Search(len(ns), func(i int) bool { return ns[i].Dist >= r })
+	return cut
+}
+
+// verified returns all verified candidates of tuple id sorted by
+// (distance, ID), using the one-entry memo.
+func (q *QGram) verified(id int) []Neighbor {
+	if q.memoID == id {
+		return q.memoNeighbors
+	}
+	cands := q.candidates(id)
+	ns := make([]Neighbor, 0, len(cands))
+	qk := q.keys[id]
+	for _, c := range cands {
+		ns = append(ns, Neighbor{ID: c, Dist: q.metric.Distance(qk, q.keys[c])})
+	}
+	sortNeighbors(ns)
+	q.memoID = id
+	q.memoNeighbors = ns
+	return ns
+}
+
+// candidates returns the tuple IDs sharing at least one rare gram with
+// tuple id, ranked by descending shared-gram count and capped at
+// MaxCandidates.
+func (q *QGram) candidates(id int) []int {
+	probe := q.grams[id]
+	if q.cfg.MaxProbeGrams > 0 && len(probe) > q.cfg.MaxProbeGrams {
+		// Prefix filter: keep the rarest grams (ties broken lexically for
+		// determinism).
+		ranked := append([]string(nil), probe...)
+		sort.Slice(ranked, func(i, j int) bool {
+			di, dj := q.lexicon[ranked[i]].df, q.lexicon[ranked[j]].df
+			if di != dj {
+				return di < dj
+			}
+			return ranked[i] < ranked[j]
+		})
+		probe = ranked[:q.cfg.MaxProbeGrams]
+	}
+	counts := make(map[int32]int)
+	for _, g := range probe {
+		entry, ok := q.lexicon[g]
+		if !ok || entry.df > q.cfg.MaxDF {
+			continue
+		}
+		for _, ref := range entry.chunks {
+			ids, err := q.readChunk(ref)
+			if err != nil {
+				// Posting pages are written by us at build time; a read
+				// failure is a programming error, not an operational one.
+				panic(fmt.Sprintf("nnindex: corrupt posting chunk: %v", err))
+			}
+			for _, cand := range ids {
+				if int(cand) != id {
+					counts[cand]++
+				}
+			}
+		}
+	}
+	type scored struct {
+		id    int32
+		count int
+	}
+	ranked := make([]scored, 0, len(counts))
+	for cand, cnt := range counts {
+		ranked = append(ranked, scored{cand, cnt})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if len(ranked) > q.cfg.MaxCandidates {
+		ranked = ranked[:q.cfg.MaxCandidates]
+	}
+	out := make([]int, len(ranked))
+	for i, s := range ranked {
+		out[i] = int(s.id)
+	}
+	return out
+}
+
+func (q *QGram) readChunk(ref chunkRef) ([]int32, error) {
+	pageBuf, err := q.pool.Get(ref.page)
+	if err != nil {
+		return nil, err
+	}
+	page := storage.NewSlotted(pageBuf)
+	rec, err := page.Record(ref.slot)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int32, len(rec)/4)
+	for i := range ids {
+		ids[i] = int32(binary.LittleEndian.Uint32(rec[4*i:]))
+	}
+	return ids, nil
+}

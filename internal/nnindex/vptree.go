@@ -1,0 +1,214 @@
+package nnindex
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"fuzzydup/internal/distance"
+)
+
+// VPTree is a vantage-point tree over the relation: an exact
+// nearest-neighbor index for metrics satisfying the triangle inequality
+// (q-gram Jaccard does; normalized edit distance only approximately, for
+// which the tree degrades gracefully to near-exact results — quantified
+// in tests). Queries prune subtrees whose distance bounds exclude them,
+// giving sublinear lookups on well-clustered data without any of the
+// q-gram machinery.
+type VPTree struct {
+	keys   []string
+	metric distance.Metric
+	root   *vpNode
+}
+
+type vpNode struct {
+	id      int     // vantage point
+	radius  float64 // median distance of the inside subtree
+	inside  *vpNode // points with d(p, vantage) < radius
+	outside *vpNode
+}
+
+// NewVPTree builds the tree over keys under metric. Construction is
+// deterministic: the vantage point of each subtree is its lowest tuple ID.
+func NewVPTree(keys []string, metric distance.Metric) *VPTree {
+	t := &VPTree{keys: keys, metric: metric}
+	ids := make([]int, len(keys))
+	for i := range ids {
+		ids[i] = i
+	}
+	t.root = t.build(ids)
+	return t
+}
+
+func (t *VPTree) build(ids []int) *vpNode {
+	if len(ids) == 0 {
+		return nil
+	}
+	// Deterministic vantage: the smallest ID present.
+	minIdx := 0
+	for i, id := range ids {
+		if id < ids[minIdx] {
+			minIdx = i
+		}
+	}
+	vantage := ids[minIdx]
+	rest := make([]int, 0, len(ids)-1)
+	for _, id := range ids {
+		if id != vantage {
+			rest = append(rest, id)
+		}
+	}
+	node := &vpNode{id: vantage}
+	if len(rest) == 0 {
+		return node
+	}
+	type distID struct {
+		id int
+		d  float64
+	}
+	ds := make([]distID, len(rest))
+	vk := t.keys[vantage]
+	for i, id := range rest {
+		ds[i] = distID{id: id, d: t.metric.Distance(vk, t.keys[id])}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].d != ds[j].d {
+			return ds[i].d < ds[j].d
+		}
+		return ds[i].id < ds[j].id
+	})
+	mid := len(ds) / 2
+	node.radius = ds[mid].d
+	var inside, outside []int
+	for i, e := range ds {
+		if i < mid {
+			inside = append(inside, e.id)
+		} else {
+			outside = append(outside, e.id)
+		}
+	}
+	node.inside = t.build(inside)
+	node.outside = t.build(outside)
+	return node
+}
+
+// Len implements Index.
+func (t *VPTree) Len() int { return len(t.keys) }
+
+// ConcurrentQueries marks the index safe for concurrent queries: the tree
+// is immutable after construction.
+func (t *VPTree) ConcurrentQueries() {}
+
+// neighborHeap is a max-heap by distance (then ID descending), so the
+// worst current candidate sits on top.
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int { return len(h) }
+func (h neighborHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID
+}
+func (h neighborHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x any)   { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// TopK implements Index.
+func (t *VPTree) TopK(id, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := &neighborHeap{}
+	t.searchK(t.root, id, k, h)
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Neighbor)
+	}
+	return out
+}
+
+func (t *VPTree) searchK(node *vpNode, query, k int, h *neighborHeap) {
+	if node == nil {
+		return
+	}
+	d := t.metric.Distance(t.keys[query], t.keys[node.id])
+	if node.id != query {
+		cand := Neighbor{ID: node.id, Dist: d}
+		if h.Len() < k {
+			heap.Push(h, cand)
+		} else if worse((*h)[0], cand) {
+			heap.Pop(h)
+			heap.Push(h, cand)
+		}
+	}
+	// tau is the current worst distance we must beat; with an unfilled
+	// heap no pruning is allowed.
+	tau := math.Inf(1)
+	if h.Len() == k {
+		tau = (*h)[0].Dist
+	}
+	// Visit the more promising side first, prune the other when the
+	// triangle bound rules it out.
+	if d < node.radius {
+		t.searchK(node.inside, query, k, h)
+		if h.Len() == k {
+			tau = (*h)[0].Dist
+		}
+		if d+tau >= node.radius {
+			t.searchK(node.outside, query, k, h)
+		}
+	} else {
+		t.searchK(node.outside, query, k, h)
+		if h.Len() == k {
+			tau = (*h)[0].Dist
+		}
+		if d-tau <= node.radius {
+			t.searchK(node.inside, query, k, h)
+		}
+	}
+}
+
+// worse reports whether a is a worse answer than b under the
+// (distance, ID) order.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
+// Range implements Index.
+func (t *VPTree) Range(id int, theta float64) []Neighbor {
+	var out []Neighbor
+	t.searchRange(t.root, id, theta, &out)
+	sortNeighbors(out)
+	return out
+}
+
+func (t *VPTree) searchRange(node *vpNode, query int, theta float64, out *[]Neighbor) {
+	if node == nil {
+		return
+	}
+	d := t.metric.Distance(t.keys[query], t.keys[node.id])
+	if node.id != query && d < theta {
+		*out = append(*out, Neighbor{ID: node.id, Dist: d})
+	}
+	if d-theta < node.radius {
+		t.searchRange(node.inside, query, theta, out)
+	}
+	if d+theta >= node.radius {
+		t.searchRange(node.outside, query, theta, out)
+	}
+}
+
+// GrowthCount implements Index.
+func (t *VPTree) GrowthCount(id int, r float64) int {
+	return len(t.Range(id, r))
+}

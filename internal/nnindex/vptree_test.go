@@ -1,0 +1,158 @@
+package nnindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"fuzzydup/internal/distance"
+)
+
+// absDiffMetric is a true metric (triangle inequality holds), so the
+// VP-tree must be exact under it.
+func absDiffMetric() distance.Metric {
+	return distance.Func{MetricName: "absdiff", F: func(a, b string) float64 {
+		x, _ := strconv.ParseFloat(a, 64)
+		y, _ := strconv.ParseFloat(b, 64)
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		return d / 1000
+	}}
+}
+
+func TestVPTreeExactUnderTrueMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = strconv.Itoa(rng.Intn(100000))
+	}
+	m := absDiffMetric()
+	exact := NewExact(keys, m)
+	vp := NewVPTree(keys, m)
+	if vp.Len() != len(keys) {
+		t.Fatalf("Len = %d", vp.Len())
+	}
+	for id := 0; id < len(keys); id += 7 {
+		for _, k := range []int{1, 3, 10} {
+			e := exact.TopK(id, k)
+			v := vp.TopK(id, k)
+			if !reflect.DeepEqual(e, v) {
+				t.Fatalf("TopK(%d,%d): exact %+v vs vp %+v", id, k, e, v)
+			}
+		}
+		for _, theta := range []float64{0.001, 0.01, 0.1} {
+			e := exact.Range(id, theta)
+			v := vp.Range(id, theta)
+			if len(e) != len(v) || (len(e) > 0 && !reflect.DeepEqual(e, v)) {
+				t.Fatalf("Range(%d,%g): exact %+v vs vp %+v", id, theta, e, v)
+			}
+			if exact.GrowthCount(id, theta) != vp.GrowthCount(id, theta) {
+				t.Fatalf("GrowthCount(%d,%g) disagrees", id, theta)
+			}
+		}
+	}
+}
+
+func TestVPTreeExactUnderJaccard(t *testing.T) {
+	// q-gram Jaccard is a metric; the tree must be exact here too.
+	keys := table1Keys
+	m := distance.Jaccard{Q: 3}
+	exact := NewExact(keys, m)
+	vp := NewVPTree(keys, m)
+	for id := range keys {
+		e := exact.TopK(id, 3)
+		v := vp.TopK(id, 3)
+		if !reflect.DeepEqual(e, v) {
+			t.Errorf("tuple %d: exact %+v vs vp %+v", id, e, v)
+		}
+	}
+}
+
+func TestVPTreeNearExactUnderEditDistance(t *testing.T) {
+	// Normalized edit distance violates the triangle inequality only
+	// mildly; top-1 recall must stay essentially perfect.
+	rng := rand.New(rand.NewSource(23))
+	letters := []rune("abcdefghij")
+	randWord := func(n int) string {
+		w := make([]rune, n)
+		for i := range w {
+			w[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(w)
+	}
+	var keys []string
+	for i := 0; i < 100; i++ {
+		base := randWord(10)
+		keys = append(keys, base)
+		b := []rune(base)
+		b[rng.Intn(len(b))] = letters[rng.Intn(len(letters))]
+		keys = append(keys, string(b))
+	}
+	m := distance.Edit{}
+	exact := NewExact(keys, m)
+	vp := NewVPTree(keys, m)
+	agree := 0
+	for id := range keys {
+		if exact.TopK(id, 1)[0].ID == vp.TopK(id, 1)[0].ID {
+			agree++
+		}
+	}
+	if recall := float64(agree) / float64(len(keys)); recall < 0.99 {
+		t.Errorf("vp-tree top-1 recall under ed = %.3f", recall)
+	}
+}
+
+func TestVPTreeDegenerate(t *testing.T) {
+	m := distance.Jaccard{}
+	one := NewVPTree([]string{"solo"}, m)
+	if got := one.TopK(0, 3); len(got) != 0 {
+		t.Errorf("single-tuple TopK = %+v", got)
+	}
+	if got := one.Range(0, 0.5); len(got) != 0 {
+		t.Errorf("single-tuple Range = %+v", got)
+	}
+	if one.TopK(0, 0) != nil {
+		t.Error("k=0 should be nil")
+	}
+	// Identical keys.
+	twins := NewVPTree([]string{"same", "same", "same"}, m)
+	ns := twins.TopK(0, 2)
+	if len(ns) != 2 || ns[0].Dist != 0 || ns[1].Dist != 0 {
+		t.Errorf("twins = %+v", ns)
+	}
+	if ns[0].ID != 1 || ns[1].ID != 2 {
+		t.Errorf("twin tie-break order = %+v", ns)
+	}
+}
+
+func TestVPTreeDeterministic(t *testing.T) {
+	keys := table1Keys
+	m := distance.Jaccard{Q: 2}
+	a := NewVPTree(keys, m)
+	b := NewVPTree(keys, m)
+	for id := range keys {
+		if !reflect.DeepEqual(a.TopK(id, 4), b.TopK(id, 4)) {
+			t.Fatal("vp-tree construction not deterministic")
+		}
+	}
+}
+
+func BenchmarkVPTreeTopK(b *testing.B) {
+	keys := make([]string, 2000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range keys {
+		keys[i] = strconv.Itoa(rng.Intn(1000000))
+	}
+	vp := NewVPTree(keys, absDiffMetric())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vp.TopK(i%len(keys), 5)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt available for debugging edits

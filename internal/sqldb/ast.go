@@ -1,0 +1,240 @@
+package sqldb
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE name (col type, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ColumnDef is one column declaration.
+type ColumnDef struct {
+	Name string
+	Type ColumnType
+}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+// CreateIndexStmt is CREATE INDEX name ON table (column) — an equality
+// (hash) index used by the planner for point predicates.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// SelectStmt is the SELECT statement (optionally SELECT ... INTO t).
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	Into     string // non-empty for SELECT INTO
+	From     []TableRef
+	Joins    []JoinClause // INNER JOINs applied after From[0]
+	Where    Expr         // nil if absent
+	GroupBy  []Expr
+	Having   Expr // nil if absent
+	OrderBy  []OrderKey
+	Limit    int  // -1 if absent
+	Star     bool // SELECT *
+}
+
+// SelectItem is one projection expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a table in the FROM list with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// JoinClause is INNER JOIN table [alias] ON cond.
+type JoinClause struct {
+	Ref TableRef
+	On  Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// UpdateStmt is UPDATE t SET col = expr [, ...] [WHERE cond].
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where Expr // nil if absent
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE cond].
+type DeleteStmt struct {
+	Table string
+	Where Expr // nil if absent
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct {
+	Val Value
+}
+
+// ColumnRef references a column, optionally qualified by table alias.
+type ColumnRef struct {
+	Table  string // empty if unqualified
+	Column string
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   string // = <> < <= > >= + - * / % AND OR
+	L, R Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op string // NOT, -
+	X  Expr
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// LikeExpr is x [NOT] LIKE pattern, with % and _ wildcards.
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// InExpr is x [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// CaseExpr is CASE WHEN c THEN v ... [ELSE e] END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil means NULL
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+// FuncCall is a scalar or aggregate function application. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool
+}
+
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*IsNullExpr) expr()  {}
+func (*LikeExpr) expr()    {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*CaseExpr) expr()    {}
+func (*FuncCall) expr()    {}
+
+// aggregateFuncs are the built-in aggregates; any other FuncCall resolves
+// through the registered scalar functions.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// containsAggregate reports whether the expression tree contains an
+// aggregate function call.
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *Literal, *ColumnRef:
+		return false
+	case *BinaryExpr:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case *UnaryExpr:
+		return containsAggregate(x.X)
+	case *IsNullExpr:
+		return containsAggregate(x.X)
+	case *LikeExpr:
+		return containsAggregate(x.X) || containsAggregate(x.Pattern)
+	case *InExpr:
+		if containsAggregate(x.X) {
+			return true
+		}
+		for _, e := range x.List {
+			if containsAggregate(e) {
+				return true
+			}
+		}
+		return false
+	case *BetweenExpr:
+		return containsAggregate(x.X) || containsAggregate(x.Lo) || containsAggregate(x.Hi)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if containsAggregate(w.Cond) || containsAggregate(w.Then) {
+				return true
+			}
+		}
+		return x.Else != nil && containsAggregate(x.Else)
+	case *FuncCall:
+		if aggregateFuncs[x.Name] {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,341 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fuzzydup/internal/buffer"
+	"fuzzydup/internal/storage"
+)
+
+// Table is one heap table: a chain of slotted pages holding encoded rows.
+type Table struct {
+	Name    string
+	Columns []ColumnDef
+
+	first    storage.PageID
+	last     storage.PageID
+	rowCount int
+	indexes  []*hashIndex
+}
+
+// rowRef locates a stored row.
+type rowRef struct {
+	page storage.PageID
+	slot int
+}
+
+// hashIndex is an in-memory equality index over one column: normalized
+// key bytes to row locations. NULLs are not indexed (col = NULL is never
+// true). The planner uses it for point predicates; UPDATE/DELETE rebuilds
+// it along with the heap.
+type hashIndex struct {
+	name string
+	col  int
+	m    map[string][]rowRef
+}
+
+// indexKey normalizes a value for index lookup the same way the hash-join
+// key encoder does (INTs widen to FLOAT so 1 and 1.0 collide).
+func indexKey(v Value) string {
+	if v.Kind == KindInt {
+		v = Float(float64(v.Int))
+	}
+	return string(encodeRow([]Value{v}))
+}
+
+// indexOn returns the table's index on the given column, if any.
+func (t *Table) indexOn(col int) *hashIndex {
+	for _, ix := range t.indexes {
+		if ix.col == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// colIndex returns the position of the named column, or -1.
+func (t *Table) colIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowCount returns the number of rows in the table.
+func (t *Table) RowCount() int { return t.rowCount }
+
+// encodeRow serializes values column-wise: a 1-byte kind tag per value,
+// followed by the payload (8-byte integers/floats, length-prefixed text,
+// 1-byte bools).
+func encodeRow(vals []Value) []byte {
+	size := 0
+	for _, v := range vals {
+		size += 1
+		switch v.Kind {
+		case KindInt, KindFloat:
+			size += 8
+		case KindText:
+			size += 4 + len(v.Str)
+		case KindBool:
+			size++
+		}
+	}
+	buf := make([]byte, 0, size)
+	for _, v := range vals {
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case KindInt:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v.Int))
+			buf = append(buf, b[:]...)
+		case KindFloat:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Float))
+			buf = append(buf, b[:]...)
+		case KindText:
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(len(v.Str)))
+			buf = append(buf, b[:]...)
+			buf = append(buf, v.Str...)
+		case KindBool:
+			if v.Bool {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// decodeRow deserializes ncols values from rec.
+func decodeRow(rec []byte, ncols int) ([]Value, error) {
+	vals := make([]Value, 0, ncols)
+	i := 0
+	for c := 0; c < ncols; c++ {
+		if i >= len(rec) {
+			return nil, fmt.Errorf("sqldb: truncated row record")
+		}
+		kind := Kind(rec[i])
+		i++
+		switch kind {
+		case KindNull:
+			vals = append(vals, Null())
+		case KindInt:
+			if i+8 > len(rec) {
+				return nil, fmt.Errorf("sqldb: truncated int")
+			}
+			vals = append(vals, Int(int64(binary.LittleEndian.Uint64(rec[i:]))))
+			i += 8
+		case KindFloat:
+			if i+8 > len(rec) {
+				return nil, fmt.Errorf("sqldb: truncated float")
+			}
+			vals = append(vals, Float(math.Float64frombits(binary.LittleEndian.Uint64(rec[i:]))))
+			i += 8
+		case KindText:
+			if i+4 > len(rec) {
+				return nil, fmt.Errorf("sqldb: truncated text length")
+			}
+			n := int(binary.LittleEndian.Uint32(rec[i:]))
+			i += 4
+			if i+n > len(rec) {
+				return nil, fmt.Errorf("sqldb: truncated text payload")
+			}
+			vals = append(vals, Text(string(rec[i:i+n])))
+			i += n
+		case KindBool:
+			if i >= len(rec) {
+				return nil, fmt.Errorf("sqldb: truncated bool")
+			}
+			vals = append(vals, Bool(rec[i] != 0))
+			i++
+		default:
+			return nil, fmt.Errorf("sqldb: unknown value kind %d in row", kind)
+		}
+	}
+	return vals, nil
+}
+
+// insertRow appends a row to the table's heap through the pool.
+func (t *Table) insertRow(disk *storage.Disk, pool *buffer.Pool, vals []Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("sqldb: table %s has %d columns, row has %d", t.Name, len(t.Columns), len(vals))
+	}
+	coerced := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := t.Columns[i].Type.coerce(v)
+		if err != nil {
+			return fmt.Errorf("sqldb: column %s: %w", t.Columns[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	rec := encodeRow(coerced)
+	if len(rec) > storage.MaxRecordSize {
+		return fmt.Errorf("sqldb: row of %d bytes exceeds page capacity", len(rec))
+	}
+	pageBuf, err := pool.Get(t.last)
+	if err != nil {
+		return err
+	}
+	page := storage.NewSlotted(pageBuf)
+	ref := rowRef{page: t.last}
+	if slot := page.Insert(rec); slot >= 0 {
+		ref.slot = slot
+		pool.MarkDirty(t.last)
+	} else {
+		// Chain a fresh page.
+		next := disk.Alloc()
+		page.SetNext(next)
+		pool.MarkDirty(t.last)
+		nb, err := pool.Get(next)
+		if err != nil {
+			return err
+		}
+		np := storage.NewSlotted(nb)
+		np.Init()
+		slot := np.Insert(rec)
+		if slot < 0 {
+			return fmt.Errorf("sqldb: row does not fit an empty page")
+		}
+		pool.MarkDirty(next)
+		t.last = next
+		ref = rowRef{page: next, slot: slot}
+	}
+	t.rowCount++
+	for _, ix := range t.indexes {
+		if v := coerced[ix.col]; !v.IsNull() {
+			k := indexKey(v)
+			ix.m[k] = append(ix.m[k], ref)
+		}
+	}
+	return nil
+}
+
+// fetchRef decodes the row at a locator.
+func (t *Table) fetchRef(pool *buffer.Pool, ref rowRef) ([]Value, error) {
+	pageBuf, err := pool.Get(ref.page)
+	if err != nil {
+		return nil, err
+	}
+	page := storage.NewSlotted(pageBuf)
+	rec, err := page.Record(ref.slot)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRow(rec, len(t.Columns))
+}
+
+// lookupIndex returns the rows whose indexed column equals v.
+func (t *Table) lookupIndex(pool *buffer.Pool, ix *hashIndex, v Value) ([][]Value, error) {
+	if v.IsNull() {
+		return nil, nil
+	}
+	refs := ix.m[indexKey(v)]
+	rows := make([][]Value, 0, len(refs))
+	for _, ref := range refs {
+		vals, err := t.fetchRef(pool, ref)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, vals)
+	}
+	return rows, nil
+}
+
+// replaceRows rewrites the table's heap with the given rows (copy-compact;
+// UPDATE and DELETE use it). The old page chain is abandoned on disk, like
+// DROP — the engine keeps no free list.
+func (t *Table) replaceRows(disk *storage.Disk, pool *buffer.Pool, rows [][]Value) error {
+	first := disk.Alloc()
+	pageBuf, err := pool.Get(first)
+	if err != nil {
+		return err
+	}
+	storage.NewSlotted(pageBuf).Init()
+	pool.MarkDirty(first)
+	t.first, t.last, t.rowCount = first, first, 0
+	for _, ix := range t.indexes {
+		ix.m = make(map[string][]rowRef)
+	}
+	for _, row := range rows {
+		if err := t.insertRow(disk, pool, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildIndex populates a fresh index from the existing heap.
+func (t *Table) buildIndex(pool *buffer.Pool, ix *hashIndex) error {
+	pid := t.first
+	for pid != storage.InvalidPageID {
+		pageBuf, err := pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		page := storage.NewSlotted(pageBuf)
+		count := page.Count()
+		next := page.Next()
+		for s := 0; s < count; s++ {
+			rec, err := page.Record(s)
+			if err != nil {
+				return err
+			}
+			vals, err := decodeRow(rec, len(t.Columns))
+			if err != nil {
+				return err
+			}
+			if v := vals[ix.col]; !v.IsNull() {
+				k := indexKey(v)
+				ix.m[k] = append(ix.m[k], rowRef{page: pid, slot: s})
+			}
+		}
+		pid = next
+	}
+	return nil
+}
+
+// scan calls fn for each row of the table, decoded. Iteration stops early
+// if fn returns false.
+func (t *Table) scan(pool *buffer.Pool, fn func(vals []Value) (bool, error)) error {
+	pid := t.first
+	for pid != storage.InvalidPageID {
+		pageBuf, err := pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		page := storage.NewSlotted(pageBuf)
+		count := page.Count()
+		next := page.Next()
+		// Copy records out before releasing the logical reference: fn may
+		// touch the pool and evict this page.
+		recs := make([][]byte, count)
+		for s := 0; s < count; s++ {
+			rec, err := page.Record(s)
+			if err != nil {
+				return err
+			}
+			recs[s] = append([]byte(nil), rec...)
+		}
+		for _, rec := range recs {
+			vals, err := decodeRow(rec, len(t.Columns))
+			if err != nil {
+				return err
+			}
+			cont, err := fn(vals)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		pid = next
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package sqldb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUpdate(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "UPDATE people SET age = age + 1 WHERE age = 25")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	out := mustExec(t, db, "SELECT name FROM people WHERE age = 26 ORDER BY name")
+	want := []string{"bob", "dave"}
+	if got := rowsAsStrings(out); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	// Row count preserved.
+	cnt := mustExec(t, db, "SELECT COUNT(*) FROM people")
+	if cnt.Rows[0][0].Int != 4 {
+		t.Errorf("count = %v", cnt.Rows[0][0])
+	}
+}
+
+func TestUpdateMultipleColumns(t *testing.T) {
+	db := newPeopleDB(t)
+	mustExec(t, db, "UPDATE people SET name = UPPER(name), score = 1.0 WHERE id = 1")
+	out := mustExec(t, db, "SELECT name, score FROM people WHERE id = 1")
+	if out.Rows[0][0].Str != "ALICE" || out.Rows[0][1].Float != 1.0 {
+		t.Errorf("row = %v", out.Rows[0])
+	}
+}
+
+func TestUpdateNoWhere(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "UPDATE people SET age = 0")
+	if res.Affected != 4 {
+		t.Errorf("affected = %d", res.Affected)
+	}
+	out := mustExec(t, db, "SELECT DISTINCT age FROM people")
+	if len(out.Rows) != 1 || out.Rows[0][0].Int != 0 {
+		t.Errorf("ages = %v", rowsAsStrings(out))
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := newPeopleDB(t)
+	bad := []string{
+		"UPDATE nosuch SET a = 1",
+		"UPDATE people SET nosuch = 1",
+		"UPDATE people SET age = 'text'", // type mismatch
+		"UPDATE people SET age = 1 WHERE nosuch = 2",
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("accepted bad SQL: %s", sql)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "DELETE FROM people WHERE age = 25")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	out := mustExec(t, db, "SELECT name FROM people ORDER BY name")
+	want := []string{"alice", "carol"}
+	if got := rowsAsStrings(out); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	// Delete everything.
+	res = mustExec(t, db, "DELETE FROM people")
+	if res.Affected != 2 {
+		t.Errorf("affected = %d", res.Affected)
+	}
+	cnt := mustExec(t, db, "SELECT COUNT(*) FROM people")
+	if cnt.Rows[0][0].Int != 0 {
+		t.Errorf("count after full delete = %v", cnt.Rows[0][0])
+	}
+	// Insert after full delete still works.
+	mustExec(t, db, "INSERT INTO people VALUES (9, 'eve', 40, 5.0)")
+	cnt = mustExec(t, db, "SELECT COUNT(*) FROM people")
+	if cnt.Rows[0][0].Int != 1 {
+		t.Errorf("count after reinsert = %v", cnt.Rows[0][0])
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	db := newPeopleDB(t)
+	if _, err := db.Exec("DELETE FROM nosuch"); err == nil {
+		t.Error("delete from unknown table accepted")
+	}
+	if _, err := db.Exec("DELETE people WHERE id = 1"); err == nil {
+		t.Error("missing FROM accepted")
+	}
+}
+
+func TestLike(t *testing.T) {
+	db := newPeopleDB(t)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"name LIKE 'a%'", 1},      // alice
+		{"name LIKE '%e'", 2},      // alice, dave
+		{"name LIKE '_ob'", 1},     // bob
+		{"name LIKE '%a%'", 3},     // alice, carol, dave
+		{"name LIKE 'alice'", 1},   // exact
+		{"name NOT LIKE '%a%'", 1}, // bob
+		{"name LIKE '%'", 4},       // everything
+		{"name LIKE ''", 0},        // empty pattern matches only empty
+		{"name LIKE '%%%ce'", 1},   // stacked wildcards
+	}
+	for _, tt := range tests {
+		res := mustExec(t, db, "SELECT id FROM people WHERE "+tt.where)
+		if len(res.Rows) != tt.want {
+			t.Errorf("WHERE %s: %d rows, want %d", tt.where, len(res.Rows), tt.want)
+		}
+	}
+	if _, err := db.Exec("SELECT id FROM people WHERE age LIKE '2%'"); err == nil {
+		t.Error("LIKE over INT accepted")
+	}
+}
+
+func TestIn(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT name FROM people WHERE age IN (25, 35) ORDER BY name")
+	want := []string{"bob", "carol", "dave"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	res = mustExec(t, db, "SELECT name FROM people WHERE age NOT IN (25, 35)")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "alice" {
+		t.Errorf("NOT IN rows = %v", rowsAsStrings(res))
+	}
+	// NULL semantics: score IN (...) filters out dave (NULL score), and
+	// NOT IN with a NULL list element matches nothing it cannot prove.
+	res = mustExec(t, db, "SELECT name FROM people WHERE score IN (9.5, NULL)")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "alice" {
+		t.Errorf("IN with NULL = %v", rowsAsStrings(res))
+	}
+	res = mustExec(t, db, "SELECT name FROM people WHERE score NOT IN (9.5, NULL)")
+	if len(res.Rows) != 0 {
+		t.Errorf("NOT IN with NULL should be empty: %v", rowsAsStrings(res))
+	}
+}
+
+func TestBetween(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT name FROM people WHERE age BETWEEN 25 AND 30 ORDER BY name")
+	want := []string{"alice", "bob", "dave"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	res = mustExec(t, db, "SELECT name FROM people WHERE age NOT BETWEEN 25 AND 30")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "carol" {
+		t.Errorf("NOT BETWEEN = %v", rowsAsStrings(res))
+	}
+	// NULL subject filters out.
+	res = mustExec(t, db, "SELECT name FROM people WHERE score BETWEEN 0 AND 10")
+	if len(res.Rows) != 3 {
+		t.Errorf("NULL score leaked: %v", rowsAsStrings(res))
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	tests := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "h%o", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "", false},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%ss%pp%", true},
+		{"mississippi", "%ss%xx%", false},
+	}
+	for _, tt := range tests {
+		if got := likeMatch([]rune(tt.s), []rune(tt.pat)); got != tt.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", tt.s, tt.pat, got, tt.want)
+		}
+	}
+}
+
+func TestUpdateDeleteAcrossPages(t *testing.T) {
+	// DML over a multi-page heap exercises the rebuild path.
+	db := OpenWithPool(8)
+	mustExec(t, db, "CREATE TABLE big (id INT, tag TEXT)")
+	for i := 0; i < 1500; i++ {
+		if err := db.Insert("big", Int(int64(i)), Text("padpadpadpadpadpadpadpadpadpad")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustExec(t, db, "UPDATE big SET tag = 'even' WHERE id % 2 = 0")
+	if res.Affected != 750 {
+		t.Fatalf("updated = %d", res.Affected)
+	}
+	res = mustExec(t, db, "DELETE FROM big WHERE tag = 'even'")
+	if res.Affected != 750 {
+		t.Fatalf("deleted = %d", res.Affected)
+	}
+	cnt := mustExec(t, db, "SELECT COUNT(*), MIN(id), MAX(id) FROM big")
+	row := cnt.Rows[0]
+	if row[0].Int != 750 || row[1].Int != 1 || row[2].Int != 1499 {
+		t.Errorf("after dml = %v", row)
+	}
+}

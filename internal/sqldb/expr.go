@@ -1,0 +1,593 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// binding is one table's contribution to a row context: its alias, column
+// names, and the offset of its columns in the combined row.
+type binding struct {
+	alias string
+	cols  []string
+	off   int
+}
+
+// schema describes the combined row layout of a FROM clause.
+type schema struct {
+	bindings []binding
+	width    int
+}
+
+// resolve finds the combined-row offset of a column reference.
+func (s *schema) resolve(ref *ColumnRef) (int, error) {
+	found := -1
+	for _, b := range s.bindings {
+		if ref.Table != "" && !strings.EqualFold(ref.Table, b.alias) {
+			continue
+		}
+		for ci, name := range b.cols {
+			if strings.EqualFold(name, ref.Column) {
+				if found >= 0 {
+					return 0, fmt.Errorf("sqldb: ambiguous column %s", ref.Column)
+				}
+				found = b.off + ci
+			}
+		}
+	}
+	if found < 0 {
+		if ref.Table != "" {
+			return 0, fmt.Errorf("sqldb: unknown column %s.%s", ref.Table, ref.Column)
+		}
+		return 0, fmt.Errorf("sqldb: unknown column %s", ref.Column)
+	}
+	return found, nil
+}
+
+// evalCtx is the expression evaluation context: a combined row under a
+// schema, the registered functions, and, in aggregate mode, the rows of
+// the current group.
+type evalCtx struct {
+	db     *DB
+	schema *schema
+	row    []Value
+	group  [][]Value // nil outside aggregate evaluation
+}
+
+// eval evaluates an expression to a value.
+func (ctx *evalCtx) eval(e Expr) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		idx, err := ctx.schema.resolve(x)
+		if err != nil {
+			return Value{}, err
+		}
+		return ctx.row[idx], nil
+	case *UnaryExpr:
+		return ctx.evalUnary(x)
+	case *BinaryExpr:
+		return ctx.evalBinary(x)
+	case *IsNullExpr:
+		v, err := ctx.eval(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(v.IsNull() != x.Not), nil
+	case *LikeExpr:
+		return ctx.evalLike(x)
+	case *InExpr:
+		return ctx.evalIn(x)
+	case *BetweenExpr:
+		return ctx.evalBetween(x)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			c, err := ctx.eval(w.Cond)
+			if err != nil {
+				return Value{}, err
+			}
+			if truthy(c) {
+				return ctx.eval(w.Then)
+			}
+		}
+		if x.Else != nil {
+			return ctx.eval(x.Else)
+		}
+		return Null(), nil
+	case *FuncCall:
+		if aggregateFuncs[x.Name] {
+			return ctx.evalAggregate(x)
+		}
+		return ctx.evalScalarFunc(x)
+	default:
+		return Value{}, fmt.Errorf("sqldb: cannot evaluate %T", e)
+	}
+}
+
+func (ctx *evalCtx) evalUnary(x *UnaryExpr) (Value, error) {
+	v, err := ctx.eval(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "NOT":
+		if v.IsNull() {
+			return Null(), nil
+		}
+		if v.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqldb: NOT applied to %v", v.Kind)
+		}
+		return Bool(!v.Bool), nil
+	case "-":
+		switch v.Kind {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			return Int(-v.Int), nil
+		case KindFloat:
+			return Float(-v.Float), nil
+		default:
+			return Value{}, fmt.Errorf("sqldb: unary minus applied to %v", v.Kind)
+		}
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown unary operator %s", x.Op)
+	}
+}
+
+func (ctx *evalCtx) evalBinary(x *BinaryExpr) (Value, error) {
+	// AND / OR use three-valued logic with short circuits.
+	switch x.Op {
+	case "AND":
+		l, err := ctx.eval(x.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind == KindBool && !l.Bool {
+			return Bool(false), nil
+		}
+		r, err := ctx.eval(x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind == KindBool && !r.Bool {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if l.Kind != KindBool || r.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqldb: AND over non-boolean operands")
+		}
+		return Bool(true), nil
+	case "OR":
+		l, err := ctx.eval(x.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind == KindBool && l.Bool {
+			return Bool(true), nil
+		}
+		r, err := ctx.eval(x.R)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind == KindBool && r.Bool {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if l.Kind != KindBool || r.Kind != KindBool {
+			return Value{}, fmt.Errorf("sqldb: OR over non-boolean operands")
+		}
+		return Bool(false), nil
+	}
+	l, err := ctx.eval(x.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ctx.eval(x.R)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "=":
+		return equalSQL(l, r)
+	case "<>":
+		v, err := equalSQL(l, r)
+		if err != nil || v.IsNull() {
+			return v, err
+		}
+		return Bool(!v.Bool), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		c, err := Compare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return arith(x.Op, l, r)
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown operator %s", x.Op)
+	}
+}
+
+// arith applies numeric arithmetic with SQL NULL propagation; TEXT '+' is
+// concatenation.
+func arith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	if op == "+" && l.Kind == KindText && r.Kind == KindText {
+		return Text(l.Str + r.Str), nil
+	}
+	if l.Kind == KindInt && r.Kind == KindInt {
+		a, b := l.Int, r.Int
+		switch op {
+		case "+":
+			return Int(a + b), nil
+		case "-":
+			return Int(a - b), nil
+		case "*":
+			return Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return Value{}, fmt.Errorf("sqldb: division by zero")
+			}
+			return Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return Value{}, fmt.Errorf("sqldb: modulo by zero")
+			}
+			return Int(a % b), nil
+		}
+	}
+	lf, lok := l.asFloat()
+	rf, rok := r.asFloat()
+	if !lok || !rok {
+		return Value{}, fmt.Errorf("sqldb: arithmetic over %v and %v", l.Kind, r.Kind)
+	}
+	switch op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sqldb: division by zero")
+		}
+		return Float(lf / rf), nil
+	default:
+		return Value{}, fmt.Errorf("sqldb: %% requires integers")
+	}
+}
+
+// evalLike implements x [NOT] LIKE pattern with % (any run) and _ (one
+// rune) wildcards; NULL operands yield NULL.
+func (ctx *evalCtx) evalLike(x *LikeExpr) (Value, error) {
+	v, err := ctx.eval(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	p, err := ctx.eval(x.Pattern)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return Null(), nil
+	}
+	if v.Kind != KindText || p.Kind != KindText {
+		return Value{}, fmt.Errorf("sqldb: LIKE requires TEXT operands")
+	}
+	m := likeMatch([]rune(v.Str), []rune(p.Str))
+	return Bool(m != x.Not), nil
+}
+
+// likeMatch matches s against a SQL LIKE pattern using the standard
+// greedy-with-backtrack '%' algorithm (linear in practice).
+func likeMatch(s, pat []rune) bool {
+	si, pi := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// evalIn implements x [NOT] IN (list) with SQL three-valued semantics:
+// a NULL subject, or a non-match with any NULL in the list, yields NULL.
+func (ctx *evalCtx) evalIn(x *InExpr) (Value, error) {
+	v, err := ctx.eval(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	sawNull := false
+	for _, e := range x.List {
+		item, err := ctx.eval(e)
+		if err != nil {
+			return Value{}, err
+		}
+		if item.IsNull() {
+			sawNull = true
+			continue
+		}
+		eq, err := equalSQL(v, item)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(eq) {
+			return Bool(!x.Not), nil
+		}
+	}
+	if sawNull {
+		return Null(), nil
+	}
+	return Bool(x.Not), nil
+}
+
+// evalBetween implements x [NOT] BETWEEN lo AND hi (inclusive bounds).
+func (ctx *evalCtx) evalBetween(x *BetweenExpr) (Value, error) {
+	v, err := ctx.eval(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	lo, err := ctx.eval(x.Lo)
+	if err != nil {
+		return Value{}, err
+	}
+	hi, err := ctx.eval(x.Hi)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return Null(), nil
+	}
+	cl, err := Compare(v, lo)
+	if err != nil {
+		return Value{}, err
+	}
+	ch, err := Compare(v, hi)
+	if err != nil {
+		return Value{}, err
+	}
+	in := cl >= 0 && ch <= 0
+	return Bool(in != x.Not), nil
+}
+
+// evalScalarFunc dispatches built-in and registered scalar functions.
+func (ctx *evalCtx) evalScalarFunc(x *FuncCall) (Value, error) {
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ctx.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "UPPER", "LOWER":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("sqldb: %s takes one argument", x.Name)
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		if args[0].Kind != KindText {
+			return Value{}, fmt.Errorf("sqldb: %s over %v", x.Name, args[0].Kind)
+		}
+		if x.Name == "UPPER" {
+			return Text(strings.ToUpper(args[0].Str)), nil
+		}
+		return Text(strings.ToLower(args[0].Str)), nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("sqldb: LENGTH takes one argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		if args[0].Kind != KindText {
+			return Value{}, fmt.Errorf("sqldb: LENGTH over %v", args[0].Kind)
+		}
+		return Int(int64(len(args[0].Str))), nil
+	case "ABS":
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("sqldb: ABS takes one argument")
+		}
+		switch args[0].Kind {
+		case KindNull:
+			return Null(), nil
+		case KindInt:
+			v := args[0].Int
+			if v < 0 {
+				v = -v
+			}
+			return Int(v), nil
+		case KindFloat:
+			v := args[0].Float
+			if v < 0 {
+				v = -v
+			}
+			return Float(v), nil
+		default:
+			return Value{}, fmt.Errorf("sqldb: ABS over %v", args[0].Kind)
+		}
+	}
+	if fn, ok := ctx.db.funcs[x.Name]; ok {
+		if fn.Arity >= 0 && fn.Arity != len(args) {
+			return Value{}, fmt.Errorf("sqldb: %s takes %d arguments, got %d", x.Name, fn.Arity, len(args))
+		}
+		return fn.Fn(args)
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown function %s", x.Name)
+}
+
+// evalAggregate evaluates an aggregate call over ctx.group.
+func (ctx *evalCtx) evalAggregate(x *FuncCall) (Value, error) {
+	if ctx.group == nil {
+		return Value{}, fmt.Errorf("sqldb: aggregate %s outside GROUP BY context", x.Name)
+	}
+	if x.Name == "COUNT" && x.Star {
+		return Int(int64(len(ctx.group))), nil
+	}
+	if len(x.Args) != 1 {
+		return Value{}, fmt.Errorf("sqldb: %s takes one argument", x.Name)
+	}
+	inner := evalCtx{db: ctx.db, schema: ctx.schema}
+	var vals []Value
+	for _, row := range ctx.group {
+		inner.row = row
+		v, err := inner.eval(x.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch x.Name {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			f, ok := v.asFloat()
+			if !ok {
+				return Value{}, fmt.Errorf("sqldb: %s over %v", x.Name, v.Kind)
+			}
+			fsum += f
+			if v.Kind == KindInt {
+				isum += v.Int
+			} else {
+				allInt = false
+			}
+		}
+		if x.Name == "SUM" {
+			if allInt {
+				return Int(isum), nil
+			}
+			return Float(fsum), nil
+		}
+		return Float(fsum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := Compare(v, best)
+			if err != nil {
+				return Value{}, err
+			}
+			if (x.Name == "MIN" && c < 0) || (x.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown aggregate %s", x.Name)
+	}
+}
+
+// splitConjuncts flattens a conjunction into its AND-ed parts.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// refAliases collects the table aliases an expression references; an
+// unqualified column reference contributes the alias of the binding that
+// defines it (resolved against sch).
+func refAliases(e Expr, sch *schema, out map[string]bool) {
+	switch x := e.(type) {
+	case nil:
+	case *Literal:
+	case *ColumnRef:
+		if x.Table != "" {
+			out[strings.ToLower(x.Table)] = true
+			return
+		}
+		for _, b := range sch.bindings {
+			for _, name := range b.cols {
+				if strings.EqualFold(name, x.Column) {
+					out[strings.ToLower(b.alias)] = true
+				}
+			}
+		}
+	case *BinaryExpr:
+		refAliases(x.L, sch, out)
+		refAliases(x.R, sch, out)
+	case *UnaryExpr:
+		refAliases(x.X, sch, out)
+	case *IsNullExpr:
+		refAliases(x.X, sch, out)
+	case *LikeExpr:
+		refAliases(x.X, sch, out)
+		refAliases(x.Pattern, sch, out)
+	case *InExpr:
+		refAliases(x.X, sch, out)
+		for _, e := range x.List {
+			refAliases(e, sch, out)
+		}
+	case *BetweenExpr:
+		refAliases(x.X, sch, out)
+		refAliases(x.Lo, sch, out)
+		refAliases(x.Hi, sch, out)
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			refAliases(w.Cond, sch, out)
+			refAliases(w.Then, sch, out)
+		}
+		if x.Else != nil {
+			refAliases(x.Else, sch, out)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			refAliases(a, sch, out)
+		}
+	}
+}

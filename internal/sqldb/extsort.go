@@ -1,0 +1,192 @@
+package sqldb
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"fuzzydup/internal/storage"
+)
+
+// External merge sort. The paper observes that sorting the CSPairs
+// relation dominates the partitioning step's cost; a real server sorts
+// relations larger than memory by spilling sorted runs to disk and
+// merging them. The executor switches from in-memory sorting to this path
+// when a result exceeds DB.SortSpillThreshold rows.
+
+// defaultSortSpillThreshold is the row count above which ORDER BY spills.
+const defaultSortSpillThreshold = 1 << 14
+
+// run is one sorted run on disk: a chain of slotted pages.
+type run struct {
+	first storage.PageID
+	rows  int
+}
+
+// writeRun spills sorted rows to fresh pages and returns the run.
+func (db *DB) writeRun(rows [][]Value) (run, error) {
+	first := db.disk.Alloc()
+	pageBuf, err := db.pool.Get(first)
+	if err != nil {
+		return run{}, err
+	}
+	page := storage.NewSlotted(pageBuf)
+	page.Init()
+	db.pool.MarkDirty(first)
+	cur := first
+	for _, r := range rows {
+		rec := encodeRow(r)
+		if len(rec) > storage.MaxRecordSize {
+			return run{}, fmt.Errorf("sqldb: sort row of %d bytes exceeds page capacity", len(rec))
+		}
+		if page.Insert(rec) < 0 {
+			next := db.disk.Alloc()
+			page.SetNext(next)
+			db.pool.MarkDirty(cur)
+			nb, err := db.pool.Get(next)
+			if err != nil {
+				return run{}, err
+			}
+			page = storage.NewSlotted(nb)
+			page.Init()
+			if page.Insert(rec) < 0 {
+				return run{}, fmt.Errorf("sqldb: sort row does not fit an empty page")
+			}
+			db.pool.MarkDirty(next)
+			cur = next
+		} else {
+			db.pool.MarkDirty(cur)
+		}
+	}
+	return run{first: first, rows: len(rows)}, nil
+}
+
+// runCursor streams a run's rows back in order.
+type runCursor struct {
+	db    *DB
+	page  storage.PageID
+	slot  int
+	width int
+	row   []Value // current row; nil when exhausted
+}
+
+func (db *DB) openRun(r run, width int) (*runCursor, error) {
+	c := &runCursor{db: db, page: r.first, width: width}
+	if err := c.advance(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// advance loads the next row into c.row (nil at end).
+func (c *runCursor) advance() error {
+	for c.page != storage.InvalidPageID {
+		pageBuf, err := c.db.pool.Get(c.page)
+		if err != nil {
+			return err
+		}
+		page := storage.NewSlotted(pageBuf)
+		if c.slot < page.Count() {
+			rec, err := page.Record(c.slot)
+			if err != nil {
+				return err
+			}
+			row, err := decodeRow(rec, c.width)
+			if err != nil {
+				return err
+			}
+			c.slot++
+			c.row = row
+			return nil
+		}
+		c.page = page.Next()
+		c.slot = 0
+	}
+	c.row = nil
+	return nil
+}
+
+// mergeHeap orders run cursors by their current row under less, breaking
+// ties by run order for stability.
+type mergeHeap struct {
+	cursors []*runCursor
+	order   []int // original run index per cursor, for stable ties
+	less    func(a, b []Value) bool
+}
+
+func (h *mergeHeap) Len() int { return len(h.cursors) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.cursors[i].row, h.cursors[j].row
+	if h.less(a, b) {
+		return true
+	}
+	if h.less(b, a) {
+		return false
+	}
+	return h.order[i] < h.order[j]
+}
+func (h *mergeHeap) Swap(i, j int) {
+	h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i]
+	h.order[i], h.order[j] = h.order[j], h.order[i]
+}
+func (h *mergeHeap) Push(x any) { panic("sqldb: mergeHeap.Push unused") }
+func (h *mergeHeap) Pop() any {
+	n := len(h.cursors)
+	c := h.cursors[n-1]
+	h.cursors = h.cursors[:n-1]
+	h.order = h.order[:n-1]
+	return c
+}
+
+// externalSort sorts rows (each of the given width) under less using
+// sorted runs of runSize rows and a k-way merge. Stable.
+func (db *DB) externalSort(rows [][]Value, width, runSize int, less func(a, b []Value) bool) ([][]Value, error) {
+	if runSize < 2 {
+		runSize = 2
+	}
+	if len(rows) <= runSize {
+		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+		return rows, nil
+	}
+	var runs []run
+	for off := 0; off < len(rows); off += runSize {
+		end := off + runSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[off:end]
+		sort.SliceStable(chunk, func(i, j int) bool { return less(chunk[i], chunk[j]) })
+		r, err := db.writeRun(chunk)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	h := &mergeHeap{less: less}
+	for i, r := range runs {
+		c, err := db.openRun(r, width)
+		if err != nil {
+			return nil, err
+		}
+		if c.row != nil {
+			h.cursors = append(h.cursors, c)
+			h.order = append(h.order, i)
+		}
+	}
+	heap.Init(h)
+	out := make([][]Value, 0, len(rows))
+	for h.Len() > 0 {
+		c := h.cursors[0]
+		out = append(out, c.row)
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if c.row == nil {
+			heap.Remove(h, 0)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	// Run pages are abandoned (no free list), like DROP and DML rebuilds.
+	return out, nil
+}

@@ -1,0 +1,785 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is allowed).
+func Parse(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+// accept consumes the token if it matches; reports whether it did.
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		t := p.cur()
+		p.advance()
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", k)
+	}
+	return token{}, p.errorf("expected %s", want)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	where := t.text
+	if t.kind == tokEOF {
+		where = "end of input"
+	}
+	return fmt.Errorf("sqldb: parse error near %q (offset %d): %s", where, t.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	default:
+		return nil, p.errorf("expected SELECT, CREATE, DROP, INSERT, UPDATE, or DELETE")
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.advance() // CREATE
+	if p.accept(tokKeyword, "INDEX") {
+		return p.parseCreateIndex()
+	}
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ctype, err := p.columnType()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, ColumnDef{Name: cname, Type: ctype})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{Name: name, Columns: cols}, nil
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: col}, nil
+}
+
+func (p *parser) columnType() (ColumnType, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return 0, p.errorf("expected column type")
+	}
+	p.advance()
+	switch t.text {
+	case "INT", "BIGINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE":
+		return TypeFloat, nil
+	case "TEXT":
+		return TypeText, nil
+	case "VARCHAR":
+		// Accept VARCHAR(n) and ignore the length.
+		if p.accept(tokSymbol, "(") {
+			if _, err := p.expect(tokInt, ""); err != nil {
+				return 0, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return 0, err
+			}
+		}
+		return TypeText, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	default:
+		return 0, p.errorf("unknown column type %s", t.text)
+	}
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.advance() // DROP
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.advance() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]Expr
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return &InsertStmt{Table: name, Rows: rows}, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.advance() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetClause{Column: col, Value: val})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.advance() // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name}
+	if p.accept(tokKeyword, "WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = cond
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.advance() // SELECT
+	s := &SelectStmt{Limit: -1}
+	s.Distinct = p.accept(tokKeyword, "DISTINCT")
+	if p.accept(tokSymbol, "*") {
+		s.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.cur().text
+				p.advance()
+			}
+			s.Items = append(s.Items, item)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "INTO") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.Into = name
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	ref, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = append(s.From, ref)
+	for {
+		if p.accept(tokSymbol, ",") {
+			ref, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+			continue
+		}
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			break
+		}
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, JoinClause{Ref: ref, On: cond})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if p.accept(tokKeyword, "HAVING") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Having = e
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, key)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %s", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.at(tokIdent, "") {
+		ref.Alias = p.cur().text
+		p.advance()
+	}
+	return ref, nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		name := p.cur().text
+		p.advance()
+		return name, nil
+	}
+	return "", p.errorf("expected identifier")
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((= | <> | != | < | <= | > | >=) addExpr)?
+//	         | addExpr IS [NOT] NULL
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := unary ((*|/|%) unary)*
+//	unary   := - unary | primary
+//	primary := literal | CASE ... END | func(args) | colref | ( expr )
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "IS") {
+		not := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
+	// x [NOT] LIKE / IN / BETWEEN
+	notPrefix := false
+	if p.at(tokKeyword, "NOT") {
+		next := p.toks[p.pos+1]
+		if next.kind == tokKeyword && (next.text == "LIKE" || next.text == "IN" || next.text == "BETWEEN") {
+			p.advance()
+			notPrefix = true
+		}
+	}
+	switch {
+	case p.accept(tokKeyword, "LIKE"):
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{X: l, Pattern: pat, Not: notPrefix}, nil
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: l, Not: notPrefix}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Not: notPrefix}, nil
+	}
+	if notPrefix {
+		return nil, p.errorf("dangling NOT")
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "+", L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "*", L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "/", L: l, R: r}
+		case p.accept(tokSymbol, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %s", t.text)
+		}
+		return &Literal{Val: Int(v)}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %s", t.text)
+		}
+		return &Literal{Val: Float(v)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &Literal{Val: Text(t.text)}, nil
+	case p.accept(tokKeyword, "NULL"):
+		return &Literal{Val: Null()}, nil
+	case p.accept(tokKeyword, "TRUE"):
+		return &Literal{Val: Bool(true)}, nil
+	case p.accept(tokKeyword, "FALSE"):
+		return &Literal{Val: Bool(false)}, nil
+	case p.accept(tokKeyword, "CASE"):
+		return p.parseCase()
+	case p.accept(tokSymbol, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		// Function call?
+		if p.accept(tokSymbol, "(") {
+			return p.parseCallArgs(strings.ToUpper(t.text))
+		}
+		// Qualified column?
+		if p.accept(tokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	default:
+		return nil, p.errorf("expected expression")
+	}
+}
+
+func (p *parser) parseCallArgs(name string) (Expr, error) {
+	call := &FuncCall{Name: name}
+	if p.accept(tokSymbol, "*") {
+		call.Star = true
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.accept(tokSymbol, ")") {
+		return call, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	c := &CaseExpr{}
+	for {
+		if _, err := p.expect(tokKeyword, "WHEN"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Then: then})
+		if p.at(tokKeyword, "WHEN") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

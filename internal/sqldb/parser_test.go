@@ -1,0 +1,92 @@
+package sqldb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics throws random byte soup and random token
+// recombinations at the parser; it must return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(17))}
+	f := func(s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		_, _ = Parse(s) // outcome irrelevant; must not panic
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Token recombinations: shuffled fragments of valid SQL are nastier
+	// than random bytes because they reach deep parser states.
+	fragments := []string{
+		"SELECT", "FROM", "WHERE", "ORDER", "BY", "GROUP", "HAVING",
+		"INSERT", "INTO", "VALUES", "CREATE", "TABLE", "INDEX", "UPDATE",
+		"SET", "DELETE", "CASE", "WHEN", "THEN", "ELSE", "END", "LIKE",
+		"IN", "BETWEEN", "AND", "OR", "NOT", "NULL", "JOIN", "ON", "AS",
+		"t", "a", "b", "x", "id", "(", ")", ",", "*", "=", "<", ">", "<>",
+		"'str'", "42", "3.14", "+", "-", "/", "%", ".", ";", "LIMIT",
+		"DISTINCT", "IS", "COUNT",
+	}
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(12)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = fragments[rng.Intn(len(fragments))]
+		}
+		_, _ = Parse(strings.Join(parts, " "))
+	}
+}
+
+// TestExecNeverPanics drives random statement shapes through a live
+// database.
+func TestExecNeverPanics(t *testing.T) {
+	db := newPeopleDB(t)
+	rng := rand.New(rand.NewSource(19))
+	fragments := []string{
+		"SELECT", "id", "name", "age", "score", "FROM", "people", "WHERE",
+		"=", "<", ">", "1", "'alice'", "AND", "OR", "NOT", "(", ")", ",",
+		"*", "ORDER", "BY", "GROUP", "COUNT", "LIKE", "'%a%'", "IN",
+		"BETWEEN", "UPDATE", "SET", "DELETE", "NULL", "IS",
+	}
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(10)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = fragments[rng.Intn(len(fragments))]
+		}
+		_, _ = db.Exec(strings.Join(parts, " "))
+	}
+	// The database must still be functional afterwards.
+	res := mustExec(t, db, "SELECT COUNT(*) FROM people")
+	if res.Rows[0][0].Int < 1 {
+		t.Error("database corrupted by fuzzing")
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	// Scientific notation, stacked operators, adjacent punctuation.
+	for _, sql := range []string{
+		"SELECT 1e5 FROM t",
+		"SELECT 1.5e-3 FROM t",
+		"SELECT .5 FROM t",
+		"SELECT a.b FROM t",
+		"SELECT 'it''s' FROM t",
+	} {
+		if _, err := lex(sql); err != nil {
+			t.Errorf("lex(%q): %v", sql, err)
+		}
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated literal accepted")
+	}
+	if _, err := lex("SELECT \x01 FROM t"); err == nil {
+		t.Error("control character accepted")
+	}
+}

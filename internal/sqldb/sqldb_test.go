@@ -1,0 +1,493 @@
+package sqldb
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mustExec runs a statement and fails the test on error.
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+// rowsAsStrings flattens result rows for easy comparison.
+func rowsAsStrings(res *Result) []string {
+	var out []string
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	return out
+}
+
+func newPeopleDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, "CREATE TABLE people (id INT, name TEXT, age INT, score FLOAT)")
+	mustExec(t, db, `INSERT INTO people VALUES
+		(1, 'alice', 30, 9.5),
+		(2, 'bob', 25, 7.25),
+		(3, 'carol', 35, 8.0),
+		(4, 'dave', 25, NULL)`)
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT id, name FROM people ORDER BY id")
+	want := []string{"1|alice", "2|bob", "3|carol", "4|dave"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(res.Cols, []string{"id", "name"}) {
+		t.Errorf("cols = %v", res.Cols)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT * FROM people WHERE id = 2")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 4 {
+		t.Fatalf("rows = %v", rowsAsStrings(res))
+	}
+	if res.Rows[0][1].Str != "bob" {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestWhereComparisons(t *testing.T) {
+	db := newPeopleDB(t)
+	tests := []struct {
+		where string
+		want  int
+	}{
+		{"age > 25", 2},
+		{"age >= 25", 4},
+		{"age < 30", 2},
+		{"age <> 25", 2},
+		{"name = 'alice'", 1},
+		{"age = 25 AND name = 'bob'", 1},
+		{"age = 25 OR age = 30", 3},
+		{"NOT (age = 25)", 2},
+		{"score IS NULL", 1},
+		{"score IS NOT NULL", 3},
+		{"score > 8.0", 1},
+	}
+	for _, tt := range tests {
+		res := mustExec(t, db, "SELECT id FROM people WHERE "+tt.where)
+		if len(res.Rows) != tt.want {
+			t.Errorf("WHERE %s: %d rows, want %d", tt.where, len(res.Rows), tt.want)
+		}
+	}
+}
+
+func TestNullComparisonsFilterOut(t *testing.T) {
+	db := newPeopleDB(t)
+	// dave has NULL score: NULL > 1 is unknown, row filtered.
+	res := mustExec(t, db, "SELECT id FROM people WHERE score > 0")
+	if len(res.Rows) != 3 {
+		t.Errorf("NULL comparison leaked: %v", rowsAsStrings(res))
+	}
+}
+
+func TestArithmeticAndAliases(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT id * 10 + age AS code FROM people WHERE id = 3")
+	if res.Cols[0] != "code" || res.Rows[0][0].Int != 65 {
+		t.Errorf("res = %v %v", res.Cols, rowsAsStrings(res))
+	}
+	res = mustExec(t, db, "SELECT 7 / 2, 7.0 / 2, 7 % 3, -id FROM people WHERE id = 1")
+	row := res.Rows[0]
+	if row[0].Int != 3 || row[1].Float != 3.5 || row[2].Int != 1 || row[3].Int != -1 {
+		t.Errorf("arith row = %v", row)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	db := newPeopleDB(t)
+	if _, err := db.Exec("SELECT 1 / 0 FROM people"); err == nil {
+		t.Error("integer division by zero accepted")
+	}
+	if _, err := db.Exec("SELECT 1.0 / 0.0 FROM people"); err == nil {
+		t.Error("float division by zero accepted")
+	}
+	if _, err := db.Exec("SELECT 1 % 0 FROM people"); err == nil {
+		t.Error("modulo by zero accepted")
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT name FROM people ORDER BY age DESC, name ASC LIMIT 2")
+	want := []string{"carol", "alice"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestOrderByNullsFirst(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT id FROM people ORDER BY score")
+	if res.Rows[0][0].Int != 4 {
+		t.Errorf("NULL should sort first: %v", rowsAsStrings(res))
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, `SELECT name,
+		CASE WHEN age < 30 THEN 'young' WHEN age = 30 THEN 'thirty' ELSE 'older' END
+		FROM people ORDER BY id`)
+	want := []string{"alice|thirty", "bob|young", "carol|older", "dave|young"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	// CASE without ELSE yields NULL.
+	res = mustExec(t, db, "SELECT CASE WHEN age > 100 THEN 1 END FROM people WHERE id = 1")
+	if !res.Rows[0][0].IsNull() {
+		t.Errorf("missing ELSE should be NULL: %v", res.Rows[0][0])
+	}
+}
+
+func TestBuiltinScalarFunctions(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT UPPER(name), LOWER('ABC'), LENGTH(name), ABS(-5), ABS(-2.5) FROM people WHERE id = 1")
+	row := res.Rows[0]
+	if row[0].Str != "ALICE" || row[1].Str != "abc" || row[2].Int != 5 || row[3].Int != 5 || row[4].Float != 2.5 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestRegisteredScalarFunction(t *testing.T) {
+	db := newPeopleDB(t)
+	db.RegisterFunc("double_it", 1, func(args []Value) (Value, error) {
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Int(args[0].Int * 2), nil
+	})
+	res := mustExec(t, db, "SELECT double_it(age) FROM people WHERE id = 1")
+	if res.Rows[0][0].Int != 60 {
+		t.Errorf("udf result = %v", res.Rows[0][0])
+	}
+	// Arity mismatch is an error.
+	if _, err := db.Exec("SELECT double_it(age, 1) FROM people"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Unknown function is an error.
+	if _, err := db.Exec("SELECT nosuch(age) FROM people"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*), COUNT(score), SUM(age), AVG(age), MIN(name), MAX(score) FROM people")
+	row := res.Rows[0]
+	if row[0].Int != 4 || row[1].Int != 3 || row[2].Int != 115 {
+		t.Errorf("counts/sum = %v", row)
+	}
+	if row[3].Float != 28.75 {
+		t.Errorf("avg = %v", row[3])
+	}
+	if row[4].Str != "alice" || row[5].Float != 9.5 {
+		t.Errorf("min/max = %v %v", row[4], row[5])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, `SELECT age, COUNT(*) AS n FROM people
+		GROUP BY age HAVING COUNT(*) > 1 ORDER BY age`)
+	want := []string{"25|2"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT DISTINCT age FROM people ORDER BY age")
+	want := []string{"25", "30", "35"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestSelfJoinCommaStyle(t *testing.T) {
+	// The shape of the paper's CSPairs query: a self-join with an
+	// inequality predicate.
+	db := newPeopleDB(t)
+	res := mustExec(t, db, `SELECT a.id, b.id FROM people a, people b
+		WHERE a.id < b.id AND a.age = b.age ORDER BY a.id`)
+	want := []string{"2|4"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestInnerJoinOn(t *testing.T) {
+	db := newPeopleDB(t)
+	mustExec(t, db, "CREATE TABLE pets (owner INT, pet TEXT)")
+	mustExec(t, db, "INSERT INTO pets VALUES (1, 'cat'), (1, 'dog'), (3, 'fish')")
+	res := mustExec(t, db, `SELECT p.name, q.pet FROM people p
+		JOIN pets q ON p.id = q.owner ORDER BY p.name, q.pet`)
+	want := []string{"alice|cat", "alice|dog", "carol|fish"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	// INNER JOIN spelling.
+	res2 := mustExec(t, db, `SELECT p.name, q.pet FROM people p
+		INNER JOIN pets q ON p.id = q.owner ORDER BY p.name, q.pet`)
+	if !reflect.DeepEqual(rowsAsStrings(res2), want) {
+		t.Errorf("INNER JOIN differs: %v", rowsAsStrings(res2))
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE l (k INT)")
+	mustExec(t, db, "CREATE TABLE r (k INT)")
+	mustExec(t, db, "INSERT INTO l VALUES (1), (NULL)")
+	mustExec(t, db, "INSERT INTO r VALUES (1), (NULL)")
+	res := mustExec(t, db, "SELECT l.k, r.k FROM l, r WHERE l.k = r.k")
+	if len(res.Rows) != 1 {
+		t.Errorf("NULL join keys matched: %v", rowsAsStrings(res))
+	}
+}
+
+func TestSelectInto(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT id, UPPER(name) AS uname INTO shouty FROM people WHERE age = 25")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	out := mustExec(t, db, "SELECT uname FROM shouty ORDER BY id")
+	want := []string{"BOB", "DAVE"}
+	if got := rowsAsStrings(out); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	// INTO an existing table is an error.
+	if _, err := db.Exec("SELECT id INTO shouty FROM people"); err == nil {
+		t.Error("SELECT INTO existing table accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newPeopleDB(t)
+	mustExec(t, db, "DROP TABLE people")
+	if _, err := db.Exec("SELECT * FROM people"); err == nil {
+		t.Error("query after drop accepted")
+	}
+	if _, err := db.Exec("DROP TABLE people"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := newPeopleDB(t)
+	bad := []string{
+		"SELECT FROM people",                          // missing projection
+		"SELECT nope FROM people",                     // unknown column
+		"SELECT a.id FROM people b",                   // unknown alias
+		"SELECT id FROM nosuch",                       // unknown table
+		"CREATE TABLE people (id INT)",                // duplicate table
+		"CREATE TABLE t2 (id INT, id TEXT)",           // duplicate column
+		"CREATE TABLE t3 ()",                          // no columns
+		"INSERT INTO people VALUES (1)",               // wrong arity
+		"INSERT INTO people VALUES (1, 2, 3, 4)",      // type mismatch: name INT
+		"INSERT INTO nosuch VALUES (1)",               // unknown table
+		"SELECT id FROM people WHERE age + name = 1",  // bad arithmetic
+		"SELECT id FROM people ORDER",                 // parse error
+		"FROBNICATE",                                  // not a statement
+		"SELECT id FROM people; SELECT 1 FROM people", // trailing input
+		"SELECT 'unterminated FROM people",            // bad literal
+		"SELECT id FROM people LIMIT -1",              // negative limit
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("accepted bad SQL: %s", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := newPeopleDB(t)
+	if _, err := db.Exec("SELECT id FROM people a, people b WHERE a.id < b.id"); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE notes (txt TEXT)")
+	mustExec(t, db, "INSERT INTO notes VALUES ('it''s a test')")
+	res := mustExec(t, db, "SELECT txt FROM notes")
+	if res.Rows[0][0].Str != "it's a test" {
+		t.Errorf("escaped string = %q", res.Rows[0][0].Str)
+	}
+}
+
+func TestTextConcat(t *testing.T) {
+	db := newPeopleDB(t)
+	res := mustExec(t, db, "SELECT name + '!' FROM people WHERE id = 1")
+	if res.Rows[0][0].Str != "alice!" {
+		t.Errorf("concat = %v", res.Rows[0][0])
+	}
+}
+
+func TestIntToFloatCoercion(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE m (x FLOAT)")
+	mustExec(t, db, "INSERT INTO m VALUES (3)")
+	res := mustExec(t, db, "SELECT x FROM m")
+	if res.Rows[0][0].Kind != KindFloat || res.Rows[0][0].Float != 3 {
+		t.Errorf("coerced value = %v", res.Rows[0][0])
+	}
+}
+
+func TestProgrammaticInsert(t *testing.T) {
+	db := Open()
+	if err := db.CreateTable("t", []ColumnDef{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeText}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("t", Int(1), Text("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("nosuch", Int(1)); err == nil {
+		t.Error("insert into unknown table accepted")
+	}
+	res := mustExec(t, db, "SELECT a, b FROM t")
+	if rowsAsStrings(res)[0] != "1|x" {
+		t.Errorf("rows = %v", rowsAsStrings(res))
+	}
+	tab, ok := db.Table("t")
+	if !ok || tab.RowCount() != 1 {
+		t.Errorf("table lookup failed")
+	}
+}
+
+func TestManyRowsSpanPages(t *testing.T) {
+	// Insert enough rows to force page chaining, then verify scans see all.
+	db := OpenWithPool(4) // tiny pool to exercise eviction during scans
+	mustExec(t, db, "CREATE TABLE big (id INT, payload TEXT)")
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := db.Insert("big", Int(int64(i)), Text(fmt.Sprintf("row-%06d-%s", i, strings.Repeat("x", 50)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustExec(t, db, "SELECT COUNT(*), MIN(id), MAX(id) FROM big")
+	row := res.Rows[0]
+	if row[0].Int != n || row[1].Int != 0 || row[2].Int != n-1 {
+		t.Errorf("aggregate over chained pages = %v", row)
+	}
+	// Point query across pages.
+	res = mustExec(t, db, "SELECT payload FROM big WHERE id = 1234")
+	if len(res.Rows) != 1 || !strings.HasPrefix(res.Rows[0][0].Str, "row-001234") {
+		t.Errorf("point query = %v", rowsAsStrings(res))
+	}
+}
+
+func TestGroupByNullsGroupTogether(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE g (k INT)")
+	mustExec(t, db, "INSERT INTO g VALUES (NULL), (NULL), (1)")
+	res := mustExec(t, db, "SELECT k, COUNT(*) FROM g GROUP BY k ORDER BY k")
+	want := []string{"NULL|2", "1|1"}
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestValueStringAndCompare(t *testing.T) {
+	if Null().String() != "NULL" || Int(3).String() != "3" || Bool(true).String() != "TRUE" ||
+		Bool(false).String() != "FALSE" || Float(1.5).String() != "1.5" || Text("x").String() != "x" {
+		t.Error("value rendering wrong")
+	}
+	if c, err := Compare(Int(1), Float(1.0)); err != nil || c != 0 {
+		t.Errorf("numeric cross-kind compare = %d, %v", c, err)
+	}
+	if c, _ := Compare(Null(), Int(0)); c != -1 {
+		t.Error("NULL should sort first")
+	}
+	if _, err := Compare(Text("a"), Int(1)); err == nil {
+		t.Error("text/int compare accepted")
+	}
+	if c, _ := Compare(Bool(false), Bool(true)); c != -1 {
+		t.Error("bool ordering wrong")
+	}
+}
+
+func TestVariadicRegisteredFunc(t *testing.T) {
+	db := newPeopleDB(t)
+	db.RegisterFunc("countargs", -1, func(args []Value) (Value, error) {
+		return Int(int64(len(args))), nil
+	})
+	res := mustExec(t, db, "SELECT countargs(1, 2, 'x') FROM people WHERE id = 1")
+	if res.Rows[0][0].Int != 3 {
+		t.Errorf("variadic = %v", res.Rows[0][0])
+	}
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	// Same query written as equi-join (hash path) and inequality-wrapped
+	// (nested-loop path) must agree.
+	db := Open()
+	mustExec(t, db, "CREATE TABLE x (a INT, tag TEXT)")
+	mustExec(t, db, "CREATE TABLE y (a INT, tag TEXT)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO x VALUES (%d, 'x%d')", i%7, i))
+		mustExec(t, db, fmt.Sprintf("INSERT INTO y VALUES (%d, 'y%d')", i%5, i))
+	}
+	hash := mustExec(t, db, "SELECT x.tag, y.tag FROM x, y WHERE x.a = y.a ORDER BY x.tag, y.tag")
+	loop := mustExec(t, db, "SELECT x.tag, y.tag FROM x, y WHERE NOT (x.a <> y.a) ORDER BY x.tag, y.tag")
+	if !reflect.DeepEqual(rowsAsStrings(hash), rowsAsStrings(loop)) {
+		t.Errorf("hash join and nested loop disagree: %d vs %d rows", len(hash.Rows), len(loop.Rows))
+	}
+	if len(hash.Rows) == 0 {
+		t.Error("join produced no rows")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := Open()
+	if err := db.CreateTable("t", []ColumnDef{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeText}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Insert("t", Int(int64(i)), Text("payload")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	db := Open()
+	if err := db.CreateTable("t", []ColumnDef{{Name: "a", Type: TypeInt}}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := db.Insert("t", Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT COUNT(*) FROM t WHERE a % 7 = 3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

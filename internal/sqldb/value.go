@@ -1,0 +1,241 @@
+// Package sqldb is a small from-scratch relational engine: heap tables on
+// slotted pages behind a buffer pool, a SQL lexer/parser, and a
+// volcano-style executor. It exists because the paper's phase-2
+// partitioning runs as SQL (a SELECT INTO self-join with CASE expressions
+// and an ORDER BY grouping pass) against a database server; this package
+// is that server.
+//
+// Supported SQL (enough for the paper's queries plus everyday inspection):
+//
+//	CREATE TABLE t (col TYPE, ...)        TYPE ∈ INT, FLOAT, TEXT, BOOL
+//	DROP TABLE t
+//	INSERT INTO t VALUES (...), (...)
+//	SELECT exprs [INTO t2] FROM t a [, u b | JOIN u b ON ...]
+//	       [WHERE expr] [GROUP BY exprs [HAVING expr]]
+//	       [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+// Expressions cover literals, column references (optionally qualified),
+// comparison and boolean operators, arithmetic, CASE WHEN, aggregate
+// functions (COUNT, SUM, AVG, MIN, MAX), and registered scalar functions
+// (DB.RegisterFunc) — the mechanism the paper's algorithm uses for its
+// CS-flag computation.
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates SQL value kinds.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is one SQL value. The zero value is NULL.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// Convenience constructors.
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INT value.
+func Int(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// Text returns a TEXT value.
+func Text(v string) Value { return Value{Kind: KindText, Str: v} }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders the value the way the REPL and test fixtures expect.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindText:
+		return v.Str
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return fmt.Sprintf("value(kind=%d)", int(v.Kind))
+	}
+}
+
+// asFloat coerces numeric values to float64.
+func (v Value) asFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts before everything;
+// numeric kinds compare numerically across INT/FLOAT; comparing other
+// mixed kinds is an error.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0, nil
+		case a.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if af, ok := a.asFloat(); ok {
+		if bf, ok := b.asFloat(); ok {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if a.Kind != b.Kind {
+		return 0, fmt.Errorf("sqldb: cannot compare %v with %v", a.Kind, b.Kind)
+	}
+	switch a.Kind {
+	case KindText:
+		return strings.Compare(a.Str, b.Str), nil
+	case KindBool:
+		switch {
+		case a.Bool == b.Bool:
+			return 0, nil
+		case !a.Bool:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	default:
+		return 0, fmt.Errorf("sqldb: cannot compare values of kind %v", a.Kind)
+	}
+}
+
+// equalSQL implements SQL three-valued equality: NULL = anything is NULL
+// (returned as a NULL value), otherwise a BOOL.
+func equalSQL(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return Null(), err
+	}
+	return Bool(c == 0), nil
+}
+
+// truthy interprets a value as a WHERE condition: only TRUE passes; NULL
+// and FALSE filter the row out.
+func truthy(v Value) bool { return v.Kind == KindBool && v.Bool }
+
+// ColumnType is the declared type of a table column.
+type ColumnType int
+
+// Column types accepted by CREATE TABLE.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeText
+	TypeBool
+)
+
+// String implements fmt.Stringer.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeText:
+		return "TEXT"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// kind returns the value kind stored for this column type.
+func (t ColumnType) kind() Kind {
+	switch t {
+	case TypeInt:
+		return KindInt
+	case TypeFloat:
+		return KindFloat
+	case TypeText:
+		return KindText
+	case TypeBool:
+		return KindBool
+	default:
+		return KindNull
+	}
+}
+
+// coerce converts v for storage in a column of type t; INTs widen to
+// FLOAT, NULL stores as NULL, everything else must match exactly.
+func (t ColumnType) coerce(v Value) (Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	if v.Kind == t.kind() {
+		return v, nil
+	}
+	if t == TypeFloat && v.Kind == KindInt {
+		return Float(float64(v.Int)), nil
+	}
+	return Value{}, fmt.Errorf("sqldb: cannot store %v value in %v column", v.Kind, t)
+}

@@ -1,0 +1,198 @@
+// Package storage provides the page-level substrate under the buffer pool,
+// the heap tables of the embedded relational engine, and the posting lists
+// of the nearest-neighbor index: fixed-size pages on an accounting "disk",
+// plus a slotted-page layout for variable-length records.
+//
+// The disk is in-memory but charges every physical page access to a
+// counter; the buffer pool converts those counters into the buffer-hit-
+// ratio, processor-usage, and throughput measurements of the paper's
+// Figure 8. Nothing above this package knows whether the disk is real.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size in bytes of every page. 8 KiB matches the page size
+// of the database server the paper's prototype ran against.
+const PageSize = 8192
+
+// PageID identifies a page on a Disk. Valid IDs start at 0; InvalidPageID
+// marks "no page".
+type PageID int64
+
+// InvalidPageID is the sentinel for a missing page reference.
+const InvalidPageID PageID = -1
+
+// ErrPageBounds is returned when a page ID is outside the allocated range.
+var ErrPageBounds = errors.New("storage: page id out of bounds")
+
+// Disk is an in-memory array of pages with physical-access accounting.
+// It is safe for concurrent use.
+type Disk struct {
+	mu     sync.Mutex
+	pages  [][]byte
+	reads  int64
+	writes int64
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk {
+	return &Disk{}
+}
+
+// Alloc allocates a zeroed page and returns its ID.
+func (d *Disk) Alloc() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// NumPages returns the number of allocated pages.
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
+
+// Read copies page id into dst (which must be PageSize bytes) and charges
+// one physical read.
+func (d *Disk) Read(id PageID, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: read %d of %d", ErrPageBounds, id, len(d.pages))
+	}
+	copy(dst, d.pages[id])
+	d.reads++
+	return nil
+}
+
+// Write copies src (PageSize bytes) into page id and charges one physical
+// write.
+func (d *Disk) Write(id PageID, src []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("%w: write %d of %d", ErrPageBounds, id, len(d.pages))
+	}
+	copy(d.pages[id], src)
+	d.writes++
+	return nil
+}
+
+// Stats returns the physical read and write counts so far.
+func (d *Disk) Stats() (reads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes
+}
+
+// ResetStats zeroes the physical access counters.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads, d.writes = 0, 0
+}
+
+// Slotted page layout
+//
+//	[0:2)   uint16 record count n
+//	[2:4)   uint16 free-space offset (records grow down from PageSize)
+//	[4:8)   int32  next-page pointer (heap chains; InvalidPageID if none)
+//	[8:...) slot directory: n entries of (offset uint16, length uint16)
+//
+// Records are appended from the end of the page toward the directory.
+
+const (
+	slottedHeaderSize = 8
+	slotEntrySize     = 4
+)
+
+// Slotted wraps a page buffer in the slotted-record layout. The wrapper
+// holds no state beyond the buffer; all accessors read the header in
+// place, so multiple wrappers over the same buffer stay coherent.
+type Slotted struct {
+	buf []byte
+}
+
+// NewSlotted wraps buf, which must be PageSize bytes. The caller must
+// Init a fresh page before first use.
+func NewSlotted(buf []byte) *Slotted {
+	if len(buf) != PageSize {
+		panic("storage: slotted page buffer must be PageSize bytes")
+	}
+	return &Slotted{buf: buf}
+}
+
+// Init formats the page as empty with no next-page pointer.
+func (s *Slotted) Init() {
+	binary.LittleEndian.PutUint16(s.buf[0:2], 0)
+	binary.LittleEndian.PutUint16(s.buf[2:4], PageSize)
+	s.SetNext(InvalidPageID)
+}
+
+// Count returns the number of records on the page.
+func (s *Slotted) Count() int {
+	return int(binary.LittleEndian.Uint16(s.buf[0:2]))
+}
+
+// Next returns the chained next-page pointer.
+func (s *Slotted) Next() PageID {
+	v := int32(binary.LittleEndian.Uint32(s.buf[4:8]))
+	return PageID(v)
+}
+
+// SetNext stores the chained next-page pointer.
+func (s *Slotted) SetNext(id PageID) {
+	binary.LittleEndian.PutUint32(s.buf[4:8], uint32(int32(id)))
+}
+
+// FreeSpace returns the bytes available for one more record (accounting
+// for its slot entry). Negative results are reported as 0.
+func (s *Slotted) FreeSpace() int {
+	n := s.Count()
+	free := int(binary.LittleEndian.Uint16(s.buf[2:4]))
+	avail := free - (slottedHeaderSize + (n+1)*slotEntrySize)
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// Insert appends rec to the page, returning its slot index, or -1 if the
+// record does not fit. Records longer than the page capacity can never fit.
+func (s *Slotted) Insert(rec []byte) int {
+	if len(rec) > s.FreeSpace() {
+		return -1
+	}
+	n := s.Count()
+	free := int(binary.LittleEndian.Uint16(s.buf[2:4]))
+	off := free - len(rec)
+	copy(s.buf[off:free], rec)
+	entry := slottedHeaderSize + n*slotEntrySize
+	binary.LittleEndian.PutUint16(s.buf[entry:entry+2], uint16(off))
+	binary.LittleEndian.PutUint16(s.buf[entry+2:entry+4], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(s.buf[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(s.buf[2:4], uint16(off))
+	return n
+}
+
+// Record returns the bytes of the record in the given slot. The returned
+// slice aliases the page buffer; callers that retain it must copy.
+func (s *Slotted) Record(slot int) ([]byte, error) {
+	if slot < 0 || slot >= s.Count() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", slot, s.Count())
+	}
+	entry := slottedHeaderSize + slot*slotEntrySize
+	off := int(binary.LittleEndian.Uint16(s.buf[entry : entry+2]))
+	length := int(binary.LittleEndian.Uint16(s.buf[entry+2 : entry+4]))
+	return s.buf[off : off+length], nil
+}
+
+// MaxRecordSize is the largest record that fits on a fresh slotted page.
+const MaxRecordSize = PageSize - slottedHeaderSize - slotEntrySize

@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiskAllocReadWrite(t *testing.T) {
+	d := NewDisk()
+	if d.NumPages() != 0 {
+		t.Fatalf("new disk has %d pages", d.NumPages())
+	}
+	p0 := d.Alloc()
+	p1 := d.Alloc()
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("alloc ids = %d, %d", p0, p1)
+	}
+	buf := make([]byte, PageSize)
+	buf[0] = 0xAB
+	if err := d.Write(p1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.Read(p1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Errorf("read back %x", got[0])
+	}
+	// page 0 untouched, still zero
+	if err := d.Read(p0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("page 0 contaminated: %x", got[0])
+	}
+	reads, writes := d.Stats()
+	if reads != 2 || writes != 1 {
+		t.Errorf("stats = %d reads %d writes", reads, writes)
+	}
+	d.ResetStats()
+	reads, writes = d.Stats()
+	if reads != 0 || writes != 0 {
+		t.Errorf("stats after reset = %d, %d", reads, writes)
+	}
+}
+
+func TestDiskBounds(t *testing.T) {
+	d := NewDisk()
+	buf := make([]byte, PageSize)
+	if err := d.Read(0, buf); err == nil {
+		t.Error("read of unallocated page should fail")
+	}
+	if err := d.Write(5, buf); err == nil {
+		t.Error("write of unallocated page should fail")
+	}
+	if err := d.Read(InvalidPageID, buf); err == nil {
+		t.Error("read of InvalidPageID should fail")
+	}
+}
+
+func TestSlottedBasics(t *testing.T) {
+	buf := make([]byte, PageSize)
+	s := NewSlotted(buf)
+	s.Init()
+	if s.Count() != 0 {
+		t.Fatalf("fresh page count = %d", s.Count())
+	}
+	if s.Next() != InvalidPageID {
+		t.Fatalf("fresh page next = %d", s.Next())
+	}
+	slot := s.Insert([]byte("hello"))
+	if slot != 0 {
+		t.Fatalf("first insert slot = %d", slot)
+	}
+	slot = s.Insert([]byte("world!"))
+	if slot != 1 {
+		t.Fatalf("second insert slot = %d", slot)
+	}
+	r0, err := s.Record(0)
+	if err != nil || !bytes.Equal(r0, []byte("hello")) {
+		t.Errorf("record 0 = %q, %v", r0, err)
+	}
+	r1, err := s.Record(1)
+	if err != nil || !bytes.Equal(r1, []byte("world!")) {
+		t.Errorf("record 1 = %q, %v", r1, err)
+	}
+	if _, err := s.Record(2); err == nil {
+		t.Error("out-of-range slot should error")
+	}
+	if _, err := s.Record(-1); err == nil {
+		t.Error("negative slot should error")
+	}
+	s.SetNext(42)
+	if s.Next() != 42 {
+		t.Errorf("next = %d", s.Next())
+	}
+}
+
+func TestSlottedFill(t *testing.T) {
+	buf := make([]byte, PageSize)
+	s := NewSlotted(buf)
+	s.Init()
+	rec := make([]byte, 100)
+	n := 0
+	for s.Insert(rec) >= 0 {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no records fit")
+	}
+	// Expect close to PageSize/(100+4) records.
+	want := (PageSize - slottedHeaderSize) / (100 + slotEntrySize)
+	if n != want {
+		t.Errorf("filled %d records, want %d", n, want)
+	}
+	// All records still readable after the page is full.
+	for i := 0; i < n; i++ {
+		if _, err := s.Record(i); err != nil {
+			t.Fatalf("record %d unreadable: %v", i, err)
+		}
+	}
+	if s.FreeSpace() >= 100 {
+		t.Errorf("free space %d should be < 100 after fill", s.FreeSpace())
+	}
+}
+
+func TestSlottedOversizeRecord(t *testing.T) {
+	buf := make([]byte, PageSize)
+	s := NewSlotted(buf)
+	s.Init()
+	if s.Insert(make([]byte, MaxRecordSize+1)) != -1 {
+		t.Error("oversize record should not fit")
+	}
+	if s.Insert(make([]byte, MaxRecordSize)) != 0 {
+		t.Error("max-size record should fit on a fresh page")
+	}
+}
+
+func TestSlottedRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	f := func(recs [][]byte) bool {
+		buf := make([]byte, PageSize)
+		s := NewSlotted(buf)
+		s.Init()
+		var stored [][]byte
+		for _, r := range recs {
+			if len(r) > 200 {
+				r = r[:200]
+			}
+			if s.Insert(r) < 0 {
+				break
+			}
+			stored = append(stored, append([]byte(nil), r...))
+		}
+		if s.Count() != len(stored) {
+			return false
+		}
+		for i, want := range stored {
+			got, err := s.Record(i)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSlottedPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong buffer size")
+		}
+	}()
+	NewSlotted(make([]byte, 100))
+}

@@ -1,0 +1,148 @@
+// Package strutil provides the low-level text machinery shared by the
+// distance functions and the nearest-neighbor index: normalization,
+// tokenization, and q-gram extraction.
+//
+// All functions in this package are deterministic and allocation-conscious;
+// they sit on the hot path of every distance computation and every index
+// probe, so they avoid regexp and unnecessary copying.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize canonicalizes a raw field value for comparison: it lowercases,
+// maps punctuation to spaces, collapses runs of whitespace, and trims. The
+// paper's distance functions ("The Doors" vs "Doors, The") assume this kind
+// of light canonicalization before tokenization.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSpace := true // trims leading space and collapses runs
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			lastSpace = false
+		case r == '\'': // drop apostrophes entirely: "I'm" -> "im", matching "Im"
+		default:
+			if !lastSpace {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		}
+	}
+	out := b.String()
+	return strings.TrimRight(out, " ")
+}
+
+// Tokens splits a normalized string into its whitespace-separated tokens.
+// The input is normalized first, so callers may pass raw field values.
+func Tokens(s string) []string {
+	return strings.Fields(Normalize(s))
+}
+
+// QGrams returns the positional q-grams of s after normalization, padding
+// the string with q-1 leading and trailing sentinel characters ('#' and
+// '$') in the usual way so that prefixes and suffixes are represented. For
+// a string of (padded) length n it returns n-q+1 grams; the empty string
+// yields nil.
+func QGrams(s string, q int) []string {
+	if q <= 0 {
+		return nil
+	}
+	s = Normalize(s)
+	if s == "" {
+		return nil
+	}
+	runes := make([]rune, 0, len(s)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		runes = append(runes, '#')
+	}
+	for _, r := range s {
+		runes = append(runes, r)
+	}
+	for i := 0; i < q-1; i++ {
+		runes = append(runes, '$')
+	}
+	grams := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+q]))
+	}
+	return grams
+}
+
+// QGramSet returns the distinct q-grams of s as a set.
+func QGramSet(s string, q int) map[string]struct{} {
+	grams := QGrams(s, q)
+	set := make(map[string]struct{}, len(grams))
+	for _, g := range grams {
+		set[g] = struct{}{}
+	}
+	return set
+}
+
+// TokenCounts returns the multiset of tokens of s as a count map.
+func TokenCounts(s string) map[string]int {
+	counts := make(map[string]int)
+	for _, t := range Tokens(s) {
+		counts[t]++
+	}
+	return counts
+}
+
+// JoinFields concatenates the fields of a record into the single string
+// over which record-level distances operate, separating fields with a
+// single space. Empty fields are skipped so they do not introduce phantom
+// tokens.
+func JoinFields(fields []string) string {
+	var nonEmpty []string
+	for _, f := range fields {
+		if strings.TrimSpace(f) != "" {
+			nonEmpty = append(nonEmpty, f)
+		}
+	}
+	return strings.Join(nonEmpty, " ")
+}
+
+// EqualStringSets reports whether two string slices contain the same set of
+// elements, ignoring order and multiplicity.
+func EqualStringSets(a, b []string) bool {
+	if len(a) != len(b) {
+		// Multiplicity-free comparison still needs the sets to have equal
+		// cardinality in all our call sites (ID lists are duplicate-free),
+		// so a length check is a valid fast path.
+		return equalSetsSlow(a, b)
+	}
+	seen := make(map[string]struct{}, len(a))
+	for _, s := range a {
+		seen[s] = struct{}{}
+	}
+	for _, s := range b {
+		if _, ok := seen[s]; !ok {
+			return false
+		}
+	}
+	return len(seen) == len(b) || equalSetsSlow(a, b)
+}
+
+func equalSetsSlow(a, b []string) bool {
+	as := make(map[string]struct{}, len(a))
+	for _, s := range a {
+		as[s] = struct{}{}
+	}
+	bs := make(map[string]struct{}, len(b))
+	for _, s := range b {
+		bs[s] = struct{}{}
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for s := range as {
+		if _, ok := bs[s]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package strutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"lowercase", "The Doors", "the doors"},
+		{"punct to space", "Ears/Eyes - Part II", "ears eyes part ii"},
+		{"apostrophe dropped", "I'm Holding On", "im holding on"},
+		{"collapse runs", "a    b\t\tc", "a b c"},
+		{"trim", "  hello  ", "hello"},
+		{"empty", "", ""},
+		{"only punct", "-- // !!", ""},
+		{"digits kept", "Suite 9825-B", "suite 9825 b"},
+		{"unicode letters", "Café MÜNCHEN", "café münchen"},
+		{"comma convention", "Doors, The", "doors the"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Normalize(tt.in); got != tt.want {
+				t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeNoUpperNoPunct(t *testing.T) {
+	f := func(s string) bool {
+		for _, r := range Normalize(s) {
+			if r != ' ' && !(r == rune(strings.ToLower(string(r))[0]) || r > 127) {
+				// ASCII characters must be lowercase letters/digits or space.
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"The Doors", []string{"the", "doors"}},
+		{"LA Woman", []string{"la", "woman"}},
+		{"", nil},
+		{"Beatles, The", []string{"beatles", "the"}},
+		{"4th Elemynt", []string{"4th", "elemynt"}},
+	}
+	for _, tt := range tests {
+		got := Tokens(tt.in)
+		if len(got) == 0 && len(tt.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokens(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 3)
+	want := []string{"##a", "#ab", "ab$", "b$$"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("QGrams(ab,3) = %v, want %v", got, want)
+	}
+	if QGrams("", 3) != nil {
+		t.Error("QGrams of empty string should be nil")
+	}
+	if QGrams("abc", 0) != nil {
+		t.Error("QGrams with q=0 should be nil")
+	}
+	// q=1 over "ab" should be just the two characters (no padding for q=1).
+	got1 := QGrams("ab", 1)
+	if !reflect.DeepEqual(got1, []string{"a", "b"}) {
+		t.Errorf("QGrams(ab,1) = %v", got1)
+	}
+}
+
+func TestQGramsCount(t *testing.T) {
+	// Padded length n+2(q-1) gives n+q-1 grams for a string of n runes.
+	f := func(s string) bool {
+		s = Normalize(s)
+		n := len([]rune(s))
+		if n == 0 {
+			return QGrams(s, 3) == nil
+		}
+		return len(QGrams(s, 3)) == n+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQGramSet(t *testing.T) {
+	set := QGramSet("aaa", 2)
+	// grams: #a aa aa a$  -> distinct {#a, aa, a$}
+	if len(set) != 3 {
+		t.Errorf("QGramSet(aaa,2) size = %d, want 3", len(set))
+	}
+}
+
+func TestTokenCounts(t *testing.T) {
+	counts := TokenCounts("the doors the")
+	if counts["the"] != 2 || counts["doors"] != 1 {
+		t.Errorf("TokenCounts = %v", counts)
+	}
+}
+
+func TestJoinFields(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"The Doors", "LA Woman"}, "The Doors LA Woman"},
+		{[]string{"a", "", "b"}, "a b"},
+		{[]string{"", "  ", ""}, ""},
+		{nil, ""},
+	}
+	for _, tt := range tests {
+		if got := JoinFields(tt.in); got != tt.want {
+			t.Errorf("JoinFields(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestEqualStringSets(t *testing.T) {
+	tests := []struct {
+		a, b []string
+		want bool
+	}{
+		{[]string{"a", "b"}, []string{"b", "a"}, true},
+		{[]string{"a"}, []string{"a", "b"}, false},
+		{nil, nil, true},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, true}, // multiplicity ignored
+		{[]string{"a", "b"}, []string{"a", "c"}, false},
+	}
+	for _, tt := range tests {
+		if got := EqualStringSets(tt.a, tt.b); got != tt.want {
+			t.Errorf("EqualStringSets(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEqualStringSetsSymmetric(t *testing.T) {
+	f := func(a, b []string) bool {
+		return EqualStringSets(a, b) == EqualStringSets(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

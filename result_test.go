@@ -1,0 +1,111 @@
+package fuzzydup
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestRepresentativeMedoid(t *testing.T) {
+	// Values 0, 10, 11: the medoid of all three is 10 (total distance
+	// 10+1=11 vs 10+11=21 vs 1+11=12).
+	records := []Record{{"0"}, {"10"}, {"11"}}
+	d, err := New(records, Options{CustomMetric: numericMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Representative([]int{0, 1, 2}); got != 1 {
+		t.Errorf("medoid = %d, want 1", got)
+	}
+	if got := d.Representative([]int{2}); got != 2 {
+		t.Errorf("singleton rep = %d", got)
+	}
+	// Tie: two equidistant members; lowest index wins.
+	rec2 := []Record{{"0"}, {"10"}}
+	d2, err := New(rec2, Options{CustomMetric: numericMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Representative([]int{0, 1}); got != 0 {
+		t.Errorf("tie rep = %d, want 0", got)
+	}
+}
+
+func TestRepresentativeEmptyPanics(t *testing.T) {
+	d, err := New(table1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Representative(nil)
+}
+
+func TestEliminate(t *testing.T) {
+	d, err := New(table1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := d.GroupsBySize(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, replacedBy := d.Eliminate(groups)
+	// Every record is either kept or replaced, never both.
+	seen := map[int]bool{}
+	for _, id := range kept {
+		seen[id] = true
+	}
+	for gone, rep := range replacedBy {
+		if seen[gone] {
+			t.Errorf("record %d both kept and replaced", gone)
+		}
+		if !seen[rep] {
+			t.Errorf("replacement %d not kept", rep)
+		}
+	}
+	if len(kept)+len(replacedBy) != d.Len() {
+		t.Errorf("kept %d + replaced %d != %d", len(kept), len(replacedBy), d.Len())
+	}
+	// Table 1: 14 records; three pairs drop one each and the Part II/III/IV
+	// triple drops two -> 14 - 5 = 9 survivors.
+	if len(kept) != 9 {
+		t.Errorf("kept = %d, want 9", len(kept))
+	}
+	// Deduplicated materialization agrees.
+	recs := d.Deduplicated(groups)
+	if len(recs) != len(kept) {
+		t.Errorf("deduplicated %d records", len(recs))
+	}
+}
+
+func TestEliminateNoDuplicates(t *testing.T) {
+	records := []Record{{"alpha"}, {"omega zulu"}, {"completely different"}}
+	d, err := New(records, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := d.GroupsBySize(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, replacedBy := d.Eliminate(groups)
+	if !reflect.DeepEqual(kept, []int{0, 1, 2}) || len(replacedBy) != 0 {
+		t.Errorf("kept = %v, replaced = %v", kept, replacedBy)
+	}
+}
+
+// numericMetric parses records as numbers and compares them on a /1000
+// scale.
+func numericMetric(a, b string) float64 {
+	x, _ := strconv.ParseFloat(a, 64)
+	y, _ := strconv.ParseFloat(b, 64)
+	diff := x - y
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / 1000
+}

@@ -28,30 +28,42 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dedup: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is main minus process concerns, so error paths are testable: it
+// parses args, reads the input, solves, and prints to stdout, returning
+// any error instead of exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dedup", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input     = flag.String("input", "", "CSV file to deduplicate (default stdin)")
-		metric    = flag.String("metric", "ed", "distance function: ed, fms, cosine, jaccard, jaro, jaro-winkler, monge-elkan, soft-tfidf, soundex")
-		mode      = flag.String("mode", "size", "cut specification: size (DE_S), diameter (DE_D), or both")
-		k         = flag.Int("k", 3, "maximum group size for -mode size")
-		theta     = flag.Float64("theta", 0.3, "maximum group diameter for -mode diameter")
-		c         = flag.Float64("c", 4, "sparse-neighborhood threshold (> 1)")
-		estimateF = flag.Float64("estimate-f", 0, "estimate c from this duplicate fraction instead of -c")
-		agg       = flag.String("agg", "max", "SN aggregation: max, avg, max2")
-		approx    = flag.Bool("approx", false, "use the probabilistic q-gram index (recommended beyond ~10k rows)")
-		index     = flag.String("index", "", "nearest-neighbor index: exact, qgram, vptree, minhash (overrides -approx)")
-		header    = flag.Bool("header", false, "skip the first CSV row")
-		baseline  = flag.Bool("baseline", false, "run single-linkage threshold clustering at -theta instead of DE")
-		truth     = flag.String("truth", "", "ground-truth file (cmd/datagen format); prints precision/recall instead of groups")
+		input     = fs.String("input", "", "CSV file to deduplicate (default stdin)")
+		metric    = fs.String("metric", "ed", "distance function: ed, fms, cosine, jaccard, jaro, jaro-winkler, monge-elkan, soft-tfidf, soundex")
+		mode      = fs.String("mode", "size", "cut specification: size (DE_S), diameter (DE_D), or both")
+		k         = fs.Int("k", 3, "maximum group size for -mode size")
+		theta     = fs.Float64("theta", 0.3, "maximum group diameter for -mode diameter")
+		c         = fs.Float64("c", 4, "sparse-neighborhood threshold (> 1)")
+		estimateF = fs.Float64("estimate-f", 0, "estimate c from this duplicate fraction instead of -c")
+		agg       = fs.String("agg", "max", "SN aggregation: max, avg, max2")
+		approx    = fs.Bool("approx", false, "use the probabilistic q-gram index (recommended beyond ~10k rows)")
+		index     = fs.String("index", "", "nearest-neighbor index: exact, qgram, vptree, minhash (overrides -approx)")
+		header    = fs.Bool("header", false, "skip the first CSV row")
+		baseline  = fs.Bool("baseline", false, "run single-linkage threshold clustering at -theta instead of DE")
+		truth     = fs.String("truth", "", "ground-truth file (cmd/datagen format); prints precision/recall instead of groups")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	records, rows, err := readCSV(*input, *header)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(records) == 0 {
-		log.Fatal("no records")
+		return fmt.Errorf("no records")
 	}
 
 	d, err := fuzzydup.New(records, fuzzydup.Options{
@@ -61,16 +73,16 @@ func main() {
 		Index:       fuzzydup.Index(*index),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	cVal := *c
 	if *estimateF > 0 {
 		cVal, err = d.EstimateC(*estimateF)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "estimated SN threshold c = %g\n", cVal)
+		fmt.Fprintf(stderr, "estimated SN threshold c = %g\n", cVal)
 	}
 
 	var groups fuzzydup.Groups
@@ -84,31 +96,32 @@ func main() {
 	case *mode == "both":
 		groups, err = d.GroupsBySizeAndDiameter(*k, *theta, cVal)
 	default:
-		log.Fatalf("unknown mode %q (size, diameter, both)", *mode)
+		return fmt.Errorf("unknown mode %q (size, diameter, both)", *mode)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *truth != "" {
 		truthGroups, err := dataset.LoadTruth(*truth)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pr := eval.PrecisionRecall(groups, truthGroups)
-		fmt.Printf("%d records: precision %.3f, recall %.3f, F1 %.3f (%d/%d pairs correct)\n",
+		fmt.Fprintf(stdout, "%d records: precision %.3f, recall %.3f, F1 %.3f (%d/%d pairs correct)\n",
 			len(records), pr.Precision, pr.Recall, pr.F1(), pr.TruePositives, pr.Returned)
-		return
+		return nil
 	}
 
 	dups := groups.Duplicates()
-	fmt.Printf("%d records, %d duplicate groups\n", len(records), len(dups))
+	fmt.Fprintf(stdout, "%d records, %d duplicate groups\n", len(records), len(dups))
 	for i, g := range dups {
-		fmt.Printf("group %d:\n", i+1)
+		fmt.Fprintf(stdout, "group %d:\n", i+1)
 		for _, id := range g {
-			fmt.Printf("  row %d: %s\n", id+1, strings.Join(rows[id], ", "))
+			fmt.Fprintf(stdout, "  row %d: %s\n", id+1, strings.Join(rows[id], ", "))
 		}
 	}
+	return nil
 }
 
 // readCSV loads records from a file or stdin.

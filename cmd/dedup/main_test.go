@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -52,5 +53,60 @@ func TestReadCSVRagged(t *testing.T) {
 func TestReadCSVMissingFile(t *testing.T) {
 	if _, _, err := readCSV("/nonexistent/x.csv", false); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// writeTemp writes content to a temp file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	good := writeTemp(t, "good.csv", "The Doors,LA Woman\nDoors,LA Woman\nAaliyah,Are You Ready\n")
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring the user should see
+	}{
+		{"bad metric", []string{"-input", good, "-metric", "levenstein"}, `unknown metric "levenstein"`},
+		{"missing input", []string{"-input", "/nonexistent/in.csv"}, "no such file"},
+		{"malformed csv", []string{"-input", writeTemp(t, "bad.csv", "a,b\n\"unterminated\n")}, "reading CSV"},
+		{"empty input", []string{"-input", writeTemp(t, "empty.csv", "")}, "no records"},
+		{"bad mode", []string{"-input", good, "-mode", "sideways"}, `unknown mode "sideways"`},
+		{"bad index", []string{"-input", good, "-index", "btree"}, `unknown index "btree"`},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"bad c", []string{"-input", good, "-c", "0.5"}, "must exceed 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	path := writeTemp(t, "in.csv", "The Doors,LA Woman\nDoors,LA Woman\nAaliyah,Are You Ready\n")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-input", path, "-k", "2", "-c", "4"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "3 records, 1 duplicate groups") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "row 1: The Doors, LA Woman") {
+		t.Errorf("output lacks group members: %q", out)
 	}
 }

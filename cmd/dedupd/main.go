@@ -1,0 +1,77 @@
+// Command dedupd serves the CS/SN fuzzy-dedup framework over JSON HTTP:
+// register datasets (JSON or streaming NDJSON), submit asynchronous dedup
+// jobs with K/θ/c parameter sweeps, poll their progress, and fetch
+// groups, pairs, and representatives. See internal/server for the
+// endpoint reference.
+//
+// Usage:
+//
+//	dedupd -addr :8080 -workers 4 -queue 64 -drain 30s
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, and running jobs get up to -drain to finish before they are
+// cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fuzzydup/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("dedupd: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dedupd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "job worker pool size (default GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "job queue capacity; beyond it submissions get 503")
+		maxBody    = fs.Int64("max-body", 32<<20, "request body size cap in bytes")
+		maxRecords = fs.Int("max-records", 1_000_000, "per-dataset record cap (-1 disables)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-request timeout (-1s disables)")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for running jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		MaxBodyBytes:   *maxBody,
+		MaxRecords:     *maxRecords,
+		RequestTimeout: *timeout,
+		Logger:         log.Default(),
+	})
+	srv.Metrics().Publish("dedupd")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("listening on %s (workers %d, queue %d)", *addr, *workers, *queue)
+	err := srv.ListenAndServe(ctx, *addr, *drain)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bye")
+	return nil
+}

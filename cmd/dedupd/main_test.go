@@ -1,0 +1,16 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	err := run([]string{"stray-arg"})
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("stray argument: %v", err)
+	}
+}

@@ -33,6 +33,14 @@
 // (Section 4.3 of the paper). SingleLinkage provides the global-threshold
 // baseline for comparison.
 //
+// Long-running callers (servers, batch pipelines) should prefer the
+// context-aware variants — GroupsBySizeCtx, GroupsByDiameterCtx, and
+// GroupsBySizeAndDiameterCtx: the context is polled between phase-1
+// index lookups (the dominant cost), so cancelling it stops the
+// computation promptly without corrupting the Deduper's phase-1 cache.
+// CacheStats reports how often that cache served a K/θ/c parameter sweep
+// without recomputation.
+//
 // The heavy lifting lives in internal packages: distance functions
 // (internal/distance), exact and probabilistic nearest-neighbor indexes
 // (internal/nnindex), the two-phase DE algorithm (internal/core), an

@@ -1,6 +1,7 @@
 package fuzzydup
 
 import (
+	"context"
 	"fmt"
 
 	"fuzzydup/internal/baseline"
@@ -133,6 +134,17 @@ type Deduper struct {
 
 	cacheS *core.NNRelation // widest size-cut relation computed so far
 	cacheD *core.NNRelation // widest diameter-cut relation computed so far
+
+	cacheHits     int // phase-1 requests served from a cached relation
+	cacheComputes int // phase-1 requests that ran ComputeNN
+}
+
+// CacheStats reports how often the phase-1 cache answered an NN-relation
+// request without recomputation. Parameter sweeps over K, θ, or c reuse
+// the widest relation computed so far, so hits should dominate after the
+// first solve of each cut family.
+func (d *Deduper) CacheStats() (computes, hits int) {
+	return d.cacheComputes, d.cacheHits
 }
 
 // New builds a Deduper over the records. IDF-weighted metrics compute
@@ -243,32 +255,39 @@ func (d *Deduper) problem(cut core.Cut, c float64) core.Problem {
 }
 
 // nnRelation returns the phase-1 relation for the cut, reusing and
-// widening the per-family cache as needed.
-func (d *Deduper) nnRelation(cut core.Cut) (*core.NNRelation, error) {
+// widening the per-family cache as needed. A cancelled ctx aborts an
+// in-flight computation without poisoning the cache.
+func (d *Deduper) nnRelation(ctx context.Context, cut core.Cut) (*core.NNRelation, error) {
 	if cut.IsSize() {
 		if d.cacheS == nil || d.cacheS.Cut.MaxSize < cut.MaxSize {
-			rel, err := core.ComputeNN(d.index, core.Cut{MaxSize: cut.MaxSize}, d.growthP(), d.phase1Opts())
+			rel, err := core.ComputeNN(d.index, core.Cut{MaxSize: cut.MaxSize}, d.growthP(), d.phase1Opts(ctx))
 			if err != nil {
 				return nil, err
 			}
 			d.cacheS = rel
+			d.cacheComputes++
+		} else {
+			d.cacheHits++
 		}
 		return d.cacheS.TruncateSize(cut.MaxSize), nil
 	}
 	if d.cacheD == nil || d.cacheD.Cut.Diameter < cut.Diameter {
-		rel, err := core.ComputeNN(d.index, core.Cut{Diameter: cut.Diameter}, d.growthP(), d.phase1Opts())
+		rel, err := core.ComputeNN(d.index, core.Cut{Diameter: cut.Diameter}, d.growthP(), d.phase1Opts(ctx))
 		if err != nil {
 			return nil, err
 		}
 		d.cacheD = rel
+		d.cacheComputes++
+	} else {
+		d.cacheHits++
 	}
 	rel := d.cacheD.TruncateDiameter(cut.Diameter)
 	rel.Cut = cut // carry the size bound of a combined cut into phase 2
 	return rel, nil
 }
 
-func (d *Deduper) solve(prob core.Problem) (Groups, error) {
-	rel, err := d.nnRelation(prob.Cut)
+func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) {
+	rel, err := d.nnRelation(ctx, prob.Cut)
 	if err != nil {
 		return nil, err
 	}
@@ -320,27 +339,46 @@ func (g Groups) Pairs() [][2]int {
 // minimum number of compact, sparse-neighborhood groups of size at most
 // maxSize, with SN threshold c (> 1).
 func (d *Deduper) GroupsBySize(maxSize int, c float64) (Groups, error) {
-	return d.solve(d.problem(core.Cut{MaxSize: maxSize}, c))
+	return d.GroupsBySizeCtx(context.Background(), maxSize, c)
+}
+
+// GroupsBySizeCtx is GroupsBySize with cancellation: ctx is polled between
+// phase-1 index lookups (the dominant cost), and a cancelled ctx aborts
+// the run with ctx.Err() without corrupting the phase-1 cache.
+func (d *Deduper) GroupsBySizeCtx(ctx context.Context, maxSize int, c float64) (Groups, error) {
+	return d.solve(ctx, d.problem(core.Cut{MaxSize: maxSize}, c))
 }
 
 // GroupsByDiameter solves the DE_D(θ) problem: partition the records into
 // the minimum number of compact, sparse-neighborhood groups whose maximum
 // pairwise distance stays below theta, with SN threshold c (> 1).
 func (d *Deduper) GroupsByDiameter(theta, c float64) (Groups, error) {
-	return d.solve(d.problem(core.Cut{Diameter: theta}, c))
+	return d.GroupsByDiameterCtx(context.Background(), theta, c)
+}
+
+// GroupsByDiameterCtx is GroupsByDiameter with cancellation; see
+// GroupsBySizeCtx.
+func (d *Deduper) GroupsByDiameterCtx(ctx context.Context, theta, c float64) (Groups, error) {
+	return d.solve(ctx, d.problem(core.Cut{Diameter: theta}, c))
 }
 
 // GroupsBySizeAndDiameter applies both cut specifications together
 // (Section 3's combined form): groups of at most maxSize records whose
 // maximum pairwise distance stays below theta, with SN threshold c (> 1).
 func (d *Deduper) GroupsBySizeAndDiameter(maxSize int, theta, c float64) (Groups, error) {
-	return d.solve(d.problem(core.Cut{MaxSize: maxSize, Diameter: theta}, c))
+	return d.GroupsBySizeAndDiameterCtx(context.Background(), maxSize, theta, c)
+}
+
+// GroupsBySizeAndDiameterCtx is GroupsBySizeAndDiameter with cancellation;
+// see GroupsBySizeCtx.
+func (d *Deduper) GroupsBySizeAndDiameterCtx(ctx context.Context, maxSize int, theta, c float64) (Groups, error) {
+	return d.solve(ctx, d.problem(core.Cut{MaxSize: maxSize, Diameter: theta}, c))
 }
 
 // SingleLinkage runs the global-threshold baseline the paper compares
 // against: connected components of the threshold graph at theta.
 func (d *Deduper) SingleLinkage(theta float64) (Groups, error) {
-	rel, err := core.ComputeNN(d.index, core.Cut{Diameter: theta}, core.DefaultP, d.phase1Opts())
+	rel, err := core.ComputeNN(d.index, core.Cut{Diameter: theta}, core.DefaultP, d.phase1Opts(context.Background()))
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +410,7 @@ func (d *Deduper) Explain(a, b, k int) Explanation {
 // the least neighborhood-growth value at which the cumulative growth
 // distribution spikes near the dupFraction-percentile.
 func (d *Deduper) EstimateC(dupFraction float64) (float64, error) {
-	rel, err := d.nnRelation(core.Cut{MaxSize: 5})
+	rel, err := d.nnRelation(context.Background(), core.Cut{MaxSize: 5})
 	if err != nil {
 		return 0, err
 	}
@@ -382,7 +420,7 @@ func (d *Deduper) EstimateC(dupFraction float64) (float64, error) {
 // NeighborhoodGrowths returns ng(v) for every record — the diagnostic the
 // Section 4.3 estimator and the SN criterion are built on.
 func (d *Deduper) NeighborhoodGrowths() ([]int, error) {
-	rel, err := d.nnRelation(core.Cut{MaxSize: 5})
+	rel, err := d.nnRelation(context.Background(), core.Cut{MaxSize: 5})
 	if err != nil {
 		return nil, err
 	}
@@ -397,6 +435,6 @@ func (d *Deduper) growthP() float64 {
 }
 
 // phase1Opts derives the phase-1 options from the Deduper's configuration.
-func (d *Deduper) phase1Opts() core.Phase1Options {
-	return core.Phase1Options{Parallel: d.opts.Parallel}
+func (d *Deduper) phase1Opts(ctx context.Context) core.Phase1Options {
+	return core.Phase1Options{Parallel: d.opts.Parallel, Ctx: ctx}
 }

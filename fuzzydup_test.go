@@ -1,6 +1,8 @@
 package fuzzydup
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strconv"
 	"testing"
@@ -479,5 +481,66 @@ func TestMinimalCompactOption(t *testing.T) {
 	}
 	if len(gmin.Duplicates()) != 3 {
 		t.Errorf("expected three minimal pairs: %v", gmin.Duplicates())
+	}
+}
+
+func TestGroupsCtxCancellation(t *testing.T) {
+	d, err := New(table1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.GroupsBySizeCtx(ctx, 3, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("size cut with cancelled ctx: %v", err)
+	}
+	if _, err := d.GroupsByDiameterCtx(ctx, 0.3, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("diameter cut with cancelled ctx: %v", err)
+	}
+	if _, err := d.GroupsBySizeAndDiameterCtx(ctx, 3, 0.3, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("combined cut with cancelled ctx: %v", err)
+	}
+	// The aborted runs must not have poisoned the phase-1 cache: a live
+	// context solves normally and matches a fresh Deduper's answer.
+	got, err := d.GroupsBySizeCtx(context.Background(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(table1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.GroupsBySize(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups after cancelled attempts = %v, want %v", got, want)
+	}
+}
+
+func TestCacheStatsSweep(t *testing.T) {
+	d, err := New(table1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes, hits := d.CacheStats(); computes != 0 || hits != 0 {
+		t.Fatalf("fresh deduper stats = %d, %d", computes, hits)
+	}
+	// Widest first: one compute, then two cache hits.
+	for _, k := range []int{4, 3, 2} {
+		if _, err := d.GroupsBySize(k, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computes, hits := d.CacheStats(); computes != 1 || hits != 2 {
+		t.Errorf("after descending sweep: computes = %d, hits = %d, want 1, 2", computes, hits)
+	}
+	// Widening the cut recomputes once.
+	if _, err := d.GroupsBySize(6, 4); err != nil {
+		t.Fatal(err)
+	}
+	if computes, hits := d.CacheStats(); computes != 2 || hits != 2 {
+		t.Errorf("after widening: computes = %d, hits = %d, want 2, 2", computes, hits)
 	}
 }

@@ -73,7 +73,15 @@ func BF(n, maxQueue int, visit Visitor) []int {
 // once per tuple, and returns the visit order. Neighbor results are
 // ignored; this is the baseline order of Figure 8.
 func Random(n int, seed int64, visit Visitor) []int {
-	order := rand.New(rand.NewSource(seed)).Perm(n)
+	return RandomFrom(n, rand.New(rand.NewSource(seed)), visit)
+}
+
+// RandomFrom is Random with an injected source: the permutation is drawn
+// from rng, never from the global math/rand source, so concurrent callers
+// (e.g. server jobs running order experiments side by side) stay
+// reproducible and race-free as long as each supplies its own *rand.Rand.
+func RandomFrom(n int, rng *rand.Rand, visit Visitor) []int {
+	order := rng.Perm(n)
 	for _, id := range order {
 		visit(id)
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +45,15 @@ type Phase1Options struct {
 	Order LookupOrder
 	// Seed seeds the random order; ignored otherwise.
 	Seed int64
+	// Rand, when non-nil, supplies the random order's source instead of
+	// Seed. Injecting a *rand.Rand keeps concurrent phase-1 runs off any
+	// shared source and makes order experiments reproducible.
+	Rand *rand.Rand
+	// Ctx, when non-nil, is polled between index lookups: once it is
+	// cancelled, the remaining lookups are skipped and ComputeNN returns
+	// ctx.Err(). Phase 1 dominates the algorithm's cost, so this is where
+	// cancellation must land for a killed job to stop burning CPU.
+	Ctx context.Context
 	// MaxQueue bounds the BF queue (<= 0 selects the package default).
 	MaxQueue int
 	// Parallel, when > 1, fans the lookups across that many goroutines.
@@ -87,6 +98,12 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 
 	var done int64
 	visit := func(id int) []int {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			// Cancelled: skip the lookup. The orders still walk every
+			// remaining ID, but each visit is now a no-op, so the run
+			// winds down without further index work.
+			return nil
+		}
 		row, neighbors := lookupOne(idx, cut, p, id)
 		rel.Rows[id] = row
 		if opts.Progress != nil {
@@ -95,10 +112,19 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 		return neighbors
 	}
 
+	finish := func() (*NNRelation, error) {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return rel, nil
+	}
+
 	if opts.Parallel > 1 {
 		if _, ok := idx.(ConcurrentQuerier); ok {
 			parallelVisit(n, opts.Parallel, visit)
-			return rel, nil
+			return finish()
 		}
 		// Fall through to the serial orders for indexes that cannot take
 		// concurrent queries.
@@ -108,13 +134,17 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 	case OrderBF:
 		bforder.BF(n, opts.MaxQueue, visit)
 	case OrderRandom:
-		bforder.Random(n, opts.Seed, visit)
+		if opts.Rand != nil {
+			bforder.RandomFrom(n, opts.Rand, visit)
+		} else {
+			bforder.Random(n, opts.Seed, visit)
+		}
 	case OrderSequential:
 		bforder.Sequential(n, visit)
 	default:
 		return nil, fmt.Errorf("core: unknown lookup order %d", int(opts.Order))
 	}
-	return rel, nil
+	return finish()
 }
 
 // parallelVisit fans ids 0..n-1 across workers. Each row is written by

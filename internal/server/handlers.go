@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fuzzydup"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// datasetCreateRequest is the body of POST /v1/datasets.
+type datasetCreateRequest struct {
+	// Name is an optional human label.
+	Name string `json:"name,omitempty"`
+	// Records is an optional initial batch; more can be streamed to
+	// /v1/datasets/{id}/records afterwards.
+	Records []fuzzydup.Record `json:"records,omitempty"`
+}
+
+func (s *Server) handleDatasetCreate(w http.ResponseWriter, r *http.Request) {
+	var req datasetCreateRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	info, err := s.store.Create(req.Name, req.Records)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	s.metrics.datasets.Add(1)
+	s.metrics.recordsIngested.Add(int64(info.Records))
+	w.Header().Set("Location", "/v1/datasets/"+info.ID)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.store.List()})
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("id")); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	s.metrics.datasets.Add(-1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// appendResponse is the body of POST /v1/datasets/{id}/records.
+type appendResponse struct {
+	DatasetInfo
+	// Added is how many records this request appended.
+	Added int `json:"added"`
+}
+
+func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	added, info, err := s.store.AppendNDJSON(r.PathValue("id"), r.Body)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	s.metrics.recordsIngested.Add(int64(added))
+	writeJSON(w, http.StatusOK, appendResponse{DatasetInfo: info, Added: added})
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeJSON(r.Body, &spec); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	status, err := s.engine.Submit(spec)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+status.ID)
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.engine.Jobs()})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	status, err := s.engine.Status(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	result, err := s.engine.Result(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, result)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	status, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// decodeJSON decodes a single JSON document, rejecting trailing garbage.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) {
+			return err
+		}
+		return &specError{fmt.Sprintf("invalid JSON body: %v", err)}
+	}
+	if dec.More() {
+		return &specError{"trailing data after JSON body"}
+	}
+	return nil
+}

@@ -1,0 +1,614 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fuzzydup"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job lifecycle: queued → running → one of the three terminal states.
+// DELETE moves a queued or running job to cancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state admits no further transitions.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the body of POST /v1/jobs: which dataset to deduplicate and
+// the full parameterization of the DE problem. K, Theta, and C are sweep
+// lists — every combination applicable to the mode becomes one sweep
+// point, and all points of a job share one Deduper, so the phase-1 cache
+// makes a sweep barely more expensive than its widest point.
+type JobSpec struct {
+	// Dataset is the dataset ID to deduplicate. Required.
+	Dataset string `json:"dataset"`
+	// Mode selects the cut: "size" (DE_S), "diameter" (DE_D), or "both".
+	// Default "size".
+	Mode string `json:"mode,omitempty"`
+	// Metric names a fuzzydup.Metric. Default "ed".
+	Metric string `json:"metric,omitempty"`
+	// Agg names a fuzzydup.Agg. Default "max".
+	Agg string `json:"agg,omitempty"`
+	// Index names a fuzzydup.Index. Default "exact".
+	Index string `json:"index,omitempty"`
+	// K lists the maximum group sizes to sweep (modes size/both).
+	// Default [3].
+	K []int `json:"k,omitempty"`
+	// Theta lists the diameter cuts to sweep (modes diameter/both).
+	// Default [0.3].
+	Theta []float64 `json:"theta,omitempty"`
+	// C lists the SN thresholds to sweep. Default [4].
+	C []float64 `json:"c,omitempty"`
+	// P is the growth-sphere factor (default 2).
+	P float64 `json:"p,omitempty"`
+	// MinimalCompact applies the Section 4.4.2 post-processing.
+	MinimalCompact bool `json:"minimal_compact,omitempty"`
+	// UseSQL runs phase 2 through the embedded relational engine.
+	UseSQL bool `json:"use_sql,omitempty"`
+	// Parallel fans phase-1 lookups across this many goroutines (exact
+	// index only).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// maxSweepPoints bounds the K × Theta × C cross product of one job.
+const maxSweepPoints = 64
+
+// sweepPoint is one (K, θ, c) combination of a job's sweep.
+type sweepPoint struct {
+	K     int
+	Theta float64
+	C     float64
+}
+
+// normalize applies defaults and validates the spec, returning the sweep
+// points in request order. Validation errors are *specError (HTTP 400).
+func (spec *JobSpec) normalize() ([]sweepPoint, error) {
+	if spec.Dataset == "" {
+		return nil, &specError{"missing dataset"}
+	}
+	if spec.Mode == "" {
+		spec.Mode = "size"
+	}
+	switch spec.Mode {
+	case "size", "diameter", "both":
+	default:
+		return nil, &specError{fmt.Sprintf("unknown mode %q (size, diameter, both)", spec.Mode)}
+	}
+	if spec.Metric == "" {
+		spec.Metric = string(fuzzydup.MetricEdit)
+	}
+	if spec.Agg == "" {
+		spec.Agg = string(fuzzydup.AggMax)
+	}
+	if spec.Index == "" {
+		spec.Index = string(fuzzydup.IndexExact)
+	}
+	// fuzzydup.New is the authority on metric/index/agg names; probing it
+	// with a throwaway relation keeps the two validations from drifting.
+	if _, err := fuzzydup.New([]fuzzydup.Record{{"probe"}, {"probe b"}}, fuzzydup.Options{
+		Metric: fuzzydup.Metric(spec.Metric),
+		Index:  fuzzydup.Index(spec.Index),
+	}); err != nil {
+		return nil, &specError{err.Error()}
+	}
+	if len(spec.K) == 0 {
+		spec.K = []int{3}
+	}
+	if len(spec.Theta) == 0 {
+		spec.Theta = []float64{0.3}
+	}
+	if len(spec.C) == 0 {
+		spec.C = []float64{4}
+	}
+	for _, k := range spec.K {
+		if k < 2 {
+			return nil, &specError{fmt.Sprintf("k = %d must be >= 2", k)}
+		}
+	}
+	for _, th := range spec.Theta {
+		if th <= 0 || th > 1 {
+			return nil, &specError{fmt.Sprintf("theta = %g must be in (0, 1]", th)}
+		}
+	}
+	for _, c := range spec.C {
+		if c <= 1 {
+			return nil, &specError{fmt.Sprintf("c = %g must be > 1", c)}
+		}
+	}
+
+	var points []sweepPoint
+	switch spec.Mode {
+	case "size":
+		for _, k := range spec.K {
+			for _, c := range spec.C {
+				points = append(points, sweepPoint{K: k, C: c})
+			}
+		}
+	case "diameter":
+		for _, th := range spec.Theta {
+			for _, c := range spec.C {
+				points = append(points, sweepPoint{Theta: th, C: c})
+			}
+		}
+	case "both":
+		for _, k := range spec.K {
+			for _, th := range spec.Theta {
+				for _, c := range spec.C {
+					points = append(points, sweepPoint{K: k, Theta: th, C: c})
+				}
+			}
+		}
+	}
+	if len(points) > maxSweepPoints {
+		return nil, &specError{fmt.Sprintf("sweep has %d points, max %d", len(points), maxSweepPoints)}
+	}
+	return points, nil
+}
+
+// specError marks an invalid job spec (HTTP 400).
+type specError struct{ msg string }
+
+func (e *specError) Error() string { return e.msg }
+
+// SweepResult is the outcome of one sweep point.
+type SweepResult struct {
+	K     int     `json:"k,omitempty"`
+	Theta float64 `json:"theta,omitempty"`
+	C     float64 `json:"c"`
+	// Groups is the full partition; Duplicates the groups of size >= 2.
+	Groups     [][]int `json:"groups"`
+	Duplicates [][]int `json:"duplicates"`
+	// Pairs lists every duplicate pair (a < b).
+	Pairs [][2]int `json:"pairs"`
+	// Representatives[i] is the medoid of Groups[i].
+	Representatives []int `json:"representatives"`
+}
+
+// JobResult is the body of GET /v1/jobs/{id}/result.
+type JobResult struct {
+	ID      string        `json:"id"`
+	Dataset string        `json:"dataset"`
+	Records int           `json:"records"`
+	Results []SweepResult `json:"results"`
+}
+
+// SweepProgress reports how far a job's sweep has advanced.
+type SweepProgress struct {
+	Total int `json:"total"`
+	Done  int `json:"done"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID       string        `json:"id"`
+	State    JobState      `json:"state"`
+	Dataset  string        `json:"dataset"`
+	Sweep    SweepProgress `json:"sweep"`
+	Error    string        `json:"error,omitempty"`
+	Created  time.Time     `json:"created"`
+	Started  *time.Time    `json:"started,omitempty"`
+	Finished *time.Time    `json:"finished,omitempty"`
+}
+
+// job is the engine's record of one submitted job.
+type job struct {
+	id     string
+	spec   JobSpec
+	points []sweepPoint
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	done     int // sweep points completed
+	err      error
+	records  int
+	results  []SweepResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Dataset: j.spec.Dataset,
+		Sweep:   SweepProgress{Total: len(j.points), Done: j.done},
+		Created: j.created,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Engine owns the bounded job queue and the worker pool draining it.
+type Engine struct {
+	store   *Store
+	metrics *Metrics
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+
+	// testBeforeSolve, when set (tests only), runs before each sweep
+	// point with the job's context and ID; it lets tests hold a job
+	// mid-flight deterministically.
+	testBeforeSolve func(ctx context.Context, jobID string)
+}
+
+// errQueueFull rejects a submission when the bounded queue has no room
+// (HTTP 503).
+var errQueueFull = fmt.Errorf("job queue full")
+
+// errShuttingDown rejects submissions after shutdown began (HTTP 503).
+var errShuttingDown = fmt.Errorf("server shutting down")
+
+// errJobNotTerminal rejects a result fetch before the job finished
+// (HTTP 409).
+type errJobNotTerminal struct{ state JobState }
+
+func (e *errJobNotTerminal) Error() string {
+	return fmt.Sprintf("job is %s; result not available", e.state)
+}
+
+func errJobNotFound(id string) error { return &notFoundError{what: "job", id: id} }
+
+// newEngine starts a pool of workers draining a queue of the given
+// capacity.
+func newEngine(store *Store, metrics *Metrics, workers, queueCap int) *Engine {
+	e := &Engine{
+		store:   store,
+		metrics: metrics,
+		queue:   make(chan *job, queueCap),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates the spec and enqueues a job, returning its initial
+// status. The queue is bounded: a full queue rejects with errQueueFull
+// rather than accepting unbounded work.
+func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
+	points, err := spec.normalize()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if _, err := e.store.Get(spec.Dataset); err != nil {
+		return JobStatus{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		spec:    spec,
+		points:  points,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return JobStatus{}, errShuttingDown
+	}
+	// The ID is assigned and registered before the job hits the queue: a
+	// worker may dequeue it the instant the send succeeds.
+	e.nextID++
+	j.id = fmt.Sprintf("job-%06d", e.nextID)
+	select {
+	case e.queue <- j:
+		e.jobs[j.id] = j
+	default:
+		e.nextID--
+		e.mu.Unlock()
+		cancel()
+		return JobStatus{}, errQueueFull
+	}
+	e.mu.Unlock()
+
+	e.metrics.jobsQueued.Add(1)
+	return j.status(), nil
+}
+
+// Status returns a job's status.
+func (e *Engine) Status(id string) (JobStatus, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+// Result returns a finished job's results. Non-terminal jobs answer
+// errJobNotTerminal; failed or cancelled jobs answer their error.
+func (e *Engine) Result(id string) (JobResult, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return JobResult{}, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.state.terminal():
+		return JobResult{}, &errJobNotTerminal{state: j.state}
+	case j.state == StateCancelled:
+		return JobResult{}, &errJobNotTerminal{state: j.state}
+	case j.state == StateFailed:
+		return JobResult{}, fmt.Errorf("job failed: %w", j.err)
+	}
+	return JobResult{ID: j.id, Dataset: j.spec.Dataset, Records: j.records, Results: j.results}, nil
+}
+
+// Cancel moves a queued or running job to cancelled (its context is
+// cancelled; phase 1 notices between index lookups). Cancelling a job
+// already in a terminal state instead removes it from the registry — the
+// DELETE verb covers both "stop this" and "forget this".
+func (e *Engine) Cancel(id string) (JobStatus, error) {
+	j, err := e.get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.terminal():
+		j.mu.Unlock()
+		e.mu.Lock()
+		delete(e.jobs, id)
+		e.mu.Unlock()
+		return j.status(), nil
+	case j.state == StateQueued:
+		// The worker that eventually dequeues it will see the state and
+		// skip.
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		e.metrics.jobsCancelled.Add(1)
+		return j.status(), nil
+	default: // running: the job's run loop performs the transition
+		j.mu.Unlock()
+		j.cancel()
+		return j.status(), nil
+	}
+}
+
+// Jobs returns all known job statuses ordered by ID.
+func (e *Engine) Jobs() []JobStatus {
+	e.mu.Lock()
+	jobs := make([]*job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Shutdown stops intake and drains the workers: running (and still-
+// queued) jobs get until ctx's deadline to finish, then every live job
+// is cancelled and the workers are awaited (cancellation is polled
+// between phase-1 lookups, so this converges quickly). Returns ctx.Err()
+// if the deadline forced cancellation.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		for _, j := range e.jobs {
+			j.cancel()
+		}
+		e.mu.Unlock()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) get(id string) (*job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return nil, errJobNotFound(id)
+	}
+	return j, nil
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.run(j)
+	}
+}
+
+// run executes one job: snapshot the dataset, build the job's own
+// Deduper (the type is not concurrency-safe, so it is never shared
+// across jobs), and solve every sweep point — widest cut first, so the
+// remaining points are phase-1 cache hits.
+func (e *Engine) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	e.metrics.jobsRunning.Add(1)
+	defer e.metrics.jobsRunning.Add(-1)
+
+	err := e.solve(j)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case j.ctx.Err() != nil:
+		j.state = StateCancelled
+		j.err = context.Canceled
+		e.metrics.jobsCancelled.Add(1)
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+		e.metrics.jobsFailed.Add(1)
+	default:
+		j.state = StateDone
+		e.metrics.jobsDone.Add(1)
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+func (e *Engine) solve(j *job) error {
+	records, err := e.store.Snapshot(j.spec.Dataset)
+	if err != nil {
+		return err
+	}
+	d, err := fuzzydup.New(records, fuzzydup.Options{
+		Metric:         fuzzydup.Metric(j.spec.Metric),
+		Agg:            fuzzydup.Agg(j.spec.Agg),
+		Index:          fuzzydup.Index(j.spec.Index),
+		P:              j.spec.P,
+		MinimalCompact: j.spec.MinimalCompact,
+		UseSQL:         j.spec.UseSQL,
+		Parallel:       j.spec.Parallel,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		computes, hits := d.CacheStats()
+		e.metrics.cacheComputes.Add(int64(computes))
+		e.metrics.cacheHits.Add(int64(hits))
+	}()
+
+	results := make([]SweepResult, len(j.points))
+	for _, idx := range sweepOrder(j.points) {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if e.testBeforeSolve != nil {
+			e.testBeforeSolve(j.ctx, j.id)
+		}
+		pt := j.points[idx]
+		var groups fuzzydup.Groups
+		var err error
+		switch j.spec.Mode {
+		case "size":
+			groups, err = d.GroupsBySizeCtx(j.ctx, pt.K, pt.C)
+		case "diameter":
+			groups, err = d.GroupsByDiameterCtx(j.ctx, pt.Theta, pt.C)
+		default: // both
+			groups, err = d.GroupsBySizeAndDiameterCtx(j.ctx, pt.K, pt.Theta, pt.C)
+		}
+		if err != nil {
+			return err
+		}
+		reps := make([]int, len(groups))
+		for i, g := range groups {
+			reps[i] = d.Representative(g)
+		}
+		results[idx] = SweepResult{
+			K:               pt.K,
+			Theta:           pt.Theta,
+			C:               pt.C,
+			Groups:          groups,
+			Duplicates:      nonNil(groups.Duplicates()),
+			Pairs:           nonNilPairs(groups.Pairs()),
+			Representatives: reps,
+		}
+		j.mu.Lock()
+		j.done++
+		j.mu.Unlock()
+	}
+
+	j.mu.Lock()
+	j.records = len(records)
+	j.results = results
+	j.mu.Unlock()
+	return nil
+}
+
+// sweepOrder returns the execution order of a job's sweep points: widest
+// cut first (largest K, then largest θ), so every later point is served
+// from the phase-1 cache. Results are still reported in request order.
+func sweepOrder(points []sweepPoint) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := points[order[a]], points[order[b]]
+		if pa.K != pb.K {
+			return pa.K > pb.K
+		}
+		return pa.Theta > pb.Theta
+	})
+	return order
+}
+
+// nonNil keeps empty result arrays rendering as [] rather than null.
+func nonNil(v [][]int) [][]int {
+	if v == nil {
+		return [][]int{}
+	}
+	return v
+}
+
+func nonNilPairs(v [][2]int) [][2]int {
+	if v == nil {
+		return [][2]int{}
+	}
+	return v
+}

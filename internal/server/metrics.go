@@ -1,0 +1,124 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics holds the service's operational counters. They are expvar
+// values but owned per-Server rather than registered in expvar's global
+// registry, which panics on duplicate names — tests (and embedders) can
+// run many servers in one process. Publish exports them globally for the
+// daemon.
+//
+// Counter map served at GET /metrics:
+//
+//	jobs_queued            jobs accepted into the queue (cumulative)
+//	jobs_running           jobs currently executing (gauge)
+//	jobs_done              jobs finished successfully
+//	jobs_failed            jobs finished with an error
+//	jobs_cancelled         jobs cancelled before or during execution
+//	datasets               datasets currently registered (gauge)
+//	records_ingested       records accepted across all datasets (cumulative)
+//	phase1_cache_hits      sweep points served from a job's phase-1 cache
+//	phase1_cache_computes  sweep points that ran the full NN computation
+//	endpoints              per-endpoint request count and latency:
+//	                       {"POST /v1/jobs": {"count": n, "total_us": µs}}
+type Metrics struct {
+	root *expvar.Map
+
+	jobsQueued    *expvar.Int
+	jobsRunning   *expvar.Int
+	jobsDone      *expvar.Int
+	jobsFailed    *expvar.Int
+	jobsCancelled *expvar.Int
+
+	datasets        *expvar.Int
+	recordsIngested *expvar.Int
+
+	cacheHits     *expvar.Int
+	cacheComputes *expvar.Int
+
+	endpoints *expvar.Map
+	mu        sync.Mutex // serializes creation of per-endpoint entries
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{
+		root:            new(expvar.Map).Init(),
+		jobsQueued:      new(expvar.Int),
+		jobsRunning:     new(expvar.Int),
+		jobsDone:        new(expvar.Int),
+		jobsFailed:      new(expvar.Int),
+		jobsCancelled:   new(expvar.Int),
+		datasets:        new(expvar.Int),
+		recordsIngested: new(expvar.Int),
+		cacheHits:       new(expvar.Int),
+		cacheComputes:   new(expvar.Int),
+		endpoints:       new(expvar.Map).Init(),
+	}
+	m.root.Set("jobs_queued", m.jobsQueued)
+	m.root.Set("jobs_running", m.jobsRunning)
+	m.root.Set("jobs_done", m.jobsDone)
+	m.root.Set("jobs_failed", m.jobsFailed)
+	m.root.Set("jobs_cancelled", m.jobsCancelled)
+	m.root.Set("datasets", m.datasets)
+	m.root.Set("records_ingested", m.recordsIngested)
+	m.root.Set("phase1_cache_hits", m.cacheHits)
+	m.root.Set("phase1_cache_computes", m.cacheComputes)
+	m.root.Set("endpoints", m.endpoints)
+	return m
+}
+
+// Publish registers the counter map in the global expvar registry under
+// the given name (typically "dedupd"), making it visible on /debug/vars.
+// Call at most once per process.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, m.root)
+}
+
+// observe records one served request for the per-endpoint counters.
+func (m *Metrics) observe(endpoint string, d time.Duration) {
+	v := m.endpoints.Get(endpoint)
+	if v == nil {
+		m.mu.Lock()
+		if v = m.endpoints.Get(endpoint); v == nil {
+			e := new(expvar.Map).Init()
+			e.Set("count", new(expvar.Int))
+			e.Set("total_us", new(expvar.Int))
+			m.endpoints.Set(endpoint, e)
+			v = e
+		}
+		m.mu.Unlock()
+	}
+	e := v.(*expvar.Map)
+	e.Get("count").(*expvar.Int).Add(1)
+	e.Get("total_us").(*expvar.Int).Add(d.Microseconds())
+}
+
+// handler serves the counter map as JSON.
+func (m *Metrics) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write([]byte(m.root.String()))
+	})
+}
+
+// endpointLabel normalizes a request to a bounded-cardinality metrics
+// key: concrete dataset and job IDs collapse to "{id}".
+func endpointLabel(r *http.Request) string {
+	parts := strings.Split(r.URL.Path, "/")
+	for i := 1; i < len(parts); i++ {
+		if parts[i] == "" {
+			continue
+		}
+		switch parts[i-1] {
+		case "datasets", "jobs":
+			parts[i] = "{id}"
+		}
+	}
+	return r.Method + " " + strings.Join(parts, "/")
+}

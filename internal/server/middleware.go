@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+)
+
+// apiError is the structured error body every non-2xx response carries.
+type apiError struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorBody wraps apiError under an "error" key so success and failure
+// bodies are distinguishable at a glance.
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: apiError{Status: status, Code: code, Message: message}})
+}
+
+// writeServiceError maps the service's typed errors to HTTP responses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	var (
+		notFound *notFoundError
+		parse    *parseError
+		capErr   *capError
+		spec     *specError
+		notTerm  *errJobNotTerminal
+		maxBytes *http.MaxBytesError
+	)
+	switch {
+	case errors.As(err, &notFound):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.As(err, &parse):
+		writeError(w, http.StatusBadRequest, "bad_record", err.Error())
+	case errors.As(err, &capErr):
+		writeError(w, http.StatusRequestEntityTooLarge, "dataset_cap", err.Error())
+	case errors.As(err, &spec):
+		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
+	case errors.As(err, &notTerm):
+		writeError(w, http.StatusConflict, "not_finished", err.Error())
+	case errors.As(err, &maxBytes):
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error())
+	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// withRecover converts handler panics into structured 500s instead of
+// killing the connection.
+func withRecover(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				writeError(w, http.StatusInternalServerError, "internal", "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withMetrics records per-endpoint request counts and latency.
+func withMetrics(m *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		m.observe(endpointLabel(r), time.Since(start))
+	})
+}
+
+// withBodyLimit caps request body sizes; readers past the cap see
+// *http.MaxBytesError, which writeServiceError maps to 413.
+func withBodyLimit(n int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil && n > 0 {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout enforces a per-request deadline. Handlers are quick — jobs
+// run asynchronously — so a request exceeding this is stuck, not busy.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	body, _ := json.Marshal(errorBody{Error: apiError{
+		Status:  http.StatusServiceUnavailable,
+		Code:    "timeout",
+		Message: "request timed out",
+	}})
+	return http.TimeoutHandler(next, d, string(body))
+}

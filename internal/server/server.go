@@ -1,0 +1,165 @@
+// Package server implements dedupd, the JSON-over-HTTP fuzzy-dedup
+// service: an in-memory dataset registry with streaming NDJSON ingest, a
+// bounded job queue drained by a worker pool that runs CS/SN dedup jobs
+// (with K/θ/c parameter sweeps sharing one phase-1 cache per job), and an
+// operational surface of health, expvar-style metrics, request timeouts,
+// size limits, structured errors, and graceful draining shutdown.
+//
+// Endpoints:
+//
+//	GET    /healthz                   liveness probe
+//	GET    /metrics                   operational counters (JSON)
+//	POST   /v1/datasets               register a dataset (JSON array)
+//	GET    /v1/datasets               list datasets
+//	GET    /v1/datasets/{id}          dataset info
+//	DELETE /v1/datasets/{id}          remove a dataset
+//	POST   /v1/datasets/{id}/records  append records (streaming NDJSON)
+//	POST   /v1/jobs                   submit a dedup job (async, 202)
+//	GET    /v1/jobs                   list jobs
+//	GET    /v1/jobs/{id}              job status + sweep progress
+//	GET    /v1/jobs/{id}/result       groups, pairs, representatives
+//	DELETE /v1/jobs/{id}              cancel (or forget a finished) job
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers sizes the job worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the job queue; submissions beyond it get 503
+	// (default 64).
+	QueueCap int
+	// MaxBodyBytes caps any request body (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxRecords caps each dataset's record count (default 1,000,000;
+	// < 0 disables).
+	MaxRecords int
+	// RequestTimeout bounds each HTTP request (default 30s; < 0
+	// disables). Jobs run asynchronously, so no handler legitimately
+	// takes long.
+	RequestTimeout time.Duration
+	// Logger receives operational logs (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxRecords == 0 {
+		c.MaxRecords = 1_000_000
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server wires the dataset store, job engine, and metrics behind an
+// http.Handler.
+type Server struct {
+	cfg     Config
+	store   *Store
+	engine  *Engine
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New builds a Server and starts its worker pool. Callers must Shutdown
+// to stop the workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+	}
+	s.store = newStore(cfg.MaxRecords)
+	s.engine = newEngine(s.store, s.metrics, cfg.Workers, cfg.QueueCap)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metrics.handler())
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	mux.HandleFunc("POST /v1/datasets/{id}/records", s.handleDatasetAppend)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
+	})
+
+	var h http.Handler = mux
+	h = withBodyLimit(cfg.MaxBodyBytes, h)
+	h = withRecover(cfg.Logger, h)
+	h = withMetrics(s.metrics, h)
+	h = withTimeout(cfg.RequestTimeout, h)
+	s.handler = h
+	return s
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's counters (for Publish and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the job engine: running jobs get until ctx's deadline
+// to finish, then they are cancelled and awaited. It returns ctx.Err()
+// if the deadline forced cancellation. The HTTP listener (if any) is the
+// caller's to close — see ListenAndServe.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.engine.Shutdown(ctx)
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts the
+// listener down and drains the job engine, giving both together at most
+// drain. This is the daemon's main loop.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// Listener died on its own; still stop the workers.
+		s.engine.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	s.cfg.Logger.Printf("shutting down: draining for up to %s", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	httpErr := srv.Shutdown(drainCtx)
+	jobErr := s.engine.Shutdown(drainCtx)
+	if jobErr != nil && errors.Is(jobErr, context.DeadlineExceeded) {
+		s.cfg.Logger.Printf("drain deadline hit: running jobs were cancelled")
+	}
+	return httpErr
+}

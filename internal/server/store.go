@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fuzzydup"
+)
+
+// Store is the in-memory dataset registry. All methods are safe for
+// concurrent use; records are append-only, so a Snapshot taken while
+// another request appends sees a consistent prefix.
+type Store struct {
+	mu         sync.RWMutex
+	datasets   map[string]*datasetEntry
+	nextID     int
+	maxRecords int // per-dataset record cap (<= 0: unlimited)
+}
+
+type datasetEntry struct {
+	id      string
+	name    string
+	created time.Time
+	records []fuzzydup.Record
+}
+
+// DatasetInfo is the JSON description of a dataset.
+type DatasetInfo struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name,omitempty"`
+	Records int       `json:"records"`
+	Created time.Time `json:"created"`
+}
+
+func newStore(maxRecords int) *Store {
+	return &Store{datasets: make(map[string]*datasetEntry), maxRecords: maxRecords}
+}
+
+// maxNDJSONLine bounds a single NDJSON record line; a line is one JSON
+// array of strings, so a megabyte is already a pathological record.
+const maxNDJSONLine = 1 << 20
+
+// Create registers a dataset with an optional initial record batch.
+func (s *Store) Create(name string, recs []fuzzydup.Record) (DatasetInfo, error) {
+	if err := validateRecords(recs, 0); err != nil {
+		return DatasetInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxRecords > 0 && len(recs) > s.maxRecords {
+		return DatasetInfo{}, &capError{limit: s.maxRecords}
+	}
+	s.nextID++
+	e := &datasetEntry{
+		id:      fmt.Sprintf("ds-%06d", s.nextID),
+		name:    name,
+		created: time.Now(),
+		records: recs,
+	}
+	s.datasets[e.id] = e
+	return e.info(), nil
+}
+
+// Append adds a parsed record batch to a dataset and returns its new info.
+func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, error) {
+	if err := validateRecords(recs, 0); err != nil {
+		return DatasetInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return DatasetInfo{}, errDatasetNotFound(id)
+	}
+	if s.maxRecords > 0 && len(e.records)+len(recs) > s.maxRecords {
+		return DatasetInfo{}, &capError{limit: s.maxRecords}
+	}
+	e.records = append(e.records, recs...)
+	return e.info(), nil
+}
+
+// AppendNDJSON streams newline-delimited JSON records — one JSON array of
+// strings per line, blank lines skipped — into a dataset. The whole batch
+// is parsed and validated before any record is committed, so a malformed
+// line rejects the request without a partial append. Returns the number
+// of records added and the dataset's new info.
+func (s *Store) AppendNDJSON(id string, r io.Reader) (int, DatasetInfo, error) {
+	// Existence check up front so a stream to a bogus ID fails fast.
+	if _, err := s.Get(id); err != nil {
+		return 0, DatasetInfo{}, err
+	}
+	var recs []fuzzydup.Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxNDJSONLine)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec fuzzydup.Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return 0, DatasetInfo{}, &parseError{line: line, err: err}
+		}
+		if len(rec) == 0 {
+			return 0, DatasetInfo{}, &parseError{line: line, err: fmt.Errorf("empty record")}
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			err = fmt.Errorf("record line exceeds %d bytes", maxNDJSONLine)
+		}
+		return 0, DatasetInfo{}, &parseError{line: line + 1, err: err}
+	}
+	info, err := s.Append(id, recs)
+	if err != nil {
+		return 0, DatasetInfo{}, err
+	}
+	return len(recs), info, nil
+}
+
+// Snapshot returns the dataset's records at this moment. The returned
+// slice is private to the caller; the records themselves are shared and
+// never mutated.
+func (s *Store) Snapshot(id string) ([]fuzzydup.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return nil, errDatasetNotFound(id)
+	}
+	out := make([]fuzzydup.Record, len(e.records))
+	copy(out, e.records)
+	return out, nil
+}
+
+// Get returns a dataset's info.
+func (s *Store) Get(id string) (DatasetInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return DatasetInfo{}, errDatasetNotFound(id)
+	}
+	return e.info(), nil
+}
+
+// Delete removes a dataset. Jobs already running on a snapshot are
+// unaffected; queued jobs referencing it will fail at start.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[id]; !ok {
+		return errDatasetNotFound(id)
+	}
+	delete(s.datasets, id)
+	return nil
+}
+
+// List returns all datasets ordered by ID.
+func (s *Store) List() []DatasetInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of datasets.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.datasets)
+}
+
+func (e *datasetEntry) info() DatasetInfo {
+	return DatasetInfo{ID: e.id, Name: e.name, Records: len(e.records), Created: e.created}
+}
+
+func validateRecords(recs []fuzzydup.Record, baseLine int) error {
+	for i, r := range recs {
+		if len(r) == 0 {
+			return &parseError{line: baseLine + i + 1, err: fmt.Errorf("empty record")}
+		}
+	}
+	return nil
+}
+
+// notFoundError marks a missing dataset or job (HTTP 404).
+type notFoundError struct{ what, id string }
+
+func (e *notFoundError) Error() string { return fmt.Sprintf("%s %q not found", e.what, e.id) }
+
+func errDatasetNotFound(id string) error { return &notFoundError{what: "dataset", id: id} }
+
+// parseError marks malformed ingest input (HTTP 400), pointing at the
+// offending record.
+type parseError struct {
+	line int
+	err  error
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("record %d: %v", e.line, e.err) }
+func (e *parseError) Unwrap() error { return e.err }
+
+// capError marks an ingest rejected by the per-dataset record cap
+// (HTTP 413).
+type capError struct{ limit int }
+
+func (e *capError) Error() string {
+	return fmt.Sprintf("dataset record cap (%d) exceeded", e.limit)
+}

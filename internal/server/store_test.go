@@ -1,0 +1,129 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fuzzydup"
+)
+
+func TestStoreAppendNDJSON(t *testing.T) {
+	s := newStore(100)
+	info, err := s.Create("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	added, info, err := s.AppendNDJSON(info.ID, strings.NewReader(
+		"[\"a\",\"b\"]\n\n  [\"c\"]  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 || info.Records != 2 {
+		t.Fatalf("added %d, total %d", added, info.Records)
+	}
+
+	recs, err := s.Snapshot(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0][0] != "a" || recs[1][0] != "c" {
+		t.Fatalf("snapshot %v", recs)
+	}
+}
+
+func TestStoreAppendNDJSONRejectsAtomically(t *testing.T) {
+	s := newStore(100)
+	info, _ := s.Create("t", nil)
+
+	cases := map[string]string{
+		"malformed":    "[\"ok\"]\n{oops\n",
+		"empty record": "[\"ok\"]\n[]\n",
+		"wrong type":   "[\"ok\"]\n{\"a\":1}\n",
+		"scalar":       "42\n",
+	}
+	for name, body := range cases {
+		_, _, err := s.AppendNDJSON(info.ID, strings.NewReader(body))
+		var pe *parseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: err = %v, want parseError", name, err)
+		}
+		if got, _ := s.Get(info.ID); got.Records != 0 {
+			t.Errorf("%s: partial commit of %d records", name, got.Records)
+		}
+	}
+}
+
+func TestStoreLineTooLong(t *testing.T) {
+	s := newStore(0)
+	info, _ := s.Create("t", nil)
+	long := "[\"" + strings.Repeat("x", maxNDJSONLine+10) + "\"]"
+	_, _, err := s.AppendNDJSON(info.ID, strings.NewReader(long))
+	var pe *parseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want parseError", err)
+	}
+}
+
+func TestStoreRecordCap(t *testing.T) {
+	s := newStore(3)
+	if _, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}, {"c"}, {"d"}}); err == nil {
+		t.Error("create above cap accepted")
+	}
+	info, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(info.ID, []fuzzydup.Record{{"c"}, {"d"}}); err == nil {
+		t.Error("append above cap accepted")
+	}
+	var ce *capError
+	_, _, err = s.AppendNDJSON(info.ID, strings.NewReader("[\"c\"]\n[\"d\"]\n"))
+	if !errors.As(err, &ce) {
+		t.Errorf("ndjson above cap: %v", err)
+	}
+	if got, _ := s.Get(info.ID); got.Records != 2 {
+		t.Errorf("records = %d after rejected appends", got.Records)
+	}
+}
+
+func TestStoreMissingDataset(t *testing.T) {
+	s := newStore(0)
+	var nf *notFoundError
+	if _, _, err := s.AppendNDJSON("ds-000001", strings.NewReader("[\"a\"]")); !errors.As(err, &nf) {
+		t.Errorf("append: %v", err)
+	}
+	if _, err := s.Snapshot("nope"); !errors.As(err, &nf) {
+		t.Errorf("snapshot: %v", err)
+	}
+	if err := s.Delete("nope"); !errors.As(err, &nf) {
+		t.Errorf("delete: %v", err)
+	}
+}
+
+func TestJobSpecNormalize(t *testing.T) {
+	spec := JobSpec{Dataset: "ds-000001", Mode: "both", K: []int{3, 2}, Theta: []float64{0.3, 0.2}, C: []float64{4}}
+	points, err := spec.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %v", points)
+	}
+	// Widest-first execution order: largest K, then largest theta.
+	order := sweepOrder(points)
+	first := points[order[0]]
+	if first.K != 3 || first.Theta != 0.3 {
+		t.Errorf("first executed point = %+v", first)
+	}
+
+	if _, err := (&JobSpec{Dataset: "x", Index: "nope"}).normalize(); err == nil {
+		t.Error("bad index accepted")
+	}
+	big := JobSpec{Dataset: "x", Mode: "both",
+		K: []int{2, 3, 4, 5, 6}, Theta: []float64{0.1, 0.2, 0.3, 0.4, 0.5}, C: []float64{2, 3, 4}}
+	if _, err := big.normalize(); err == nil {
+		t.Error("75-point sweep accepted above maxSweepPoints")
+	}
+}

@@ -98,6 +98,87 @@ func TestEliminateNoDuplicates(t *testing.T) {
 	}
 }
 
+func TestEliminateEmptyGroups(t *testing.T) {
+	d, err := New(table1(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty Groups value (no partition at all) eliminates nothing.
+	kept, replacedBy := d.Eliminate(Groups{})
+	if len(kept) != 0 || len(replacedBy) != 0 {
+		t.Errorf("empty groups: kept %v, replaced %v", kept, replacedBy)
+	}
+	if recs := d.Deduplicated(Groups{}); len(recs) != 0 {
+		t.Errorf("deduplicated empty groups: %v", recs)
+	}
+	if dups := (Groups{}).Duplicates(); len(dups) != 0 {
+		t.Errorf("duplicates of empty groups: %v", dups)
+	}
+	if pairs := (Groups{}).Pairs(); len(pairs) != 0 {
+		t.Errorf("pairs of empty groups: %v", pairs)
+	}
+}
+
+func TestEliminateSingletonGroups(t *testing.T) {
+	records := []Record{{"alpha"}, {"beta"}, {"gamma"}}
+	d, err := New(records, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Groups{{1}, {0}, {2}} // all singletons, out of order
+	kept, replacedBy := d.Eliminate(groups)
+	if !reflect.DeepEqual(kept, []int{0, 1, 2}) {
+		t.Errorf("kept = %v, want ascending 0 1 2", kept)
+	}
+	if len(replacedBy) != 0 {
+		t.Errorf("replaced = %v, want none", replacedBy)
+	}
+	recs := d.Deduplicated(groups)
+	if len(recs) != 3 || recs[0][0] != "alpha" || recs[2][0] != "gamma" {
+		t.Errorf("deduplicated = %v", recs)
+	}
+}
+
+func TestRepresentativeOutOfOrderMembers(t *testing.T) {
+	// Values 0, 10, 11: medoid is 10 (index 1) no matter how the group
+	// lists its members.
+	records := []Record{{"0"}, {"10"}, {"11"}}
+	d, err := New(records, Options{CustomMetric: numericMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, group := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {2, 0, 1}} {
+		if got := d.Representative(group); got != 1 {
+			t.Errorf("Representative(%v) = %d, want 1", group, got)
+		}
+	}
+	// Ties (equidistant members) resolve to the lowest record index even
+	// when the group is listed descending.
+	rec2 := []Record{{"0"}, {"10"}}
+	d2, err := New(rec2, Options{CustomMetric: numericMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Representative([]int{1, 0}); got != 0 {
+		t.Errorf("descending tie rep = %d, want 0", got)
+	}
+}
+
+func TestEliminateOutOfOrderMembers(t *testing.T) {
+	records := []Record{{"0"}, {"10"}, {"11"}, {"500"}}
+	d, err := New(records, Options{CustomMetric: numericMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, replacedBy := d.Eliminate(Groups{{2, 0, 1}, {3}})
+	if !reflect.DeepEqual(kept, []int{1, 3}) {
+		t.Errorf("kept = %v, want [1 3]", kept)
+	}
+	if replacedBy[0] != 1 || replacedBy[2] != 1 || len(replacedBy) != 2 {
+		t.Errorf("replaced = %v, want 0->1, 2->1", replacedBy)
+	}
+}
+
 // numericMetric parses records as numbers and compares them on a /1000
 // scale.
 func numericMetric(a, b string) float64 {

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		header    = fs.Bool("header", false, "skip the first CSV row")
 		baseline  = fs.Bool("baseline", false, "run single-linkage threshold clustering at -theta instead of DE")
 		truth     = fs.String("truth", "", "ground-truth file (cmd/datagen format); prints precision/recall instead of groups")
+		stats     = fs.Bool("stats", false, "print a run report (phase timings, probe and distance counts) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	if *stats {
+		fmt.Fprintln(stderr, d.Report().String())
 	}
 
 	if *truth != "" {

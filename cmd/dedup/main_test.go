@@ -96,6 +96,29 @@ func TestRunErrorPaths(t *testing.T) {
 	}
 }
 
+func TestRunStatsFlag(t *testing.T) {
+	path := writeTemp(t, "in.csv", "The Doors,LA Woman\nDoors,LA Woman\nAaliyah,Are You Ready\n")
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-input", path, "-k", "2", "-c", "4", "-stats"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	report := stderr.String()
+	for _, want := range []string{"phase1", "phase2", "distance calls", "groups"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("-stats report lacks %q: %q", want, report)
+		}
+	}
+
+	// Without the flag, stderr stays quiet.
+	stderr.Reset()
+	if err := run([]string{"-input", path, "-k", "2", "-c", "4"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("stderr without -stats: %q", stderr.String())
+	}
+}
+
 func TestRunHappyPath(t *testing.T) {
 	path := writeTemp(t, "in.csv", "The Doors,LA Woman\nDoors,LA Woman\nAaliyah,Are You Ready\n")
 	var stdout, stderr strings.Builder

@@ -8,9 +8,14 @@
 //
 //	dedupd -addr :8080 -workers 4 -queue 64 -drain 30s
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, and running jobs get up to -drain to finish before they are
-// cancelled.
+// Observability: logs are structured (logfmt via log/slog; -log-level
+// debug adds per-request access lines), /metrics serves counters and
+// latency histograms, and -pprof mounts the runtime profiler under
+// /debug/pprof/.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503, the listener stops accepting, and running jobs get up to -drain
+// to finish before they are cancelled.
 package main
 
 import (
@@ -18,7 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,10 +34,9 @@ import (
 )
 
 func main() {
-	log.SetFlags(log.LstdFlags)
-	log.SetPrefix("dedupd: ")
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "dedupd:", err)
+		os.Exit(1)
 	}
 }
 
@@ -46,6 +50,8 @@ func run(args []string) error {
 		maxRecords = fs.Int("max-records", 1_000_000, "per-dataset record cap (-1 disables)")
 		timeout    = fs.Duration("timeout", 30*time.Second, "per-request timeout (-1s disables)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for running jobs")
+		pprof      = fs.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+		logLevel   = fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,24 +60,32 @@ func run(args []string) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueCap:       *queue,
 		MaxBodyBytes:   *maxBody,
 		MaxRecords:     *maxRecords,
 		RequestTimeout: *timeout,
-		Logger:         log.Default(),
+		Logger:         logger,
+		EnablePprof:    *pprof,
 	})
 	srv.Metrics().Publish("dedupd")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("listening on %s (workers %d, queue %d)", *addr, *workers, *queue)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprof)
 	err := srv.ListenAndServe(ctx, *addr, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"fuzzydup"
 	"fuzzydup/internal/dataset"
@@ -51,10 +52,11 @@ func main() {
 			log.Fatalf("unknown experiment %q (known: %s)", id, strings.Join(order, ", "))
 		}
 		fmt.Printf("=== %s ===\n", id)
+		start := time.Now()
 		if err := run(); err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
-		fmt.Println()
+		fmt.Printf("--- %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }
 

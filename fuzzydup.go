@@ -3,11 +3,13 @@ package fuzzydup
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"fuzzydup/internal/baseline"
 	"fuzzydup/internal/core"
 	"fuzzydup/internal/distance"
 	"fuzzydup/internal/nnindex"
+	"fuzzydup/internal/obs"
 	"fuzzydup/internal/strutil"
 )
 
@@ -115,6 +117,81 @@ type Options struct {
 	// goroutines. Only effective with the exact index (the default); the
 	// output is identical to a serial run.
 	Parallel int
+	// Tracer, when non-nil, receives hierarchical spans for every solve:
+	// a "dedup.solve" root with "phase1" and "phase2" children carrying
+	// wall-clock durations and work counters (lookups, index probes,
+	// distance calls, rejection reasons). The same numbers are available
+	// without a tracer via Report / LastReport.
+	Tracer *obs.Tracer
+}
+
+// RunReport summarizes the work of a Deduper's solves: phase timings,
+// comparison counts, partition statistics, and phase-1 cache behaviour.
+// Deduper.Report returns the accumulation across all solves so far;
+// Deduper.LastReport the most recent solve alone.
+//
+// DistanceCalls follows CacheStats semantics: a solve served from the
+// phase-1 cache computes no new distances, so a K/θ/c sweep's distance
+// count grows only on the CacheComputes points, not the CacheHits ones.
+type RunReport struct {
+	// Solves is the number of completed solve calls covered.
+	Solves int `json:"solves"`
+	// Phase1 and Phase2 are the wall-clock durations of the
+	// nearest-neighbor and partitioning phases (JSON: nanoseconds).
+	Phase1 time.Duration `json:"phase1_ns"`
+	Phase2 time.Duration `json:"phase2_ns"`
+	// Lookups is the number of phase-1 tuple lookups performed;
+	// IndexProbes the number of index probe calls they issued;
+	// DistanceCalls the number of metric invocations they cost.
+	Lookups       int64 `json:"lookups"`
+	IndexProbes   int64 `json:"index_probes"`
+	DistanceCalls int64 `json:"distance_calls"`
+	// Groups is the partition size (singletons included),
+	// DuplicateGroups the groups of size >= 2, Splits the groups
+	// decomposed by the minimal-compact post-processing.
+	Groups          int `json:"groups"`
+	DuplicateGroups int `json:"duplicate_groups"`
+	Splits          int `json:"splits"`
+	// RejectedCompact / RejectedSN / RejectedExcluded count candidate
+	// groups rejected by the compact-set check, the sparse-neighborhood
+	// check, and the constraining predicate.
+	RejectedCompact  int `json:"rejected_compact"`
+	RejectedSN       int `json:"rejected_sn"`
+	RejectedExcluded int `json:"rejected_excluded"`
+	// CacheComputes / CacheHits are the phase-1 cache outcomes, the same
+	// counters CacheStats reports.
+	CacheComputes int `json:"phase1_cache_computes"`
+	CacheHits     int `json:"phase1_cache_hits"`
+}
+
+// add accumulates a per-solve delta into a cumulative report.
+func (r *RunReport) add(d RunReport) {
+	r.Solves += d.Solves
+	r.Phase1 += d.Phase1
+	r.Phase2 += d.Phase2
+	r.Lookups += d.Lookups
+	r.IndexProbes += d.IndexProbes
+	r.DistanceCalls += d.DistanceCalls
+	r.Groups += d.Groups
+	r.DuplicateGroups += d.DuplicateGroups
+	r.Splits += d.Splits
+	r.RejectedCompact += d.RejectedCompact
+	r.RejectedSN += d.RejectedSN
+	r.RejectedExcluded += d.RejectedExcluded
+	r.CacheComputes += d.CacheComputes
+	r.CacheHits += d.CacheHits
+}
+
+// String renders the report in the two-line per-phase form the dedup CLI
+// prints under -stats.
+func (r RunReport) String() string {
+	return fmt.Sprintf(
+		"phase1 %v (lookups %d, index probes %d, distance calls %d, cache %d computes / %d hits)\n"+
+			"phase2 %v (groups %d, duplicates %d, splits %d; rejected %d compact / %d sn / %d excluded)",
+		r.Phase1.Round(time.Microsecond), r.Lookups, r.IndexProbes, r.DistanceCalls,
+		r.CacheComputes, r.CacheHits,
+		r.Phase2.Round(time.Microsecond), r.Groups, r.DuplicateGroups, r.Splits,
+		r.RejectedCompact, r.RejectedSN, r.RejectedExcluded)
 }
 
 // Deduper runs fuzzy duplicate elimination over a fixed set of records.
@@ -129,6 +206,7 @@ type Deduper struct {
 	records []Record
 	keys    []string
 	metric  distance.Metric
+	counter *distance.Counting // same metric, counted; indexes query through it
 	index   nnindex.Index
 	opts    Options
 
@@ -137,6 +215,9 @@ type Deduper struct {
 
 	cacheHits     int // phase-1 requests served from a cached relation
 	cacheComputes int // phase-1 requests that ran ComputeNN
+
+	report     RunReport // accumulated across solves
+	lastReport RunReport // most recent solve's delta
 }
 
 // CacheStats reports how often the phase-1 cache answered an NN-relation
@@ -146,6 +227,15 @@ type Deduper struct {
 func (d *Deduper) CacheStats() (computes, hits int) {
 	return d.cacheComputes, d.cacheHits
 }
+
+// Report returns the run report accumulated across every solve on this
+// Deduper.
+func (d *Deduper) Report() RunReport { return d.report }
+
+// LastReport returns the most recent solve's report alone (all counters
+// are that solve's deltas), which is what per-sweep-point monitoring
+// wants.
+func (d *Deduper) LastReport() RunReport { return d.lastReport }
 
 // New builds a Deduper over the records. IDF-weighted metrics compute
 // their weights from these records.
@@ -191,6 +281,10 @@ func New(records []Record, opts Options) (*Deduper, error) {
 			return nil, fmt.Errorf("fuzzydup: unknown metric %q", m)
 		}
 	}
+	// Every metric call — index probes, diagnostics, representatives —
+	// goes through a counting wrapper so reports can state how many
+	// distance computations the work cost.
+	counter := distance.NewCounting(metric)
 	kind := opts.Index
 	if kind == "" {
 		if opts.Approximate {
@@ -202,17 +296,17 @@ func New(records []Record, opts Options) (*Deduper, error) {
 	var index nnindex.Index
 	switch kind {
 	case IndexExact:
-		index = nnindex.NewExact(keys, metric)
+		index = nnindex.NewExact(keys, counter)
 	case IndexQGram:
-		qg, err := nnindex.NewQGram(keys, metric, nnindex.QGramConfig{})
+		qg, err := nnindex.NewQGram(keys, counter, nnindex.QGramConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("fuzzydup: building index: %w", err)
 		}
 		index = qg
 	case IndexVPTree:
-		index = nnindex.NewVPTree(keys, metric)
+		index = nnindex.NewVPTree(keys, counter)
 	case IndexMinHash:
-		mh, err := nnindex.NewMinHash(keys, metric, nnindex.MinHashConfig{})
+		mh, err := nnindex.NewMinHash(keys, counter, nnindex.MinHashConfig{})
 		if err != nil {
 			return nil, fmt.Errorf("fuzzydup: building index: %w", err)
 		}
@@ -220,7 +314,7 @@ func New(records []Record, opts Options) (*Deduper, error) {
 	default:
 		return nil, fmt.Errorf("fuzzydup: unknown index %q", kind)
 	}
-	return &Deduper{records: records, keys: keys, metric: metric, index: index, opts: opts}, nil
+	return &Deduper{records: records, keys: keys, metric: counter, counter: counter, index: index, opts: opts}, nil
 }
 
 // Len returns the number of records.
@@ -256,11 +350,13 @@ func (d *Deduper) problem(cut core.Cut, c float64) core.Problem {
 
 // nnRelation returns the phase-1 relation for the cut, reusing and
 // widening the per-family cache as needed. A cancelled ctx aborts an
-// in-flight computation without poisoning the cache.
-func (d *Deduper) nnRelation(ctx context.Context, cut core.Cut) (*core.NNRelation, error) {
+// in-flight computation without poisoning the cache. When stats is
+// non-nil it accumulates the lookup work of a cache miss (a hit does no
+// phase-1 work and adds nothing).
+func (d *Deduper) nnRelation(ctx context.Context, cut core.Cut, stats *core.Phase1Stats) (*core.NNRelation, error) {
 	if cut.IsSize() {
 		if d.cacheS == nil || d.cacheS.Cut.MaxSize < cut.MaxSize {
-			rel, err := core.ComputeNN(d.index, core.Cut{MaxSize: cut.MaxSize}, d.growthP(), d.phase1Opts(ctx))
+			rel, err := core.ComputeNN(d.index, core.Cut{MaxSize: cut.MaxSize}, d.growthP(), d.phase1Opts(ctx, stats))
 			if err != nil {
 				return nil, err
 			}
@@ -272,7 +368,7 @@ func (d *Deduper) nnRelation(ctx context.Context, cut core.Cut) (*core.NNRelatio
 		return d.cacheS.TruncateSize(cut.MaxSize), nil
 	}
 	if d.cacheD == nil || d.cacheD.Cut.Diameter < cut.Diameter {
-		rel, err := core.ComputeNN(d.index, core.Cut{Diameter: cut.Diameter}, d.growthP(), d.phase1Opts(ctx))
+		rel, err := core.ComputeNN(d.index, core.Cut{Diameter: cut.Diameter}, d.growthP(), d.phase1Opts(ctx, stats))
 		if err != nil {
 			return nil, err
 		}
@@ -287,13 +383,37 @@ func (d *Deduper) nnRelation(ctx context.Context, cut core.Cut) (*core.NNRelatio
 }
 
 func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) {
-	rel, err := d.nnRelation(ctx, prob.Cut)
+	span := d.opts.Tracer.Start("dedup.solve")
+	defer span.End()
+
+	var delta RunReport
+	dist0 := d.counter.Calls()
+	computes0, hits0 := d.cacheComputes, d.cacheHits
+
+	var p1 core.Phase1Stats
+	p1Span := span.Child("phase1")
+	t0 := time.Now()
+	rel, err := d.nnRelation(ctx, prob.Cut, &p1)
+	delta.Phase1 = time.Since(t0)
+	delta.Lookups = p1.Lookups.Load()
+	delta.IndexProbes = p1.Probes.Load()
+	delta.CacheComputes = d.cacheComputes - computes0
+	delta.CacheHits = d.cacheHits - hits0
+	p1Span.Add("lookups", delta.Lookups)
+	p1Span.Add("index_probes", delta.IndexProbes)
+	p1Span.Add("cache_hits", int64(delta.CacheHits))
+	p1Span.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+
+	var pstats core.PartitionStats
+	p2Span := span.Child("phase2")
+	t1 := time.Now()
+	var groups Groups
 	if d.opts.UseSQL {
 		r := core.NewSQLRunner()
 		if err := r.LoadNNRelation(rel); err != nil {
@@ -302,9 +422,42 @@ func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) 
 		if err := r.BuildCSPairs(); err != nil {
 			return nil, err
 		}
-		return r.Partition(prob)
+		groups, err = r.Partition(prob)
+		if err != nil {
+			return nil, err
+		}
+		// The SQL runner does not expose candidate-level counters; report
+		// the partition shape, which it does produce.
+		pstats.Groups = len(groups)
+		for _, g := range groups {
+			if len(g) >= 2 {
+				pstats.Duplicates++
+			}
+		}
+	} else {
+		groups, err = core.PartitionWithStats(rel, prob, &pstats)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return core.Partition(rel, prob)
+	delta.Phase2 = time.Since(t1)
+	delta.Groups = pstats.Groups
+	delta.DuplicateGroups = pstats.Duplicates
+	delta.Splits = pstats.Splits
+	delta.RejectedCompact = pstats.RejectedCompact
+	delta.RejectedSN = pstats.RejectedSN
+	delta.RejectedExcluded = pstats.RejectedExcluded
+	delta.DistanceCalls = d.counter.Calls() - dist0
+	delta.Solves = 1
+	p2Span.Add("groups", int64(pstats.Groups))
+	p2Span.Add("duplicate_groups", int64(pstats.Duplicates))
+	p2Span.Add("splits", int64(pstats.Splits))
+	p2Span.End()
+	span.Add("distance_calls", delta.DistanceCalls)
+
+	d.lastReport = delta
+	d.report.add(delta)
+	return groups, nil
 }
 
 // Groups is a partition of the record indices: every record appears in
@@ -378,7 +531,7 @@ func (d *Deduper) GroupsBySizeAndDiameterCtx(ctx context.Context, maxSize int, t
 // SingleLinkage runs the global-threshold baseline the paper compares
 // against: connected components of the threshold graph at theta.
 func (d *Deduper) SingleLinkage(theta float64) (Groups, error) {
-	rel, err := core.ComputeNN(d.index, core.Cut{Diameter: theta}, core.DefaultP, d.phase1Opts(context.Background()))
+	rel, err := core.ComputeNN(d.index, core.Cut{Diameter: theta}, core.DefaultP, d.phase1Opts(context.Background(), nil))
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +563,7 @@ func (d *Deduper) Explain(a, b, k int) Explanation {
 // the least neighborhood-growth value at which the cumulative growth
 // distribution spikes near the dupFraction-percentile.
 func (d *Deduper) EstimateC(dupFraction float64) (float64, error) {
-	rel, err := d.nnRelation(context.Background(), core.Cut{MaxSize: 5})
+	rel, err := d.nnRelation(context.Background(), core.Cut{MaxSize: 5}, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -420,7 +573,7 @@ func (d *Deduper) EstimateC(dupFraction float64) (float64, error) {
 // NeighborhoodGrowths returns ng(v) for every record — the diagnostic the
 // Section 4.3 estimator and the SN criterion are built on.
 func (d *Deduper) NeighborhoodGrowths() ([]int, error) {
-	rel, err := d.nnRelation(context.Background(), core.Cut{MaxSize: 5})
+	rel, err := d.nnRelation(context.Background(), core.Cut{MaxSize: 5}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -435,6 +588,6 @@ func (d *Deduper) growthP() float64 {
 }
 
 // phase1Opts derives the phase-1 options from the Deduper's configuration.
-func (d *Deduper) phase1Opts(ctx context.Context) core.Phase1Options {
-	return core.Phase1Options{Parallel: d.opts.Parallel, Ctx: ctx}
+func (d *Deduper) phase1Opts(ctx context.Context, stats *core.Phase1Stats) core.Phase1Options {
+	return core.Phase1Options{Parallel: d.opts.Parallel, Ctx: ctx, Stats: stats}
 }

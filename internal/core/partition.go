@@ -18,11 +18,47 @@ import (
 // decided by the pairwise CSj equalities of the CSPairs construction; set
 // equality being transitive, comparing every member against v suffices.
 func Partition(rel *NNRelation, prob Problem) ([][]int, error) {
+	return PartitionWithStats(rel, prob, nil)
+}
+
+// PartitionStats counts the work and the decisions of one Partition run:
+// how many candidate groups were examined, why rejected candidates fell
+// out (the CS/SN criteria make every decision inspectable — the counters
+// aggregate the same facts ExplainPair reports per pair), and how many
+// non-minimal groups the Section 4.4.2 post-processing split.
+type PartitionStats struct {
+	// Groups is the number of groups in the final partition, singletons
+	// included; Duplicates counts only groups of size >= 2.
+	Groups     int
+	Duplicates int
+	// Candidates is the number of candidate (anchor, size) groups
+	// examined across all anchors.
+	Candidates int
+	// RejectedAssigned counts candidates containing an already-assigned
+	// member; RejectedCompact candidates failing the compact-set check;
+	// RejectedSN candidates failing the sparse-neighborhood check;
+	// RejectedExcluded candidates vetoed by the constraining predicate.
+	RejectedAssigned int
+	RejectedCompact  int
+	RejectedSN       int
+	RejectedExcluded int
+	// Splits is the number of groups the minimal-compact post-processing
+	// decomposed (0 unless Problem.MinimalCompact).
+	Splits int
+}
+
+// PartitionWithStats is Partition with instrumentation: when stats is
+// non-nil it is filled with the run's counters. Passing nil costs nothing
+// measurable — Partition is the cheap phase.
+func PartitionWithStats(rel *NNRelation, prob Problem, stats *PartitionStats) ([][]int, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
 	if prob.Cut != rel.Cut {
 		return nil, fmt.Errorf("core: NN relation computed for %v, problem asks %v", rel.Cut, prob.Cut)
+	}
+	if stats == nil {
+		stats = &PartitionStats{} // discard: keeps the hot loop branch-free
 	}
 	n := len(rel.Rows)
 	assigned := make([]bool, n)
@@ -31,27 +67,35 @@ func Partition(rel *NNRelation, prob Problem) ([][]int, error) {
 		if assigned[v] {
 			continue
 		}
-		g := largestCompactSNGroup(rel, prob, assigned, v)
+		g := largestCompactSNGroup(rel, prob, assigned, v, stats)
 		for _, id := range g {
 			assigned[id] = true
 		}
 		groups = append(groups, g)
 	}
 	if prob.MinimalCompact {
-		groups = splitNonMinimal(rel, groups)
+		groups = splitNonMinimal(rel, groups, stats)
 	}
-	return sortGroups(groups), nil
+	groups = sortGroups(groups)
+	stats.Groups = len(groups)
+	for _, g := range groups {
+		if len(g) >= 2 {
+			stats.Duplicates++
+		}
+	}
+	return groups, nil
 }
 
 // largestCompactSNGroup returns the largest valid group anchored at v, or
 // the singleton {v} when none exists.
-func largestCompactSNGroup(rel *NNRelation, prob Problem, assigned []bool, v int) []int {
+func largestCompactSNGroup(rel *NNRelation, prob Problem, assigned []bool, v int, stats *PartitionStats) []int {
 	list := rel.Rows[v].NNList
 	jmax := len(list) + 1
 	if prob.Cut.MaxSize > 0 && jmax > prob.Cut.MaxSize {
 		jmax = prob.Cut.MaxSize
 	}
 	for j := jmax; j >= 2; j-- {
+		stats.Candidates++
 		group := make([]int, 0, j)
 		group = append(group, v)
 		ok := true
@@ -62,13 +106,20 @@ func largestCompactSNGroup(rel *NNRelation, prob Problem, assigned []bool, v int
 			}
 			group = append(group, nb.ID)
 		}
-		if !ok || !IsCompactSet(rel.Rows, v, j) {
+		if !ok {
+			stats.RejectedAssigned++
+			continue
+		}
+		if !IsCompactSet(rel.Rows, v, j) {
+			stats.RejectedCompact++
 			continue
 		}
 		if !SNHolds(rel.Rows, group, prob.Agg, prob.C) {
+			stats.RejectedSN++
 			continue
 		}
 		if prob.Exclude != nil && violatesExclude(group, prob.Exclude) {
+			stats.RejectedExcluded++
 			continue
 		}
 		return group
@@ -92,10 +143,14 @@ func violatesExclude(group []int, exclude func(a, b int) bool) bool {
 // splitNonMinimal applies the Section 4.4.2 minimality post-processing:
 // a group that contains two disjoint non-trivial compact subsets is a
 // merger of smaller compact sets and is split into minimal pieces.
-func splitNonMinimal(rel *NNRelation, groups [][]int) [][]int {
+func splitNonMinimal(rel *NNRelation, groups [][]int, stats *PartitionStats) [][]int {
 	var out [][]int
 	for _, g := range groups {
-		out = append(out, splitGroup(rel, g)...)
+		pieces := splitGroup(rel, g)
+		if len(pieces) > 1 {
+			stats.Splits++
+		}
+		out = append(out, pieces...)
 	}
 	return out
 }

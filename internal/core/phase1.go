@@ -69,6 +69,33 @@ type Phase1Options struct {
 	// hook long-running callers want. Under Parallel it is invoked from
 	// worker goroutines (in completion order, with monotone counts).
 	Progress func(done, total int)
+	// Stats, when non-nil, accumulates phase-1 instrumentation: lookups
+	// completed, index probes issued, and the worker fan-out actually
+	// used. Counters are atomic, so one Stats value is safe across the
+	// parallel path, and callers may read them while the run is live.
+	Stats *Phase1Stats
+}
+
+// Phase1Stats counts the work of one (or several) ComputeNN runs. The
+// atomic counters are written by worker goroutines; Workers is written
+// once before the fan-out starts.
+type Phase1Stats struct {
+	// Lookups is the number of tuples whose neighbor lists were fetched.
+	Lookups atomic.Int64
+	// Probes is the number of index probe calls issued (TopK, Range, and
+	// GrowthCount all count as one probe each).
+	Probes atomic.Int64
+	// Workers is the lookup fan-out of the most recent run: 1 for the
+	// serial orders, the effective goroutine count under Parallel.
+	Workers int
+}
+
+// addProbes is nil-safe so the hot path stays branch-light at the call
+// sites.
+func (s *Phase1Stats) addProbes(n int64) {
+	if s != nil {
+		s.Probes.Add(n)
+	}
 }
 
 // ConcurrentQuerier marks an index whose query methods are safe for
@@ -104,8 +131,11 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 			// winds down without further index work.
 			return nil
 		}
-		row, neighbors := lookupOne(idx, cut, p, id)
+		row, neighbors := lookupOne(idx, cut, p, id, opts.Stats)
 		rel.Rows[id] = row
+		if opts.Stats != nil {
+			opts.Stats.Lookups.Add(1)
+		}
 		if opts.Progress != nil {
 			opts.Progress(int(atomic.AddInt64(&done, 1)), n)
 		}
@@ -121,9 +151,19 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 		return rel, nil
 	}
 
+	if opts.Stats != nil {
+		opts.Stats.Workers = 1
+	}
 	if opts.Parallel > 1 {
 		if _, ok := idx.(ConcurrentQuerier); ok {
-			parallelVisit(n, opts.Parallel, visit)
+			workers := opts.Parallel
+			if workers > n {
+				workers = n
+			}
+			if opts.Stats != nil {
+				opts.Stats.Workers = workers
+			}
+			parallelVisit(n, workers, visit)
 			return finish()
 		}
 		// Fall through to the serial orders for indexes that cannot take
@@ -174,13 +214,14 @@ func parallelVisit(n, workers int, visit func(id int) []int) {
 
 // lookupOne performs the per-tuple phase-1 work: fetch the neighbor list
 // under the cut and compute the self-inclusive neighborhood growth.
-func lookupOne(idx nnindex.Index, cut Cut, p float64, id int) (NNRow, []int) {
+func lookupOne(idx nnindex.Index, cut Cut, p float64, id int, stats *Phase1Stats) (NNRow, []int) {
 	var list []nnindex.Neighbor
 	if cut.IsSize() {
 		list = idx.TopK(id, cut.MaxSize)
 	} else {
 		list = idx.Range(id, cut.Diameter)
 	}
+	stats.addProbes(1)
 	ng := 1 // the tuple itself is inside its own growth sphere
 	if len(list) > 0 {
 		nn := list[0].Dist
@@ -193,14 +234,17 @@ func lookupOne(idx nnindex.Index, cut Cut, p float64, id int) (NNRow, []int) {
 		} else {
 			ng += idx.GrowthCount(id, p*nn)
 		}
+		stats.addProbes(1)
 	} else if !cut.IsSize() {
 		// Diameter cut with an empty θ-neighborhood: nn(v) > θ, so the
 		// growth sphere cannot be derived from the range query. Such a
 		// tuple can only ever be a singleton (any group mate would be
 		// within θ), so its NG is never aggregated; fall back to the
 		// index's nearest neighbor to keep the column meaningful.
+		stats.addProbes(1)
 		if nn := idx.TopK(id, 1); len(nn) > 0 && nn[0].Dist > 0 {
 			ng += idx.GrowthCount(id, p*nn[0].Dist)
+			stats.addProbes(1)
 		}
 	}
 	neighbors := make([]int, len(list))

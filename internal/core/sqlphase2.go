@@ -421,7 +421,7 @@ func (r *SQLRunner) Partition(prob Problem) ([][]int, error) {
 	}
 	if prob.MinimalCompact {
 		rel := &NNRelation{Rows: rows, Cut: prob.Cut, P: prob.growthFactor()}
-		groups = splitNonMinimal(rel, groups)
+		groups = splitNonMinimal(rel, groups, &PartitionStats{})
 	}
 	return sortGroups(groups), nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+)
+
+// statsIndex is a small relation with one obvious duplicate pair under
+// the absolute-difference metric over integer keys.
+func statsIndex() *nnindex.Exact {
+	keys := []string{"0", "1", "50", "51", "200", "400", "800"}
+	metric := distance.Func{MetricName: "absdiff", F: func(a, b string) float64 {
+		x, _ := strconv.Atoi(a)
+		y, _ := strconv.Atoi(b)
+		d := float64(x - y)
+		if d < 0 {
+			d = -d
+		}
+		return d / 1000
+	}}
+	return nnindex.NewExact(keys, metric)
+}
+
+func TestPhase1StatsCounts(t *testing.T) {
+	idx := statsIndex()
+	var stats Phase1Stats
+	_, err := ComputeNN(idx, Cut{MaxSize: 3}, DefaultP, Phase1Options{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(idx.Len())
+	if got := stats.Lookups.Load(); got != n {
+		t.Errorf("lookups = %d, want %d", got, n)
+	}
+	// Every tuple issues a TopK probe plus a GrowthCount probe.
+	if got := stats.Probes.Load(); got != 2*n {
+		t.Errorf("probes = %d, want %d", got, 2*n)
+	}
+	if stats.Workers != 1 {
+		t.Errorf("workers = %d, want 1 (serial)", stats.Workers)
+	}
+}
+
+func TestPhase1StatsParallelWorkers(t *testing.T) {
+	idx := statsIndex()
+	var stats Phase1Stats
+	_, err := ComputeNN(idx, Cut{MaxSize: 2}, DefaultP, Phase1Options{Parallel: 3, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 3 {
+		t.Errorf("workers = %d, want 3", stats.Workers)
+	}
+	if got := stats.Lookups.Load(); got != int64(idx.Len()) {
+		t.Errorf("lookups = %d, want %d", got, idx.Len())
+	}
+}
+
+func TestPartitionStats(t *testing.T) {
+	idx := statsIndex()
+	rel, err := ComputeNN(idx, Cut{MaxSize: 3}, DefaultP, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats PartitionStats
+	groups, err := PartitionWithStats(rel, Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Groups != len(groups) {
+		t.Errorf("stats.Groups = %d, partition has %d", stats.Groups, len(groups))
+	}
+	dups := 0
+	for _, g := range groups {
+		if len(g) >= 2 {
+			dups++
+		}
+	}
+	if stats.Duplicates != dups {
+		t.Errorf("stats.Duplicates = %d, want %d", stats.Duplicates, dups)
+	}
+	if stats.Duplicates == 0 {
+		t.Error("expected at least one duplicate group in the fixture")
+	}
+	if stats.Candidates == 0 {
+		t.Error("no candidates examined")
+	}
+	// Accounting closes: every candidate either formed a group or was
+	// rejected for exactly one recorded reason.
+	accepted := stats.Candidates - stats.RejectedAssigned - stats.RejectedCompact -
+		stats.RejectedSN - stats.RejectedExcluded
+	if accepted != stats.Duplicates {
+		t.Errorf("accepted candidates = %d, want %d (stats %+v)", accepted, stats.Duplicates, stats)
+	}
+}
+
+func TestPartitionStatsExcluded(t *testing.T) {
+	idx := statsIndex()
+	rel, err := ComputeNN(idx, Cut{MaxSize: 2}, DefaultP, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats PartitionStats
+	groups, err := PartitionWithStats(rel, Problem{
+		Cut: Cut{MaxSize: 2}, Agg: AggMax, C: 4,
+		Exclude: func(a, b int) bool { return true }, // nothing may pair
+	}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		if len(g) > 1 {
+			t.Fatalf("exclude-all still grouped %v", g)
+		}
+	}
+	if stats.RejectedExcluded == 0 {
+		t.Error("no excluded rejections recorded")
+	}
+	if stats.Duplicates != 0 {
+		t.Errorf("duplicates = %d, want 0", stats.Duplicates)
+	}
+}
+
+// TestPartitionNilStats keeps the uninstrumented path working.
+func TestPartitionNilStats(t *testing.T) {
+	idx := statsIndex()
+	rel, err := ComputeNN(idx, Cut{MaxSize: 3}, DefaultP, Phase1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Partition(rel, Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionWithStats(rel, Problem{Cut: Cut{MaxSize: 3}, Agg: AggMax, C: 4}, &PartitionStats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("stats changed the partition: %v vs %v", a, b)
+	}
+}

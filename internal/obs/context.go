@@ -1,0 +1,23 @@
+package obs
+
+import "context"
+
+// requestIDKey is the context key for the request ID. It lives in obs —
+// not in the HTTP layer — so any layer (middleware, job engine, core)
+// can tag its telemetry with the originating request without importing
+// the server package.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

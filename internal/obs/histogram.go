@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBucketsMs are the default histogram boundaries for
+// latency-shaped values, in milliseconds: sub-millisecond handler work up
+// through multi-minute dedup jobs.
+var DefaultLatencyBucketsMs = []float64{
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000,
+}
+
+// Histogram counts observations into fixed buckets. An observation v
+// lands in the first bucket whose upper bound satisfies v <= le; values
+// beyond the last bound land in the overflow bucket. All methods are safe
+// for concurrent use and never allocate on the Observe path.
+//
+// Histogram implements expvar.Var: String renders a JSON object
+// {"count": N, "sum": S, "buckets": [{"le": B, "n": N}, ...],
+// "overflow": N}, so a Histogram drops into an expvar.Map and the
+// /metrics endpoint unchanged.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// With no bounds it uses DefaultLatencyBucketsMs. It panics on unsorted
+// or duplicate bounds — bucket layouts are static configuration, not
+// runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBucketsMs
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("obs: duplicate histogram bound %g", bounds[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bound
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in milliseconds, the unit of the
+// default latency buckets.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bucket is one histogram bucket in a Snapshot: the count of observations
+// v with prev < v <= Le (non-cumulative).
+type Bucket struct {
+	Le float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// Snapshot is a point-in-time copy of a histogram's state.
+type Snapshot struct {
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Buckets  []Bucket `json:"buckets"`
+	Overflow int64    `json:"overflow"`
+}
+
+// Snapshot returns a copy of the histogram's current state. Buckets and
+// totals are read without a global lock, so a snapshot taken while
+// observations race may be off by in-flight increments — fine for
+// monitoring, which is its only use.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count:    h.count.Load(),
+		Sum:      h.Sum(),
+		Buckets:  make([]Bucket, len(h.bounds)),
+		Overflow: h.counts[len(h.bounds)].Load(),
+	}
+	for i, b := range h.bounds {
+		s.Buckets[i] = Bucket{Le: b, N: h.counts[i].Load()}
+	}
+	return s
+}
+
+// String implements expvar.Var, rendering the snapshot as JSON.
+func (h *Histogram) String() string {
+	s := h.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"sum":%s,"buckets":[`, s.Count, jsonFloat(s.Sum))
+	for i, bk := range s.Buckets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"le":%s,"n":%d}`, jsonFloat(bk.Le), bk.N)
+	}
+	fmt.Fprintf(&b, `],"overflow":%d}`, s.Overflow)
+	return b.String()
+}
+
+// jsonFloat formats a float compactly, avoiding exponents for the bucket
+// bounds actually in use.
+func jsonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,195 @@
+// Package obs is the observability substrate of the fuzzydup stack: a
+// lightweight hierarchical span/trace API and fixed-bucket histograms,
+// with no dependencies outside the standard library.
+//
+// The design constraints, in order:
+//
+//   - Zero-cost when disabled. Every method is safe on a nil *Tracer or
+//     nil *Span, so instrumented code threads spans unconditionally and
+//     callers opt in by supplying a Tracer.
+//   - Deterministic under test. The clock is pluggable (Tracer.Now), so
+//     span durations are exact in tests.
+//   - Pluggable delivery. Completed spans go to a Sink: a slog logger in
+//     dedupd, a Collector in tests, nothing in the library default.
+//
+// Spans measure the two expensive phases of the paper's algorithm
+// (nearest-neighbor computation and partitioning) and carry named
+// counters — index probes, distance computations, CS/SN rejections — so
+// a trace explains not just where time went but where comparisons went.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// SpanData is the immutable record of a completed span, as delivered to a
+// Sink.
+type SpanData struct {
+	// Name is the span's own name ("phase1").
+	Name string
+	// Path is the slash-joined ancestry ("dedup.solve/phase1").
+	Path string
+	// Start is the span's start time on the tracer's clock.
+	Start time.Time
+	// Duration is the span's wall-clock duration.
+	Duration time.Duration
+	// Counters holds the span's named counters (nil when none were added).
+	Counters map[string]int64
+}
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent use; spans from parallel workers End concurrently.
+type Sink interface {
+	Emit(SpanData)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(SpanData)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(d SpanData) { f(d) }
+
+// Tracer creates spans and routes completed ones to its Sink. The zero
+// value is usable (real clock, discard sink); a nil *Tracer is also fully
+// usable and records nothing.
+type Tracer struct {
+	// Sink receives completed spans; nil discards them.
+	Sink Sink
+	// Now supplies the clock; nil selects time.Now. Tests inject a fake
+	// clock here to make durations deterministic.
+	Now func() time.Time
+}
+
+func (t *Tracer) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// Start begins a root span. On a nil tracer it returns nil, which every
+// Span method accepts.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tracer: t, name: name, path: name, start: t.now()}
+}
+
+// Span is one timed region of work, possibly with children and named
+// counters. All methods are safe on a nil receiver and safe for
+// concurrent use.
+type Span struct {
+	tracer *Tracer
+	name   string
+	path   string
+	start  time.Time
+
+	mu       sync.Mutex
+	counters map[string]int64
+	ended    bool
+}
+
+// Child begins a nested span. The child is independent: it may End before
+// or after its parent (sinks see spans in End order).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{tracer: s.tracer, name: name, path: s.path + "/" + name, start: s.tracer.now()}
+}
+
+// Add increments the span's named counter by n.
+func (s *Span) Add(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[key] += n
+	s.mu.Unlock()
+}
+
+// End completes the span and delivers it to the tracer's sink. Repeated
+// calls are no-ops, so `defer span.End()` composes with early explicit
+// ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	d := SpanData{
+		Name:     s.name,
+		Path:     s.path,
+		Start:    s.start,
+		Duration: s.tracer.now().Sub(s.start),
+	}
+	if len(s.counters) > 0 {
+		d.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			d.Counters[k] = v
+		}
+	}
+	s.mu.Unlock()
+	if s.tracer.Sink != nil {
+		s.tracer.Sink.Emit(d)
+	}
+}
+
+// Collector is a Sink that accumulates spans in memory; tests assert
+// against its contents.
+type Collector struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(d SpanData) {
+	c.mu.Lock()
+	c.spans = append(c.spans, d)
+	c.mu.Unlock()
+}
+
+// Spans returns the collected spans in End order.
+func (c *Collector) Spans() []SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]SpanData(nil), c.spans...)
+}
+
+// Find returns the first collected span with the given path, or a zero
+// SpanData and false.
+func (c *Collector) Find(path string) (SpanData, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.spans {
+		if d.Path == path {
+			return d, true
+		}
+	}
+	return SpanData{}, false
+}
+
+// NewLogSink returns a Sink that logs each completed span through l at
+// the given level, with the span path, duration, and every counter as
+// structured attributes. This is how dedupd turns traces into log lines.
+func NewLogSink(l *slog.Logger, level slog.Level) Sink {
+	return SinkFunc(func(d SpanData) {
+		attrs := make([]any, 0, 2+2*len(d.Counters))
+		attrs = append(attrs, "span", d.Path, "duration_us", d.Duration.Microseconds())
+		for k, v := range d.Counters {
+			attrs = append(attrs, k, v)
+		}
+		l.Log(context.Background(), level, "span", attrs...)
+	})
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock: every reading advances it by step.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// advance moves the clock without consuming a reading.
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestSpanNesting(t *testing.T) {
+	clock := newFakeClock(0)
+	col := &Collector{}
+	tr := &Tracer{Sink: col, Now: clock.Now}
+
+	root := tr.Start("solve")
+	clock.advance(10 * time.Millisecond)
+	p1 := root.Child("phase1")
+	p1.Add("lookups", 100)
+	p1.Add("lookups", 23)
+	clock.advance(40 * time.Millisecond)
+	p1.End()
+	p2 := root.Child("phase2")
+	clock.advance(5 * time.Millisecond)
+	p2.End()
+	root.Add("distance_calls", 7)
+	root.End()
+	root.End() // double End is a no-op
+
+	spans := col.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	// Children End before the root; paths carry the ancestry.
+	wantPaths := []string{"solve/phase1", "solve/phase2", "solve"}
+	for i, w := range wantPaths {
+		if spans[i].Path != w {
+			t.Errorf("span %d path = %q, want %q", i, spans[i].Path, w)
+		}
+	}
+	p1d, ok := col.Find("solve/phase1")
+	if !ok {
+		t.Fatal("phase1 span missing")
+	}
+	if p1d.Duration != 40*time.Millisecond {
+		t.Errorf("phase1 duration = %s, want 40ms", p1d.Duration)
+	}
+	if p1d.Counters["lookups"] != 123 {
+		t.Errorf("phase1 lookups = %d, want 123", p1d.Counters["lookups"])
+	}
+	rootd, _ := col.Find("solve")
+	if rootd.Duration != 55*time.Millisecond {
+		t.Errorf("root duration = %s, want 55ms", rootd.Duration)
+	}
+	if rootd.Name != "solve" {
+		t.Errorf("root name = %q", rootd.Name)
+	}
+	if rootd.Counters["distance_calls"] != 7 {
+		t.Errorf("root counters = %v", rootd.Counters)
+	}
+	if p2d, _ := col.Find("solve/phase2"); p2d.Duration != 5*time.Millisecond {
+		t.Errorf("phase2 duration = %s, want 5ms", p2d.Duration)
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("root") // must be nil
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// Every method no-ops on a nil span.
+	c := s.Child("x")
+	c.Add("k", 1)
+	c.End()
+	s.Add("k", 1)
+	s.End()
+}
+
+func TestZeroTracerUsesRealClock(t *testing.T) {
+	col := &Collector{}
+	tr := &Tracer{Sink: col}
+	sp := tr.Start("r")
+	sp.End()
+	d, ok := col.Find("r")
+	if !ok || d.Duration < 0 {
+		t.Fatalf("real-clock span: %+v ok=%v", d, ok)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 2.5, 5)
+	// v <= bound lands in that bucket: exact boundaries stay low.
+	for _, v := range []float64{0.5, 1.0} {
+		h.Observe(v)
+	}
+	h.Observe(1.0001) // first value past a bound moves up
+	h.Observe(2.5)
+	h.Observe(5)
+	h.Observe(5.0001) // overflow
+	h.Observe(100)    // overflow
+
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	wantN := []int64{2, 2, 1}
+	for i, b := range s.Buckets {
+		if b.N != wantN[i] {
+			t.Errorf("bucket le=%g: n = %d, want %d", b.Le, b.N, wantN[i])
+		}
+	}
+	if s.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", s.Overflow)
+	}
+	wantSum := 0.5 + 1.0 + 1.0001 + 2.5 + 5 + 5.0001 + 100
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+
+	// String() must be valid JSON decoding back to the same shape.
+	var dec Snapshot
+	if err := json.Unmarshal([]byte(h.String()), &dec); err != nil {
+		t.Fatalf("String() is not JSON: %v\n%s", err, h.String())
+	}
+	if dec.Count != s.Count || dec.Overflow != s.Overflow || len(dec.Buckets) != 3 {
+		t.Errorf("decoded %+v, want %+v", dec, s)
+	}
+}
+
+func TestHistogramDefaultsAndDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(3 * time.Millisecond) // le=5 bucket of the defaults
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, b := range s.Buckets {
+		if b.N == 1 && b.Le != 5 {
+			t.Errorf("3ms landed in le=%g, want le=5", b.Le)
+		}
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+// TestConcurrentRecording drives spans and a histogram from many
+// goroutines under a deterministic fake clock; run with -race.
+func TestConcurrentRecording(t *testing.T) {
+	clock := newFakeClock(time.Microsecond)
+	col := &Collector{}
+	tr := &Tracer{Sink: col, Now: clock.Now}
+	h := NewHistogram(1, 10, 100)
+	root := tr.Start("run")
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				child := root.Child("unit")
+				child.Add("ops", 1)
+				child.End()
+				root.Add("ops", 1)
+				h.Observe(float64(i % 120))
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	d, ok := col.Find("run")
+	if !ok || d.Counters["ops"] != workers*perWorker {
+		t.Errorf("root ops = %v (ok=%v)", d.Counters, ok)
+	}
+	if got := len(col.Spans()); got != workers*perWorker+1 {
+		t.Errorf("collected %d spans, want %d", got, workers*perWorker+1)
+	}
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := &Tracer{Sink: NewLogSink(logger, slog.LevelDebug)}
+	sp := tr.Start("phase1")
+	sp.Add("probes", 42)
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "span=phase1") || !strings.Contains(out, "probes=42") {
+		t.Errorf("log sink output missing fields: %q", out)
+	}
+}

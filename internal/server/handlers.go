@@ -8,9 +8,21 @@ import (
 	"net/http"
 
 	"fuzzydup"
+	"fuzzydup/internal/obs"
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz answers 200 while the job queue accepts work and 503 once
+// shutdown has begun, so load balancers stop routing to a draining
+// instance while /healthz keeps reporting it alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.engine.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -85,7 +97,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	status, err := s.engine.Submit(spec)
+	status, err := s.engine.Submit(spec, obs.RequestID(r.Context()))
 	if err != nil {
 		writeServiceError(w, err)
 		return

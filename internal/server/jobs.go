@@ -3,11 +3,13 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"fuzzydup"
+	"fuzzydup/internal/obs"
 )
 
 // JobState is a job's lifecycle state.
@@ -194,21 +196,29 @@ type SweepProgress struct {
 
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID       string        `json:"id"`
-	State    JobState      `json:"state"`
-	Dataset  string        `json:"dataset"`
-	Sweep    SweepProgress `json:"sweep"`
-	Error    string        `json:"error,omitempty"`
-	Created  time.Time     `json:"created"`
-	Started  *time.Time    `json:"started,omitempty"`
-	Finished *time.Time    `json:"finished,omitempty"`
+	ID      string        `json:"id"`
+	State   JobState      `json:"state"`
+	Dataset string        `json:"dataset"`
+	Sweep   SweepProgress `json:"sweep"`
+	Error   string        `json:"error,omitempty"`
+	// RequestID is the X-Request-ID of the submitting request, for
+	// correlating the job with the service's logs.
+	RequestID string     `json:"request_id,omitempty"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Report aggregates the run's observability counters (phase timings,
+	// index probes, distance computations, cache behaviour) across all
+	// sweep points executed so far. Present once the job has run.
+	Report *fuzzydup.RunReport `json:"report,omitempty"`
 }
 
 // job is the engine's record of one submitted job.
 type job struct {
-	id     string
-	spec   JobSpec
-	points []sweepPoint
+	id        string
+	spec      JobSpec
+	points    []sweepPoint
+	requestID string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -219,6 +229,7 @@ type job struct {
 	err      error
 	records  int
 	results  []SweepResult
+	report   *fuzzydup.RunReport
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -228,11 +239,16 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:      j.id,
-		State:   j.state,
-		Dataset: j.spec.Dataset,
-		Sweep:   SweepProgress{Total: len(j.points), Done: j.done},
-		Created: j.created,
+		ID:        j.id,
+		State:     j.state,
+		Dataset:   j.spec.Dataset,
+		Sweep:     SweepProgress{Total: len(j.points), Done: j.done},
+		RequestID: j.requestID,
+		Created:   j.created,
+	}
+	if j.report != nil {
+		rep := *j.report
+		st.Report = &rep
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -252,6 +268,7 @@ func (j *job) status() JobStatus {
 type Engine struct {
 	store   *Store
 	metrics *Metrics
+	logger  *slog.Logger
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -286,10 +303,11 @@ func errJobNotFound(id string) error { return &notFoundError{what: "job", id: id
 
 // newEngine starts a pool of workers draining a queue of the given
 // capacity.
-func newEngine(store *Store, metrics *Metrics, workers, queueCap int) *Engine {
+func newEngine(store *Store, metrics *Metrics, logger *slog.Logger, workers, queueCap int) *Engine {
 	e := &Engine{
 		store:   store,
 		metrics: metrics,
+		logger:  logger,
 		queue:   make(chan *job, queueCap),
 		jobs:    make(map[string]*job),
 	}
@@ -302,8 +320,10 @@ func newEngine(store *Store, metrics *Metrics, workers, queueCap int) *Engine {
 
 // Submit validates the spec and enqueues a job, returning its initial
 // status. The queue is bounded: a full queue rejects with errQueueFull
-// rather than accepting unbounded work.
-func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
+// rather than accepting unbounded work. requestID (may be "") is the
+// submitting request's X-Request-ID; it travels on the job's context so
+// logs from every phase of the run correlate with the submission.
+func (e *Engine) Submit(spec JobSpec, requestID string) (JobStatus, error) {
 	points, err := spec.normalize()
 	if err != nil {
 		return JobStatus{}, err
@@ -311,14 +331,15 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	if _, err := e.store.Get(spec.Dataset); err != nil {
 		return JobStatus{}, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(obs.WithRequestID(context.Background(), requestID))
 	j := &job{
-		spec:    spec,
-		points:  points,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
+		spec:      spec,
+		points:    points,
+		requestID: requestID,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		created:   time.Now(),
 	}
 
 	e.mu.Lock()
@@ -343,6 +364,11 @@ func (e *Engine) Submit(spec JobSpec) (JobStatus, error) {
 	e.mu.Unlock()
 
 	e.metrics.jobsQueued.Add(1)
+	e.logger.Info("job submitted",
+		"job_id", j.id,
+		"dataset", spec.Dataset,
+		"sweep_points", len(points),
+		"request_id", requestID)
 	return j.status(), nil
 }
 
@@ -424,6 +450,16 @@ func (e *Engine) Jobs() []JobStatus {
 	return out
 }
 
+// Ready reports whether the engine still accepts submissions — false
+// once shutdown has begun. This is the readiness signal behind /readyz:
+// a draining instance is alive (liveness stays green) but should be
+// rotated out of load balancing.
+func (e *Engine) Ready() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.closed
+}
+
 // Shutdown stops intake and drains the workers: running (and still-
 // queued) jobs get until ctx's deadline to finish, then every live job
 // is cancelled and the workers are awaited (cancellation is polled
@@ -488,11 +524,19 @@ func (e *Engine) run(j *job) {
 	j.mu.Unlock()
 	e.metrics.jobsRunning.Add(1)
 	defer e.metrics.jobsRunning.Add(-1)
+	e.logger.Info("job started",
+		"job_id", j.id,
+		"dataset", j.spec.Dataset,
+		"request_id", j.requestID)
 
 	err := e.solve(j)
 
 	j.mu.Lock()
 	j.finished = time.Now()
+	// The duration histogram records every outcome — cancellation
+	// mid-run included — so drain behaviour is visible, not censored.
+	elapsed := j.finished.Sub(j.started)
+	e.metrics.jobDuration.ObserveDuration(elapsed)
 	switch {
 	case j.ctx.Err() != nil:
 		j.state = StateCancelled
@@ -506,8 +550,20 @@ func (e *Engine) run(j *job) {
 		j.state = StateDone
 		e.metrics.jobsDone.Add(1)
 	}
+	state, jobErr := j.state, j.err
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
+
+	attrs := []any{
+		"job_id", j.id,
+		"state", state,
+		"duration_us", elapsed.Microseconds(),
+		"request_id", j.requestID,
+	}
+	if jobErr != nil {
+		attrs = append(attrs, "error", jobErr.Error())
+	}
+	e.logger.Info("job finished", attrs...)
 }
 
 func (e *Engine) solve(j *job) error {
@@ -527,10 +583,18 @@ func (e *Engine) solve(j *job) error {
 	if err != nil {
 		return err
 	}
+	// The deferred block runs on every exit — success, failure, or
+	// cancellation — so partial runs still publish their cache stats,
+	// distance-call total, and RunReport.
 	defer func() {
 		computes, hits := d.CacheStats()
 		e.metrics.cacheComputes.Add(int64(computes))
 		e.metrics.cacheHits.Add(int64(hits))
+		rep := d.Report()
+		e.metrics.distanceCalls.Add(rep.DistanceCalls)
+		j.mu.Lock()
+		j.report = &rep
+		j.mu.Unlock()
 	}()
 
 	results := make([]SweepResult, len(j.points))
@@ -555,6 +619,9 @@ func (e *Engine) solve(j *job) error {
 		if err != nil {
 			return err
 		}
+		point := d.LastReport()
+		e.metrics.phase1Duration.ObserveDuration(point.Phase1)
+		e.metrics.phase2Duration.ObserveDuration(point.Phase2)
 		reps := make([]int, len(groups))
 		for i, g := range groups {
 			reps[i] = d.Representative(g)

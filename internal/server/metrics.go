@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"fuzzydup/internal/obs"
 )
 
 // Metrics holds the service's operational counters. They are expvar
@@ -25,8 +27,16 @@ import (
 //	records_ingested       records accepted across all datasets (cumulative)
 //	phase1_cache_hits      sweep points served from a job's phase-1 cache
 //	phase1_cache_computes  sweep points that ran the full NN computation
+//	phase1_duration_ms     histogram of per-sweep-point phase-1 durations
+//	phase2_duration_ms     histogram of per-sweep-point phase-2 durations
+//	job_duration_ms        histogram of job run durations (all outcomes,
+//	                       including cancelled mid-run)
+//	distance_calls         metric invocations across all jobs (cumulative)
 //	endpoints              per-endpoint request count and latency:
 //	                       {"POST /v1/jobs": {"count": n, "total_us": µs}}
+//
+// Histograms render as {"count", "sum", "buckets": [{"le", "n"}, ...],
+// "overflow"} with bounds in milliseconds (see obs.Histogram).
 type Metrics struct {
 	root *expvar.Map
 
@@ -41,6 +51,11 @@ type Metrics struct {
 
 	cacheHits     *expvar.Int
 	cacheComputes *expvar.Int
+	distanceCalls *expvar.Int
+
+	phase1Duration *obs.Histogram
+	phase2Duration *obs.Histogram
+	jobDuration    *obs.Histogram
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
@@ -58,6 +73,10 @@ func newMetrics() *Metrics {
 		recordsIngested: new(expvar.Int),
 		cacheHits:       new(expvar.Int),
 		cacheComputes:   new(expvar.Int),
+		distanceCalls:   new(expvar.Int),
+		phase1Duration:  obs.NewHistogram(),
+		phase2Duration:  obs.NewHistogram(),
+		jobDuration:     obs.NewHistogram(),
 		endpoints:       new(expvar.Map).Init(),
 	}
 	m.root.Set("jobs_queued", m.jobsQueued)
@@ -69,6 +88,10 @@ func newMetrics() *Metrics {
 	m.root.Set("records_ingested", m.recordsIngested)
 	m.root.Set("phase1_cache_hits", m.cacheHits)
 	m.root.Set("phase1_cache_computes", m.cacheComputes)
+	m.root.Set("distance_calls", m.distanceCalls)
+	m.root.Set("phase1_duration_ms", m.phase1Duration)
+	m.root.Set("phase2_duration_ms", m.phase2Duration)
+	m.root.Set("job_duration_ms", m.jobDuration)
 	m.root.Set("endpoints", m.endpoints)
 	return m
 }
@@ -108,17 +131,19 @@ func (m *Metrics) handler() http.Handler {
 }
 
 // endpointLabel normalizes a request to a bounded-cardinality metrics
-// key: concrete dataset and job IDs collapse to "{id}".
+// key. The label is the mux pattern that served the request ("GET
+// /v1/datasets/{id}"), which collapses every concrete ID — the pattern
+// set is fixed at route-registration time, so the endpoints map cannot
+// grow with traffic. Requests no registered route claimed (the catch-all
+// 404 pattern, or a timeout that fired before routing) collapse to a
+// single "other" label rather than minting a key per probed path.
 func endpointLabel(r *http.Request) string {
-	parts := strings.Split(r.URL.Path, "/")
-	for i := 1; i < len(parts); i++ {
-		if parts[i] == "" {
-			continue
-		}
-		switch parts[i-1] {
-		case "datasets", "jobs":
-			parts[i] = "{id}"
-		}
+	pat := r.Pattern
+	if pat == "" || pat == "/" {
+		return r.Method + " other"
 	}
-	return r.Method + " " + strings.Join(parts, "/")
+	if strings.Contains(pat, " ") { // method-qualified pattern
+		return pat
+	}
+	return r.Method + " " + pat
 }

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	"time"
+
+	"fuzzydup/internal/obs"
 )
 
 // apiError is the structured error body every non-2xx response carries.
@@ -65,18 +69,93 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // withRecover converts handler panics into structured 500s instead of
 // killing the connection.
-func withRecover(logger *log.Logger, next http.Handler) http.Handler {
+func withRecover(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
 				if v == http.ErrAbortHandler {
 					panic(v)
 				}
-				logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, v)
+				logger.Error("panic serving request",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"request_id", obs.RequestID(r.Context()),
+					"panic", v)
 				writeError(w, http.StatusInternalServerError, "internal", "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)
+	})
+}
+
+// newRequestID mints a 16-hex-character random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a fixed ID
+		// still keeps requests serviceable.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID adopts the caller's X-Request-ID (or mints one when
+// absent), echoes it on the response, and stores it in the request
+// context so every layer below — handlers, job engine, core — can
+// correlate its logs with this request.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
+}
+
+// statusWriter captures the response status for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Unwrap keeps http.ResponseController features of the underlying
+// writer reachable.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// withLogging emits one debug-level access line per request. Debug, not
+// info: status polling makes request lines high-volume, and the
+// interesting lifecycle events (job submit/start/finish) log at info
+// from the engine with the same request_id.
+func withLogging(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Debug("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_us", time.Since(start).Microseconds(),
+			"request_id", obs.RequestID(r.Context()))
 	})
 }
 

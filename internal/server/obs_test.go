@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe log sink for asserting on slog output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestEndpointCardinality floods the server with distinct concrete paths
+// and verifies the endpoints metric stays bounded: IDs collapse into
+// their route pattern, unknown paths collapse into "other".
+func TestEndpointCardinality(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	for i := 0; i < 50; i++ {
+		doJSON(t, "GET", fmt.Sprintf("%s/v1/datasets/ds-%06d", ts.URL, i), "", "", nil)
+	}
+	for i := 0; i < 20; i++ {
+		doJSON(t, "GET", fmt.Sprintf("%s/no-such-route-%d", ts.URL, i), "", "", nil)
+	}
+
+	var m map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/metrics", "", "", &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	eps, ok := m["endpoints"].(map[string]any)
+	if !ok {
+		t.Fatalf("endpoints = %v", m["endpoints"])
+	}
+	if len(eps) > 5 {
+		t.Errorf("endpoint label cardinality %d, want <= 5: %v", len(eps), eps)
+	}
+	ds, ok := eps["GET /v1/datasets/{id}"].(map[string]any)
+	if !ok || ds["count"].(float64) != 50 {
+		t.Errorf("GET /v1/datasets/{id} = %v, want count 50", eps["GET /v1/datasets/{id}"])
+	}
+	other, ok := eps["GET other"].(map[string]any)
+	if !ok || other["count"].(float64) != 20 {
+		t.Errorf("GET other = %v, want count 20", eps["GET other"])
+	}
+}
+
+// TestRequestIDPropagation follows one request ID from the submit header
+// through the job's slog lifecycle lines into the job status JSON, and
+// checks a missing header gets a generated ID.
+func TestRequestIDPropagation(t *testing.T) {
+	logBuf := &syncBuffer{}
+	cfg := Config{Workers: 1, Logger: slog.New(slog.NewTextHandler(logBuf, nil))}
+	_, ts := newTestServer(t, cfg)
+	dsID := createSeedDataset(t, ts.URL)
+
+	const reqID = "e2e-test-request-42"
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs",
+		strings.NewReader(fmt.Sprintf(`{"dataset":%q,"k":[3,2]}`, dsID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Errorf("response X-Request-ID = %q, want %q", got, reqID)
+	}
+	var st JobStatus
+	if err := decodeJSON(resp.Body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID != reqID {
+		t.Errorf("submit status request_id = %q, want %q", st.RequestID, reqID)
+	}
+
+	final := waitForState(t, ts.URL, st.ID, StateDone)
+	if final.RequestID != reqID {
+		t.Errorf("final status request_id = %q, want %q", final.RequestID, reqID)
+	}
+
+	logs := logBuf.String()
+	for _, event := range []string{"job submitted", "job started", "job finished"} {
+		line := ""
+		for _, l := range strings.Split(logs, "\n") {
+			if strings.Contains(l, event) {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Errorf("no %q log line in:\n%s", event, logs)
+			continue
+		}
+		if !strings.Contains(line, "request_id="+reqID) {
+			t.Errorf("%q line lacks request_id=%s: %s", event, reqID, line)
+		}
+		if !strings.Contains(line, "job_id="+st.ID) {
+			t.Errorf("%q line lacks job_id=%s: %s", event, st.ID, line)
+		}
+	}
+
+	// Without a header, the middleware mints an ID and it still reaches
+	// the job status.
+	var st2 JobStatus
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/jobs",
+		strings.NewReader(fmt.Sprintf(`{"dataset":%q}`, dsID)))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	gen := resp2.Header.Get("X-Request-ID")
+	if gen == "" {
+		t.Error("no generated X-Request-ID on response")
+	}
+	if err := decodeJSON(resp2.Body, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.RequestID != gen {
+		t.Errorf("generated ID mismatch: status %q vs header %q", st2.RequestID, gen)
+	}
+}
+
+// TestJobStatusReport checks a finished job exposes its RunReport with
+// cache semantics intact, and that the phase histograms saw every sweep
+// point.
+func TestJobStatusReport(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	dsID := createSeedDataset(t, ts.URL)
+
+	var st JobStatus
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", "application/json",
+		fmt.Sprintf(`{"dataset":%q,"k":[3,2]}`, dsID), &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	final := waitForState(t, ts.URL, st.ID, StateDone)
+
+	rep := final.Report
+	if rep == nil {
+		t.Fatal("done job has no report")
+	}
+	if rep.Solves != 2 {
+		t.Errorf("report solves = %d, want 2", rep.Solves)
+	}
+	// The sweep's narrow point is a cache hit: one compute, one hit, and
+	// the distance-call count comes entirely from the compute.
+	if rep.CacheComputes != 1 || rep.CacheHits != 1 {
+		t.Errorf("report cache = %d computes / %d hits, want 1/1", rep.CacheComputes, rep.CacheHits)
+	}
+	if rep.DistanceCalls == 0 || rep.Lookups == 0 || rep.IndexProbes == 0 {
+		t.Errorf("report counted no phase-1 work: %+v", rep)
+	}
+	if rep.Groups == 0 || rep.DuplicateGroups == 0 {
+		t.Errorf("report counted no phase-2 output: %+v", rep)
+	}
+
+	// Both sweep points observed both phase histograms; the job
+	// histogram saw the whole run; the distance total was published.
+	if n := s.Metrics().phase1Duration.Snapshot().Count; n != 2 {
+		t.Errorf("phase1_duration_ms count = %d, want 2", n)
+	}
+	if n := s.Metrics().phase2Duration.Snapshot().Count; n != 2 {
+		t.Errorf("phase2_duration_ms count = %d, want 2", n)
+	}
+	if n := s.Metrics().jobDuration.Snapshot().Count; n != 1 {
+		t.Errorf("job_duration_ms count = %d, want 1", n)
+	}
+	if n := s.Metrics().distanceCalls.Value(); n != rep.DistanceCalls {
+		t.Errorf("distance_calls metric = %d, report says %d", n, rep.DistanceCalls)
+	}
+}
+
+// TestCancelledJobRecordsDuration pins the satellite fix: a job
+// cancelled mid-run still lands in the duration histogram, and the
+// running gauge returns to zero.
+func TestCancelledJobRecordsDuration(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.engine.testBeforeSolve = func(ctx context.Context, id string) { <-ctx.Done() }
+	dsID := createSeedDataset(t, ts.URL)
+
+	var st JobStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "application/json",
+		fmt.Sprintf(`{"dataset":%q}`, dsID), &st)
+	waitForState(t, ts.URL, st.ID, StateRunning)
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+st.ID, "", "", nil); code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	waitForState(t, ts.URL, st.ID, StateCancelled)
+
+	if n := s.Metrics().jobDuration.Snapshot().Count; n != 1 {
+		t.Errorf("job_duration_ms count = %d after cancellation, want 1", n)
+	}
+	// The worker's gauge decrement runs just after the state flip; give
+	// it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().jobsRunning.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs_running = %d after cancellation, want 0", s.Metrics().jobsRunning.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	var out map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/readyz", "", "", &out); code != http.StatusOK || out["status"] != "ok" {
+		t.Errorf("readyz before shutdown: %d %v", code, out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Liveness stays green while readiness reports draining.
+	if code := doJSON(t, "GET", ts.URL+"/readyz", "", "", &out); code != http.StatusServiceUnavailable || out["status"] != "draining" {
+		t.Errorf("readyz after shutdown: %d %v", code, out)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", "", "", &out); code != http.StatusOK {
+		t.Errorf("healthz after shutdown: %d", code)
+	}
+}
+
+// TestPprofGate checks the profiler is opt-in: mounted under
+// EnablePprof, absent (404) by default.
+func TestPprofGate(t *testing.T) {
+	_, tsOn := newTestServer(t, Config{Workers: 1, EnablePprof: true})
+	resp, err := http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with EnablePprof: status %d, want 200", resp.StatusCode)
+	}
+
+	_, tsOff := newTestServer(t, Config{Workers: 1})
+	var body errorBody
+	if code := doJSON(t, "GET", tsOff.URL+"/debug/pprof/", "", "", &body); code != http.StatusNotFound {
+		t.Errorf("pprof index without EnablePprof: status %d, want 404", code)
+	}
+}

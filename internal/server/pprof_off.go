@@ -1,0 +1,9 @@
+//go:build nopprof
+
+package server
+
+import "net/http"
+
+// pprofHandler is compiled out under the nopprof tag; Config.EnablePprof
+// becomes a no-op and /debug/pprof/ answers the catch-all 404.
+func pprofHandler() http.Handler { return nil }

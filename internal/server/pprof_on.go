@@ -1,0 +1,21 @@
+//go:build !nopprof
+
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofHandler serves the runtime profiling endpoints under
+// /debug/pprof/. Build with -tags nopprof to compile the profiler out
+// entirely (pprofHandler then returns nil and the routes 404).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -8,7 +8,9 @@
 // Endpoints:
 //
 //	GET    /healthz                   liveness probe
+//	GET    /readyz                    readiness probe (503 while draining)
 //	GET    /metrics                   operational counters (JSON)
+//	GET    /debug/pprof/...           runtime profiles (Config.EnablePprof)
 //	POST   /v1/datasets               register a dataset (JSON array)
 //	GET    /v1/datasets               list datasets
 //	GET    /v1/datasets/{id}          dataset info
@@ -24,7 +26,7 @@ package server
 import (
 	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -46,8 +48,15 @@ type Config struct {
 	// disables). Jobs run asynchronously, so no handler legitimately
 	// takes long.
 	RequestTimeout time.Duration
-	// Logger receives operational logs (default log.Default()).
-	Logger *log.Logger
+	// Logger receives structured operational logs (default
+	// slog.Default()). Job lifecycle events log at Info with the
+	// submitting request's request_id; per-request access lines log at
+	// Debug.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and hold CPU, so
+	// they are opt-in (and compiled out entirely under -tags nopprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -67,7 +76,7 @@ func (c Config) withDefaults() Config {
 		c.RequestTimeout = 30 * time.Second
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -91,10 +100,11 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 	}
 	s.store = newStore(cfg.MaxRecords)
-	s.engine = newEngine(s.store, s.metrics, cfg.Workers, cfg.QueueCap)
+	s.engine = newEngine(s.store, s.metrics, cfg.Logger, cfg.Workers, cfg.QueueCap)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.metrics.handler())
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
@@ -115,6 +125,20 @@ func New(cfg Config) *Server {
 	h = withRecover(cfg.Logger, h)
 	h = withMetrics(s.metrics, h)
 	h = withTimeout(cfg.RequestTimeout, h)
+	// pprof mounts outside the timeout and body-limit middleware: a
+	// 30-second CPU profile is a legitimate long request, and the
+	// profiler owns its own limits. It stays inside request-ID and
+	// logging so profile fetches are still correlated and visible.
+	if cfg.EnablePprof {
+		if pp := pprofHandler(); pp != nil {
+			outer := http.NewServeMux()
+			outer.Handle("/debug/pprof/", pp)
+			outer.Handle("/", h)
+			h = outer
+		}
+	}
+	h = withLogging(cfg.Logger, h)
+	h = withRequestID(h)
 	s.handler = h
 	return s
 }
@@ -153,13 +177,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	case <-ctx.Done():
 	}
 
-	s.cfg.Logger.Printf("shutting down: draining for up to %s", drain)
+	s.cfg.Logger.Info("shutting down", "drain", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	httpErr := srv.Shutdown(drainCtx)
 	jobErr := s.engine.Shutdown(drainCtx)
 	if jobErr != nil && errors.Is(jobErr, context.DeadlineExceeded) {
-		s.cfg.Logger.Printf("drain deadline hit: running jobs were cancelled")
+		s.cfg.Logger.Warn("drain deadline hit: running jobs were cancelled")
 	}
 	return httpErr
 }

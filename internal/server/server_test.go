@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -32,7 +32,9 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func testLogger(t *testing.T) *log.Logger { return log.New(&logWriter{t}, "", 0) }
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(&logWriter{t}, nil))
+}
 
 type logWriter struct{ t *testing.T }
 
@@ -388,7 +390,7 @@ func TestQueueBounded(t *testing.T) {
 }
 
 func TestGracefulShutdownDrainsRunningJob(t *testing.T) {
-	cfg := Config{Workers: 2, Logger: nil}
+	cfg := Config{Workers: 2, Logger: testLogger(t)}
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -415,13 +417,18 @@ func TestGracefulShutdownDrainsRunningJob(t *testing.T) {
 	}
 
 	// Submissions after shutdown are rejected.
-	if _, err := s.engine.Submit(JobSpec{Dataset: dsID}); err != errShuttingDown {
+	if _, err := s.engine.Submit(JobSpec{Dataset: dsID}, ""); err != errShuttingDown {
 		t.Errorf("submit after shutdown: %v", err)
+	}
+
+	// Every job has left the gauge: drain returns it to zero.
+	if n := s.Metrics().jobsRunning.Value(); n != 0 {
+		t.Errorf("jobs_running after drain = %d, want 0", n)
 	}
 }
 
 func TestGracefulShutdownCancelsAtDeadline(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := New(Config{Workers: 1, Logger: testLogger(t)})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

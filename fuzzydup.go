@@ -326,16 +326,7 @@ func (d *Deduper) Distance(a, b int) float64 {
 	return d.metric.Distance(d.keys[a], d.keys[b])
 }
 
-func (d *Deduper) agg() core.Agg {
-	switch d.opts.Agg {
-	case AggAvg:
-		return core.AggAvg
-	case AggMax2:
-		return core.AggMax2
-	default:
-		return core.AggMax
-	}
-}
+func (d *Deduper) agg() core.Agg { return aggOf(d.opts.Agg) }
 
 func (d *Deduper) problem(cut core.Cut, c float64) core.Problem {
 	return core.Problem{

@@ -87,6 +87,44 @@ func TestSortedNeighborhood(t *testing.T) {
 	}
 }
 
+// TestSortedNeighborhoodWindowExceedsDataset pins the boundary where
+// the sliding window is as large as, or larger than, the dataset: every
+// pass degenerates to all n-choose-2 pairs, without duplicates or
+// out-of-range indexes, and tiny datasets stay well-defined.
+func TestSortedNeighborhoodWindowExceedsDataset(t *testing.T) {
+	keys := []string{"ccc", "aaa", "ddd", "bbb"}
+	all := map[[2]int]bool{
+		{0, 1}: true, {0, 2}: true, {0, 3}: true,
+		{1, 2}: true, {1, 3}: true, {2, 3}: true,
+	}
+	for _, w := range []int{len(keys), len(keys) + 1, 1000} {
+		got := SortedNeighborhood(keys, w, NormalizedOrder())
+		if len(got) != len(all) {
+			t.Fatalf("w=%d: %d pairs, want %d (%v)", w, len(got), len(all), got)
+		}
+		for p := range all {
+			if !got[p] {
+				t.Errorf("w=%d: missing pair %v", w, p)
+			}
+		}
+	}
+	// Multiple passes over an oversized window add nothing new.
+	multi := SortedNeighborhood(keys, 1000, NormalizedOrder(), ReversedTokenOrder())
+	if len(multi) != len(all) {
+		t.Errorf("multi-pass oversized window: %d pairs, want %d", len(multi), len(all))
+	}
+	// Degenerate datasets.
+	if got := SortedNeighborhood(nil, 10, NormalizedOrder()); len(got) != 0 {
+		t.Errorf("empty dataset: %v", got)
+	}
+	if got := SortedNeighborhood([]string{"solo"}, 10, NormalizedOrder()); len(got) != 0 {
+		t.Errorf("singleton dataset: %v", got)
+	}
+	if got := SortedNeighborhood([]string{"a", "b"}, 10, NormalizedOrder()); len(got) != 1 || !got[[2]int{0, 1}] {
+		t.Errorf("two records: %v", got)
+	}
+}
+
 func TestReversedTokenOrder(t *testing.T) {
 	ord := ReversedTokenOrder()
 	if got := ord("The Golden Dragon"); got != "dragon golden the" {

@@ -214,6 +214,25 @@ type NNRelation struct {
 	P float64
 }
 
+// ReverseNN returns the reverse nearest-neighbor adjacency of the
+// relation: out[u] lists, in ascending order, every tuple v whose NN-List
+// references u. This is the bookkeeping a local repair needs after a data
+// change — only tuples that reference a changed tuple (or that the changed
+// tuple newly reaches) can see their phase-2 decisions move, which is what
+// the paper's split/merge consistency makes principled.
+func (r *NNRelation) ReverseNN() [][]int {
+	out := make([][]int, len(r.Rows))
+	for v, row := range r.Rows {
+		for _, nb := range row.NNList {
+			out[nb.ID] = append(out[nb.ID], v)
+		}
+	}
+	for _, refs := range out {
+		sort.Ints(refs)
+	}
+	return out
+}
+
 // NGValues returns the NG column, the input to the SN-threshold estimator.
 func (r *NNRelation) NGValues() []int {
 	ngs := make([]int, len(r.Rows))

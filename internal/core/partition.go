@@ -146,7 +146,7 @@ func violatesExclude(group []int, exclude func(a, b int) bool) bool {
 func splitNonMinimal(rel *NNRelation, groups [][]int, stats *PartitionStats) [][]int {
 	var out [][]int
 	for _, g := range groups {
-		pieces := splitGroup(rel, g)
+		pieces := SplitMinimal(rel.Rows, g)
 		if len(pieces) > 1 {
 			stats.Splits++
 		}
@@ -155,10 +155,13 @@ func splitNonMinimal(rel *NNRelation, groups [][]int, stats *PartitionStats) [][
 	return out
 }
 
-// splitGroup decomposes one group into minimal compact sets. Proper
-// non-trivial compact subsets of a group are closures of their members, so
-// it suffices to scan each member's closures that stay inside the group.
-func splitGroup(rel *NNRelation, g []int) [][]int {
+// SplitMinimal decomposes one group into minimal compact sets (the
+// Section 4.4.2 post-processing applied to a single group). It is a pure
+// function of the group's members' NN rows, which is what lets the
+// incremental engine re-split only repaired groups. Proper non-trivial
+// compact subsets of a group are closures of their members, so it suffices
+// to scan each member's closures that stay inside the group.
+func SplitMinimal(rows []NNRow, g []int) [][]int {
 	if len(g) <= 2 {
 		return [][]int{g}
 	}
@@ -175,16 +178,16 @@ func splitGroup(rel *NNRelation, g []int) [][]int {
 	var subs []sub
 	for _, v := range g {
 		maxJ := len(g) - 1 // proper subsets only
-		if l := len(rel.Rows[v].NNList) + 1; l < maxJ {
+		if l := len(rows[v].NNList) + 1; l < maxJ {
 			maxJ = l
 		}
 		for j := 2; j <= maxJ; j++ {
-			if !IsCompactSet(rel.Rows, v, j) {
+			if !IsCompactSet(rows, v, j) {
 				continue
 			}
 			members := []int{v}
 			inside := true
-			for _, nb := range rel.Rows[v].NNList[:j-1] {
+			for _, nb := range rows[v].NNList[:j-1] {
 				if _, ok := inG[nb.ID]; !ok {
 					inside = false
 					break

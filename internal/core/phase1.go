@@ -254,5 +254,12 @@ func lookupOne(idx nnindex.Index, cut Cut, p float64, id int, stats *Phase1Stats
 	return NNRow{NNList: list, NG: ng}, neighbors
 }
 
+// ZeroDistanceRadius is the growth-sphere radius used for tuples whose
+// nearest neighbor is at distance zero: the paper assumes distinct tuples
+// have non-zero distances, so the sphere degenerates to the smallest
+// positive radius, counting exactly the zero-distance twins. Exported so
+// the incremental engine reproduces phase-1 lookups bit-for-bit.
+const ZeroDistanceRadius = 1e-12
+
 // smallestPositive is the radius used for zero-distance nearest neighbors.
-const smallestPositive = 1e-12
+const smallestPositive = ZeroDistanceRadius

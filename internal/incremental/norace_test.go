@@ -1,0 +1,7 @@
+//go:build !race
+
+package incremental
+
+// raceEnabled lets scale-sensitive tests shrink their datasets under the
+// race detector; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package incremental
+
+// raceEnabled lets scale-sensitive tests shrink their datasets under the
+// race detector, whose instrumentation makes O(n²) distance work an order
+// of magnitude slower.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"fuzzydup"
 	"fuzzydup/internal/obs"
@@ -66,10 +67,12 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	if err := s.store.Delete(id); err != nil {
 		writeServiceError(w, err)
 		return
 	}
+	s.engine.DropSession(id)
 	s.metrics.datasets.Add(-1)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -79,16 +82,91 @@ type appendResponse struct {
 	DatasetInfo
 	// Added is how many records this request appended.
 	Added int `json:"added"`
+	// RecordIDs are the rids assigned to the appended records, in order.
+	// Use them to address individual records for replace and delete.
+	RecordIDs []int64 `json:"record_ids,omitempty"`
+	// RepairJob is the ID of the incremental repair job this mutation
+	// triggered, when the dataset has a live incremental session.
+	RepairJob string `json:"repair_job,omitempty"`
 }
 
 func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
-	added, info, err := s.store.AppendNDJSON(r.PathValue("id"), r.Body)
+	id := r.PathValue("id")
+	added, rids, info, err := s.store.AppendNDJSON(id, r.Body)
 	if err != nil {
 		writeServiceError(w, err)
 		return
 	}
 	s.metrics.recordsIngested.Add(int64(added))
-	writeJSON(w, http.StatusOK, appendResponse{DatasetInfo: info, Added: added})
+	repair := s.engine.NotifyMutation(id, obs.RequestID(r.Context()))
+	writeJSON(w, http.StatusOK, appendResponse{
+		DatasetInfo: info, Added: added, RecordIDs: rids, RepairJob: repair,
+	})
+}
+
+func (s *Server) handleRecordList(w http.ResponseWriter, r *http.Request) {
+	items, err := s.store.ListRecords(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if items == nil {
+		items = []RecordItem{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"records": items})
+}
+
+// mutationResponse is the body of PUT/DELETE /v1/datasets/{id}/records/{rid}.
+type mutationResponse struct {
+	DatasetInfo
+	// RepairJob as in appendResponse.
+	RepairJob string `json:"repair_job,omitempty"`
+}
+
+// parseRID parses the {rid} path segment.
+func parseRID(r *http.Request) (int64, error) {
+	rid, err := strconv.ParseInt(r.PathValue("rid"), 10, 64)
+	if err != nil {
+		return 0, &specError{fmt.Sprintf("invalid record id %q", r.PathValue("rid"))}
+	}
+	return rid, nil
+}
+
+func (s *Server) handleRecordDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rid, err := parseRID(r)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	info, err := s.store.RemoveRecord(id, rid)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	repair := s.engine.NotifyMutation(id, obs.RequestID(r.Context()))
+	writeJSON(w, http.StatusOK, mutationResponse{DatasetInfo: info, RepairJob: repair})
+}
+
+func (s *Server) handleRecordReplace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rid, err := parseRID(r)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	var rec fuzzydup.Record
+	if err := decodeJSON(r.Body, &rec); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	info, err := s.store.ReplaceRecord(id, rid, rec)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	repair := s.engine.NotifyMutation(id, obs.RequestID(r.Context()))
+	writeJSON(w, http.StatusOK, mutationResponse{DatasetInfo: info, RepairJob: repair})
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {

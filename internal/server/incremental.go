@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"fuzzydup"
+)
+
+// Incremental sessions: a per-dataset fuzzydup.Incremental engine kept
+// alive between jobs. An incremental job (JobSpec.Incremental) does not
+// resolve the dataset from scratch — it reconciles the session's engine
+// against the store's current (records, rids) snapshot, applying exactly
+// the inserts, deletes, and updates that happened since the last repair,
+// each as a local dirty-set repair. Record mutation endpoints submit such
+// a job automatically while a session exists, so the published groups
+// follow the dataset with per-change cost instead of per-dataset cost.
+//
+// Reconciling against the full snapshot (rather than shipping individual
+// ops to the engine) makes repair jobs idempotent and order-independent:
+// however many mutations coalesced while a repair was queued, and in
+// whatever order repairs for them run, each job leaves the session equal
+// to the snapshot it read, and the final job leaves it equal to the final
+// dataset.
+
+// sessionKey is the problem fingerprint of a session. A job whose
+// fingerprint differs from the live session's (new cut, metric, …)
+// rebuilds the session from scratch instead of repairing it.
+type sessionKey struct {
+	Mode           string
+	K              int
+	Theta          float64
+	C              float64
+	Metric         string
+	Agg            string
+	P              float64
+	MinimalCompact bool
+}
+
+func keyOf(spec JobSpec, pt sweepPoint) sessionKey {
+	return sessionKey{
+		Mode:           spec.Mode,
+		K:              pt.K,
+		Theta:          pt.Theta,
+		C:              pt.C,
+		Metric:         spec.Metric,
+		Agg:            spec.Agg,
+		P:              spec.P,
+		MinimalCompact: spec.MinimalCompact,
+	}
+}
+
+// incSession is one dataset's live incremental engine. mu serializes
+// repairs — concurrent repair jobs for the same dataset run one at a
+// time, each against the snapshot it took.
+type incSession struct {
+	mu      sync.Mutex
+	key     sessionKey
+	spec    JobSpec // normalized spec, resubmitted by NotifyMutation
+	inc     *fuzzydup.Incremental
+	byRID   map[int64]int // store rid -> engine stable ID
+	ridOf   map[int]int64 // engine stable ID -> store rid
+	repairs int           // reconcile ops applied over the session's life
+}
+
+// ispec translates the session key into the facade's problem spec.
+func (k sessionKey) ispec() fuzzydup.IncrementalSpec {
+	s := fuzzydup.IncrementalSpec{C: k.C}
+	switch k.Mode {
+	case "size":
+		s.MaxSize = k.K
+	case "diameter":
+		s.Theta = k.Theta
+	default: // both
+		s.MaxSize = k.K
+		s.Theta = k.Theta
+	}
+	return s
+}
+
+func (k sessionKey) options() fuzzydup.Options {
+	return fuzzydup.Options{
+		Metric:         fuzzydup.Metric(k.Metric),
+		Agg:            fuzzydup.Agg(k.Agg),
+		P:              k.P,
+		MinimalCompact: k.MinimalCompact,
+	}
+}
+
+// reconcile drives the session's engine to equal the snapshot, returning
+// the per-operation repair statistics (a fresh session returns the single
+// "build" entry). ctx is polled between operations so a cancelled job
+// stops repairing; the session stays consistent (each applied op is a
+// complete repair) and the next job finishes the reconciliation.
+func (s *incSession) reconcile(ctx context.Context, records []fuzzydup.Record, rids []int64) ([]fuzzydup.RepairStats, error) {
+	if s.inc == nil {
+		inc, err := fuzzydup.NewIncremental(records, s.key.ispec(), s.key.options())
+		if err != nil {
+			return nil, err
+		}
+		s.inc = inc
+		s.byRID = make(map[int64]int, len(rids))
+		s.ridOf = make(map[int]int64, len(rids))
+		for i, rid := range rids {
+			id := i // NewIncremental assigns 0..n-1 in order
+			s.byRID[rid] = id
+			s.ridOf[id] = rid
+		}
+		return []fuzzydup.RepairStats{s.inc.LastRepair()}, nil
+	}
+
+	var stats []fuzzydup.RepairStats
+	apply := func() error {
+		s.repairs++
+		stats = append(stats, s.inc.LastRepair())
+		return ctx.Err()
+	}
+	present := make(map[int64]int, len(rids))
+	for i, rid := range rids {
+		present[rid] = i
+	}
+	// Deletes first: rids the store no longer holds.
+	for rid, id := range s.byRID {
+		if _, ok := present[rid]; ok {
+			continue
+		}
+		if err := s.inc.Delete(id); err != nil {
+			return stats, fmt.Errorf("reconcile delete rid %d: %w", rid, err)
+		}
+		delete(s.byRID, rid)
+		delete(s.ridOf, id)
+		if err := apply(); err != nil {
+			return stats, err
+		}
+	}
+	// Then inserts and in-place updates, in snapshot order.
+	for i, rid := range rids {
+		if id, ok := s.byRID[rid]; ok {
+			cur, _ := s.inc.Record(id)
+			if reflect.DeepEqual(cur, records[i]) {
+				continue
+			}
+			if err := s.inc.Update(id, records[i]); err != nil {
+				return stats, fmt.Errorf("reconcile update rid %d: %w", rid, err)
+			}
+		} else {
+			id := s.inc.Insert(records[i])
+			s.byRID[rid] = id
+			s.ridOf[id] = rid
+		}
+		if err := apply(); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// sessionFor returns the dataset's live session, replacing it when the
+// job's problem fingerprint differs (the engine is bound to one problem;
+// a new cut or metric means a rebuild).
+func (e *Engine) sessionFor(spec JobSpec, pt sweepPoint) *incSession {
+	key := keyOf(spec, pt)
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	if s, ok := e.sessions[spec.Dataset]; ok && s.key == key {
+		return s
+	}
+	s := &incSession{key: key, spec: spec}
+	if e.sessions == nil {
+		e.sessions = make(map[string]*incSession)
+	}
+	e.sessions[spec.Dataset] = s
+	e.metrics.incrementalSessions.Set(int64(len(e.sessions)))
+	return s
+}
+
+// DropSession forgets a dataset's incremental session (dataset deleted).
+func (e *Engine) DropSession(dataset string) {
+	e.sessMu.Lock()
+	defer e.sessMu.Unlock()
+	if _, ok := e.sessions[dataset]; ok {
+		delete(e.sessions, dataset)
+		e.metrics.incrementalSessions.Set(int64(len(e.sessions)))
+	}
+}
+
+// NotifyMutation submits a repair job for the dataset's live session, if
+// any, returning the job ID ("" when no session exists or submission was
+// rejected). Mutations never fail because a repair could not be queued —
+// the session catches up on the next successful repair, since every
+// repair reconciles against the full current snapshot.
+func (e *Engine) NotifyMutation(dataset, requestID string) string {
+	e.sessMu.Lock()
+	s, ok := e.sessions[dataset]
+	e.sessMu.Unlock()
+	if !ok {
+		return ""
+	}
+	st, err := e.Submit(s.spec, requestID)
+	if err != nil {
+		e.logger.Warn("repair job submission failed",
+			"dataset", dataset, "error", err.Error(), "request_id", requestID)
+		return ""
+	}
+	return st.ID
+}
+
+// solveIncremental runs one incremental job: take a consistent snapshot,
+// reconcile the session's engine to it, and publish the resulting groups
+// in snapshot order (with the rid of every record, so clients can address
+// group members for further mutation).
+func (e *Engine) solveIncremental(j *job) error {
+	records, rids, err := e.store.SnapshotRIDs(j.spec.Dataset)
+	if err != nil {
+		return err
+	}
+	sess := e.sessionFor(j.spec, j.points[0])
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	stats, err := sess.reconcile(j.ctx, records, rids)
+	for _, st := range stats {
+		// Each repair op is a first-class unit of phase work: its dirty
+		// relookup and stitched partition land in the same phase1/phase2
+		// histograms batch sweep points use, plus the repair-specific
+		// counters.
+		e.metrics.repairsRun.Add(1)
+		e.metrics.repairDirtyLookups.Add(int64(st.DirtyLookups))
+		e.metrics.distanceCalls.Add(st.DistanceCalls)
+		e.metrics.phase1Duration.ObserveDuration(st.Phase1)
+		e.metrics.phase2Duration.ObserveDuration(st.Phase2)
+		e.metrics.repairDuration.ObserveDuration(st.Phase1 + st.Phase2)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Relabel the engine's stable-ID groups into snapshot indexes and
+	// restore canonical order (ascending members, groups by smallest
+	// member), the same shape batch results use.
+	idxOf := make(map[int64]int, len(rids))
+	for i, rid := range rids {
+		idxOf[rid] = i
+	}
+	type labeled struct {
+		group []int
+		rep   int
+	}
+	parts := make([]labeled, 0, len(records))
+	for _, g := range sess.inc.Groups() {
+		rep := sess.inc.Representative(g)
+		m := make([]int, len(g))
+		for i, id := range g {
+			m[i] = idxOf[sess.ridOf[id]]
+		}
+		sort.Ints(m)
+		parts = append(parts, labeled{group: m, rep: idxOf[sess.ridOf[rep]]})
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a].group[0] < parts[b].group[0] })
+	var groups fuzzydup.Groups
+	reps := make([]int, 0, len(parts))
+	for _, p := range parts {
+		groups = append(groups, p.group)
+		reps = append(reps, p.rep)
+	}
+
+	pt := j.points[0]
+	result := SweepResult{
+		K:               pt.K,
+		Theta:           pt.Theta,
+		C:               pt.C,
+		Groups:          groups,
+		Duplicates:      nonNil(groups.Duplicates()),
+		Pairs:           nonNilPairs(groups.Pairs()),
+		Representatives: reps,
+	}
+	j.mu.Lock()
+	j.done = 1
+	j.records = len(records)
+	j.results = []SweepResult{result}
+	j.recordIDs = rids
+	j.mu.Unlock()
+	return nil
+}

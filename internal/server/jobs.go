@@ -64,6 +64,13 @@ type JobSpec struct {
 	// Parallel fans phase-1 lookups across this many goroutines (exact
 	// index only).
 	Parallel int `json:"parallel,omitempty"`
+	// Incremental runs the job against the dataset's incremental session
+	// instead of solving from scratch: the first such job builds the
+	// session, later ones (including the repair jobs record mutations
+	// submit automatically) apply only the local repairs the data changes
+	// require. Incremental jobs take a single (k, θ, c) point, the exact
+	// index, and a corpus-independent metric.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // maxSweepPoints bounds the K × Theta × C cross product of one job.
@@ -158,6 +165,21 @@ func (spec *JobSpec) normalize() ([]sweepPoint, error) {
 	if len(points) > maxSweepPoints {
 		return nil, &specError{fmt.Sprintf("sweep has %d points, max %d", len(points), maxSweepPoints)}
 	}
+	if spec.Incremental {
+		if len(points) != 1 {
+			return nil, &specError{fmt.Sprintf("incremental jobs take a single (k, theta, c) point, got %d", len(points))}
+		}
+		if spec.Index != string(fuzzydup.IndexExact) {
+			return nil, &specError{fmt.Sprintf("incremental jobs require the exact index, not %q", spec.Index)}
+		}
+		if spec.UseSQL {
+			return nil, &specError{"incremental jobs do not support use_sql"}
+		}
+		switch fuzzydup.Metric(spec.Metric) {
+		case fuzzydup.MetricFMS, fuzzydup.MetricCosine, fuzzydup.MetricSoftTFIDF:
+			return nil, &specError{fmt.Sprintf("metric %q is corpus-dependent and cannot be maintained incrementally", spec.Metric)}
+		}
+	}
 	return points, nil
 }
 
@@ -186,6 +208,10 @@ type JobResult struct {
 	Dataset string        `json:"dataset"`
 	Records int           `json:"records"`
 	Results []SweepResult `json:"results"`
+	// RecordIDs (incremental jobs only) maps every record index appearing
+	// in Results to its stable rid, so group members can be addressed by
+	// the record mutation endpoints.
+	RecordIDs []int64 `json:"record_ids,omitempty"`
 }
 
 // SweepProgress reports how far a job's sweep has advanced.
@@ -196,8 +222,11 @@ type SweepProgress struct {
 
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID      string        `json:"id"`
-	State   JobState      `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Kind is "batch" for full solves and "incremental" for session
+	// repair jobs.
+	Kind    string        `json:"kind"`
 	Dataset string        `json:"dataset"`
 	Sweep   SweepProgress `json:"sweep"`
 	Error   string        `json:"error,omitempty"`
@@ -223,16 +252,25 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	state    JobState
-	done     int // sweep points completed
-	err      error
-	records  int
-	results  []SweepResult
-	report   *fuzzydup.RunReport
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu        sync.Mutex
+	state     JobState
+	done      int // sweep points completed
+	err       error
+	records   int
+	results   []SweepResult
+	recordIDs []int64 // incremental jobs: rid per record index
+	report    *fuzzydup.RunReport
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// kind labels the job for status bodies and logs.
+func (j *job) kind() string {
+	if j.spec.Incremental {
+		return "incremental"
+	}
+	return "batch"
 }
 
 func (j *job) status() JobStatus {
@@ -241,6 +279,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
+		Kind:      j.kind(),
 		Dataset:   j.spec.Dataset,
 		Sweep:     SweepProgress{Total: len(j.points), Done: j.done},
 		RequestID: j.requestID,
@@ -277,6 +316,9 @@ type Engine struct {
 	jobs   map[string]*job
 	nextID int
 	closed bool
+
+	sessMu   sync.Mutex
+	sessions map[string]*incSession // dataset ID -> live incremental session
 
 	// testBeforeSolve, when set (tests only), runs before each sweep
 	// point with the job's context and ID; it lets tests hold a job
@@ -398,7 +440,7 @@ func (e *Engine) Result(id string) (JobResult, error) {
 	case j.state == StateFailed:
 		return JobResult{}, fmt.Errorf("job failed: %w", j.err)
 	}
-	return JobResult{ID: j.id, Dataset: j.spec.Dataset, Records: j.records, Results: j.results}, nil
+	return JobResult{ID: j.id, Dataset: j.spec.Dataset, Records: j.records, Results: j.results, RecordIDs: j.recordIDs}, nil
 }
 
 // Cancel moves a queued or running job to cancelled (its context is
@@ -526,10 +568,16 @@ func (e *Engine) run(j *job) {
 	defer e.metrics.jobsRunning.Add(-1)
 	e.logger.Info("job started",
 		"job_id", j.id,
+		"kind", j.kind(),
 		"dataset", j.spec.Dataset,
 		"request_id", j.requestID)
 
-	err := e.solve(j)
+	var err error
+	if j.spec.Incremental {
+		err = e.solveIncremental(j)
+	} else {
+		err = e.solve(j)
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()

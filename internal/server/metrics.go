@@ -32,6 +32,13 @@ import (
 //	job_duration_ms        histogram of job run durations (all outcomes,
 //	                       including cancelled mid-run)
 //	distance_calls         metric invocations across all jobs (cumulative)
+//	incremental_sessions   live incremental sessions (gauge)
+//	repairs_run            incremental repair operations applied (cumulative)
+//	repair_dirty_lookups   phase-1 rows relooked up by repairs (cumulative);
+//	                       divide by repairs_run for mean dirty-set size
+//	repair_duration_ms     histogram of per-repair-operation durations
+//	                       (phase 1 + phase 2); the per-phase shares also
+//	                       land in phase1/phase2_duration_ms
 //	endpoints              per-endpoint request count and latency:
 //	                       {"POST /v1/jobs": {"count": n, "total_us": µs}}
 //
@@ -53,9 +60,14 @@ type Metrics struct {
 	cacheComputes *expvar.Int
 	distanceCalls *expvar.Int
 
+	incrementalSessions *expvar.Int
+	repairsRun          *expvar.Int
+	repairDirtyLookups  *expvar.Int
+
 	phase1Duration *obs.Histogram
 	phase2Duration *obs.Histogram
 	jobDuration    *obs.Histogram
+	repairDuration *obs.Histogram
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
@@ -74,10 +86,16 @@ func newMetrics() *Metrics {
 		cacheHits:       new(expvar.Int),
 		cacheComputes:   new(expvar.Int),
 		distanceCalls:   new(expvar.Int),
-		phase1Duration:  obs.NewHistogram(),
-		phase2Duration:  obs.NewHistogram(),
-		jobDuration:     obs.NewHistogram(),
-		endpoints:       new(expvar.Map).Init(),
+
+		incrementalSessions: new(expvar.Int),
+		repairsRun:          new(expvar.Int),
+		repairDirtyLookups:  new(expvar.Int),
+
+		phase1Duration: obs.NewHistogram(),
+		phase2Duration: obs.NewHistogram(),
+		jobDuration:    obs.NewHistogram(),
+		repairDuration: obs.NewHistogram(),
+		endpoints:      new(expvar.Map).Init(),
 	}
 	m.root.Set("jobs_queued", m.jobsQueued)
 	m.root.Set("jobs_running", m.jobsRunning)
@@ -89,9 +107,13 @@ func newMetrics() *Metrics {
 	m.root.Set("phase1_cache_hits", m.cacheHits)
 	m.root.Set("phase1_cache_computes", m.cacheComputes)
 	m.root.Set("distance_calls", m.distanceCalls)
+	m.root.Set("incremental_sessions", m.incrementalSessions)
+	m.root.Set("repairs_run", m.repairsRun)
+	m.root.Set("repair_dirty_lookups", m.repairDirtyLookups)
 	m.root.Set("phase1_duration_ms", m.phase1Duration)
 	m.root.Set("phase2_duration_ms", m.phase2Duration)
 	m.root.Set("job_duration_ms", m.jobDuration)
+	m.root.Set("repair_duration_ms", m.repairDuration)
 	m.root.Set("endpoints", m.endpoints)
 	return m
 }

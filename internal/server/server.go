@@ -1,26 +1,38 @@
 // Package server implements dedupd, the JSON-over-HTTP fuzzy-dedup
 // service: an in-memory dataset registry with streaming NDJSON ingest, a
 // bounded job queue drained by a worker pool that runs CS/SN dedup jobs
-// (with K/θ/c parameter sweeps sharing one phase-1 cache per job), and an
-// operational surface of health, expvar-style metrics, request timeouts,
-// size limits, structured errors, and graceful draining shutdown.
+// (with K/θ/c parameter sweeps sharing one phase-1 cache per job),
+// per-dataset incremental sessions that repair groups under record
+// mutations instead of resolving from scratch, and an operational
+// surface of health, expvar-style metrics, request timeouts, size
+// limits, structured errors, and graceful draining shutdown.
 //
 // Endpoints:
 //
-//	GET    /healthz                   liveness probe
-//	GET    /readyz                    readiness probe (503 while draining)
-//	GET    /metrics                   operational counters (JSON)
-//	GET    /debug/pprof/...           runtime profiles (Config.EnablePprof)
-//	POST   /v1/datasets               register a dataset (JSON array)
-//	GET    /v1/datasets               list datasets
-//	GET    /v1/datasets/{id}          dataset info
-//	DELETE /v1/datasets/{id}          remove a dataset
-//	POST   /v1/datasets/{id}/records  append records (streaming NDJSON)
-//	POST   /v1/jobs                   submit a dedup job (async, 202)
-//	GET    /v1/jobs                   list jobs
-//	GET    /v1/jobs/{id}              job status + sweep progress
-//	GET    /v1/jobs/{id}/result       groups, pairs, representatives
-//	DELETE /v1/jobs/{id}              cancel (or forget a finished) job
+//	GET    /healthz                         liveness probe
+//	GET    /readyz                          readiness probe (503 draining)
+//	GET    /metrics                         operational counters (JSON)
+//	GET    /debug/pprof/...                 runtime profiles (Config.EnablePprof)
+//	POST   /v1/datasets                     register a dataset (JSON array)
+//	GET    /v1/datasets                     list datasets
+//	GET    /v1/datasets/{id}                dataset info
+//	DELETE /v1/datasets/{id}                remove a dataset
+//	POST   /v1/datasets/{id}/records        append records (streaming NDJSON)
+//	GET    /v1/datasets/{id}/records        list records with rids
+//	PUT    /v1/datasets/{id}/records/{rid}  replace one record (JSON array)
+//	DELETE /v1/datasets/{id}/records/{rid}  delete one record
+//	POST   /v1/jobs                         submit a dedup job (async, 202);
+//	                                        "incremental": true opens or
+//	                                        repairs the dataset's session
+//	GET    /v1/jobs                         list jobs
+//	GET    /v1/jobs/{id}                    job status + sweep progress
+//	GET    /v1/jobs/{id}/result             groups, pairs, representatives
+//	DELETE /v1/jobs/{id}                    cancel (or forget a finished) job
+//
+// Record mutations on a dataset with a live incremental session
+// automatically submit a repair job (reported as repair_job in the
+// mutation response), so published groups follow the data at
+// per-change cost.
 package server
 
 import (
@@ -111,6 +123,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
 	mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	mux.HandleFunc("POST /v1/datasets/{id}/records", s.handleDatasetAppend)
+	mux.HandleFunc("GET /v1/datasets/{id}/records", s.handleRecordList)
+	mux.HandleFunc("PUT /v1/datasets/{id}/records/{rid}", s.handleRecordReplace)
+	mux.HandleFunc("DELETE /v1/datasets/{id}/records/{rid}", s.handleRecordDelete)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -14,8 +15,10 @@ import (
 )
 
 // Store is the in-memory dataset registry. All methods are safe for
-// concurrent use; records are append-only, so a Snapshot taken while
-// another request appends sees a consistent prefix.
+// concurrent use. Every record carries a dataset-scoped rid (record ID),
+// assigned monotonically at ingest and never reused, so mutation
+// endpoints and incremental sessions have a stable handle that survives
+// other records' deletion.
 type Store struct {
 	mu         sync.RWMutex
 	datasets   map[string]*datasetEntry
@@ -28,6 +31,29 @@ type datasetEntry struct {
 	name    string
 	created time.Time
 	records []fuzzydup.Record
+	rids    []int64 // rids[i] identifies records[i]; parallel slices
+	nextRID int64
+}
+
+// assignRIDs mints rids for n freshly appended records.
+func (e *datasetEntry) assignRIDs(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		e.nextRID++
+		e.rids = append(e.rids, e.nextRID)
+		out[i] = e.nextRID
+	}
+	return out
+}
+
+// indexOf returns the position of a rid, or -1.
+func (e *datasetEntry) indexOf(rid int64) int {
+	for i, r := range e.rids {
+		if r == rid {
+			return i
+		}
+	}
+	return -1
 }
 
 // DatasetInfo is the JSON description of a dataset.
@@ -63,14 +89,56 @@ func (s *Store) Create(name string, recs []fuzzydup.Record) (DatasetInfo, error)
 		created: time.Now(),
 		records: recs,
 	}
+	e.assignRIDs(len(recs))
 	s.datasets[e.id] = e
 	return e.info(), nil
 }
 
-// Append adds a parsed record batch to a dataset and returns its new info.
-func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, error) {
+// Append adds a parsed record batch to a dataset, returning the new info
+// and the rids assigned to the batch in order.
+func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, []int64, error) {
 	if err := validateRecords(recs, 0); err != nil {
-		return DatasetInfo{}, err
+		return DatasetInfo{}, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return DatasetInfo{}, nil, errDatasetNotFound(id)
+	}
+	if s.maxRecords > 0 && len(e.records)+len(recs) > s.maxRecords {
+		return DatasetInfo{}, nil, &capError{limit: s.maxRecords}
+	}
+	e.records = append(e.records, recs...)
+	rids := e.assignRIDs(len(recs))
+	return e.info(), rids, nil
+}
+
+// RemoveRecord deletes one record by rid.
+func (s *Store) RemoveRecord(id string, rid int64) (DatasetInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return DatasetInfo{}, errDatasetNotFound(id)
+	}
+	i := e.indexOf(rid)
+	if i < 0 {
+		return DatasetInfo{}, errRecordNotFound(rid)
+	}
+	e.records = append(e.records[:i], e.records[i+1:]...)
+	e.rids = append(e.rids[:i], e.rids[i+1:]...)
+	return e.info(), nil
+}
+
+// ReplaceRecord swaps the record under a rid for a new one. The rid is
+// kept: a replace is an update of the same logical record, not a
+// delete-plus-insert. Replacement never changes the record count, so the
+// dataset cap cannot be exceeded here; growth is confined to Create and
+// Append, which both enforce it with ErrDatasetCap.
+func (s *Store) ReplaceRecord(id string, rid int64, rec fuzzydup.Record) (DatasetInfo, error) {
+	if len(rec) == 0 {
+		return DatasetInfo{}, &parseError{line: 1, err: fmt.Errorf("empty record")}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -78,10 +146,11 @@ func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, error) {
 	if !ok {
 		return DatasetInfo{}, errDatasetNotFound(id)
 	}
-	if s.maxRecords > 0 && len(e.records)+len(recs) > s.maxRecords {
-		return DatasetInfo{}, &capError{limit: s.maxRecords}
+	i := e.indexOf(rid)
+	if i < 0 {
+		return DatasetInfo{}, errRecordNotFound(rid)
 	}
-	e.records = append(e.records, recs...)
+	e.records[i] = rec
 	return e.info(), nil
 }
 
@@ -89,11 +158,11 @@ func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, error) {
 // strings per line, blank lines skipped — into a dataset. The whole batch
 // is parsed and validated before any record is committed, so a malformed
 // line rejects the request without a partial append. Returns the number
-// of records added and the dataset's new info.
-func (s *Store) AppendNDJSON(id string, r io.Reader) (int, DatasetInfo, error) {
+// of records added, their assigned rids, and the dataset's new info.
+func (s *Store) AppendNDJSON(id string, r io.Reader) (int, []int64, DatasetInfo, error) {
 	// Existence check up front so a stream to a bogus ID fails fast.
 	if _, err := s.Get(id); err != nil {
-		return 0, DatasetInfo{}, err
+		return 0, nil, DatasetInfo{}, err
 	}
 	var recs []fuzzydup.Record
 	sc := bufio.NewScanner(r)
@@ -107,10 +176,10 @@ func (s *Store) AppendNDJSON(id string, r io.Reader) (int, DatasetInfo, error) {
 		}
 		var rec fuzzydup.Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return 0, DatasetInfo{}, &parseError{line: line, err: err}
+			return 0, nil, DatasetInfo{}, &parseError{line: line, err: err}
 		}
 		if len(rec) == 0 {
-			return 0, DatasetInfo{}, &parseError{line: line, err: fmt.Errorf("empty record")}
+			return 0, nil, DatasetInfo{}, &parseError{line: line, err: fmt.Errorf("empty record")}
 		}
 		recs = append(recs, rec)
 	}
@@ -118,27 +187,59 @@ func (s *Store) AppendNDJSON(id string, r io.Reader) (int, DatasetInfo, error) {
 		if err == bufio.ErrTooLong {
 			err = fmt.Errorf("record line exceeds %d bytes", maxNDJSONLine)
 		}
-		return 0, DatasetInfo{}, &parseError{line: line + 1, err: err}
+		return 0, nil, DatasetInfo{}, &parseError{line: line + 1, err: err}
 	}
-	info, err := s.Append(id, recs)
+	info, rids, err := s.Append(id, recs)
 	if err != nil {
-		return 0, DatasetInfo{}, err
+		return 0, nil, DatasetInfo{}, err
 	}
-	return len(recs), info, nil
+	return len(recs), rids, info, nil
 }
 
 // Snapshot returns the dataset's records at this moment. The returned
 // slice is private to the caller; the records themselves are shared and
-// never mutated.
+// never mutated (ReplaceRecord swaps whole records).
 func (s *Store) Snapshot(id string) ([]fuzzydup.Record, error) {
+	recs, _, err := s.SnapshotRIDs(id)
+	return recs, err
+}
+
+// SnapshotRIDs is Snapshot plus the parallel rid slice — the consistent
+// (records, rids) view incremental repair jobs reconcile against.
+func (s *Store) SnapshotRIDs(id string) ([]fuzzydup.Record, []int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return nil, nil, errDatasetNotFound(id)
+	}
+	recs := make([]fuzzydup.Record, len(e.records))
+	copy(recs, e.records)
+	rids := make([]int64, len(e.rids))
+	copy(rids, e.rids)
+	return recs, rids, nil
+}
+
+// RecordItem is one record with its rid, as listed by
+// GET /v1/datasets/{id}/records.
+type RecordItem struct {
+	RID    int64           `json:"rid"`
+	Record fuzzydup.Record `json:"record"`
+}
+
+// ListRecords returns the dataset's records with their rids, in ingest
+// order.
+func (s *Store) ListRecords(id string) ([]RecordItem, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.datasets[id]
 	if !ok {
 		return nil, errDatasetNotFound(id)
 	}
-	out := make([]fuzzydup.Record, len(e.records))
-	copy(out, e.records)
+	out := make([]RecordItem, len(e.records))
+	for i := range e.records {
+		out[i] = RecordItem{RID: e.rids[i], Record: e.records[i]}
+	}
 	return out, nil
 }
 
@@ -204,6 +305,10 @@ func (e *notFoundError) Error() string { return fmt.Sprintf("%s %q not found", e
 
 func errDatasetNotFound(id string) error { return &notFoundError{what: "dataset", id: id} }
 
+func errRecordNotFound(rid int64) error {
+	return &notFoundError{what: "record", id: fmt.Sprintf("%d", rid)}
+}
+
 // parseError marks malformed ingest input (HTTP 400), pointing at the
 // offending record.
 type parseError struct {
@@ -214,10 +319,19 @@ type parseError struct {
 func (e *parseError) Error() string { return fmt.Sprintf("record %d: %v", e.line, e.err) }
 func (e *parseError) Unwrap() error { return e.err }
 
+// ErrDatasetCap is the sentinel every record-cap rejection matches via
+// errors.Is, regardless of which ingest or mutation path raised it —
+// tests and embedders branch on the one sentinel instead of each path's
+// concrete error.
+var ErrDatasetCap = errors.New("dataset record cap exceeded")
+
 // capError marks an ingest rejected by the per-dataset record cap
-// (HTTP 413).
+// (HTTP 413). It carries the limit for the message and matches
+// ErrDatasetCap.
 type capError struct{ limit int }
 
 func (e *capError) Error() string {
 	return fmt.Sprintf("dataset record cap (%d) exceeded", e.limit)
 }
+
+func (e *capError) Is(target error) bool { return target == ErrDatasetCap }

@@ -15,13 +15,16 @@ func TestStoreAppendNDJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	added, info, err := s.AppendNDJSON(info.ID, strings.NewReader(
+	added, rids, info, err := s.AppendNDJSON(info.ID, strings.NewReader(
 		"[\"a\",\"b\"]\n\n  [\"c\"]  \n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if added != 2 || info.Records != 2 {
 		t.Fatalf("added %d, total %d", added, info.Records)
+	}
+	if len(rids) != 2 || rids[0] != 1 || rids[1] != 2 {
+		t.Fatalf("rids = %v", rids)
 	}
 
 	recs, err := s.Snapshot(info.ID)
@@ -44,7 +47,7 @@ func TestStoreAppendNDJSONRejectsAtomically(t *testing.T) {
 		"scalar":       "42\n",
 	}
 	for name, body := range cases {
-		_, _, err := s.AppendNDJSON(info.ID, strings.NewReader(body))
+		_, _, _, err := s.AppendNDJSON(info.ID, strings.NewReader(body))
 		var pe *parseError
 		if !errors.As(err, &pe) {
 			t.Errorf("%s: err = %v, want parseError", name, err)
@@ -59,7 +62,7 @@ func TestStoreLineTooLong(t *testing.T) {
 	s := newStore(0)
 	info, _ := s.Create("t", nil)
 	long := "[\"" + strings.Repeat("x", maxNDJSONLine+10) + "\"]"
-	_, _, err := s.AppendNDJSON(info.ID, strings.NewReader(long))
+	_, _, _, err := s.AppendNDJSON(info.ID, strings.NewReader(long))
 	var pe *parseError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want parseError", err)
@@ -68,20 +71,19 @@ func TestStoreLineTooLong(t *testing.T) {
 
 func TestStoreRecordCap(t *testing.T) {
 	s := newStore(3)
-	if _, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}, {"c"}, {"d"}}); err == nil {
-		t.Error("create above cap accepted")
+	if _, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}, {"c"}, {"d"}}); !errors.Is(err, ErrDatasetCap) {
+		t.Errorf("create above cap: %v, want ErrDatasetCap", err)
 	}
 	info, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Append(info.ID, []fuzzydup.Record{{"c"}, {"d"}}); err == nil {
-		t.Error("append above cap accepted")
+	if _, _, err := s.Append(info.ID, []fuzzydup.Record{{"c"}, {"d"}}); !errors.Is(err, ErrDatasetCap) {
+		t.Errorf("append above cap: %v, want ErrDatasetCap", err)
 	}
-	var ce *capError
-	_, _, err = s.AppendNDJSON(info.ID, strings.NewReader("[\"c\"]\n[\"d\"]\n"))
-	if !errors.As(err, &ce) {
-		t.Errorf("ndjson above cap: %v", err)
+	_, _, _, err = s.AppendNDJSON(info.ID, strings.NewReader("[\"c\"]\n[\"d\"]\n"))
+	if !errors.Is(err, ErrDatasetCap) {
+		t.Errorf("ndjson above cap: %v, want ErrDatasetCap", err)
 	}
 	if got, _ := s.Get(info.ID); got.Records != 2 {
 		t.Errorf("records = %d after rejected appends", got.Records)
@@ -91,7 +93,7 @@ func TestStoreRecordCap(t *testing.T) {
 func TestStoreMissingDataset(t *testing.T) {
 	s := newStore(0)
 	var nf *notFoundError
-	if _, _, err := s.AppendNDJSON("ds-000001", strings.NewReader("[\"a\"]")); !errors.As(err, &nf) {
+	if _, _, _, err := s.AppendNDJSON("ds-000001", strings.NewReader("[\"a\"]")); !errors.As(err, &nf) {
 		t.Errorf("append: %v", err)
 	}
 	if _, err := s.Snapshot("nope"); !errors.As(err, &nf) {
@@ -99,6 +101,79 @@ func TestStoreMissingDataset(t *testing.T) {
 	}
 	if err := s.Delete("nope"); !errors.As(err, &nf) {
 		t.Errorf("delete: %v", err)
+	}
+}
+
+// TestStoreRecordMutations covers rid assignment, delete, replace, and
+// the list view: rids are dataset-scoped, monotonic, and never reused.
+func TestStoreRecordMutations(t *testing.T) {
+	s := newStore(0)
+	info, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rids, err := s.Append(info.ID, []fuzzydup.Record{{"c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 1 || rids[0] != 3 {
+		t.Fatalf("append rids = %v", rids)
+	}
+
+	if _, err := s.RemoveRecord(info.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The freed rid is not reissued.
+	_, rids, err = s.Append(info.ID, []fuzzydup.Record{{"d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rids[0] != 4 {
+		t.Fatalf("rid after delete = %d, want 4", rids[0])
+	}
+
+	if _, err := s.ReplaceRecord(info.ID, 1, fuzzydup.Record{"a2"}); err != nil {
+		t.Fatal(err)
+	}
+	items, err := s.ListRecords(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RecordItem{
+		{RID: 1, Record: fuzzydup.Record{"a2"}},
+		{RID: 3, Record: fuzzydup.Record{"c"}},
+		{RID: 4, Record: fuzzydup.Record{"d"}},
+	}
+	if len(items) != len(want) {
+		t.Fatalf("items = %v", items)
+	}
+	for i := range want {
+		if items[i].RID != want[i].RID || items[i].Record[0] != want[i].Record[0] {
+			t.Fatalf("items[%d] = %+v, want %+v", i, items[i], want[i])
+		}
+	}
+
+	recs, ridsSnap, err := s.SnapshotRIDs(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || len(ridsSnap) != 3 || ridsSnap[1] != 3 {
+		t.Fatalf("snapshot %v %v", recs, ridsSnap)
+	}
+
+	var nf *notFoundError
+	if _, err := s.RemoveRecord(info.ID, 99); !errors.As(err, &nf) {
+		t.Errorf("remove missing rid: %v", err)
+	}
+	if _, err := s.ReplaceRecord(info.ID, 99, fuzzydup.Record{"x"}); !errors.As(err, &nf) {
+		t.Errorf("replace missing rid: %v", err)
+	}
+	var pe *parseError
+	if _, err := s.ReplaceRecord(info.ID, 1, fuzzydup.Record{}); !errors.As(err, &pe) {
+		t.Errorf("replace with empty record: %v", err)
+	}
+	if _, err := s.RemoveRecord("nope", 1); !errors.As(err, &nf) {
+		t.Errorf("remove on missing dataset: %v", err)
 	}
 }
 

@@ -30,6 +30,11 @@ const InvalidPageID PageID = -1
 // ErrPageBounds is returned when a page ID is outside the allocated range.
 var ErrPageBounds = errors.New("storage: page id out of bounds")
 
+// ErrBufferSize is returned when a transfer buffer is not exactly
+// PageSize bytes. A short buffer would silently truncate the transfer
+// (copy stops at the shorter operand), so it is rejected instead.
+var ErrBufferSize = errors.New("storage: buffer must be PageSize bytes")
+
 // Disk is an in-memory array of pages with physical-access accounting.
 // It is safe for concurrent use.
 type Disk struct {
@@ -62,6 +67,9 @@ func (d *Disk) NumPages() int {
 // Read copies page id into dst (which must be PageSize bytes) and charges
 // one physical read.
 func (d *Disk) Read(id PageID, dst []byte) error {
+	if len(dst) != PageSize {
+		return fmt.Errorf("%w: read into %d bytes", ErrBufferSize, len(dst))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if id < 0 || int(id) >= len(d.pages) {
@@ -75,6 +83,9 @@ func (d *Disk) Read(id PageID, dst []byte) error {
 // Write copies src (PageSize bytes) into page id and charges one physical
 // write.
 func (d *Disk) Write(id PageID, src []byte) error {
+	if len(src) != PageSize {
+		return fmt.Errorf("%w: write from %d bytes", ErrBufferSize, len(src))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if id < 0 || int(id) >= len(d.pages) {

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -50,14 +51,60 @@ func TestDiskAllocReadWrite(t *testing.T) {
 func TestDiskBounds(t *testing.T) {
 	d := NewDisk()
 	buf := make([]byte, PageSize)
-	if err := d.Read(0, buf); err == nil {
-		t.Error("read of unallocated page should fail")
+	if err := d.Read(0, buf); !errors.Is(err, ErrPageBounds) {
+		t.Errorf("read of unallocated page: %v, want ErrPageBounds", err)
 	}
-	if err := d.Write(5, buf); err == nil {
-		t.Error("write of unallocated page should fail")
+	if err := d.Write(5, buf); !errors.Is(err, ErrPageBounds) {
+		t.Errorf("write of unallocated page: %v, want ErrPageBounds", err)
 	}
-	if err := d.Read(InvalidPageID, buf); err == nil {
-		t.Error("read of InvalidPageID should fail")
+	if err := d.Read(InvalidPageID, buf); !errors.Is(err, ErrPageBounds) {
+		t.Errorf("read of InvalidPageID: %v, want ErrPageBounds", err)
+	}
+	p := d.Alloc()
+	// A bounds error charges no physical access.
+	if reads, writes := d.Stats(); reads != 0 || writes != 0 {
+		t.Errorf("stats after failed I/O = %d reads %d writes", reads, writes)
+	}
+	if err := d.Read(p, buf); err != nil {
+		t.Fatalf("read of allocated page: %v", err)
+	}
+}
+
+// TestDiskBufferSize pins the rejection of transfer buffers that are
+// not exactly one page — a short buffer would otherwise truncate the
+// copy silently.
+func TestDiskBufferSize(t *testing.T) {
+	d := NewDisk()
+	p := d.Alloc()
+	for _, n := range []int{0, 1, PageSize - 1, PageSize + 1} {
+		buf := make([]byte, n)
+		if err := d.Read(p, buf); !errors.Is(err, ErrBufferSize) {
+			t.Errorf("read into %d bytes: %v, want ErrBufferSize", n, err)
+		}
+		if err := d.Write(p, buf); !errors.Is(err, ErrBufferSize) {
+			t.Errorf("write from %d bytes: %v, want ErrBufferSize", n, err)
+		}
+	}
+	// Size is checked before bounds, and failed transfers are not
+	// charged.
+	if err := d.Read(InvalidPageID, nil); !errors.Is(err, ErrBufferSize) {
+		t.Errorf("short read of invalid page: %v, want ErrBufferSize", err)
+	}
+	if reads, writes := d.Stats(); reads != 0 || writes != 0 {
+		t.Errorf("stats after rejected transfers = %d reads %d writes", reads, writes)
+	}
+	// A full-page write still lands intact.
+	src := make([]byte, PageSize)
+	src[PageSize-1] = 0x5A
+	if err := d.Write(p, src); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.Read(p, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[PageSize-1] != 0x5A {
+		t.Errorf("read back %x", got[PageSize-1])
 	}
 }
 

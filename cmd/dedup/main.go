@@ -6,6 +6,12 @@
 //
 //	dedup -input data.csv -mode size -k 3 -c 4
 //	dedup -input data.csv -mode diameter -theta 0.3 -estimate-f 0.2 -metric fms
+//	dedup -data-dir /var/lib/dedupd -dataset ds-000001 -k 3
+//
+// Instead of a CSV, -data-dir reads a dataset straight out of a dedupd
+// data directory (read-only — nothing is created, truncated, or
+// deleted, so it is safe against a live daemon's directory). -dataset
+// picks the dataset by ID when the directory holds more than one.
 //
 // Output: one line per duplicate group, listing the 1-based row numbers
 // and the record contents.
@@ -22,6 +28,7 @@ import (
 
 	"fuzzydup"
 	"fuzzydup/internal/dataset"
+	"fuzzydup/internal/durable"
 	"fuzzydup/internal/eval"
 )
 
@@ -41,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		input     = fs.String("input", "", "CSV file to deduplicate (default stdin)")
+		dataDir   = fs.String("data-dir", "", "read records from a dedupd data directory instead of CSV")
+		datasetID = fs.String("dataset", "", "dataset ID inside -data-dir (default: the only dataset)")
 		metric    = fs.String("metric", "ed", "distance function: ed, fms, cosine, jaccard, jaro, jaro-winkler, monge-elkan, soft-tfidf, soundex")
 		mode      = fs.String("mode", "size", "cut specification: size (DE_S), diameter (DE_D), or both")
 		k         = fs.Int("k", 3, "maximum group size for -mode size")
@@ -59,7 +68,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	records, rows, err := readCSV(*input, *header)
+	var records []fuzzydup.Record
+	var rows [][]string
+	var err error
+	switch {
+	case *dataDir != "" && *input != "":
+		return fmt.Errorf("-data-dir and -input are mutually exclusive")
+	case *dataDir != "":
+		records, rows, err = readDataDir(*dataDir, *datasetID, stderr)
+	default:
+		records, rows, err = readCSV(*input, *header)
+	}
 	if err != nil {
 		return err
 	}
@@ -127,6 +146,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// readDataDir recovers a dedupd data directory read-only and returns
+// one dataset's records. With an empty id the directory must hold
+// exactly one dataset; otherwise the known IDs are listed in the error.
+func readDataDir(dir, id string, stderr io.Writer) ([]fuzzydup.Record, [][]string, error) {
+	st, err := durable.Load(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading data dir: %w", err)
+	}
+	var ds *durable.DatasetState
+	switch {
+	case id != "":
+		for _, d := range st.Datasets {
+			if d.ID == id {
+				ds = d
+				break
+			}
+		}
+		if ds == nil {
+			return nil, nil, fmt.Errorf("dataset %q not in %s (have: %s)", id, dir, datasetIDs(st))
+		}
+	case len(st.Datasets) == 1:
+		ds = st.Datasets[0]
+	case len(st.Datasets) == 0:
+		return nil, nil, fmt.Errorf("no datasets in %s", dir)
+	default:
+		return nil, nil, fmt.Errorf("%s holds %d datasets (%s); pick one with -dataset",
+			dir, len(st.Datasets), datasetIDs(st))
+	}
+	fmt.Fprintf(stderr, "loaded %s (%q): %d records\n", ds.ID, ds.Name, len(ds.Records))
+	rows := make([][]string, len(ds.Records))
+	for i, r := range ds.Records {
+		rows[i] = []string(r)
+	}
+	return ds.Records, rows, nil
+}
+
+func datasetIDs(st *durable.State) string {
+	ids := make([]string, len(st.Datasets))
+	for i, d := range st.Datasets {
+		ids[i] = d.ID
+	}
+	return strings.Join(ids, ", ")
 }
 
 // readCSV loads records from a file or stdin.

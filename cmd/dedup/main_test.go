@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fuzzydup"
+	"fuzzydup/internal/durable"
 )
 
 func TestReadCSV(t *testing.T) {
@@ -131,5 +134,80 @@ func TestRunHappyPath(t *testing.T) {
 	}
 	if !strings.Contains(out, "row 1: The Doors, LA Woman") {
 		t.Errorf("output lacks group members: %q", out)
+	}
+}
+
+// buildDataDir writes a small dedupd data directory via the durable
+// package, as a daemon would have.
+func buildDataDir(t *testing.T, extraDataset bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, _, err := durable.Open(durable.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []durable.Op{
+		&durable.DatasetCreate{ID: "ds-000001", Name: "music", CreatedUnixNano: 1, Counter: 1,
+			Records: []fuzzydup.Record{{"The Doors", "LA Woman"}, {"Doors", "LA Woman"}, {"Aaliyah", "Are You Ready"}},
+			RIDs:    []int64{1, 2, 3}, NextRID: 3},
+	}
+	if extraDataset {
+		ops = append(ops, &durable.DatasetCreate{ID: "ds-000002", Name: "other", CreatedUnixNano: 2, Counter: 2,
+			Records: []fuzzydup.Record{{"x"}}, RIDs: []int64{1}, NextRID: 1})
+	}
+	for _, op := range ops {
+		if err := db.AppendSync(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDataDirMode(t *testing.T) {
+	dir := buildDataDir(t, false)
+	var stdout, stderr strings.Builder
+	if err := run([]string{"-data-dir", dir, "-k", "2", "-c", "4"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "3 records, 1 duplicate groups") {
+		t.Errorf("output = %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "loaded ds-000001") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	// Explicit -dataset works the same; read-only: run twice.
+	stdout.Reset()
+	if err := run([]string{"-data-dir", dir, "-dataset", "ds-000001", "-k", "2", "-c", "4"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "1 duplicate groups") {
+		t.Errorf("output = %q", stdout.String())
+	}
+}
+
+func TestRunDataDirErrors(t *testing.T) {
+	multi := buildDataDir(t, true)
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"with input", []string{"-data-dir", multi, "-input", "x.csv"}, "mutually exclusive"},
+		{"ambiguous", []string{"-data-dir", multi}, "pick one with -dataset"},
+		{"unknown dataset", []string{"-data-dir", multi, "-dataset", "ds-000009"}, `dataset "ds-000009" not in`},
+		{"empty dir", []string{"-data-dir", t.TempDir()}, "no datasets"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("run(%v) error = %v, want substring %q", tc.args, err, tc.wantErr)
+			}
+		})
 	}
 }

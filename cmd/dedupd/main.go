@@ -8,6 +8,11 @@
 //
 //	dedupd -addr :8080 -workers 4 -queue 64 -drain 30s
 //
+// Durability: -data-dir enables the write-ahead log — datasets, record
+// IDs, and finished job results survive crashes and restarts; -fsync
+// and -snapshot-every tune the commit and compaction cadence. Without
+// -data-dir the service is fully in-memory.
+//
 // Observability: logs are structured (logfmt via log/slog; -log-level
 // debug adds per-request access lines), /metrics serves counters and
 // latency histograms, and -pprof mounts the runtime profiler under
@@ -52,6 +57,9 @@ func run(args []string) error {
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for running jobs")
 		pprof      = fs.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 		logLevel   = fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		dataDir    = fs.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory")
+		fsync      = fs.Bool("fsync", true, "fsync the WAL on group commit (-data-dir only)")
+		snapEvery  = fs.Int("snapshot-every", 4096, "logged mutations between snapshots (-1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +75,7 @@ func run(args []string) error {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueCap:       *queue,
 		MaxBodyBytes:   *maxBody,
@@ -75,14 +83,20 @@ func run(args []string) error {
 		RequestTimeout: *timeout,
 		Logger:         logger,
 		EnablePprof:    *pprof,
+		DataDir:        *dataDir,
+		NoFsync:        !*fsync,
+		SnapshotEvery:  *snapEvery,
 	})
+	if err != nil {
+		return err
+	}
 	srv.Metrics().Publish("dedupd")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprof)
-	err := srv.ListenAndServe(ctx, *addr, *drain)
+	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprof, "data_dir", *dataDir)
+	err = srv.ListenAndServe(ctx, *addr, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -12,5 +14,18 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	err := run([]string{"stray-arg"})
 	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
 		t.Errorf("stray argument: %v", err)
+	}
+}
+
+func TestRunRejectsBadDataDir(t *testing.T) {
+	// A file where the data directory should be fails startup before the
+	// daemon ever listens.
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-addr", "127.0.0.1:0", "-data-dir", path})
+	if err == nil || !strings.Contains(err.Error(), "recovering data dir") {
+		t.Errorf("bad -data-dir: %v", err)
 	}
 }

@@ -1,0 +1,506 @@
+// Package durable is dedupd's crash-safe persistence subsystem: an
+// append-only write-ahead log with batched group-commit fsync, periodic
+// snapshots that truncate the log, and a recoverer that rebuilds the
+// service's state by replaying snapshot-then-log.
+//
+// A data directory holds log segments (wal-<firstseq>.log) and
+// snapshots (snap-<seq>.snap). Every mutation of the serving state is
+// one Op: appended to the log as a length-prefixed, CRC32-C-checksummed,
+// monotonically sequenced frame, and simultaneously applied to the DB's
+// shadow State. Append returns once the frame is buffered; Commit
+// blocks until the frame is flushed and (when fsync is on) fsynced —
+// concurrent committers share one fsync, so the cost of durability is
+// amortized across the batch (group commit).
+//
+// Every SnapshotEvery appended ops, a background snapshot writes the
+// shadow state to a fresh snapshot file, rotates the log to a new
+// segment, and garbage-collects everything the snapshot covers, so the
+// log replayed at startup stays short.
+//
+// Recovery loads the newest snapshot and replays the remaining log.
+// A torn tail — the one kind of damage a crash mid-append can cause in
+// an append-only file — is truncated at the first bad frame; any other
+// checksum failure is mid-log corruption and fails recovery with
+// ErrCorrupt rather than silently dropping acknowledged data.
+package durable
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"encoding/json"
+)
+
+// walBufSize is the segment writer's buffer. Appends land here under
+// the DB lock; the syncer flushes it on group commit.
+const walBufSize = 256 << 10
+
+// ErrClosed rejects operations on a closed DB.
+var ErrClosed = errors.New("durable: closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Fsync fsyncs the log on group commit and snapshots on write.
+	// When false, writes still reach the OS before Commit returns —
+	// surviving a process crash — but not a host crash.
+	Fsync bool
+	// SnapshotEvery is the number of appended ops between automatic
+	// snapshots (<= 0 disables them; the log then grows unboundedly
+	// until Snapshot is called explicitly).
+	SnapshotEvery int
+	// Logger receives recovery and snapshot diagnostics (default
+	// slog.Default()).
+	Logger *slog.Logger
+	// Hooks observe WAL and snapshot activity (for metrics).
+	Hooks Hooks
+}
+
+// Hooks are optional observation points; any may be nil. They are
+// called outside the DB's lock.
+type Hooks struct {
+	// AppendDone fires per appended op with the frame's size on disk.
+	AppendDone func(bytes int, elapsed time.Duration)
+	// FsyncDone fires per group-commit fsync (not per Commit: one fsync
+	// may cover many commits).
+	FsyncDone func(elapsed time.Duration)
+	// SnapshotDone fires per completed snapshot.
+	SnapshotDone func(elapsed time.Duration)
+}
+
+// walFile is the slice of *os.File a segment needs. A package variable
+// constructor (openSegment) lets crash-injection tests interpose a
+// failpoint writer that tears the file at a chosen byte offset.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+var openSegment = func(path string) (walFile, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// DB is an open durable store: the write-ahead log plus the shadow
+// State it materializes. All methods are safe for concurrent use.
+type DB struct {
+	opts   Options
+	logger *slog.Logger
+
+	// fsyncMu serializes the syncer's use of the segment file against
+	// rotation closing it: flushOnce holds it across capture-and-fsync,
+	// snapshot holds it to close the rotated-out segment.
+	fsyncMu sync.Mutex
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when syncedSeq advances, err sets, or the DB closes
+	f         walFile
+	w         *bufio.Writer
+	seq       uint64 // last assigned sequence
+	syncedSeq uint64 // last sequence known flushed (and fsynced, if on)
+	err       error  // sticky fatal write error
+	state     *State // shadow state, kept equal to the log's contents
+	sinceSnap int
+	snapping  bool
+	closed    bool
+
+	kick       chan struct{} // wakes the syncer (capacity 1)
+	stop       chan struct{}
+	syncerDone chan struct{}
+	snapWG     sync.WaitGroup
+}
+
+// Open recovers the data directory and opens its log for appending:
+// the newest snapshot is loaded, the remaining log replayed, a torn
+// tail truncated, and stale segments a snapshot has outrun retired.
+// The returned State is the recovered serving state; the caller owns it
+// (the DB keeps its own shadow copy).
+func Open(opts Options) (*DB, *State, error) {
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec, err := recoverDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.tornOff >= 0 {
+		if err := os.Truncate(rec.activePath, rec.tornOff); err != nil {
+			return nil, nil, fmt.Errorf("truncating torn tail: %w", err)
+		}
+		opts.Logger.Warn("durable: truncated torn WAL tail",
+			"segment", filepath.Base(rec.activePath), "offset", rec.tornOff)
+	}
+	if rec.state.Seq > rec.lastLogSeq && len(rec.segments) > 0 {
+		// The snapshot is ahead of the entire log (a crash landed between
+		// a snapshot completing and its segments being collected, or the
+		// tail segment was lost). Appending to the stale segment would
+		// leave a sequence gap, so retire the log and start fresh.
+		for _, p := range rec.segments {
+			os.Remove(p)
+		}
+		rec.activePath = ""
+	}
+	if rec.activePath == "" {
+		rec.activePath = filepath.Join(opts.Dir, segmentName(rec.state.Seq+1))
+	}
+	f, err := openSegment(rec.activePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := &DB{
+		opts:       opts,
+		logger:     opts.Logger,
+		f:          f,
+		w:          bufio.NewWriterSize(f, walBufSize),
+		seq:        rec.state.Seq,
+		syncedSeq:  rec.state.Seq,
+		state:      rec.state.clone(),
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		syncerDone: make(chan struct{}),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	go db.syncer()
+	return db, rec.state, nil
+}
+
+// Append encodes the op, writes its frame to the log buffer, and
+// applies it to the shadow state, returning the op's sequence number.
+// The op is NOT durable yet — pass the sequence to Commit (or use
+// AppendSync) before acknowledging the mutation. Append is cheap enough
+// to call under the caller's own mutation lock, which guarantees the
+// log order matches the in-memory apply order.
+func (db *DB) Append(op Op) (uint64, error) {
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	db.mu.Lock()
+	if err := db.usable(); err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	db.seq++
+	n, err := writeFrame(db.w, db.seq, op.typ(), payload)
+	if err == nil {
+		err = op.apply(db.state)
+	}
+	if err != nil {
+		// A frame we cannot write (or an op the shadow rejects) means the
+		// log can no longer be trusted to match memory: fail this and
+		// every later operation rather than diverge silently.
+		db.err = fmt.Errorf("durable: append seq %d: %w", db.seq, err)
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return 0, db.err
+	}
+	db.state.Seq = db.seq
+	seq := db.seq
+	db.sinceSnap++
+	snap := db.opts.SnapshotEvery > 0 && db.sinceSnap >= db.opts.SnapshotEvery && !db.snapping
+	if snap {
+		db.snapping = true
+		db.sinceSnap = 0
+		db.snapWG.Add(1)
+	}
+	db.mu.Unlock()
+
+	select {
+	case db.kick <- struct{}{}:
+	default:
+	}
+	if snap {
+		go func() {
+			if err := db.snapshot(); err != nil {
+				db.logger.Warn("durable: snapshot failed", "error", err)
+			}
+		}()
+	}
+	if h := db.opts.Hooks.AppendDone; h != nil {
+		h(n, time.Since(start))
+	}
+	return seq, nil
+}
+
+// Commit blocks until the given sequence is durable: flushed to the
+// log, and fsynced when fsync is on. Concurrent commits are served by
+// one group fsync.
+func (db *DB) Commit(seq uint64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for db.syncedSeq < seq && db.err == nil && !db.closed {
+		db.cond.Wait()
+	}
+	switch {
+	case db.syncedSeq >= seq:
+		return nil
+	case db.err != nil:
+		return db.err
+	default:
+		return ErrClosed
+	}
+}
+
+// AppendSync is Append followed by Commit.
+func (db *DB) AppendSync(op Op) error {
+	seq, err := db.Append(op)
+	if err != nil {
+		return err
+	}
+	return db.Commit(seq)
+}
+
+// usable reports why the DB cannot accept work, under db.mu.
+func (db *DB) usable() error {
+	if db.err != nil {
+		return db.err
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// syncer is the group-commit loop: each pass flushes everything
+// appended so far and fsyncs it with a single syscall, then releases
+// every Commit waiting at or below that sequence. Appends that arrive
+// during an fsync batch up for the next pass.
+func (db *DB) syncer() {
+	defer close(db.syncerDone)
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-db.kick:
+		}
+		db.flushOnce()
+	}
+}
+
+func (db *DB) flushOnce() {
+	db.fsyncMu.Lock()
+	defer db.fsyncMu.Unlock()
+	db.mu.Lock()
+	if db.err != nil || db.seq <= db.syncedSeq {
+		db.mu.Unlock()
+		return
+	}
+	target := db.seq
+	err := db.w.Flush()
+	f := db.f
+	db.mu.Unlock()
+	if err == nil && db.opts.Fsync {
+		start := time.Now()
+		err = f.Sync()
+		if err == nil {
+			if h := db.opts.Hooks.FsyncDone; h != nil {
+				h(time.Since(start))
+			}
+		}
+	}
+	db.mu.Lock()
+	if err != nil {
+		if db.err == nil {
+			db.err = fmt.Errorf("durable: wal sync: %w", err)
+		}
+	} else if target > db.syncedSeq {
+		db.syncedSeq = target
+	}
+	db.cond.Broadcast()
+	db.mu.Unlock()
+}
+
+// Snapshot forces a snapshot now (normally they happen automatically
+// every Options.SnapshotEvery ops). It returns without error if a
+// snapshot is already in flight.
+func (db *DB) Snapshot() error {
+	db.mu.Lock()
+	if err := db.usable(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if db.snapping || db.seq == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	db.snapping = true
+	db.sinceSnap = 0
+	db.snapWG.Add(1)
+	db.mu.Unlock()
+	return db.snapshot()
+}
+
+// snapshot writes the shadow state to a snapshot file and truncates the
+// log: flush and fsync the current segment, rotate appends to a fresh
+// segment, persist the snapshot, then collect every file it covers.
+// Callers must have set db.snapping (and added to snapWG).
+func (db *DB) snapshot() (err error) {
+	start := time.Now()
+	defer func() {
+		db.mu.Lock()
+		db.snapping = false
+		db.mu.Unlock()
+		db.snapWG.Done()
+		if err == nil {
+			if h := db.opts.Hooks.SnapshotDone; h != nil {
+				h(time.Since(start))
+			}
+		}
+	}()
+
+	db.mu.Lock()
+	if db.err != nil {
+		err := db.err
+		db.mu.Unlock()
+		return err
+	}
+	// Seal the segment: everything up to snapSeq must be on disk before
+	// the snapshot that supersedes it can exist.
+	snapSeq := db.seq
+	if err := db.w.Flush(); err != nil {
+		db.err = fmt.Errorf("durable: snapshot flush: %w", err)
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return db.err
+	}
+	if db.opts.Fsync {
+		if err := db.f.Sync(); err != nil {
+			db.err = fmt.Errorf("durable: snapshot fsync: %w", err)
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			return db.err
+		}
+	}
+	if snapSeq > db.syncedSeq {
+		db.syncedSeq = snapSeq
+		db.cond.Broadcast()
+	}
+	st := db.state.clone()
+	newPath := filepath.Join(db.opts.Dir, segmentName(snapSeq+1))
+	nf, err := openSegment(newPath)
+	if err != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("durable: rotating segment: %w", err)
+	}
+	old := db.f
+	db.f = nf
+	db.w = bufio.NewWriterSize(nf, walBufSize)
+	db.mu.Unlock()
+
+	db.fsyncMu.Lock()
+	old.Close()
+	db.fsyncMu.Unlock()
+	if _, err := writeSnapshotFile(db.opts.Dir, st, db.opts.Fsync); err != nil {
+		// The snapshot failed but the log is intact; recovery just
+		// replays a longer tail. Leave every segment in place.
+		return fmt.Errorf("durable: writing snapshot: %w", err)
+	}
+	db.gc(snapSeq)
+	db.logger.Info("durable: snapshot taken", "seq", snapSeq,
+		"datasets", len(st.Datasets), "jobs", len(st.Jobs),
+		"duration_ms", time.Since(start).Milliseconds())
+	return nil
+}
+
+// gc removes snapshots older than snapSeq and segments the snapshot
+// fully covers (every segment whose first sequence is <= snapSeq ended
+// at or before it, because the log rotated at the snapshot boundary).
+func (db *DB) gc(snapSeq uint64) {
+	entries, err := os.ReadDir(db.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if n, ok := parseName(name, "wal-", ".log"); ok && n <= snapSeq {
+			os.Remove(filepath.Join(db.opts.Dir, name))
+		} else if n, ok := parseName(name, "snap-", ".snap"); ok && n < snapSeq {
+			os.Remove(filepath.Join(db.opts.Dir, name))
+		}
+	}
+	if db.opts.Fsync {
+		syncDir(db.opts.Dir)
+	}
+}
+
+// Close drains the log — the pending batch is flushed and fsynced so
+// every acknowledged (and even every appended) op survives a clean
+// shutdown — and releases the segment file. Close is idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	close(db.stop)
+	<-db.syncerDone
+	db.snapWG.Wait()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var err error
+	if db.err == nil {
+		err = db.w.Flush()
+		if err == nil && db.opts.Fsync {
+			err = db.f.Sync()
+		}
+		if err == nil {
+			db.syncedSeq = db.seq
+		} else {
+			db.err = err
+		}
+	}
+	if cerr := db.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	db.cond.Broadcast()
+	return err
+}
+
+// Crash abruptly stops the DB for crash-injection tests: the syncer is
+// halted, buffered-but-uncommitted frames are discarded, and the
+// segment file is closed without a final flush — as close to SIGKILL as
+// an in-process simulation gets. Acknowledged (committed) ops were
+// already flushed and are unaffected.
+func (db *DB) Crash() {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return
+	}
+	db.closed = true
+	if db.err == nil {
+		db.err = errors.New("durable: crashed")
+	}
+	db.mu.Unlock()
+	close(db.stop)
+	<-db.syncerDone
+	db.snapWG.Wait()
+
+	db.mu.Lock()
+	db.f.Close()
+	db.cond.Broadcast()
+	db.mu.Unlock()
+}
+
+// SyncedSeq returns the highest durable sequence (for tests and
+// diagnostics).
+func (db *DB) SyncedSeq() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.syncedSeq
+}

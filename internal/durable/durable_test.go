@@ -1,0 +1,512 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuzzydup"
+)
+
+// openTest opens a DB on dir with fsync off (tests exercise ordering
+// and recovery, not the disk) and fails the test on error.
+func openTest(t *testing.T, dir string, opts Options) (*DB, *State) {
+	t.Helper()
+	opts.Dir = dir
+	db, st, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, st
+}
+
+// appendN logs n single-record datasets-worth of appends into one
+// dataset, committing each.
+func appendN(t *testing.T, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		op := &RecordsAppend{
+			Dataset: "ds-000001",
+			Records: []fuzzydup.Record{{fmt.Sprintf("rec-%04d", i)}},
+			RIDs:    []int64{int64(i + 1)},
+		}
+		if err := db.AppendSync(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func createDataset(t *testing.T, db *DB) {
+	t.Helper()
+	err := db.AppendSync(&DatasetCreate{ID: "ds-000001", Name: "t", CreatedUnixNano: 1, Counter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyDirAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, st := openTest(t, dir, Options{})
+	if st.Seq != 0 || len(st.Datasets) != 0 {
+		t.Fatalf("fresh state: %+v", st)
+	}
+	createDataset(t, db)
+	appendN(t, db, 10)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, st2 := openTest(t, dir, Options{})
+	defer db2.Close()
+	if st2.Seq != 11 {
+		t.Fatalf("recovered seq = %d, want 11", st2.Seq)
+	}
+	ds := st2.dataset("ds-000001")
+	if ds == nil || len(ds.Records) != 10 || ds.NextRID != 10 {
+		t.Fatalf("recovered dataset: %+v", ds)
+	}
+	// The DB keeps appending where the log left off.
+	if err := db2.AppendSync(&RecordDelete{Dataset: "ds-000001", RID: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashKeepsAcknowledged simulates SIGKILL: every committed op must
+// survive, because Commit does not return before the frame is flushed.
+func TestCrashKeepsAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	appendN(t, db, 25)
+	db.Crash()
+
+	db2, st := openTest(t, dir, Options{})
+	defer db2.Close()
+	ds := st.dataset("ds-000001")
+	if ds == nil || len(ds.Records) != 25 {
+		t.Fatalf("after crash: %+v", ds)
+	}
+}
+
+func TestAppendAfterCloseRejected(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(&DatasetDelete{ID: "ds-000001"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestGroupCommitConcurrent drives many concurrent committers and
+// checks (a) every acked op survives a crash and (b) the fsync count
+// stays well below the append count — the group commit actually groups.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	var fsyncs, appends atomic.Int64
+	db, _ := openTest(t, dir, Options{
+		Fsync: true, // group commit only batches when fsync is in the path
+		Hooks: Hooks{
+			AppendDone: func(int, time.Duration) { appends.Add(1) },
+			FsyncDone:  func(time.Duration) { fsyncs.Add(1) },
+		},
+	})
+	createDataset(t, db)
+
+	const workers, perWorker = 8, 20
+	var wg sync.WaitGroup
+	var ridCounter atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rid := ridCounter.Add(1)
+				op := &RecordsAppend{
+					Dataset: "ds-000001",
+					Records: []fuzzydup.Record{{fmt.Sprintf("w%d-%d", w, i)}},
+					RIDs:    []int64{rid},
+				}
+				if err := db.AppendSync(op); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	db.Crash()
+
+	_, st := reopenLoad(t, dir)
+	ds := st.dataset("ds-000001")
+	if ds == nil || len(ds.Records) != workers*perWorker {
+		t.Fatalf("recovered %d records, want %d", len(ds.Records), workers*perWorker)
+	}
+	if got := appends.Load(); got != workers*perWorker+1 {
+		t.Fatalf("appends hook fired %d times", got)
+	}
+	if fsyncs.Load() == 0 {
+		t.Fatal("no fsyncs observed")
+	}
+	t.Logf("group commit: %d appends served by %d fsyncs", appends.Load(), fsyncs.Load())
+}
+
+// reopenLoad opens the dir fresh and closes it again, returning the
+// recovered state.
+func reopenLoad(t *testing.T, dir string) (*DB, *State) {
+	t.Helper()
+	db, st := openTest(t, dir, Options{})
+	t.Cleanup(func() { db.Close() })
+	return db, st
+}
+
+func TestSnapshotRotatesAndTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	appendN(t, db, 30)
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot covers seq 31; the old segment must be gone and a
+	// fresh one rotated in.
+	names := dirNames(t, dir)
+	wantSnap := snapshotName(31)
+	wantSeg := segmentName(32)
+	if !names[wantSnap] || !names[wantSeg] || names[segmentName(1)] {
+		t.Fatalf("after snapshot, dir = %v", keys(names))
+	}
+
+	// More appends land in the new segment; recovery = snapshot + tail.
+	appendN2 := func(rid int64) {
+		op := &RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"post-snap"}}, RIDs: []int64{rid}}
+		if err := db.AppendSync(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendN2(100)
+	appendN2(101)
+	db.Crash()
+
+	_, st := reopenLoad(t, dir)
+	ds := st.dataset("ds-000001")
+	if len(ds.Records) != 32 || ds.NextRID != 101 {
+		t.Fatalf("after snapshot+tail recovery: %d records, next rid %d", len(ds.Records), ds.NextRID)
+	}
+	if st.Seq != 33 {
+		t.Fatalf("seq = %d, want 33", st.Seq)
+	}
+}
+
+func TestAutomaticSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	var snaps atomic.Int64
+	done := make(chan struct{}, 16)
+	db, _ := openTest(t, dir, Options{
+		SnapshotEvery: 8,
+		Hooks:         Hooks{SnapshotDone: func(time.Duration) { snaps.Add(1); done <- struct{}{} }},
+	})
+	createDataset(t, db)
+	appendN(t, db, 20)
+	<-done // at least one automatic snapshot completed
+	db.Close()
+	if snaps.Load() == 0 {
+		t.Fatal("no automatic snapshot")
+	}
+	_, st := reopenLoad(t, dir)
+	if ds := st.dataset("ds-000001"); len(ds.Records) != 20 {
+		t.Fatalf("recovered %d records", len(ds.Records))
+	}
+}
+
+// TestSnapshotNewerThanLog: a snapshot that outran its log (collected
+// segments lost, or GC raced a crash) must win, and Open must retire
+// the stale segments so the sequence stream stays contiguous.
+func TestSnapshotNewerThanLog(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	appendN(t, db, 4) // log: seq 1..5 in wal-1
+	db.Crash()
+
+	// Forge a snapshot at seq 9 with richer state than the log.
+	st := &State{Seq: 9, NextDatasetID: 2, Datasets: []*DatasetState{{
+		ID: "ds-000002", Name: "future", CreatedUnixNano: 7,
+		Records: []fuzzydup.Record{{"only-in-snapshot"}}, RIDs: []int64{1}, NextRID: 1,
+	}}}
+	if _, err := writeSnapshotFile(dir, st, false); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, rec := openTest(t, dir, Options{})
+	if rec.Seq != 9 || rec.dataset("ds-000002") == nil || rec.dataset("ds-000001") != nil {
+		t.Fatalf("snapshot did not win: %+v", rec)
+	}
+	if names := dirNames(t, dir); names[segmentName(1)] {
+		t.Fatal("stale segment survived open")
+	}
+	// Appends continue from the snapshot's sequence.
+	if err := db2.AppendSync(&RecordDelete{Dataset: "ds-000002", RID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	_, again := reopenLoad(t, dir)
+	if again.Seq != 10 || len(again.dataset("ds-000002").Records) != 0 {
+		t.Fatalf("post-snapshot append lost: %+v", again)
+	}
+}
+
+func TestZeroLengthLogFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, st := openTest(t, dir, Options{})
+	defer db.Close()
+	if st.Seq != 0 {
+		t.Fatalf("seq = %d", st.Seq)
+	}
+	createDataset(t, db)
+}
+
+// TestDoubleReplayIdempotent: recovering the same directory twice gives
+// byte-identical states — replay has no side effects on the log.
+func TestDoubleReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	appendN(t, db, 12)
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	appendN2 := &RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"tail"}}, RIDs: []int64{99}}
+	if err := db.AppendSync(appendN2); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+
+	st1, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("replays differ:\n%+v\n%+v", st1, st2)
+	}
+}
+
+func TestMidLogCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	appendN(t, db, 5)
+	db.Crash()
+
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second frame's payload — mid-log, with
+	// valid frames after it.
+	frame2 := frameHeaderSize + int(binary.LittleEndian.Uint32(data[0:4]))
+	data[frame2+frameHeaderSize+frameMetaSize+2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-log corruption: %v", err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("load over mid-log corruption: %v", err)
+	}
+}
+
+func TestCorruptSnapshotFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openTest(t, dir, Options{})
+	createDataset(t, db)
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	snap := filepath.Join(dir, snapshotName(1))
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt snapshot: %v", err)
+	}
+}
+
+// failpointFile interposes on a segment file and silently drops every
+// byte past a budget while claiming success — modeling a crash where
+// the tail of the final write never reached the platter.
+type failpointFile struct {
+	f      *os.File
+	budget int64 // bytes still allowed through
+}
+
+func (fp *failpointFile) Write(p []byte) (int, error) {
+	if fp.budget <= 0 {
+		return len(p), nil // lie: accepted, never persisted
+	}
+	n := int64(len(p))
+	if n > fp.budget {
+		n = fp.budget
+	}
+	if _, err := fp.f.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	fp.budget -= n
+	return len(p), nil
+}
+
+func (fp *failpointFile) Sync() error  { return fp.f.Sync() }
+func (fp *failpointFile) Close() error { return fp.f.Close() }
+
+// TestFailpointTornTail is the crash-injection harness: run the same
+// op sequence against a writer that tears the log at a chosen byte
+// offset, then assert that recovery (a) truncates the torn tail and
+// (b) reproduces exactly the state of the longest frame prefix that
+// fully persisted — computed independently by applying the ops here.
+func TestFailpointTornTail(t *testing.T) {
+	ops := []Op{
+		&DatasetCreate{ID: "ds-000001", Name: "fp", CreatedUnixNano: 5, Counter: 1},
+		&RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"a"}, {"b"}}, RIDs: []int64{1, 2}},
+		&RecordReplace{Dataset: "ds-000001", RID: 1, Record: fuzzydup.Record{"a2"}},
+		&RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"c"}}, RIDs: []int64{3}},
+		&RecordDelete{Dataset: "ds-000001", RID: 2},
+	}
+	// Frame boundaries, from a clean reference run.
+	data, offs := buildLog(t, ops)
+	total := len(data)
+
+	// Tear at: mid-header of frame 2, mid-payload of frame 3, one byte
+	// short of the end, and exactly at each frame boundary.
+	cuts := []int{offs[1] + 3, offs[2] + frameHeaderSize + 5, total - 1}
+	for _, off := range offs {
+		cuts = append(cuts, off)
+	}
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			restore := openSegment
+			openSegment = func(path string) (walFile, error) {
+				f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return nil, err
+				}
+				return &failpointFile{f: f, budget: int64(cut)}, nil
+			}
+			db, _, err := Open(Options{Dir: dir})
+			openSegment = restore
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range ops {
+				if err := db.AppendSync(op); err != nil {
+					t.Fatal(err)
+				}
+			}
+			db.Crash()
+
+			// Expected: the state after every frame that fits wholly
+			// under the cut.
+			want := &State{}
+			var wantSeq uint64
+			for i, op := range ops {
+				end := total
+				if i+1 < len(offs) {
+					end = offs[i+1]
+				}
+				if end > cut {
+					break
+				}
+				if err := op.apply(want); err != nil {
+					t.Fatal(err)
+				}
+				wantSeq = uint64(i + 1)
+				want.Seq = wantSeq
+			}
+
+			db2, got := openTest(t, dir, Options{})
+			defer db2.Close()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered state after tear at %d:\n got %s\nwant %s", cut, dumpState(got), dumpState(want))
+			}
+			// The torn tail must be physically truncated: the segment now
+			// ends at a frame boundary.
+			info, err := os.Stat(filepath.Join(dir, segmentName(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLen := total
+			if int(wantSeq) < len(offs) {
+				wantLen = offs[wantSeq]
+			}
+			if info.Size() != int64(wantLen) {
+				t.Fatalf("segment size %d after truncation, want %d", info.Size(), wantLen)
+			}
+			// And the survivor keeps working: append after recovery.
+			if wantSeq >= 1 { // dataset exists
+				err := db2.AppendSync(&RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"post"}}, RIDs: []int64{50}})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func dumpState(st *State) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{seq %d, datasets:", st.Seq)
+	for _, d := range st.Datasets {
+		fmt.Fprintf(&b, " %s%v rids%v", d.ID, d.Records, d.RIDs)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func dirNames(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	for _, e := range entries {
+		out[e.Name()] = true
+	}
+	return out
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

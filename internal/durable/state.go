@@ -1,0 +1,319 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"fuzzydup"
+)
+
+// State is the materialized durable state of a dedupd instance: every
+// dataset with its records and rid assignments, the retained job
+// results, and the ID counters both registries mint from. A State is
+// what a snapshot stores and what recovery hands back to the server;
+// replaying the same snapshot-then-log always yields the same State
+// (slices are kept in deterministic order, so recovered states compare
+// with reflect.DeepEqual).
+type State struct {
+	// Seq is the WAL sequence number of the last operation applied.
+	Seq uint64 `json:"seq"`
+	// NextDatasetID is the dataset registry's ID counter (the numeric
+	// part of the highest "ds-NNNNNN" ever minted), so IDs are never
+	// reused across restarts even after deletes.
+	NextDatasetID int `json:"next_dataset_id,omitempty"`
+	// NextJobID is the job registry's counter, restored the same way.
+	NextJobID int `json:"next_job_id,omitempty"`
+	// Datasets are the live datasets, ordered by ID.
+	Datasets []*DatasetState `json:"datasets,omitempty"`
+	// Jobs are the retained (committed) job results, ordered by ID. The
+	// payload is the server's own serialization; durable never reads it.
+	Jobs []*JobState `json:"jobs,omitempty"`
+}
+
+// DatasetState is one dataset's durable form.
+type DatasetState struct {
+	ID string `json:"id"`
+	// Name is the optional human label.
+	Name string `json:"name,omitempty"`
+	// CreatedUnixNano is the creation instant; an integer rather than a
+	// time.Time so replay is byte-deterministic.
+	CreatedUnixNano int64 `json:"created"`
+	// Records and RIDs are parallel: RIDs[i] identifies Records[i].
+	Records []fuzzydup.Record `json:"records,omitempty"`
+	RIDs    []int64           `json:"rids,omitempty"`
+	// NextRID is the dataset's rid counter (rids are monotonic and never
+	// reused, so it only grows).
+	NextRID int64 `json:"next_rid"`
+}
+
+// JobState is one retained job result: an opaque payload under the
+// job's ID.
+type JobState struct {
+	ID      string          `json:"id"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// dataset returns the dataset with the given ID, or nil. Linear scan:
+// states hold few datasets, and replay touches each op once.
+func (s *State) dataset(id string) *DatasetState {
+	for _, d := range s.Datasets {
+		if d.ID == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// clone deep-copies the state's structure. Inner record field slices are
+// shared — records are immutable (mutation replaces whole records), so
+// only the containers need to be private.
+func (s *State) clone() *State {
+	c := &State{
+		Seq:           s.Seq,
+		NextDatasetID: s.NextDatasetID,
+		NextJobID:     s.NextJobID,
+	}
+	for _, d := range s.Datasets {
+		c.Datasets = append(c.Datasets, &DatasetState{
+			ID:              d.ID,
+			Name:            d.Name,
+			CreatedUnixNano: d.CreatedUnixNano,
+			Records:         append([]fuzzydup.Record(nil), d.Records...),
+			RIDs:            append([]int64(nil), d.RIDs...),
+			NextRID:         d.NextRID,
+		})
+	}
+	for _, j := range s.Jobs {
+		c.Jobs = append(c.Jobs, &JobState{
+			ID:      j.ID,
+			Payload: append(json.RawMessage(nil), j.Payload...),
+		})
+	}
+	return c
+}
+
+// opType tags a WAL record's payload type.
+type opType uint8
+
+const (
+	opDatasetCreate opType = iota + 1
+	opDatasetDelete
+	opRecordsAppend
+	opRecordReplace
+	opRecordDelete
+	opJobCommit
+	opJobForget
+)
+
+// Op is one logged mutation. Each op both serializes into a WAL record
+// (as JSON, inside the binary frame) and knows how to apply itself to a
+// State — the DB applies every appended op to its shadow state so
+// snapshots need no help from the server, and recovery applies the same
+// code path when replaying.
+type Op interface {
+	typ() opType
+	apply(*State) error
+}
+
+// DatasetCreate registers a dataset, optionally with an initial record
+// batch and the rids minted for it.
+type DatasetCreate struct {
+	ID              string            `json:"id"`
+	Name            string            `json:"name,omitempty"`
+	CreatedUnixNano int64             `json:"created"`
+	Records         []fuzzydup.Record `json:"records,omitempty"`
+	RIDs            []int64           `json:"rids,omitempty"`
+	NextRID         int64             `json:"next_rid"`
+	// Counter is the registry's ID counter after minting this dataset's
+	// ID, so restarts never reuse the ID of a deleted dataset.
+	Counter int `json:"counter"`
+}
+
+func (*DatasetCreate) typ() opType { return opDatasetCreate }
+
+func (op *DatasetCreate) apply(s *State) error {
+	if s.dataset(op.ID) != nil {
+		return fmt.Errorf("dataset %q already exists", op.ID)
+	}
+	if len(op.Records) != len(op.RIDs) {
+		return fmt.Errorf("dataset %q: %d records but %d rids", op.ID, len(op.Records), len(op.RIDs))
+	}
+	s.Datasets = append(s.Datasets, &DatasetState{
+		ID:              op.ID,
+		Name:            op.Name,
+		CreatedUnixNano: op.CreatedUnixNano,
+		Records:         append([]fuzzydup.Record(nil), op.Records...),
+		RIDs:            append([]int64(nil), op.RIDs...),
+		NextRID:         op.NextRID,
+	})
+	sort.Slice(s.Datasets, func(i, j int) bool { return s.Datasets[i].ID < s.Datasets[j].ID })
+	if op.Counter > s.NextDatasetID {
+		s.NextDatasetID = op.Counter
+	}
+	return nil
+}
+
+// DatasetDelete removes a dataset.
+type DatasetDelete struct {
+	ID string `json:"id"`
+}
+
+func (*DatasetDelete) typ() opType { return opDatasetDelete }
+
+func (op *DatasetDelete) apply(s *State) error {
+	for i, d := range s.Datasets {
+		if d.ID == op.ID {
+			s.Datasets = append(s.Datasets[:i], s.Datasets[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("delete of unknown dataset %q", op.ID)
+}
+
+// RecordsAppend appends a record batch with its assigned rids.
+type RecordsAppend struct {
+	Dataset string            `json:"dataset"`
+	Records []fuzzydup.Record `json:"records"`
+	RIDs    []int64           `json:"rids"`
+}
+
+func (*RecordsAppend) typ() opType { return opRecordsAppend }
+
+func (op *RecordsAppend) apply(s *State) error {
+	d := s.dataset(op.Dataset)
+	if d == nil {
+		return fmt.Errorf("append to unknown dataset %q", op.Dataset)
+	}
+	if len(op.Records) != len(op.RIDs) {
+		return fmt.Errorf("dataset %q: %d records but %d rids", op.Dataset, len(op.Records), len(op.RIDs))
+	}
+	d.Records = append(d.Records, op.Records...)
+	d.RIDs = append(d.RIDs, op.RIDs...)
+	for _, rid := range op.RIDs {
+		if rid > d.NextRID {
+			d.NextRID = rid
+		}
+	}
+	return nil
+}
+
+// RecordReplace swaps the record under a rid.
+type RecordReplace struct {
+	Dataset string          `json:"dataset"`
+	RID     int64           `json:"rid"`
+	Record  fuzzydup.Record `json:"record"`
+}
+
+func (*RecordReplace) typ() opType { return opRecordReplace }
+
+func (op *RecordReplace) apply(s *State) error {
+	d := s.dataset(op.Dataset)
+	if d == nil {
+		return fmt.Errorf("replace in unknown dataset %q", op.Dataset)
+	}
+	for i, rid := range d.RIDs {
+		if rid == op.RID {
+			d.Records[i] = op.Record
+			return nil
+		}
+	}
+	return fmt.Errorf("replace of unknown rid %d in dataset %q", op.RID, op.Dataset)
+}
+
+// RecordDelete removes one record by rid.
+type RecordDelete struct {
+	Dataset string `json:"dataset"`
+	RID     int64  `json:"rid"`
+}
+
+func (*RecordDelete) typ() opType { return opRecordDelete }
+
+func (op *RecordDelete) apply(s *State) error {
+	d := s.dataset(op.Dataset)
+	if d == nil {
+		return fmt.Errorf("record delete in unknown dataset %q", op.Dataset)
+	}
+	for i, rid := range d.RIDs {
+		if rid == op.RID {
+			d.Records = append(d.Records[:i], d.Records[i+1:]...)
+			d.RIDs = append(d.RIDs[:i], d.RIDs[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("delete of unknown rid %d in dataset %q", op.RID, op.Dataset)
+}
+
+// JobCommit retains a finished job's result under its ID. The payload
+// is opaque to durable.
+type JobCommit struct {
+	ID string `json:"id"`
+	// Counter is the job registry's counter at commit, restored as
+	// NextJobID so retained IDs are never re-minted.
+	Counter int             `json:"counter"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (*JobCommit) typ() opType { return opJobCommit }
+
+func (op *JobCommit) apply(s *State) error {
+	i := sort.Search(len(s.Jobs), func(i int) bool { return s.Jobs[i].ID >= op.ID })
+	js := &JobState{ID: op.ID, Payload: append(json.RawMessage(nil), op.Payload...)}
+	if i < len(s.Jobs) && s.Jobs[i].ID == op.ID {
+		s.Jobs[i] = js
+	} else {
+		s.Jobs = append(s.Jobs, nil)
+		copy(s.Jobs[i+1:], s.Jobs[i:])
+		s.Jobs[i] = js
+	}
+	if op.Counter > s.NextJobID {
+		s.NextJobID = op.Counter
+	}
+	return nil
+}
+
+// JobForget drops a retained job result (the job was deleted). Unlike
+// the dataset ops it tolerates a missing ID: a job whose commit was
+// lost to a crash can still be forgotten by the server afterwards.
+type JobForget struct {
+	ID string `json:"id"`
+}
+
+func (*JobForget) typ() opType { return opJobForget }
+
+func (op *JobForget) apply(s *State) error {
+	for i, j := range s.Jobs {
+		if j.ID == op.ID {
+			s.Jobs = append(s.Jobs[:i], s.Jobs[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// decodeOp rebuilds an op from its WAL record during replay.
+func decodeOp(t opType, payload []byte) (Op, error) {
+	var op Op
+	switch t {
+	case opDatasetCreate:
+		op = new(DatasetCreate)
+	case opDatasetDelete:
+		op = new(DatasetDelete)
+	case opRecordsAppend:
+		op = new(RecordsAppend)
+	case opRecordReplace:
+		op = new(RecordReplace)
+	case opRecordDelete:
+		op = new(RecordDelete)
+	case opJobCommit:
+		op = new(JobCommit)
+	case opJobForget:
+		op = new(JobForget)
+	default:
+		return nil, fmt.Errorf("unknown op type %d", t)
+	}
+	if err := json.Unmarshal(payload, op); err != nil {
+		return nil, fmt.Errorf("op type %d: %w", t, err)
+	}
+	return op, nil
+}

@@ -1,0 +1,321 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"encoding/json"
+)
+
+// WAL frame layout (all integers little-endian):
+//
+//	u32  body length N
+//	u32  CRC32-C of the body
+//	body = u64 sequence | u8 op type | payload (JSON)
+//
+// Frames are written strictly append-only, so a crash can only damage
+// the file's tail: either the header is short, or the body extends past
+// EOF, or the last complete frame's CRC fails because its payload was
+// partially written. All three truncate the log at the bad frame's
+// start. A CRC failure on a frame that is *not* the file's last is
+// impossible under append-only writes and therefore reported as hard
+// corruption (bit rot, tampering) rather than silently dropped.
+
+const (
+	// frameHeaderSize is the length + CRC prefix.
+	frameHeaderSize = 8
+	// frameMetaSize is the seq + op-type prefix of the body.
+	frameMetaSize = 9
+	// maxFrameBody bounds a single record's body; anything larger is
+	// corruption, not data (HTTP ingest caps bodies far below this).
+	maxFrameBody = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks mid-log corruption: damage that cannot be explained
+// by a torn tail and therefore must not be silently truncated away.
+var ErrCorrupt = errors.New("durable: corrupt WAL")
+
+// writeFrame appends one frame, returning the bytes written.
+func writeFrame(w io.Writer, seq uint64, t opType, payload []byte) (int, error) {
+	body := make([]byte, frameMetaSize+len(payload))
+	binary.LittleEndian.PutUint64(body, seq)
+	body[8] = byte(t)
+	copy(body[frameMetaSize:], payload)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(body)
+	return frameHeaderSize + n, err
+}
+
+// frame is one decoded WAL record.
+type frame struct {
+	seq     uint64
+	op      opType
+	payload []byte
+}
+
+// scanFrames decodes a segment's frames in order. It returns the byte
+// offset of a torn tail (-1 if the segment ends cleanly): a short
+// header, a body extending past EOF, or a bad CRC on the final frame.
+// A bad CRC or invalid length anywhere else returns ErrCorrupt.
+func scanFrames(data []byte) (frames []frame, tornOff int64, err error) {
+	off := 0
+	for off < len(data) {
+		if off+frameHeaderSize > len(data) {
+			return frames, int64(off), nil // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n < frameMetaSize || n > maxFrameBody {
+			return nil, -1, fmt.Errorf("%w: frame at offset %d has invalid length %d", ErrCorrupt, off, n)
+		}
+		end := off + frameHeaderSize + n
+		if end > len(data) {
+			return frames, int64(off), nil // torn body
+		}
+		body := data[off+frameHeaderSize : end]
+		if crc32.Checksum(body, castagnoli) != crc {
+			if end == len(data) {
+				return frames, int64(off), nil // torn final frame
+			}
+			return nil, -1, fmt.Errorf("%w: CRC mismatch at offset %d with %d bytes following", ErrCorrupt, off, len(data)-end)
+		}
+		frames = append(frames, frame{
+			seq:     binary.LittleEndian.Uint64(body[0:8]),
+			op:      opType(body[8]),
+			payload: body[frameMetaSize:],
+		})
+		off = end
+	}
+	return frames, -1, nil
+}
+
+// File naming inside a data directory.
+
+func segmentName(first uint64) string { return fmt.Sprintf("wal-%020d.log", first) }
+func snapshotName(seq uint64) string  { return fmt.Sprintf("snap-%020d.snap", seq) }
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Snapshot file layout: magic, u32 payload length, u32 CRC32-C of the
+// payload, JSON-encoded State. Snapshots are written to a temp file and
+// renamed into place, so a crash leaves either the old set of snapshots
+// or the old set plus one complete new one — never a partial file under
+// a snapshot name.
+
+var snapMagic = []byte("FDSNAP1\n")
+
+func writeSnapshotFile(dir string, st *State, fsync bool) (string, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return "", err
+	}
+	tmp := filepath.Join(dir, "snap.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	_, err = f.Write(snapMagic)
+	if err == nil {
+		_, err = f.Write(hdr[:])
+	}
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil && fsync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	path := filepath.Join(dir, snapshotName(st.Seq))
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if fsync {
+		syncDir(dir)
+	}
+	return path, nil
+}
+
+func readSnapshotFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+8 || !strings.HasPrefix(string(data[:len(snapMagic)]), string(snapMagic)) {
+		return nil, fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	rest := data[len(snapMagic):]
+	n := int(binary.LittleEndian.Uint32(rest[0:4]))
+	crc := binary.LittleEndian.Uint32(rest[4:8])
+	payload := rest[8:]
+	if n != len(payload) {
+		return nil, fmt.Errorf("%w: snapshot length %d, want %d", ErrCorrupt, len(payload), n)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrCorrupt)
+	}
+	st := new(State)
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("%w: snapshot payload: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable. Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// recovered is the outcome of reading a data directory.
+type recovered struct {
+	state *State
+	// segments are all segment paths in first-seq order.
+	segments []string
+	// activePath is the last segment ("" if the directory has none).
+	activePath string
+	// tornOff is the truncation offset of a torn tail in the active
+	// segment, or -1 if it ends cleanly.
+	tornOff int64
+	// lastLogSeq is the highest sequence present in the log itself
+	// (0 if the log is empty); it can trail state.Seq when a snapshot
+	// outlived its segments.
+	lastLogSeq uint64
+	// snapshots are all snapshot paths in seq order.
+	snapshots []string
+}
+
+// recoverDir materializes a data directory: load the newest snapshot,
+// then replay every log segment in order, validating checksums and
+// sequence continuity, skipping records the snapshot already contains,
+// and tolerating a torn tail only at the very end of the final segment.
+func recoverDir(dir string) (*recovered, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    uint64
+		path string
+	}
+	var segs, snaps []numbered
+	for _, e := range entries {
+		name := e.Name()
+		if n, ok := parseName(name, "wal-", ".log"); ok {
+			segs = append(segs, numbered{n, filepath.Join(dir, name)})
+		} else if n, ok := parseName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, numbered{n, filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+
+	st := &State{}
+	if len(snaps) > 0 {
+		latest := snaps[len(snaps)-1]
+		st, err = readSnapshotFile(latest.path)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", latest.path, err)
+		}
+		if st.Seq != latest.n {
+			return nil, fmt.Errorf("%w: snapshot %s claims seq %d", ErrCorrupt, latest.path, st.Seq)
+		}
+	}
+
+	rec := &recovered{state: st, tornOff: -1}
+	for _, s := range snaps {
+		rec.snapshots = append(rec.snapshots, s.path)
+	}
+	var lastSeq uint64
+	seen := false // any frame decoded yet
+	for i, sg := range segs {
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return nil, err
+		}
+		frames, torn, err := scanFrames(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sg.path, err)
+		}
+		if torn >= 0 && i != len(segs)-1 {
+			return nil, fmt.Errorf("%w: %s: torn frame in a non-final segment", ErrCorrupt, sg.path)
+		}
+		for _, fr := range frames {
+			switch {
+			case !seen:
+				if fr.seq != sg.n {
+					return nil, fmt.Errorf("%w: %s: first frame has seq %d, segment starts at %d", ErrCorrupt, sg.path, fr.seq, sg.n)
+				}
+				seen = true
+			case fr.seq != lastSeq+1:
+				return nil, fmt.Errorf("%w: %s: sequence jumps from %d to %d", ErrCorrupt, sg.path, lastSeq, fr.seq)
+			}
+			lastSeq = fr.seq
+			if fr.seq <= st.Seq {
+				continue // already materialized in the snapshot
+			}
+			op, err := decodeOp(fr.op, fr.payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: seq %d: %v", ErrCorrupt, sg.path, fr.seq, err)
+			}
+			if err := op.apply(st); err != nil {
+				return nil, fmt.Errorf("%w: %s: seq %d: %v", ErrCorrupt, sg.path, fr.seq, err)
+			}
+			st.Seq = fr.seq
+		}
+		rec.segments = append(rec.segments, sg.path)
+		if i == len(segs)-1 {
+			rec.activePath = sg.path
+			rec.tornOff = torn
+		}
+	}
+	rec.lastLogSeq = lastSeq
+	return rec, nil
+}
+
+// Load materializes a data directory read-only: nothing is created,
+// truncated, or deleted, and a torn tail is simply ignored. It is safe
+// to call on a directory a live daemon is writing (the flushed prefix
+// is consistent), and is what cmd/dedup's -data-dir mode uses.
+func Load(dir string) (*State, error) {
+	rec, err := recoverDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return rec.state, nil
+}

@@ -1,0 +1,205 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fuzzydup"
+)
+
+// buildLog encodes the ops as a contiguous frame stream starting at
+// seq 1, returning the bytes and each frame's starting offset.
+func buildLog(t *testing.T, ops []Op) ([]byte, []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	var offs []int
+	for i, op := range ops {
+		offs = append(offs, buf.Len())
+		payload, err := marshalOp(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := writeFrame(&buf, uint64(i+1), op.typ(), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), offs
+}
+
+func marshalOp(op Op) ([]byte, error) {
+	return json.Marshal(op)
+}
+
+func testOps() []Op {
+	return []Op{
+		&DatasetCreate{ID: "ds-000001", Name: "a", CreatedUnixNano: 42, Counter: 1},
+		&RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"x"}, {"y"}}, RIDs: []int64{1, 2}},
+		&RecordReplace{Dataset: "ds-000001", RID: 2, Record: fuzzydup.Record{"z"}},
+		&RecordDelete{Dataset: "ds-000001", RID: 1},
+	}
+}
+
+func TestScanFramesRoundtrip(t *testing.T) {
+	ops := testOps()
+	data, _ := buildLog(t, ops)
+	frames, torn, err := scanFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != -1 {
+		t.Fatalf("torn = %d on a clean log", torn)
+	}
+	if len(frames) != len(ops) {
+		t.Fatalf("decoded %d frames, want %d", len(frames), len(ops))
+	}
+	for i, fr := range frames {
+		if fr.seq != uint64(i+1) {
+			t.Errorf("frame %d: seq %d", i, fr.seq)
+		}
+		if fr.op != ops[i].typ() {
+			t.Errorf("frame %d: op %d, want %d", i, fr.op, ops[i].typ())
+		}
+		if _, err := decodeOp(fr.op, fr.payload); err != nil {
+			t.Errorf("frame %d: decode: %v", i, err)
+		}
+	}
+}
+
+func TestScanFramesEmpty(t *testing.T) {
+	frames, torn, err := scanFrames(nil)
+	if err != nil || torn != -1 || len(frames) != 0 {
+		t.Fatalf("empty log: frames=%d torn=%d err=%v", len(frames), torn, err)
+	}
+}
+
+// TestScanFramesTornTail cuts the log at every byte position inside the
+// final frame (header and body) and checks the scan keeps the complete
+// prefix and reports the tear at the final frame's start.
+func TestScanFramesTornTail(t *testing.T) {
+	ops := testOps()
+	data, offs := buildLog(t, ops)
+	last := offs[len(offs)-1]
+	for cut := last + 1; cut < len(data); cut++ {
+		frames, torn, err := scanFrames(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(frames) != len(ops)-1 {
+			t.Fatalf("cut %d: kept %d frames, want %d", cut, len(frames), len(ops)-1)
+		}
+		if torn != int64(last) {
+			t.Fatalf("cut %d: torn at %d, want %d", cut, torn, last)
+		}
+	}
+}
+
+// TestScanFramesTornFinalCRC flips a byte in the final frame's payload
+// without shortening the file: still a tear (a partially persisted
+// final write), so it truncates rather than errors.
+func TestScanFramesTornFinalCRC(t *testing.T) {
+	ops := testOps()
+	data, offs := buildLog(t, ops)
+	last := offs[len(offs)-1]
+	data[len(data)-1] ^= 0xff
+	frames, torn, err := scanFrames(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(ops)-1 || torn != int64(last) {
+		t.Fatalf("frames=%d torn=%d, want %d frames torn at %d", len(frames), torn, len(ops)-1, last)
+	}
+}
+
+// TestScanFramesMidLogCRC flips a byte inside an early frame: with
+// valid frames following, this is unexplainable by a torn write and
+// must fail hard rather than drop acknowledged records.
+func TestScanFramesMidLogCRC(t *testing.T) {
+	ops := testOps()
+	data, offs := buildLog(t, ops)
+	data[offs[1]+frameHeaderSize+3] ^= 0xff
+	_, _, err := scanFrames(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log CRC flip: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestScanFramesInvalidLength(t *testing.T) {
+	ops := testOps()
+	data, offs := buildLog(t, ops)
+	binary.LittleEndian.PutUint32(data[offs[1]:], 3) // < frameMetaSize
+	_, _, err := scanFrames(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("invalid length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStateApplyAndClone(t *testing.T) {
+	st := &State{}
+	for _, op := range testOps() {
+		if err := op.apply(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := st.dataset("ds-000001")
+	if ds == nil {
+		t.Fatal("dataset missing")
+	}
+	if len(ds.Records) != 1 || ds.Records[0][0] != "z" || ds.RIDs[0] != 2 {
+		t.Fatalf("state after replay: records=%v rids=%v", ds.Records, ds.RIDs)
+	}
+	if ds.NextRID != 2 {
+		t.Fatalf("NextRID = %d, want 2", ds.NextRID)
+	}
+
+	c := st.clone()
+	if err := (&RecordsAppend{Dataset: "ds-000001", Records: []fuzzydup.Record{{"w"}}, RIDs: []int64{3}}).apply(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.dataset("ds-000001").Records) != 1 {
+		t.Fatal("clone shares record slice with original")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	st := &State{}
+	cases := []Op{
+		&DatasetDelete{ID: "nope"},
+		&RecordsAppend{Dataset: "nope", Records: []fuzzydup.Record{{"a"}}, RIDs: []int64{1}},
+		&RecordReplace{Dataset: "nope", RID: 1, Record: fuzzydup.Record{"a"}},
+		&RecordDelete{Dataset: "nope", RID: 1},
+	}
+	for _, op := range cases {
+		if err := op.apply(st); err == nil {
+			t.Errorf("%T on empty state: no error", op)
+		}
+	}
+	// JobForget tolerates unknown IDs (a commit lost to a crash can
+	// still be forgotten afterwards).
+	if err := (&JobForget{ID: "job-000001"}).apply(st); err != nil {
+		t.Errorf("JobForget on empty state: %v", err)
+	}
+}
+
+func TestJobCommitOrderAndForget(t *testing.T) {
+	st := &State{}
+	for _, id := range []string{"job-000003", "job-000001", "job-000002"} {
+		if err := (&JobCommit{ID: id, Counter: 3, Payload: []byte(`{}`)}).apply(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(st.Jobs) != 3 || st.Jobs[0].ID != "job-000001" || st.Jobs[2].ID != "job-000003" {
+		t.Fatalf("jobs not sorted: %v", []string{st.Jobs[0].ID, st.Jobs[1].ID, st.Jobs[2].ID})
+	}
+	if st.NextJobID != 3 {
+		t.Fatalf("NextJobID = %d", st.NextJobID)
+	}
+	if err := (&JobForget{ID: "job-000002"}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 2 || st.Jobs[1].ID != "job-000003" {
+		t.Fatalf("forget left %v", st.Jobs)
+	}
+}

@@ -13,7 +13,7 @@ import (
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "durable": s.db != nil})
 }
 
 // handleReadyz answers 200 while the job queue accepts work and 503 once
@@ -21,10 +21,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // instance while /healthz keeps reporting it alive.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.engine.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "durable": s.db != nil})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "durable": s.db != nil})
 }
 
 // datasetCreateRequest is the body of POST /v1/datasets.

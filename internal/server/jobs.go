@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fuzzydup"
+	"fuzzydup/internal/durable"
 	"fuzzydup/internal/obs"
 )
 
@@ -308,6 +309,7 @@ type Engine struct {
 	store   *Store
 	metrics *Metrics
 	logger  *slog.Logger
+	db      *durable.DB // nil in memory-only mode
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -345,11 +347,12 @@ func errJobNotFound(id string) error { return &notFoundError{what: "job", id: id
 
 // newEngine starts a pool of workers draining a queue of the given
 // capacity.
-func newEngine(store *Store, metrics *Metrics, logger *slog.Logger, workers, queueCap int) *Engine {
+func newEngine(store *Store, metrics *Metrics, logger *slog.Logger, workers, queueCap int, db *durable.DB) *Engine {
 	e := &Engine{
 		store:   store,
 		metrics: metrics,
 		logger:  logger,
+		db:      db,
 		queue:   make(chan *job, queueCap),
 		jobs:    make(map[string]*job),
 	}
@@ -455,10 +458,14 @@ func (e *Engine) Cancel(id string) (JobStatus, error) {
 	j.mu.Lock()
 	switch {
 	case j.state.terminal():
+		wasDone := j.state == StateDone
 		j.mu.Unlock()
 		e.mu.Lock()
 		delete(e.jobs, id)
 		e.mu.Unlock()
+		if wasDone {
+			e.forgetJob(id) // drop the retained result from the WAL too
+		}
 		return j.status(), nil
 	case j.state == StateQueued:
 		// The worker that eventually dequeues it will see the state and
@@ -585,20 +592,36 @@ func (e *Engine) run(j *job) {
 	// mid-run included — so drain behaviour is visible, not censored.
 	elapsed := j.finished.Sub(j.started)
 	e.metrics.jobDuration.ObserveDuration(elapsed)
+	var state JobState
 	switch {
 	case j.ctx.Err() != nil:
-		j.state = StateCancelled
+		state = StateCancelled
 		j.err = context.Canceled
-		e.metrics.jobsCancelled.Add(1)
 	case err != nil:
-		j.state = StateFailed
+		state = StateFailed
 		j.err = err
+	default:
+		state = StateDone
+	}
+	j.mu.Unlock()
+
+	if state == StateDone {
+		// Commit the result to the WAL before the state flips to done: no
+		// result is ever observable that a restart would lose.
+		e.commitJob(j)
+	}
+
+	j.mu.Lock()
+	j.state = state
+	switch state {
+	case StateCancelled:
+		e.metrics.jobsCancelled.Add(1)
+	case StateFailed:
 		e.metrics.jobsFailed.Add(1)
 	default:
-		j.state = StateDone
 		e.metrics.jobsDone.Add(1)
 	}
-	state, jobErr := j.state, j.err
+	jobErr := j.err
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 

@@ -39,6 +39,14 @@ import (
 //	repair_duration_ms     histogram of per-repair-operation durations
 //	                       (phase 1 + phase 2); the per-phase shares also
 //	                       land in phase1/phase2_duration_ms
+//	wal_appends            WAL records appended (cumulative; durable mode)
+//	wal_fsyncs             group-commit fsyncs (cumulative; one fsync
+//	                       typically covers many appends)
+//	wal_bytes              bytes appended to the WAL (cumulative)
+//	snapshots_taken        durable snapshots completed (cumulative)
+//	recovery_duration_ms   wall time of the last startup recovery
+//	wal_append_duration_ms histogram of per-append WAL latencies
+//	wal_fsync_duration_ms  histogram of group-commit fsync latencies
 //	endpoints              per-endpoint request count and latency:
 //	                       {"POST /v1/jobs": {"count": n, "total_us": µs}}
 //
@@ -64,10 +72,18 @@ type Metrics struct {
 	repairsRun          *expvar.Int
 	repairDirtyLookups  *expvar.Int
 
-	phase1Duration *obs.Histogram
-	phase2Duration *obs.Histogram
-	jobDuration    *obs.Histogram
-	repairDuration *obs.Histogram
+	walAppends       *expvar.Int
+	walFsyncs        *expvar.Int
+	walBytes         *expvar.Int
+	snapshotsTaken   *expvar.Int
+	recoveryDuration *expvar.Int
+
+	phase1Duration    *obs.Histogram
+	phase2Duration    *obs.Histogram
+	jobDuration       *obs.Histogram
+	repairDuration    *obs.Histogram
+	walAppendDuration *obs.Histogram
+	walFsyncDuration  *obs.Histogram
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
@@ -91,11 +107,21 @@ func newMetrics() *Metrics {
 		repairsRun:          new(expvar.Int),
 		repairDirtyLookups:  new(expvar.Int),
 
+		walAppends:       new(expvar.Int),
+		walFsyncs:        new(expvar.Int),
+		walBytes:         new(expvar.Int),
+		snapshotsTaken:   new(expvar.Int),
+		recoveryDuration: new(expvar.Int),
+
 		phase1Duration: obs.NewHistogram(),
 		phase2Duration: obs.NewHistogram(),
 		jobDuration:    obs.NewHistogram(),
 		repairDuration: obs.NewHistogram(),
-		endpoints:      new(expvar.Map).Init(),
+		// WAL operations live in the sub-millisecond range; the default
+		// latency buckets would pile everything into the first bucket.
+		walAppendDuration: obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
+		walFsyncDuration:  obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
+		endpoints:         new(expvar.Map).Init(),
 	}
 	m.root.Set("jobs_queued", m.jobsQueued)
 	m.root.Set("jobs_running", m.jobsRunning)
@@ -110,6 +136,13 @@ func newMetrics() *Metrics {
 	m.root.Set("incremental_sessions", m.incrementalSessions)
 	m.root.Set("repairs_run", m.repairsRun)
 	m.root.Set("repair_dirty_lookups", m.repairDirtyLookups)
+	m.root.Set("wal_appends", m.walAppends)
+	m.root.Set("wal_fsyncs", m.walFsyncs)
+	m.root.Set("wal_bytes", m.walBytes)
+	m.root.Set("snapshots_taken", m.snapshotsTaken)
+	m.root.Set("recovery_duration_ms", m.recoveryDuration)
+	m.root.Set("wal_append_duration_ms", m.walAppendDuration)
+	m.root.Set("wal_fsync_duration_ms", m.walFsyncDuration)
 	m.root.Set("phase1_duration_ms", m.phase1Duration)
 	m.root.Set("phase2_duration_ms", m.phase2Duration)
 	m.root.Set("job_duration_ms", m.jobDuration)

@@ -230,7 +230,7 @@ func TestCancelledJobRecordsDuration(t *testing.T) {
 func TestReadyz(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
 
-	var out map[string]string
+	var out map[string]any
 	if code := doJSON(t, "GET", ts.URL+"/readyz", "", "", &out); code != http.StatusOK || out["status"] != "ok" {
 		t.Errorf("readyz before shutdown: %d %v", code, out)
 	}

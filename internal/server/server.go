@@ -38,10 +38,13 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
+
+	"fuzzydup/internal/durable"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults.
@@ -69,6 +72,17 @@ type Config struct {
 	// default: profiling endpoints expose internals and hold CPU, so
 	// they are opt-in (and compiled out entirely under -tags nopprof).
 	EnablePprof bool
+	// DataDir enables the durability layer: datasets, record IDs, and
+	// finished job results are written through a WAL in this directory
+	// and recovered on the next start. Empty (the default) keeps the
+	// service fully in-memory, exactly as before.
+	DataDir string
+	// NoFsync skips the per-group-commit fsync. Mutations then survive a
+	// process crash (the OS holds the writes) but not a host crash.
+	NoFsync bool
+	// SnapshotEvery is the number of logged mutations between automatic
+	// snapshots (default 4096; < 0 disables automatic snapshots).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 4096
+	}
 	return c
 }
 
@@ -100,19 +117,52 @@ type Server struct {
 	store   *Store
 	engine  *Engine
 	metrics *Metrics
+	db      *durable.DB // nil without Config.DataDir
 	handler http.Handler
 }
 
-// New builds a Server and starts its worker pool. Callers must Shutdown
-// to stop the workers.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With Config.DataDir
+// set it first recovers the durable state (replaying snapshot-then-log)
+// and opens the WAL; recovery failure — mid-log corruption, an
+// unreadable directory — fails construction rather than serving partial
+// data. Callers must Shutdown to stop the workers (and flush the WAL).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
 	}
-	s.store = newStore(cfg.MaxRecords)
-	s.engine = newEngine(s.store, s.metrics, cfg.Logger, cfg.Workers, cfg.QueueCap)
+	var state *durable.State
+	if cfg.DataDir != "" {
+		start := time.Now()
+		db, st, err := durable.Open(durable.Options{
+			Dir:           cfg.DataDir,
+			Fsync:         !cfg.NoFsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Logger:        cfg.Logger,
+			Hooks:         s.metrics.durableHooks(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("recovering data dir %s: %w", cfg.DataDir, err)
+		}
+		s.db = db
+		state = st
+		elapsed := time.Since(start)
+		s.metrics.recoveryDuration.Set(elapsed.Milliseconds())
+		cfg.Logger.Info("durable state recovered",
+			"data_dir", cfg.DataDir,
+			"datasets", len(state.Datasets),
+			"jobs", len(state.Jobs),
+			"seq", state.Seq,
+			"duration_ms", elapsed.Milliseconds())
+	}
+	s.store = newStore(cfg.MaxRecords, s.db)
+	s.engine = newEngine(s.store, s.metrics, cfg.Logger, cfg.Workers, cfg.QueueCap, s.db)
+	if state != nil {
+		s.store.load(state)
+		s.engine.restore(state)
+		s.metrics.datasets.Set(int64(s.store.Len()))
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -155,7 +205,7 @@ func New(cfg Config) *Server {
 	h = withLogging(cfg.Logger, h)
 	h = withRequestID(h)
 	s.handler = h
-	return s
+	return s, nil
 }
 
 // Handler returns the service's root handler.
@@ -164,12 +214,20 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics returns the server's counters (for Publish and tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Shutdown drains the job engine: running jobs get until ctx's deadline
-// to finish, then they are cancelled and awaited. It returns ctx.Err()
-// if the deadline forced cancellation. The HTTP listener (if any) is the
-// caller's to close — see ListenAndServe.
+// Shutdown drains the job engine — running jobs get until ctx's
+// deadline to finish, then they are cancelled and awaited — and then
+// closes the WAL, flushing and fsyncing the pending group-commit batch
+// so no acknowledged mutation is lost across a clean restart. It
+// returns ctx.Err() if the deadline forced cancellation. The HTTP
+// listener (if any) is the caller's to close — see ListenAndServe.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.engine.Shutdown(ctx)
+	err := s.engine.Shutdown(ctx)
+	if s.db != nil {
+		if cerr := s.db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts the
@@ -186,8 +244,8 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 
 	select {
 	case err := <-errCh:
-		// Listener died on its own; still stop the workers.
-		s.engine.Shutdown(context.Background())
+		// Listener died on its own; still stop the workers and the WAL.
+		s.Shutdown(context.Background())
 		return err
 	case <-ctx.Done():
 	}
@@ -196,7 +254,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	httpErr := srv.Shutdown(drainCtx)
-	jobErr := s.engine.Shutdown(drainCtx)
+	jobErr := s.Shutdown(drainCtx)
 	if jobErr != nil && errors.Is(jobErr, context.DeadlineExceeded) {
 		s.cfg.Logger.Warn("drain deadline hit: running jobs were cancelled")
 	}

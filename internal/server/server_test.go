@@ -21,7 +21,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = testLogger(t)
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -391,7 +394,10 @@ func TestQueueBounded(t *testing.T) {
 
 func TestGracefulShutdownDrainsRunningJob(t *testing.T) {
 	cfg := Config{Workers: 2, Logger: testLogger(t)}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -428,7 +434,10 @@ func TestGracefulShutdownDrainsRunningJob(t *testing.T) {
 }
 
 func TestGracefulShutdownCancelsAtDeadline(t *testing.T) {
-	s := New(Config{Workers: 1, Logger: testLogger(t)})
+	s, err := New(Config{Workers: 1, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -445,7 +454,7 @@ func TestGracefulShutdownCancelsAtDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	err := s.Shutdown(ctx)
+	err = s.Shutdown(ctx)
 	if err != context.DeadlineExceeded {
 		t.Fatalf("shutdown: %v, want deadline exceeded", err)
 	}
@@ -519,9 +528,12 @@ func TestRequestBodyLimit(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	var out map[string]string
+	var out map[string]any
 	if code := doJSON(t, "GET", ts.URL+"/healthz", "", "", &out); code != 200 || out["status"] != "ok" {
 		t.Errorf("healthz: %d %v", code, out)
+	}
+	if durable, ok := out["durable"].(bool); !ok || durable {
+		t.Errorf("healthz durable = %v, want false without a data dir", out["durable"])
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fuzzydup"
+	"fuzzydup/internal/durable"
 )
 
 // Store is the in-memory dataset registry. All methods are safe for
@@ -19,11 +20,17 @@ import (
 // assigned monotonically at ingest and never reused, so mutation
 // endpoints and incremental sessions have a stable handle that survives
 // other records' deletion.
+//
+// With a WAL attached (db non-nil), every mutation is logged before it
+// is applied — under s.mu, so the log order matches the apply order —
+// and committed (group-fsynced) after s.mu is released, before the
+// mutation is acknowledged to the caller.
 type Store struct {
 	mu         sync.RWMutex
 	datasets   map[string]*datasetEntry
 	nextID     int
 	maxRecords int // per-dataset record cap (<= 0: unlimited)
+	db         *durable.DB
 }
 
 type datasetEntry struct {
@@ -64,8 +71,8 @@ type DatasetInfo struct {
 	Created time.Time `json:"created"`
 }
 
-func newStore(maxRecords int) *Store {
-	return &Store{datasets: make(map[string]*datasetEntry), maxRecords: maxRecords}
+func newStore(maxRecords int, db *durable.DB) *Store {
+	return &Store{datasets: make(map[string]*datasetEntry), maxRecords: maxRecords, db: db}
 }
 
 // maxNDJSONLine bounds a single NDJSON record line; a line is one JSON
@@ -78,20 +85,39 @@ func (s *Store) Create(name string, recs []fuzzydup.Record) (DatasetInfo, error)
 		return DatasetInfo{}, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.maxRecords > 0 && len(recs) > s.maxRecords {
+		s.mu.Unlock()
 		return DatasetInfo{}, &capError{limit: s.maxRecords}
 	}
 	s.nextID++
 	e := &datasetEntry{
 		id:      fmt.Sprintf("ds-%06d", s.nextID),
 		name:    name,
-		created: time.Now(),
+		created: time.Now().UTC(),
 		records: recs,
 	}
 	e.assignRIDs(len(recs))
+	seq, err := s.logAppend(&durable.DatasetCreate{
+		ID:              e.id,
+		Name:            name,
+		CreatedUnixNano: e.created.UnixNano(),
+		Records:         recs,
+		RIDs:            e.rids,
+		NextRID:         e.nextRID,
+		Counter:         s.nextID,
+	})
+	if err != nil {
+		s.nextID--
+		s.mu.Unlock()
+		return DatasetInfo{}, err
+	}
 	s.datasets[e.id] = e
-	return e.info(), nil
+	info := e.info()
+	s.mu.Unlock()
+	if err := s.logCommit(seq); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
 }
 
 // Append adds a parsed record batch to a dataset, returning the new info
@@ -101,34 +127,62 @@ func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, []int64,
 		return DatasetInfo{}, nil, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.datasets[id]
 	if !ok {
+		s.mu.Unlock()
 		return DatasetInfo{}, nil, errDatasetNotFound(id)
 	}
 	if s.maxRecords > 0 && len(e.records)+len(recs) > s.maxRecords {
+		s.mu.Unlock()
 		return DatasetInfo{}, nil, &capError{limit: s.maxRecords}
 	}
+	// Mint the batch's rids without committing them, log, then apply.
+	rids := make([]int64, len(recs))
+	for i := range rids {
+		rids[i] = e.nextRID + int64(i+1)
+	}
+	seq, err := s.logAppend(&durable.RecordsAppend{Dataset: id, Records: recs, RIDs: rids})
+	if err != nil {
+		s.mu.Unlock()
+		return DatasetInfo{}, nil, err
+	}
 	e.records = append(e.records, recs...)
-	rids := e.assignRIDs(len(recs))
-	return e.info(), rids, nil
+	e.rids = append(e.rids, rids...)
+	e.nextRID += int64(len(recs))
+	info := e.info()
+	s.mu.Unlock()
+	if err := s.logCommit(seq); err != nil {
+		return DatasetInfo{}, nil, err
+	}
+	return info, rids, nil
 }
 
 // RemoveRecord deletes one record by rid.
 func (s *Store) RemoveRecord(id string, rid int64) (DatasetInfo, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.datasets[id]
 	if !ok {
+		s.mu.Unlock()
 		return DatasetInfo{}, errDatasetNotFound(id)
 	}
 	i := e.indexOf(rid)
 	if i < 0 {
+		s.mu.Unlock()
 		return DatasetInfo{}, errRecordNotFound(rid)
+	}
+	seq, err := s.logAppend(&durable.RecordDelete{Dataset: id, RID: rid})
+	if err != nil {
+		s.mu.Unlock()
+		return DatasetInfo{}, err
 	}
 	e.records = append(e.records[:i], e.records[i+1:]...)
 	e.rids = append(e.rids[:i], e.rids[i+1:]...)
-	return e.info(), nil
+	info := e.info()
+	s.mu.Unlock()
+	if err := s.logCommit(seq); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
 }
 
 // ReplaceRecord swaps the record under a rid for a new one. The rid is
@@ -141,17 +195,28 @@ func (s *Store) ReplaceRecord(id string, rid int64, rec fuzzydup.Record) (Datase
 		return DatasetInfo{}, &parseError{line: 1, err: fmt.Errorf("empty record")}
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.datasets[id]
 	if !ok {
+		s.mu.Unlock()
 		return DatasetInfo{}, errDatasetNotFound(id)
 	}
 	i := e.indexOf(rid)
 	if i < 0 {
+		s.mu.Unlock()
 		return DatasetInfo{}, errRecordNotFound(rid)
 	}
+	seq, err := s.logAppend(&durable.RecordReplace{Dataset: id, RID: rid, Record: rec})
+	if err != nil {
+		s.mu.Unlock()
+		return DatasetInfo{}, err
+	}
 	e.records[i] = rec
-	return e.info(), nil
+	info := e.info()
+	s.mu.Unlock()
+	if err := s.logCommit(seq); err != nil {
+		return DatasetInfo{}, err
+	}
+	return info, nil
 }
 
 // AppendNDJSON streams newline-delimited JSON records — one JSON array of
@@ -258,12 +323,18 @@ func (s *Store) Get(id string) (DatasetInfo, error) {
 // unaffected; queued jobs referencing it will fail at start.
 func (s *Store) Delete(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.datasets[id]; !ok {
+		s.mu.Unlock()
 		return errDatasetNotFound(id)
 	}
+	seq, err := s.logAppend(&durable.DatasetDelete{ID: id})
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	delete(s.datasets, id)
-	return nil
+	s.mu.Unlock()
+	return s.logCommit(seq)
 }
 
 // List returns all datasets ordered by ID.

@@ -9,7 +9,7 @@ import (
 )
 
 func TestStoreAppendNDJSON(t *testing.T) {
-	s := newStore(100)
+	s := newStore(100, nil)
 	info, err := s.Create("t", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestStoreAppendNDJSON(t *testing.T) {
 }
 
 func TestStoreAppendNDJSONRejectsAtomically(t *testing.T) {
-	s := newStore(100)
+	s := newStore(100, nil)
 	info, _ := s.Create("t", nil)
 
 	cases := map[string]string{
@@ -59,7 +59,7 @@ func TestStoreAppendNDJSONRejectsAtomically(t *testing.T) {
 }
 
 func TestStoreLineTooLong(t *testing.T) {
-	s := newStore(0)
+	s := newStore(0, nil)
 	info, _ := s.Create("t", nil)
 	long := "[\"" + strings.Repeat("x", maxNDJSONLine+10) + "\"]"
 	_, _, _, err := s.AppendNDJSON(info.ID, strings.NewReader(long))
@@ -70,7 +70,7 @@ func TestStoreLineTooLong(t *testing.T) {
 }
 
 func TestStoreRecordCap(t *testing.T) {
-	s := newStore(3)
+	s := newStore(3, nil)
 	if _, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}, {"c"}, {"d"}}); !errors.Is(err, ErrDatasetCap) {
 		t.Errorf("create above cap: %v, want ErrDatasetCap", err)
 	}
@@ -91,7 +91,7 @@ func TestStoreRecordCap(t *testing.T) {
 }
 
 func TestStoreMissingDataset(t *testing.T) {
-	s := newStore(0)
+	s := newStore(0, nil)
 	var nf *notFoundError
 	if _, _, _, err := s.AppendNDJSON("ds-000001", strings.NewReader("[\"a\"]")); !errors.As(err, &nf) {
 		t.Errorf("append: %v", err)
@@ -107,7 +107,7 @@ func TestStoreMissingDataset(t *testing.T) {
 // TestStoreRecordMutations covers rid assignment, delete, replace, and
 // the list view: rids are dataset-scoped, monotonic, and never reused.
 func TestStoreRecordMutations(t *testing.T) {
-	s := newStore(0)
+	s := newStore(0, nil)
 	info, err := s.Create("t", []fuzzydup.Record{{"a"}, {"b"}})
 	if err != nil {
 		t.Fatal(err)

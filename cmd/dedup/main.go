@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		approx    = fs.Bool("approx", false, "use the probabilistic q-gram index (recommended beyond ~10k rows)")
 		index     = fs.String("index", "", "nearest-neighbor index: exact, qgram, vptree, minhash (overrides -approx)")
 		header    = fs.Bool("header", false, "skip the first CSV row")
+		blocked   = fs.Bool("blocked", false, "shard the corpus into blocks and solve them concurrently (-parallel workers); results are identical to the plain solve")
+		parallel  = fs.Int("parallel", 4, "worker count for -blocked block solves and exact-index phase-1 lookups")
 		baseline  = fs.Bool("baseline", false, "run single-linkage threshold clustering at -theta instead of DE")
 		truth     = fs.String("truth", "", "ground-truth file (cmd/datagen format); prints precision/recall instead of groups")
 		stats     = fs.Bool("stats", false, "print a run report (phase timings, probe and distance counts) to stderr")
@@ -86,12 +88,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no records")
 	}
 
-	d, err := fuzzydup.New(records, fuzzydup.Options{
+	opts := fuzzydup.Options{
 		Metric:      fuzzydup.Metric(*metric),
 		Agg:         fuzzydup.Agg(*agg),
 		Approximate: *approx,
 		Index:       fuzzydup.Index(*index),
-	})
+		Parallel:    *parallel,
+	}
+	if *blocked {
+		opts.Blocking = &fuzzydup.BlockingOptions{}
+	}
+	d, err := fuzzydup.New(records, opts)
 	if err != nil {
 		return err
 	}

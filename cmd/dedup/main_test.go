@@ -137,6 +137,27 @@ func TestRunHappyPath(t *testing.T) {
 	}
 }
 
+// TestRunBlockedFlag: -blocked routes through the sharded pipeline and
+// prints exactly what the plain solve prints, plus the blocked line
+// under -stats.
+func TestRunBlockedFlag(t *testing.T) {
+	path := writeTemp(t, "in.csv", "The Doors,LA Woman\nDoors,LA Woman\nAaliyah,Are You Ready\n")
+	var plain, blocked, stderr strings.Builder
+	if err := run([]string{"-input", path, "-k", "2", "-c", "4"}, &plain, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if err := run([]string{"-input", path, "-k", "2", "-c", "4", "-blocked", "-parallel", "2", "-stats"}, &blocked, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if blocked.String() != plain.String() {
+		t.Errorf("-blocked output %q differs from plain %q", blocked.String(), plain.String())
+	}
+	if !strings.Contains(stderr.String(), "block solves") {
+		t.Errorf("-blocked -stats report lacks the blocked line: %q", stderr.String())
+	}
+}
+
 // buildDataDir writes a small dedupd data directory via the durable
 // package, as a daemon would have.
 func buildDataDir(t *testing.T, extraDataset bool) string {

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"fuzzydup/internal/baseline"
+	"fuzzydup/internal/blocked"
+	"fuzzydup/internal/blocking"
 	"fuzzydup/internal/core"
 	"fuzzydup/internal/distance"
 	"fuzzydup/internal/nnindex"
@@ -121,8 +123,72 @@ type Options struct {
 	// a "dedup.solve" root with "phase1" and "phase2" children carrying
 	// wall-clock durations and work counters (lookups, index probes,
 	// distance calls, rejection reasons). The same numbers are available
-	// without a tracer via Report / LastReport.
+	// without a tracer via Report / LastReport. On the blocked path the
+	// root instead carries one "blocked" child with the pipeline counters.
 	Tracer *obs.Tracer
+	// Blocking, when non-nil, routes every solve through the sharded
+	// blocked pipeline: the corpus is partitioned into candidate blocks,
+	// blocks are solved concurrently, and a boundary guard merges and
+	// re-solves any block whose certificate radii reach a foreign record —
+	// so the partition returned is bit-for-bit the monolithic one.
+	// Requires the exact index and is incompatible with UseSQL. Note that
+	// the blocked path does not use the phase-1 cache: each solve
+	// recomputes its per-block neighbor lists.
+	Blocking *BlockingOptions
+}
+
+// BlockingOptions tunes the blocked solve selected by Options.Blocking.
+// The zero value is a working default: blocks seeded from a 4-character
+// normalized prefix and the first token's Soundex code, a window-8
+// sorted-neighborhood canopy pass, the exhaustive boundary guard, and
+// block solves run at Options.Parallel.
+//
+// In the blocked mode RunReport.Phase1 is the wall-clock of the
+// (parallel) block solves and Phase2 is everything else — seeding,
+// guarding, merging, and reconciliation.
+type BlockingOptions struct {
+	// Parallel is the block-solve worker-pool size; 0 inherits
+	// Options.Parallel. Parallelism never changes the output.
+	Parallel int
+	// KeyPrefixLen is the length of the normalized-prefix blocking key
+	// (default 4).
+	KeyPrefixLen int
+	// Window is the sorted-neighborhood window width feeding the
+	// distance-gated canopy pass (default 8; values below 2 disable the
+	// pass).
+	Window int
+	// PivotGuard opts into the pivot-pruned boundary guard instead of the
+	// default exhaustive foreign scan. The pruning is only sound for
+	// metrics satisfying the triangle inequality (Jaccard does; normalized
+	// edit distance is not guaranteed to), which is why it is opt-in.
+	PivotGuard bool
+	// MaxRounds bounds the solve/guard/merge loop (default 32); exceeding
+	// it falls back to one full-corpus solve, which is never wrong — only
+	// no faster than the monolithic path.
+	MaxRounds int
+	// OnBlockSolved, when non-nil, is called once per block solve with the
+	// block size and solve duration — the hook dedupd feeds its per-block
+	// duration histogram from. Calls are sequential.
+	OnBlockSolved func(size int, d time.Duration)
+}
+
+// strategy materializes the blocking strategy the options describe.
+func (o *BlockingOptions) strategy() blocked.Strategy {
+	pre := o.KeyPrefixLen
+	if pre <= 0 {
+		pre = 4
+	}
+	strat := blocked.Strategy{
+		Keys: []blocking.KeyFunc{blocking.FirstNChars(pre), blocking.SoundexFirstToken()},
+	}
+	w := o.Window
+	if w == 0 {
+		w = 8
+	}
+	if w >= 2 {
+		strat.Windows = []blocked.Window{{W: w, Order: blocking.NormalizedOrder()}}
+	}
+	return strat
 }
 
 // RunReport summarizes the work of a Deduper's solves: phase timings,
@@ -162,6 +228,12 @@ type RunReport struct {
 	// counters CacheStats reports.
 	CacheComputes int `json:"phase1_cache_computes"`
 	CacheHits     int `json:"phase1_cache_hits"`
+	// BlocksSolved / BoundaryResolves instrument the blocked path
+	// (Options.Blocking): block solves across all guard rounds, and the
+	// share of them triggered by boundary merges. Both stay zero on the
+	// monolithic path.
+	BlocksSolved     int `json:"blocks_solved,omitempty"`
+	BoundaryResolves int `json:"boundary_resolves,omitempty"`
 }
 
 // add accumulates a per-solve delta into a cumulative report.
@@ -180,18 +252,25 @@ func (r *RunReport) add(d RunReport) {
 	r.RejectedExcluded += d.RejectedExcluded
 	r.CacheComputes += d.CacheComputes
 	r.CacheHits += d.CacheHits
+	r.BlocksSolved += d.BlocksSolved
+	r.BoundaryResolves += d.BoundaryResolves
 }
 
 // String renders the report in the two-line per-phase form the dedup CLI
 // prints under -stats.
 func (r RunReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"phase1 %v (lookups %d, index probes %d, distance calls %d, cache %d computes / %d hits)\n"+
 			"phase2 %v (groups %d, duplicates %d, splits %d; rejected %d compact / %d sn / %d excluded)",
 		r.Phase1.Round(time.Microsecond), r.Lookups, r.IndexProbes, r.DistanceCalls,
 		r.CacheComputes, r.CacheHits,
 		r.Phase2.Round(time.Microsecond), r.Groups, r.DuplicateGroups, r.Splits,
 		r.RejectedCompact, r.RejectedSN, r.RejectedExcluded)
+	if r.BlocksSolved > 0 {
+		s += fmt.Sprintf("\nblocked (block solves %d, boundary re-solves %d)",
+			r.BlocksSolved, r.BoundaryResolves)
+	}
+	return s
 }
 
 // Deduper runs fuzzy duplicate elimination over a fixed set of records.
@@ -293,6 +372,17 @@ func New(records []Record, opts Options) (*Deduper, error) {
 			kind = IndexExact
 		}
 	}
+	if opts.Blocking != nil {
+		// The blocked pipeline builds its own per-block exact indexes and
+		// runs partitioning in memory; neither an approximate global index
+		// nor the SQL runner composes with it.
+		if opts.UseSQL {
+			return nil, fmt.Errorf("fuzzydup: Blocking is incompatible with UseSQL")
+		}
+		if kind != IndexExact {
+			return nil, fmt.Errorf("fuzzydup: Blocking requires the exact index, not %q", kind)
+		}
+	}
 	var index nnindex.Index
 	switch kind {
 	case IndexExact:
@@ -374,6 +464,9 @@ func (d *Deduper) nnRelation(ctx context.Context, cut core.Cut, stats *core.Phas
 }
 
 func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) {
+	if d.opts.Blocking != nil {
+		return d.solveBlocked(ctx, prob)
+	}
 	span := d.opts.Tracer.Start("dedup.solve")
 	defer span.End()
 
@@ -449,6 +542,66 @@ func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) 
 	d.lastReport = delta
 	d.report.add(delta)
 	return groups, nil
+}
+
+// solveBlocked is the Options.Blocking solve path: it hands the whole
+// problem to the blocked pipeline and maps its Result into the same
+// report and span structure the monolithic path produces. Phase1 is the
+// block-solve wall clock, Phase2 the seeding/guard/merge remainder.
+func (d *Deduper) solveBlocked(ctx context.Context, prob core.Problem) (Groups, error) {
+	span := d.opts.Tracer.Start("dedup.solve")
+	defer span.End()
+
+	var delta RunReport
+	dist0 := d.counter.Calls()
+
+	bo := d.opts.Blocking
+	par := bo.Parallel
+	if par == 0 {
+		par = d.opts.Parallel
+	}
+	var p1 core.Phase1Stats
+	bSpan := span.Child("blocked")
+	res, err := blocked.Solve(d.keys, d.metric, prob, bo.strategy(), blocked.Options{
+		Parallel:      par,
+		Exhaustive:    !bo.PivotGuard,
+		MaxRounds:     bo.MaxRounds,
+		Ctx:           ctx,
+		Stats:         &p1,
+		OnBlockSolved: bo.OnBlockSolved,
+	})
+	if err != nil {
+		bSpan.End()
+		return nil, err
+	}
+	bSpan.Add("blocks", int64(res.Blocks))
+	bSpan.Add("blocks_solved", int64(res.BlocksSolved))
+	bSpan.Add("boundary_resolves", int64(res.BoundaryResolves))
+	bSpan.Add("guard_probes", res.GuardProbes)
+	if res.ForcedFull {
+		bSpan.Add("forced_full", 1)
+	}
+	bSpan.End()
+
+	delta.Phase1 = res.SolveTime
+	delta.Phase2 = res.MergeTime
+	delta.Lookups = p1.Lookups.Load()
+	delta.IndexProbes = p1.Probes.Load()
+	delta.Groups = res.Partition.Groups
+	delta.DuplicateGroups = res.Partition.Duplicates
+	delta.Splits = res.Partition.Splits
+	delta.RejectedCompact = res.Partition.RejectedCompact
+	delta.RejectedSN = res.Partition.RejectedSN
+	delta.RejectedExcluded = res.Partition.RejectedExcluded
+	delta.BlocksSolved = res.BlocksSolved
+	delta.BoundaryResolves = res.BoundaryResolves
+	delta.DistanceCalls = d.counter.Calls() - dist0
+	delta.Solves = 1
+	span.Add("distance_calls", delta.DistanceCalls)
+
+	d.lastReport = delta
+	d.report.add(delta)
+	return Groups(res.Groups), nil
 }
 
 // Groups is a partition of the record indices: every record appears in

@@ -1,0 +1,55 @@
+package blocked
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/nnindex"
+)
+
+// benchCorpus is the benchmark workload: duplicate clusters amid
+// uniform noise, deterministic across runs.
+func benchCorpus(n int) []string {
+	return clusteredKeys(rand.New(rand.NewSource(1)), n)
+}
+
+// BenchmarkBlockedVsFull compares the sharded pipeline against the
+// monolithic solve on identical corpora, problems, and parallelism —
+// the CI bench job records both, so regressions in the blocked path's
+// speedup are visible as a ratio drift between the paired series.
+//
+// The monolithic 50k case takes minutes; it only runs when
+// BLOCKED_BENCH_FULL is set (the dedicated CI step sets it), so generic
+// -bench=. sweeps stay fast while the headline 50k ratio is still
+// recorded on every push.
+func BenchmarkBlockedVsFull(b *testing.B) {
+	prob := core.Problem{Cut: core.Cut{MaxSize: 3}, C: 3}
+	for _, n := range []int{10000, 50000} {
+		keys := benchCorpus(n)
+		b.Run(fmt.Sprintf("full/n=%d", n), func(b *testing.B) {
+			if n > 10000 && os.Getenv("BLOCKED_BENCH_FULL") == "" {
+				b.Skip("set BLOCKED_BENCH_FULL=1 to run the monolithic 50k case")
+			}
+			for i := 0; i < b.N; i++ {
+				idx := nnindex.NewExact(keys, numMetric)
+				if _, _, err := core.Solve(idx, prob, core.Phase1Options{Order: core.OrderSequential, Parallel: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("blocked/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(keys, numMetric, prob, numStrategy(), Options{Parallel: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ForcedFull {
+					b.Fatal("benchmark corpus forced a full solve")
+				}
+			}
+		})
+	}
+}

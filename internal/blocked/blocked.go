@@ -1,0 +1,496 @@
+// Package blocked implements the sharded solve pipeline: partition the
+// corpus into blocks with the traditional candidate-generation keys of
+// internal/blocking, solve each block independently (and concurrently)
+// with the exact two-phase algorithm of internal/core, and reconcile the
+// per-block partitions into one global answer.
+//
+// The paper dismisses blocking for the CS/SN framework because a block
+// boundary can cut through a record's nearest neighborhood, silently
+// corrupting nn(v), ng(v), and the mutual-NN structure (Section 6). This
+// package keeps blocking honest with a boundary guard: after solving a
+// block, every member gets a certificate radius — the distance that the
+// partitioning phase could possibly have looked at (its (K−1)-th
+// neighbor and growth sphere for DE_S(K); θ and the growth sphere for
+// DE_D(θ)) — and the guard checks that no record outside the block lies
+// within it. When a foreign record does, the two blocks merge and are
+// re-solved; when a block is too small to certify a size cut, it is
+// widened. The loop converges because merging only shrinks certificate
+// radii, and the result is then bit-for-bit the partition core.Solve
+// would produce on the whole corpus (the invariants and the proof sketch
+// are in DESIGN.md §8). A bounded round budget backstops pathological
+// inputs by falling back to one full exact solve, so the pipeline is
+// never less correct than the monolithic path — only, at worst, no
+// faster.
+package blocked
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuzzydup/internal/blocking"
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+)
+
+// Defaults for the tuning knobs of Options.
+const (
+	// DefaultPivots is the number of pivot certificates the boundary
+	// guard prunes with.
+	DefaultPivots = 3
+	// DefaultMaxRounds bounds the solve/guard/merge loop; exceeding it
+	// abandons sharding and solves the corpus as one block. Rounds past
+	// the first only re-solve the handful of blocks the guard merged, so
+	// a generous budget costs little; the cap exists for adversarial
+	// corpora where merges trickle.
+	DefaultMaxRounds = 32
+)
+
+// Window is one sorted-neighborhood pass used by the canopy pre-merge:
+// records within a window of w positions under the ordering become
+// candidate pairs whose measured distance may merge their blocks.
+type Window struct {
+	W     int
+	Order blocking.Ordering
+}
+
+// Strategy chooses how the corpus is seeded into blocks. Keys are
+// transitively merged (records sharing any key co-block); Windows feed
+// the distance-gated canopy pass. The zero value selects
+// DefaultStrategy. An intentionally empty strategy (keys nil, windows
+// nil) is expressed the same way, and also works: every record starts as
+// a singleton block and the guard grows blocks from scratch — correct,
+// just slower.
+type Strategy struct {
+	Keys    []blocking.KeyFunc
+	Windows []Window
+}
+
+// DefaultStrategy blocks on the first four normalized characters and the
+// Soundex code of the first token, with one normalized-order
+// sorted-neighborhood pass feeding the canopy.
+func DefaultStrategy() Strategy {
+	return Strategy{
+		Keys:    []blocking.KeyFunc{blocking.FirstNChars(4), blocking.SoundexFirstToken()},
+		Windows: []Window{{W: 8, Order: blocking.NormalizedOrder()}},
+	}
+}
+
+// Options tunes the blocked solve.
+type Options struct {
+	// Parallel is the block-solve worker-pool size; values below 1 mean
+	// serial. Parallelism never changes the output: blocks are solved
+	// independently and reconciled in a deterministic order.
+	Parallel int
+	// Pivots is the pivot-certificate count of the boundary guard
+	// (default DefaultPivots).
+	Pivots int
+	// Exhaustive switches the guard to full foreign scans instead of
+	// pivot pruning. Required for metrics that violate the triangle
+	// inequality (normalized edit distance is not guaranteed to satisfy
+	// it); the pivot guard is only sound for true metrics.
+	Exhaustive bool
+	// MaxRounds bounds the solve/guard/merge loop (default
+	// DefaultMaxRounds); exceeding it forces one full-corpus solve.
+	MaxRounds int
+	// Ctx, when non-nil, cancels the solve between index lookups, like
+	// core.Phase1Options.Ctx.
+	Ctx context.Context
+	// Stats, when non-nil, accumulates phase-1 lookup and probe counts
+	// across all block solves; the counters are atomic, so one value is
+	// shared by the whole worker pool.
+	Stats *core.Phase1Stats
+	// OnBlockSolved, when non-nil, is called once per block solve with
+	// the block size and the solve duration. Calls are sequential and
+	// deterministic in order.
+	OnBlockSolved func(size int, d time.Duration)
+}
+
+func (o Options) pivots() int {
+	if o.Pivots <= 0 {
+		return DefaultPivots
+	}
+	return o.Pivots
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return DefaultMaxRounds
+	}
+	return o.MaxRounds
+}
+
+// Result is the outcome of a blocked solve: the global partition
+// (identical to core.Solve's, canonically ordered) plus the pipeline's
+// instrumentation.
+type Result struct {
+	// Groups is the global partition: members ascending within each
+	// group, groups ordered by smallest member — the same canonical form
+	// core.Partition emits.
+	Groups [][]int
+	// Partition sums the phase-2 counters over the final blocks.
+	Partition core.PartitionStats
+
+	// InitialBlocks counts the blocks after key seeding and the canopy
+	// pass; Blocks and MaxBlock describe the final converged blocking.
+	InitialBlocks int
+	Blocks        int
+	MaxBlock      int
+	// BlocksSolved counts block solves across all rounds;
+	// BoundaryResolves is the share of those triggered by guard merges
+	// (rounds after the first).
+	BlocksSolved     int
+	BoundaryResolves int
+	// BoundaryViolations counts records whose certificate radius reached
+	// a foreign record; Uncertifiable counts records widened because
+	// their block was too small to certify the size cut.
+	BoundaryViolations int
+	Uncertifiable      int
+	// Rounds is the number of solve/guard/merge iterations run;
+	// ForcedFull reports that the round budget ran out and the corpus
+	// was solved as one block.
+	Rounds     int
+	ForcedFull bool
+	// GuardProbes counts distance calls made outside the block solves:
+	// pivot construction, canopy gating, and guard verification.
+	GuardProbes int64
+	// SolveTime is the wall-clock spent in the (parallel) block-solve
+	// phases; MergeTime is everything else — seeding, guarding, merging,
+	// and reconciliation.
+	SolveTime time.Duration
+	MergeTime time.Duration
+}
+
+// blockSolve is one block's solved state: the member list (ascending
+// global IDs; local ID i is members[i]), the local NN relation, and the
+// local partition.
+type blockSolve struct {
+	members []int
+	rel     *core.NNRelation
+	groups  [][]int
+	pstats  core.PartitionStats
+	dur     time.Duration
+}
+
+// Solve runs the blocked pipeline over the records' string forms under
+// the given metric and problem. The returned partition is bit-for-bit
+// the one core.Solve produces on the same input.
+func Solve(keys []string, metric distance.Metric, prob core.Problem, strat Strategy, opts Options) (*Result, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Groups: [][]int{}}
+	n := len(keys)
+	if n == 0 {
+		return res, nil
+	}
+	if len(strat.Keys) == 0 && len(strat.Windows) == 0 {
+		strat = DefaultStrategy()
+	}
+	start := time.Now()
+
+	// sizeWant is the component size below which a size cut cannot be
+	// certified: phase 2 reads at most the first K−1 neighbor-list
+	// entries, so a block needs K members (K−1 neighbors each) — capped
+	// by the corpus itself.
+	sizeWant := 0
+	if prob.Cut.IsSize() {
+		sizeWant = prob.Cut.MaxSize
+		if sizeWant > n {
+			sizeWant = n
+		}
+	}
+
+	u := newUnionFind(n)
+	seedBlocks(keys, strat, u)
+	g := newGuard(keys, metric, opts.pivots(), opts.Exhaustive)
+	canopyProbes := canopyMerge(keys, metric, strat, prob.Cut, u)
+	g.preMerge(u, prob.Cut, prob.P, sizeWant)
+	res.InitialBlocks = u.comps
+
+	type cached struct {
+		size  int
+		solve *blockSolve
+	}
+	cache := make(map[int]*cached)
+	var solveWall time.Duration
+
+	for {
+		res.Rounds++
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		forced := res.Rounds > opts.maxRounds()
+		if forced {
+			res.ForcedFull = true
+			for v := 1; v < n; v++ {
+				u.union(0, v)
+			}
+		}
+		comps := u.components()
+
+		// A block whose root and size survived the last round's merges is
+		// unchanged: its members and — crucially for the guard — its
+		// foreign record set are exactly what was already solved and
+		// certified, so both the solve and the certificate are reused.
+		blocks := make([]*blockSolve, len(comps))
+		var dirty []int
+		newCache := make(map[int]*cached, len(comps))
+		for ci, members := range comps {
+			root := u.find(members[0])
+			if c, ok := cache[root]; ok && c.size == len(members) {
+				blocks[ci] = c.solve
+				newCache[root] = c
+				continue
+			}
+			dirty = append(dirty, ci)
+		}
+
+		t0 := time.Now()
+		if err := solveBlocks(keys, metric, prob, comps, blocks, dirty, opts); err != nil {
+			return nil, err
+		}
+		solveWall += time.Since(t0)
+		res.BlocksSolved += len(dirty)
+		if res.Rounds > 1 && !forced {
+			res.BoundaryResolves += len(dirty)
+		}
+		for _, ci := range dirty {
+			newCache[u.find(comps[ci][0])] = &cached{size: len(comps[ci]), solve: blocks[ci]}
+			if opts.OnBlockSolved != nil {
+				opts.OnBlockSolved(len(comps[ci]), blocks[ci].dur)
+			}
+		}
+		cache = newCache
+
+		converged := true
+		if !forced && len(comps) > 1 {
+			// Guard only the freshly solved blocks: unchanged blocks keep
+			// their pass from an earlier round. Violation merges are
+			// collected first and applied afterwards, then uncertifiable
+			// records widen, all in ascending record order — the merge
+			// sequence is deterministic regardless of Parallel.
+			type merge struct{ v, w int }
+			var merges []merge
+			var shorts []int
+			for _, ci := range dirty {
+				bs := blocks[ci]
+				reaches := blockReaches(bs.rel, prob.Cut, prob.P, bs.members, sizeWant)
+				for i, v := range bs.members {
+					r := reaches[i]
+					if r < 0 {
+						shorts = append(shorts, v)
+						continue
+					}
+					if ws := g.foreignWithin(u, v, r); len(ws) > 0 {
+						res.BoundaryViolations++
+						for _, w := range ws {
+							merges = append(merges, merge{v, w})
+						}
+					}
+				}
+			}
+			sort.Slice(merges, func(i, j int) bool {
+				if merges[i].v != merges[j].v {
+					return merges[i].v < merges[j].v
+				}
+				return merges[i].w < merges[j].w
+			})
+			for _, m := range merges {
+				if u.union(m.v, m.w) {
+					converged = false
+				}
+			}
+			sort.Ints(shorts)
+			for _, v := range shorts {
+				if u.sizeOf(v) >= sizeWant {
+					continue // an earlier merge already grew this block
+				}
+				res.Uncertifiable++
+				g.widen(u, v, sizeWant)
+				converged = false
+			}
+		}
+		if converged {
+			res.Blocks = len(comps)
+			for _, b := range blocks {
+				if len(b.members) > res.MaxBlock {
+					res.MaxBlock = len(b.members)
+				}
+				res.Partition.Groups += b.pstats.Groups
+				res.Partition.Duplicates += b.pstats.Duplicates
+				res.Partition.Candidates += b.pstats.Candidates
+				res.Partition.RejectedAssigned += b.pstats.RejectedAssigned
+				res.Partition.RejectedCompact += b.pstats.RejectedCompact
+				res.Partition.RejectedSN += b.pstats.RejectedSN
+				res.Partition.RejectedExcluded += b.pstats.RejectedExcluded
+				res.Partition.Splits += b.pstats.Splits
+			}
+			res.Groups = reconcile(blocks)
+			break
+		}
+	}
+
+	res.GuardProbes = canopyProbes + g.probes
+	res.SolveTime = solveWall
+	res.MergeTime = time.Since(start) - solveWall
+	return res, nil
+}
+
+// solveBlocks runs the dirty blocks through the exact solver on a
+// bounded worker pool, filling blocks[ci] for each dirty ci.
+func solveBlocks(keys []string, metric distance.Metric, prob core.Problem, comps [][]int, blocks []*blockSolve, dirty []int, opts Options) error {
+	if len(dirty) == 0 {
+		return nil
+	}
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	var (
+		next     = int64(-1)
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(dirty) {
+					return
+				}
+				ci := dirty[i]
+				bs, err := solveOne(keys, metric, prob, comps[ci], opts)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				blocks[ci] = bs
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// solveOne solves a single block: remap its members (ascending global
+// IDs) to dense local IDs, run both phases on a block-local exact index,
+// and keep the local relation for the guard. The remap is monotone, so
+// the (distance, ID) tie-break and the greedy anchor order inside the
+// block coincide with the global ones restricted to it.
+func solveOne(keys []string, metric distance.Metric, prob core.Problem, members []int, opts Options) (*blockSolve, error) {
+	t0 := time.Now()
+	local := make([]string, len(members))
+	for i, id := range members {
+		local[i] = keys[id]
+	}
+	idx := nnindex.NewExact(local, metric)
+	lprob := prob
+	if ex := prob.Exclude; ex != nil {
+		lprob.Exclude = func(a, b int) bool { return ex(members[a], members[b]) }
+	}
+	rel, err := core.ComputeNN(idx, prob.Cut, prob.P, core.Phase1Options{
+		Order: core.OrderSequential,
+		Ctx:   opts.Ctx,
+		Stats: opts.Stats,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ps core.PartitionStats
+	groups, err := core.PartitionWithStats(rel, lprob, &ps)
+	if err != nil {
+		return nil, err
+	}
+	return &blockSolve{members: members, rel: rel, groups: groups, pstats: ps, dur: time.Since(t0)}, nil
+}
+
+// blockReaches computes each block member's certificate radius — the
+// largest distance at which a foreign record could still have changed
+// the member's phase-1 row as phase 2 reads it — or -1 when the block is
+// too small to certify a size cut (the member must be widened instead).
+//
+// Size cut DE_S(K): phase 2 reads at most the first K−1 neighbor-list
+// entries (candidate groups top out at j = K, reading list[:j−1]), so
+// the radius must cover the (K−1)-th local neighbor; a block with fewer
+// than K members cannot supply it. Diameter cuts (alone or combined):
+// the θ-range list is exactly reproducible iff no foreign record lies
+// within θ. Both cases additionally cover the growth sphere p·nn(v)
+// (ZeroDistanceRadius when nn = 0, matching phase 1's zero-distance
+// rule) so ng(v) is exact too.
+func blockReaches(rel *core.NNRelation, cut core.Cut, p float64, members []int, sizeWant int) []float64 {
+	if p == 0 {
+		p = core.DefaultP
+	}
+	reaches := make([]float64, len(members))
+	if cut.IsSize() {
+		l := sizeWant - 1
+		if l < 1 {
+			return reaches // single-record corpus: nothing foreign exists
+		}
+		if len(members) < sizeWant {
+			for i := range reaches {
+				reaches[i] = -1
+			}
+			return reaches
+		}
+		for i := range members {
+			list := rel.Rows[i].NNList
+			r := growthReach(list[0].Dist, p)
+			if d := list[l-1].Dist; d > r {
+				r = d
+			}
+			reaches[i] = r
+		}
+		return reaches
+	}
+	for i := range members {
+		r := cut.Diameter
+		if list := rel.Rows[i].NNList; len(list) > 0 {
+			if gr := growthReach(list[0].Dist, p); gr > r {
+				r = gr
+			}
+		}
+		reaches[i] = r
+	}
+	return reaches
+}
+
+// growthReach is the growth-sphere radius phase 1 uses for a record with
+// nearest-neighbor distance nn.
+func growthReach(nn, p float64) float64 {
+	if nn == 0 {
+		return core.ZeroDistanceRadius
+	}
+	return p * nn
+}
+
+// reconcile concatenates the per-block partitions into the global
+// canonical form. Local groups are already canonically ordered and the
+// member remap is monotone, so each remapped group is ascending; only
+// the group order needs fixing.
+func reconcile(blocks []*blockSolve) [][]int {
+	groups := make([][]int, 0, len(blocks))
+	for _, b := range blocks {
+		for _, lg := range b.groups {
+			gg := make([]int, len(lg))
+			for i, lv := range lg {
+				gg[i] = b.members[lv]
+			}
+			groups = append(groups, gg)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}

@@ -1,0 +1,111 @@
+package blocked
+
+import (
+	"fuzzydup/internal/blocking"
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+)
+
+// unionFind tracks the evolving block structure: records start in
+// per-key-block components and are merged by the canopy pass, boundary
+// violations, and widening. Union by size plus path halving; sizes are
+// maintained because the size-cut certificate needs |component| ≥ K.
+type unionFind struct {
+	parent []int
+	size   []int
+	comps  int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n), comps: n}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the components of a and b, reporting whether they were
+// distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.comps--
+	return true
+}
+
+func (u *unionFind) sizeOf(x int) int { return u.size[u.find(x)] }
+
+// components materializes the current blocks: members ascending within
+// each block, blocks ordered by smallest member. Both orders matter — the
+// ascending-member order is what makes the local→global ID remap monotone
+// (see DESIGN §8), and the block order makes every downstream loop
+// deterministic.
+func (u *unionFind) components() [][]int {
+	idx := make(map[int]int, u.comps)
+	comps := make([][]int, 0, u.comps)
+	for v := range u.parent {
+		r := u.find(v)
+		i, ok := idx[r]
+		if !ok {
+			i = len(comps)
+			idx[r] = i
+			comps = append(comps, nil)
+		}
+		comps[i] = append(comps[i], v)
+	}
+	return comps
+}
+
+// seedBlocks unions the members of every key block: records sharing any
+// blocking key land in one component. This is the transitive-overlap
+// merge — a record carrying keys from two blocks bridges them.
+//
+// Sorted-neighborhood windows are deliberately NOT seeded here: window
+// pairs chain along the sorted order, so unioning them transitively would
+// collapse the corpus into one component. They enter via canopyMerge,
+// gated by a measured distance.
+func seedBlocks(keys []string, strat Strategy, u *unionFind) {
+	for _, kf := range strat.Keys {
+		for _, block := range blocking.Blocks(keys, kf) {
+			for i := 1; i < len(block); i++ {
+				u.union(block[0], block[i])
+			}
+		}
+	}
+}
+
+// canopyMerge measures every sorted-neighborhood window pair once and
+// unions only the ones that provably must co-block: zero-distance twins
+// always (they are mutual nearest neighbors under any cut), and pairs
+// closer than θ when a diameter cut is set (a foreign record within θ
+// is by construction a boundary violation, so merging it now saves a
+// guard round). Returns the number of distance calls made.
+func canopyMerge(keys []string, metric distance.Metric, strat Strategy, cut core.Cut, u *unionFind) int64 {
+	var probes int64
+	for _, w := range strat.Windows {
+		for p := range blocking.SortedNeighborhood(keys, w.W, w.Order) {
+			d := metric.Distance(keys[p[0]], keys[p[1]])
+			probes++
+			if d <= core.ZeroDistanceRadius || (cut.Diameter > 0 && d < cut.Diameter) {
+				u.union(p[0], p[1])
+			}
+		}
+	}
+	return probes
+}

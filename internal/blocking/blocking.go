@@ -44,14 +44,21 @@ func FirstNChars(n int) KeyFunc {
 }
 
 // SoundexFirstToken blocks by the Soundex code of the first token,
-// tolerating spelling noise in exchange for coarser blocks.
+// tolerating spelling noise in exchange for coarser blocks. A first token
+// with no letters (a number, punctuation) has no phonetic content — it
+// codes as Soundex's empty "0000" — and produces no key, because blocking
+// every letterless record together says nothing about their similarity.
 func SoundexFirstToken() KeyFunc {
 	return func(key string) []string {
 		toks := strutil.Tokens(key)
 		if len(toks) == 0 {
 			return nil
 		}
-		return []string{distance.Soundex(toks[0])}
+		code := distance.Soundex(toks[0])
+		if code == "0000" {
+			return nil
+		}
+		return []string{code}
 	}
 }
 
@@ -182,10 +189,12 @@ func Coverage(candidates, required map[[2]int]bool) float64 {
 
 // ReductionRatio returns 1 - |candidates| / |all pairs|: the fraction of
 // the n-choose-2 comparison space the candidate generator eliminates.
+// With fewer than two records there are no pairs to eliminate and none to
+// generate, so the reduction is vacuously complete: 1.
 func ReductionRatio(candidates map[[2]int]bool, n int) float64 {
 	total := float64(n) * float64(n-1) / 2
 	if total == 0 {
-		return 0
+		return 1
 	}
 	return 1 - float64(len(candidates))/total
 }

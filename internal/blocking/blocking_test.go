@@ -167,8 +167,72 @@ func TestReductionRatio(t *testing.T) {
 	if got := ReductionRatio(cands, 4); got < 0.83 || got > 0.84 {
 		t.Errorf("reduction = %v", got)
 	}
-	if got := ReductionRatio(nil, 1); got != 0 {
-		t.Errorf("degenerate reduction = %v", got)
+	// With fewer than two records there is no comparison space at all;
+	// the reduction is vacuously complete.
+	if got := ReductionRatio(nil, 1); got != 1 {
+		t.Errorf("n=1 reduction = %v, want 1", got)
+	}
+	if got := ReductionRatio(nil, 0); got != 1 {
+		t.Errorf("n=0 reduction = %v, want 1", got)
+	}
+}
+
+func TestCoverageEdgeCases(t *testing.T) {
+	// No required pairs: any candidate set trivially covers them.
+	if got := Coverage(map[[2]int]bool{{0, 1}: true}, nil); got != 1 {
+		t.Errorf("empty required coverage = %v, want 1", got)
+	}
+	// Empty candidates over a non-empty requirement cover nothing.
+	if got := Coverage(nil, map[[2]int]bool{{0, 1}: true}); got != 0 {
+		t.Errorf("empty candidate coverage = %v, want 0", got)
+	}
+}
+
+func TestSortedNeighborhoodEdgeCases(t *testing.T) {
+	keys := []string{"delta", "alpha", "bravo", "charlie"}
+	// A window at least as wide as the corpus emits every pair.
+	all := SortedNeighborhood(keys, len(keys)+3, NormalizedOrder())
+	if len(all) != 6 {
+		t.Errorf("over-wide window emitted %d pairs, want all 6", len(all))
+	}
+	// w < 2 cannot mean "no neighbors"; it clamps up to adjacent pairs.
+	adj := SortedNeighborhood(keys, 0, NormalizedOrder())
+	if len(adj) != 3 {
+		t.Errorf("clamped window emitted %d pairs, want 3 adjacent", len(adj))
+	}
+	if !adj[[2]int{1, 2}] { // alpha-bravo are sorted neighbors
+		t.Errorf("adjacent pair missing: %v", adj)
+	}
+	// No records, no pairs — and no panic.
+	if got := SortedNeighborhood(nil, 4, NormalizedOrder()); len(got) != 0 {
+		t.Errorf("empty corpus emitted %v", got)
+	}
+}
+
+func TestBlocksDuplicateKeys(t *testing.T) {
+	// A key function may emit the same key repeatedly for one record; the
+	// record must still appear once per block, not once per emission.
+	kf := func(key string) []string { return []string{"k", "k", key} }
+	blocks := Blocks([]string{"a", "b"}, kf)
+	if got := blocks["k"]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf(`blocks["k"] = %v, want [0 1]`, got)
+	}
+}
+
+func TestKeyFuncsDegenerateInputs(t *testing.T) {
+	if got := FirstNChars(4)(""); got != nil {
+		t.Errorf("FirstNChars on empty = %v", got)
+	}
+	if got := SoundexFirstToken()("  "); got != nil {
+		t.Errorf("SoundexFirstToken on blank = %v", got)
+	}
+	// A letterless first token has no phonetic content and must not mint
+	// the shared "0000" block that would chain every such record together.
+	if got := SoundexFirstToken()("42473 main st"); got != nil {
+		t.Errorf("SoundexFirstToken on numeric token = %v", got)
+	}
+	if got := TokenKeys(4)("an ox"); got != nil {
+		t.Errorf("TokenKeys below min length = %v", got)
 	}
 }
 

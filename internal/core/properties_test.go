@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+)
+
+// Metamorphic properties of the solver at the string-metric level: the
+// lemma tests work on raw distance matrices, while these run the real
+// pipeline — keys, a distance.Metric, an exact index — and check
+// transformations whose effect on the answer is known exactly: scaling
+// the metric, unioning far-separated corpora, and permuting the phase-1
+// processing order. The blocked pipeline's equivalence argument leans on
+// the same invariances, so they are pinned down here independently.
+
+// propMetric is the scaled absolute difference of decimal keys — cheap,
+// deterministic, and a true metric.
+var propMetric = distance.Func{MetricName: "absdiff", F: func(a, b string) float64 {
+	x, _ := strconv.Atoi(a)
+	y, _ := strconv.Atoi(b)
+	if x < y {
+		x, y = y, x
+	}
+	return float64(x-y) / 1000000
+}}
+
+// propKeys builds a corpus of duplicate clusters amid uniform noise over
+// [lo, lo+span), as zero-padded decimals.
+func propKeys(rng *rand.Rand, n, lo, span int) []string {
+	keys := make([]string, 0, n)
+	for len(keys) < n {
+		base := lo + rng.Intn(span)
+		if rng.Intn(3) == 0 {
+			k := 2 + rng.Intn(3)
+			for i := 0; i < k && len(keys) < n; i++ {
+				keys = append(keys, fmt.Sprintf("%06d", base+rng.Intn(3)))
+			}
+		} else {
+			keys = append(keys, fmt.Sprintf("%06d", base))
+		}
+	}
+	return keys
+}
+
+func solveKeys(t *testing.T, keys []string, m distance.Metric, prob Problem, opts Phase1Options) [][]int {
+	t.Helper()
+	groups, _, err := Solve(nnindex.NewExact(keys, m), prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return groups
+}
+
+// propProblems spans the three cut families. θ is chosen well above the
+// planted cluster spread (≤ 2e-6) and below the typical noise gap.
+func propProblems() []Problem {
+	return []Problem{
+		{Cut: Cut{MaxSize: 3}, C: 3},
+		{Cut: Cut{MaxSize: 4}, C: 4, MinimalCompact: true},
+		{Cut: Cut{Diameter: 1e-4}, C: 3},
+		{Cut: Cut{MaxSize: 4, Diameter: 1e-4}, C: 3},
+	}
+}
+
+// TestPropertyScaleInvariance: scaling every distance by α > 0 leaves a
+// DE_S(K) partition unchanged, and maps a DE_D(θ) / combined partition to
+// the one at threshold α·θ. The α values are powers of two, so α·d and
+// α·θ are exact in float64 and the (distance, ID) tie-break order is
+// bit-for-bit preserved.
+func TestPropertyScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := propKeys(rng, 160, 0, 1000000)
+	for _, alpha := range []float64{0.5, 0.25, 2} {
+		scaled := distance.Scaled{M: propMetric, Alpha: alpha}
+		for _, prob := range propProblems() {
+			want := solveKeys(t, keys, propMetric, prob, Phase1Options{})
+			sprob := prob
+			sprob.Cut.Diameter *= alpha // zero stays zero for pure size cuts
+			got := solveKeys(t, keys, scaled, sprob, Phase1Options{})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("alpha %g cut %+v: scaled solve diverges", alpha, prob.Cut)
+			}
+		}
+	}
+}
+
+// TestPropertySplitMergeUnion: concatenating two corpora whose cross
+// distances dwarf every within-corpus structure solves to exactly the
+// union of the individual solutions (the second one's IDs shifted). This
+// is the degenerate special case of blocking — two blocks no neighborhood
+// crosses — solved here by the monolithic path alone.
+func TestPropertySplitMergeUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Both halves live in narrow bands half the key space apart: every
+	// cross distance is ≥ ~0.45, far beyond θ and every growth sphere.
+	a := propKeys(rng, 80, 0, 50000)
+	b := propKeys(rng, 70, 500000, 50000)
+	union := append(append([]string{}, a...), b...)
+	for _, prob := range propProblems() {
+		ga := solveKeys(t, a, propMetric, prob, Phase1Options{})
+		gb := solveKeys(t, b, propMetric, prob, Phase1Options{})
+		want := append([][]int{}, ga...)
+		for _, g := range gb {
+			shifted := make([]int, len(g))
+			for i, v := range g {
+				shifted[i] = v + len(a)
+			}
+			want = append(want, shifted)
+		}
+		got := solveKeys(t, union, propMetric, prob, Phase1Options{})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("cut %+v: union solve is not the disjoint union", prob.Cut)
+		}
+	}
+}
+
+// TestPropertyUniqueness: the solution is a function of the instance
+// alone — phase-1 processing order, lookup parallelism, and repetition
+// cannot change it.
+func TestPropertyUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	keys := propKeys(rng, 150, 0, 1000000)
+	variants := []Phase1Options{
+		{},
+		{Order: OrderSequential},
+		{Order: OrderRandom, Seed: 99},
+		{Parallel: 8},
+		{Order: OrderSequential, Parallel: 4},
+	}
+	for _, prob := range propProblems() {
+		want := solveKeys(t, keys, propMetric, prob, Phase1Options{})
+		for vi, opts := range variants {
+			if got := solveKeys(t, keys, propMetric, prob, opts); !reflect.DeepEqual(got, want) {
+				t.Errorf("cut %+v variant %d: solution depends on processing order", prob.Cut, vi)
+			}
+		}
+		// Re-solving the identical instance is bit-for-bit stable.
+		if again := solveKeys(t, keys, propMetric, prob, Phase1Options{}); !reflect.DeepEqual(again, want) {
+			t.Errorf("cut %+v: repeated solve diverged", prob.Cut)
+		}
+	}
+}

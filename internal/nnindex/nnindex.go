@@ -80,23 +80,95 @@ func (e *Exact) Distance(a, b int) float64 {
 	return e.metric.Distance(e.keys[a], e.keys[b])
 }
 
-// TopK implements Index.
+// TopK implements Index. For k well below the relation size it keeps the
+// k nearest seen so far in a bounded max-heap ordered by (distance, ID) —
+// O(n log k) instead of sorting all n neighbors — which is what makes the
+// exact index usable as the per-block engine of the sharded solve and as
+// the full-solve reference at 50k records. The output is bit-identical to
+// sorting the whole neighbor list and truncating: (distance, ID) is a
+// total order, so the k smallest elements are unique.
 func (e *Exact) TopK(id, k int) []Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	all := e.allNeighbors(id)
-	if len(all) > k {
-		all = all[:k]
+	n := len(e.keys)
+	if k >= n-1 {
+		return e.allNeighbors(id)
 	}
-	return all
+	q := e.keys[id]
+	// h is a max-heap on (Dist, ID): h[0] is the worst of the k best.
+	h := make([]Neighbor, 0, k)
+	for u, key := range e.keys {
+		if u == id {
+			continue
+		}
+		nb := Neighbor{ID: u, Dist: e.metric.Distance(q, key)}
+		if len(h) < k {
+			h = append(h, nb)
+			siftUp(h, len(h)-1)
+		} else if neighborLess(nb, h[0]) {
+			h[0] = nb
+			siftDown(h, 0)
+		}
+	}
+	sortNeighbors(h)
+	return h
 }
 
-// Range implements Index.
+// neighborLess is the (distance, ID) total order shared by the heap and
+// sortNeighbors.
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+func siftUp(h []Neighbor, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !neighborLess(h[p], h[i]) { // parent already the worse one
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []Neighbor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && neighborLess(h[worst], h[l]) {
+			worst = l
+		}
+		if r < len(h) && neighborLess(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// Range implements Index. Only the neighbors inside the radius are
+// collected and sorted — the θ-ball is typically a small fraction of the
+// relation, so this avoids the full n log n sort per query.
 func (e *Exact) Range(id int, theta float64) []Neighbor {
-	all := e.allNeighbors(id)
-	cut := sort.Search(len(all), func(i int) bool { return all[i].Dist >= theta })
-	return all[:cut]
+	q := e.keys[id]
+	ns := []Neighbor{} // non-nil even when empty, like the full-sort path
+	for u, key := range e.keys {
+		if u == id {
+			continue
+		}
+		if d := e.metric.Distance(q, key); d < theta {
+			ns = append(ns, Neighbor{ID: u, Dist: d})
+		}
+	}
+	sortNeighbors(ns)
+	return ns
 }
 
 // GrowthCount implements Index.

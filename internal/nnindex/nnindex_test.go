@@ -334,3 +334,75 @@ func BenchmarkQGramTopK(b *testing.B) {
 		idx.TopK(i%len(keys), 5)
 	}
 }
+
+// TestExactTopKMatchesFullSort pins the heap-selection TopK against the
+// reference implementation (sort every neighbor, truncate) across corpus
+// sizes, k values, and deliberate distance ties: the outputs must be
+// bit-identical, because the whole system's determinism rests on the
+// (distance, ID) order of these lists.
+func TestExactTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		keys := make([]string, n)
+		for i := range keys {
+			// A small value range forces frequent exact ties.
+			keys[i] = strconv.Itoa(rng.Intn(12))
+		}
+		e := NewExact(keys, numericMetric())
+		for _, k := range []int{0, 1, 2, 3, n - 1, n, n + 5} {
+			for id := 0; id < n; id++ {
+				got := e.TopK(id, k)
+				want := e.allNeighbors(id)
+				if k <= 0 {
+					want = nil
+				} else if len(want) > k {
+					want = want[:k]
+				}
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d n=%d k=%d id=%d: TopK %v != reference %v (keys %v)",
+						trial, n, k, id, got, want, keys)
+				}
+			}
+		}
+	}
+}
+
+// TestExactRangeMatchesFullSort pins the filtered Range against the
+// reference (sort all, cut at θ), including θ exactly on a distance value
+// (strictly-less semantics) and θ beyond every distance.
+func TestExactRangeMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(30)
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = strconv.Itoa(rng.Intn(10))
+		}
+		e := NewExact(keys, numericMetric())
+		for _, theta := range []float64{0, 0.5, 1, 2, 3.5, 100} {
+			for id := 0; id < n; id++ {
+				got := e.Range(id, theta)
+				all := e.allNeighbors(id)
+				cut := len(all)
+				for i, nb := range all {
+					if nb.Dist >= theta {
+						cut = i
+						break
+					}
+				}
+				want := all[:cut]
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d n=%d theta=%g id=%d: Range %v != reference %v (keys %v)",
+						trial, n, theta, id, got, want, keys)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestBlockedJobMatchesBatch runs the same sweep as a plain batch job and
+// as a blocked job and requires identical results — the server-level
+// restatement of the blocked pipeline's equivalence guarantee — plus the
+// blocked-path counters in the job report and the metrics map.
+func TestBlockedJobMatchesBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	dsID := createSeedDataset(t, ts.URL)
+
+	submit := func(body string) JobResult {
+		t.Helper()
+		var st JobStatus
+		if code := doJSON(t, "POST", ts.URL+"/v1/jobs", "application/json", body, &st); code != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", body, code)
+		}
+		waitForState(t, ts.URL, st.ID, StateDone)
+		var res JobResult
+		if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID+"/result", "", "", &res); code != http.StatusOK {
+			t.Fatalf("result %s: status %d", st.ID, code)
+		}
+		return res
+	}
+
+	spec := `{"dataset":%q,"mode":"size","k":[3,2],"c":[4]%s}`
+	batch := submit(fmt.Sprintf(spec, dsID, ""))
+	blocked := submit(fmt.Sprintf(spec, dsID, `,"blocked":true,"parallel":2`))
+	if !reflect.DeepEqual(blocked.Results, batch.Results) {
+		t.Errorf("blocked results diverge:\n%+v\nvs batch\n%+v", blocked.Results, batch.Results)
+	}
+
+	// The blocked job's report carries the pipeline counters.
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs", "", "", &list); code != http.StatusOK {
+		t.Fatalf("list jobs: status %d", code)
+	}
+	var sawBlocked bool
+	for _, st := range list.Jobs {
+		if st.Report != nil && st.Report.BlocksSolved > 0 {
+			sawBlocked = true
+		}
+	}
+	if !sawBlocked {
+		t.Error("no job report carries BlocksSolved > 0")
+	}
+
+	// The metrics map exposes the cumulative counters and the per-block
+	// duration histogram.
+	var metrics map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/metrics", "", "", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if v, ok := metrics["blocks_solved"].(float64); !ok || v <= 0 {
+		t.Errorf("blocks_solved = %v", metrics["blocks_solved"])
+	}
+	if _, ok := metrics["boundary_resolves"].(float64); !ok {
+		t.Errorf("boundary_resolves = %v", metrics["boundary_resolves"])
+	}
+	hist, ok := metrics["block_solve_duration_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("block_solve_duration_ms = %v", metrics["block_solve_duration_ms"])
+	}
+	if count, ok := hist["count"].(float64); !ok || count <= 0 {
+		t.Errorf("block_solve_duration_ms count = %v", hist["count"])
+	}
+}
+
+func TestBlockedSpecRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	dsID := createSeedDataset(t, ts.URL)
+	for _, extra := range []string{
+		`,"blocked":true,"incremental":true`,
+		`,"blocked":true,"use_sql":true`,
+		`,"blocked":true,"index":"qgram"`,
+		`,"blocked":true,"index":"vptree"`,
+	} {
+		body := fmt.Sprintf(`{"dataset":%q,"mode":"size","k":[3],"c":[4]%s}`, dsID, extra)
+		var errBody map[string]any
+		if code := doJSON(t, "POST", ts.URL+"/v1/jobs", "application/json", body, &errBody); code != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want 400", body, code)
+		}
+	}
+	// blocked with the exact index is accepted.
+	var st JobStatus
+	body := fmt.Sprintf(`{"dataset":%q,"mode":"size","k":[3],"c":[4],"blocked":true,"index":"exact"}`, dsID)
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", "application/json", body, &st); code != http.StatusAccepted {
+		t.Errorf("blocked+exact rejected: status %d", code)
+	}
+	waitForState(t, ts.URL, st.ID, StateDone)
+}

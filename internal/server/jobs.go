@@ -65,6 +65,14 @@ type JobSpec struct {
 	// Parallel fans phase-1 lookups across this many goroutines (exact
 	// index only).
 	Parallel int `json:"parallel,omitempty"`
+	// Blocked routes every sweep point through the sharded blocked
+	// pipeline: the corpus is partitioned into candidate blocks, blocks
+	// are solved concurrently (at Parallel workers), and a boundary guard
+	// re-solves any block whose neighborhoods might cross a block edge —
+	// the results are identical to a plain batch job, only faster on
+	// large, blockable datasets. Requires the exact index; incompatible
+	// with use_sql and incremental.
+	Blocked bool `json:"blocked,omitempty"`
 	// Incremental runs the job against the dataset's incremental session
 	// instead of solving from scratch: the first such job builds the
 	// session, later ones (including the repair jobs record mutations
@@ -165,6 +173,17 @@ func (spec *JobSpec) normalize() ([]sweepPoint, error) {
 	}
 	if len(points) > maxSweepPoints {
 		return nil, &specError{fmt.Sprintf("sweep has %d points, max %d", len(points), maxSweepPoints)}
+	}
+	if spec.Blocked {
+		if spec.Incremental {
+			return nil, &specError{"blocked jobs cannot be incremental"}
+		}
+		if spec.UseSQL {
+			return nil, &specError{"blocked jobs do not support use_sql"}
+		}
+		if spec.Index != string(fuzzydup.IndexExact) {
+			return nil, &specError{fmt.Sprintf("blocked jobs require the exact index, not %q", spec.Index)}
+		}
 	}
 	if spec.Incremental {
 		if len(points) != 1 {
@@ -642,7 +661,7 @@ func (e *Engine) solve(j *job) error {
 	if err != nil {
 		return err
 	}
-	d, err := fuzzydup.New(records, fuzzydup.Options{
+	opts := fuzzydup.Options{
 		Metric:         fuzzydup.Metric(j.spec.Metric),
 		Agg:            fuzzydup.Agg(j.spec.Agg),
 		Index:          fuzzydup.Index(j.spec.Index),
@@ -650,7 +669,15 @@ func (e *Engine) solve(j *job) error {
 		MinimalCompact: j.spec.MinimalCompact,
 		UseSQL:         j.spec.UseSQL,
 		Parallel:       j.spec.Parallel,
-	})
+	}
+	if j.spec.Blocked {
+		opts.Blocking = &fuzzydup.BlockingOptions{
+			OnBlockSolved: func(size int, dur time.Duration) {
+				e.metrics.blockSolveDuration.ObserveDuration(dur)
+			},
+		}
+	}
+	d, err := fuzzydup.New(records, opts)
 	if err != nil {
 		return err
 	}
@@ -693,6 +720,10 @@ func (e *Engine) solve(j *job) error {
 		point := d.LastReport()
 		e.metrics.phase1Duration.ObserveDuration(point.Phase1)
 		e.metrics.phase2Duration.ObserveDuration(point.Phase2)
+		if j.spec.Blocked {
+			e.metrics.blocksSolved.Add(int64(point.BlocksSolved))
+			e.metrics.boundaryResolves.Add(int64(point.BoundaryResolves))
+		}
 		reps := make([]int, len(groups))
 		for i, g := range groups {
 			reps[i] = d.Representative(g)

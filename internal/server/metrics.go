@@ -32,6 +32,12 @@ import (
 //	job_duration_ms        histogram of job run durations (all outcomes,
 //	                       including cancelled mid-run)
 //	distance_calls         metric invocations across all jobs (cumulative)
+//	blocks_solved          block solves run by blocked jobs (cumulative,
+//	                       all guard rounds included)
+//	boundary_resolves      block re-solves triggered by the boundary guard
+//	                       of blocked jobs (cumulative)
+//	block_solve_duration_ms histogram of per-block solve durations of
+//	                       blocked jobs
 //	incremental_sessions   live incremental sessions (gauge)
 //	repairs_run            incremental repair operations applied (cumulative)
 //	repair_dirty_lookups   phase-1 rows relooked up by repairs (cumulative);
@@ -68,6 +74,9 @@ type Metrics struct {
 	cacheComputes *expvar.Int
 	distanceCalls *expvar.Int
 
+	blocksSolved     *expvar.Int
+	boundaryResolves *expvar.Int
+
 	incrementalSessions *expvar.Int
 	repairsRun          *expvar.Int
 	repairDirtyLookups  *expvar.Int
@@ -78,12 +87,13 @@ type Metrics struct {
 	snapshotsTaken   *expvar.Int
 	recoveryDuration *expvar.Int
 
-	phase1Duration    *obs.Histogram
-	phase2Duration    *obs.Histogram
-	jobDuration       *obs.Histogram
-	repairDuration    *obs.Histogram
-	walAppendDuration *obs.Histogram
-	walFsyncDuration  *obs.Histogram
+	phase1Duration     *obs.Histogram
+	phase2Duration     *obs.Histogram
+	blockSolveDuration *obs.Histogram
+	jobDuration        *obs.Histogram
+	repairDuration     *obs.Histogram
+	walAppendDuration  *obs.Histogram
+	walFsyncDuration   *obs.Histogram
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
@@ -91,17 +101,19 @@ type Metrics struct {
 
 func newMetrics() *Metrics {
 	m := &Metrics{
-		root:            new(expvar.Map).Init(),
-		jobsQueued:      new(expvar.Int),
-		jobsRunning:     new(expvar.Int),
-		jobsDone:        new(expvar.Int),
-		jobsFailed:      new(expvar.Int),
-		jobsCancelled:   new(expvar.Int),
-		datasets:        new(expvar.Int),
-		recordsIngested: new(expvar.Int),
-		cacheHits:       new(expvar.Int),
-		cacheComputes:   new(expvar.Int),
-		distanceCalls:   new(expvar.Int),
+		root:             new(expvar.Map).Init(),
+		jobsQueued:       new(expvar.Int),
+		jobsRunning:      new(expvar.Int),
+		jobsDone:         new(expvar.Int),
+		jobsFailed:       new(expvar.Int),
+		jobsCancelled:    new(expvar.Int),
+		datasets:         new(expvar.Int),
+		recordsIngested:  new(expvar.Int),
+		cacheHits:        new(expvar.Int),
+		cacheComputes:    new(expvar.Int),
+		distanceCalls:    new(expvar.Int),
+		blocksSolved:     new(expvar.Int),
+		boundaryResolves: new(expvar.Int),
 
 		incrementalSessions: new(expvar.Int),
 		repairsRun:          new(expvar.Int),
@@ -113,10 +125,11 @@ func newMetrics() *Metrics {
 		snapshotsTaken:   new(expvar.Int),
 		recoveryDuration: new(expvar.Int),
 
-		phase1Duration: obs.NewHistogram(),
-		phase2Duration: obs.NewHistogram(),
-		jobDuration:    obs.NewHistogram(),
-		repairDuration: obs.NewHistogram(),
+		phase1Duration:     obs.NewHistogram(),
+		phase2Duration:     obs.NewHistogram(),
+		blockSolveDuration: obs.NewHistogram(),
+		jobDuration:        obs.NewHistogram(),
+		repairDuration:     obs.NewHistogram(),
 		// WAL operations live in the sub-millisecond range; the default
 		// latency buckets would pile everything into the first bucket.
 		walAppendDuration: obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
@@ -133,6 +146,9 @@ func newMetrics() *Metrics {
 	m.root.Set("phase1_cache_hits", m.cacheHits)
 	m.root.Set("phase1_cache_computes", m.cacheComputes)
 	m.root.Set("distance_calls", m.distanceCalls)
+	m.root.Set("blocks_solved", m.blocksSolved)
+	m.root.Set("boundary_resolves", m.boundaryResolves)
+	m.root.Set("block_solve_duration_ms", m.blockSolveDuration)
 	m.root.Set("incremental_sessions", m.incrementalSessions)
 	m.root.Set("repairs_run", m.repairsRun)
 	m.root.Set("repair_dirty_lookups", m.repairDirtyLookups)

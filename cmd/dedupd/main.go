@@ -1,8 +1,12 @@
 // Command dedupd serves the CS/SN fuzzy-dedup framework over JSON HTTP:
 // register datasets (JSON or streaming NDJSON), submit asynchronous dedup
 // jobs with K/θ/c parameter sweeps, poll their progress, and fetch
-// groups, pairs, and representatives. See internal/server for the
-// endpoint reference.
+// groups, pairs, and representatives. Solved datasets also serve
+// sub-millisecond point queries (POST /v1/datasets/{id}/query): one
+// record in, its duplicate group (or nearest candidates) out, answered
+// lock-free from an immutable snapshot of the last solved state. See
+// internal/server for the endpoint reference and cmd/dedupload for the
+// query load harness.
 //
 // Usage:
 //

@@ -1,0 +1,265 @@
+// Command dedupload is a wrk-style load harness for dedupd's online
+// point-query path. It fetches a dataset's records, then fires
+// concurrent POST /v1/datasets/{id}/query requests — a mix of exact
+// hits (records the dataset holds) and near-misses (mutated copies) —
+// for a fixed duration, and reports throughput and the full latency
+// distribution (p50/p90/p99/max) per class.
+//
+// Usage:
+//
+//	dedupload -addr http://127.0.0.1:8080 -dataset ds-000001 \
+//	    -duration 10s -concurrency 8 -k 1 -miss-fraction 0.2
+//
+// Every non-2xx response is an error; any error fails the run
+// (exit 1), which is what the CI load-smoke step keys off. -max-p99
+// additionally enforces a latency budget on the hit class.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dedupload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr        string
+	dataset     string
+	duration    time.Duration
+	concurrency int
+	k           int
+	missFrac    float64
+	seed        int64
+	maxP99      time.Duration
+}
+
+// sample is one completed request: its latency and whether the query
+// was an exact hit (a record the dataset holds).
+type sample struct {
+	latency time.Duration
+	hit     bool
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dedupload", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "dedupd base URL")
+	fs.StringVar(&o.dataset, "dataset", "", "dataset ID to query (required)")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "how long to fire queries")
+	fs.IntVar(&o.concurrency, "concurrency", 8, "concurrent query workers")
+	fs.IntVar(&o.k, "k", 1, "nearest-candidate count for misses (small k prunes best)")
+	fs.Float64Var(&o.missFrac, "miss-fraction", 0.2, "fraction of queries that are mutated near-misses")
+	fs.Int64Var(&o.seed, "seed", 1, "PRNG seed for query selection and mutation")
+	fs.DurationVar(&o.maxP99, "max-p99", 0, "fail if hit-class p99 exceeds this (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.dataset == "" {
+		return fmt.Errorf("-dataset is required")
+	}
+	if o.concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1")
+	}
+	if o.missFrac < 0 || o.missFrac > 1 {
+		return fmt.Errorf("-miss-fraction must be in [0, 1]")
+	}
+
+	records, err := fetchRecords(o.addr, o.dataset)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("dataset %s has no records", o.dataset)
+	}
+	fmt.Fprintf(out, "dedupload: %d records, %d workers, %s, k=%d, miss=%.0f%%\n",
+		len(records), o.concurrency, o.duration, o.k, o.missFrac*100)
+
+	// Pre-build the query bodies so the measured loop does no JSON work.
+	bodies, hits := buildBodies(records, o, 4096)
+
+	deadline := time.Now().Add(o.duration)
+	var (
+		wg       sync.WaitGroup
+		errCount atomic.Int64
+		firstErr atomic.Value
+	)
+	results := make([][]sample, o.concurrency)
+	url := strings.TrimRight(o.addr, "/") + "/v1/datasets/" + o.dataset + "/query"
+	start := time.Now()
+	for w := 0; w < o.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			var mine []sample
+			for i := w; time.Now().Before(deadline); i++ {
+				idx := i % len(bodies)
+				t0 := time.Now()
+				code, err := post(client, url, bodies[idx])
+				lat := time.Since(t0)
+				if err != nil || code != http.StatusOK {
+					if err == nil {
+						err = fmt.Errorf("HTTP %d", code)
+					}
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				mine = append(mine, sample{latency: lat, hit: hits[idx]})
+			}
+			results[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	if len(all) == 0 {
+		if err, _ := firstErr.Load().(error); err != nil {
+			return fmt.Errorf("no successful queries (%d errors, first: %w)", errCount.Load(), err)
+		}
+		return fmt.Errorf("no queries completed")
+	}
+
+	fmt.Fprintf(out, "requests: %d ok, %d errors, %.0f qps\n",
+		len(all), errCount.Load(), float64(len(all))/elapsed.Seconds())
+	hitP99 := report(out, "hit ", filterSamples(all, true))
+	report(out, "miss", filterSamples(all, false))
+	report(out, "all ", all)
+
+	if n := errCount.Load(); n > 0 {
+		err, _ := firstErr.Load().(error)
+		return fmt.Errorf("%d request errors (first: %v)", n, err)
+	}
+	if o.maxP99 > 0 && hitP99 > o.maxP99 {
+		return fmt.Errorf("hit p99 %s exceeds budget %s", hitP99, o.maxP99)
+	}
+	return nil
+}
+
+// buildBodies pre-marshals n query bodies drawn from the records, the
+// configured fraction mutated into near-misses, and reports which are
+// exact hits.
+func buildBodies(records [][]string, o options, n int) ([][]byte, []bool) {
+	rng := rand.New(rand.NewSource(o.seed))
+	bodies := make([][]byte, n)
+	hitClass := make([]bool, n)
+	for i := range bodies {
+		rec := records[rng.Intn(len(records))]
+		hit := rng.Float64() >= o.missFrac
+		if !hit {
+			rec = mutate(rng, rec)
+		}
+		body, _ := json.Marshal(map[string]any{"record": rec, "k": o.k})
+		bodies[i] = body
+		hitClass[i] = hit
+	}
+	return bodies, hitClass
+}
+
+// mutate flips one character of one field so the query misses the exact
+// path and exercises the candidate scan.
+func mutate(rng *rand.Rand, rec []string) []string {
+	out := make([]string, len(rec))
+	copy(out, rec)
+	for attempt := 0; attempt < 4; attempt++ {
+		f := rng.Intn(len(out))
+		if out[f] == "" {
+			continue
+		}
+		b := []byte(out[f])
+		b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+		out[f] = string(b)
+		return out
+	}
+	out[0] = out[0] + "~"
+	return out
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// fetchRecords lists the dataset's records via the records endpoint.
+func fetchRecords(addr, dataset string) ([][]string, error) {
+	url := strings.TrimRight(addr, "/") + "/v1/datasets/" + dataset + "/records"
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("fetching records: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching records: HTTP %d", resp.StatusCode)
+	}
+	var body struct {
+		Records []struct {
+			Record []string `json:"record"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding records: %w", err)
+	}
+	recs := make([][]string, len(body.Records))
+	for i, r := range body.Records {
+		recs[i] = r.Record
+	}
+	return recs, nil
+}
+
+// filterSamples keeps the samples of one class.
+func filterSamples(all []sample, hit bool) []sample {
+	var out []sample
+	for _, s := range all {
+		if s.hit == hit {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// report prints one class's latency distribution and returns its p99
+// (0 when the class is empty). Percentiles are exact: every sample is
+// kept and sorted, no sketching.
+func report(out io.Writer, label string, samples []sample) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	lat := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		lat[i] = s.latency
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	p99 := pct(0.99)
+	fmt.Fprintf(out, "%s  n=%-7d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+		label, len(lat), pct(0.50), pct(0.90), p99, lat[len(lat)-1])
+	return p99
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fuzzydup/internal/server"
+)
+
+// startServer boots an in-process dedupd with a small solved dataset
+// and returns the base URL and dataset ID.
+func startServer(t *testing.T) (string, string) {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var records []string
+	for i := 0; i < 50; i++ {
+		records = append(records, fmt.Sprintf(`["artist %03d","album %03d"]`, i, i))
+	}
+	body := fmt.Sprintf(`{"name":"load","records":[%s]}`, strings.Join(records, ","))
+	var ds struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, ts.URL+"/v1/datasets", body, &ds)
+
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(`{"dataset":%q,"k":[2]}`, ds.ID), &job)
+	deadline := time.Now().Add(15 * time.Second)
+	for job.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	return ts.URL, ds.ID
+}
+
+func postJSON(t *testing.T, url, body string, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	base, ds := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", base,
+		"-dataset", ds,
+		"-duration", "300ms",
+		"-concurrency", "4",
+		"-k", "1",
+		"-miss-fraction", "0.3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"qps", "p99", "0 errors", "hit ", "miss"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -dataset accepted")
+	}
+	if err := run([]string{"-dataset", "x", "-miss-fraction", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad miss fraction accepted")
+	}
+	if err := run([]string{"-dataset", "x", "-concurrency", "0"}, &bytes.Buffer{}); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+}
+
+// TestRunUnsolvedDataset: a dataset with no completed job answers 409 to
+// every query, and the harness must fail loudly rather than report a
+// clean run.
+func TestRunUnsolvedDataset(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var ds struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, ts.URL+"/v1/datasets", `{"name":"raw","records":[["a","b"],["c","d"]]}`, &ds)
+
+	var out bytes.Buffer
+	err = run([]string{"-addr", ts.URL, "-dataset", ds.ID, "-duration", "100ms", "-concurrency", "2"}, &out)
+	if err == nil {
+		t.Fatalf("run against unsolved dataset succeeded:\n%s", out.String())
+	}
+}

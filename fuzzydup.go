@@ -327,38 +327,14 @@ func New(records []Record, opts Options) (*Deduper, error) {
 		keys[i] = strutil.JoinFields(r)
 	}
 	var metric distance.Metric
-	switch {
-	case opts.CustomMetric != nil:
+	if opts.CustomMetric != nil {
 		metric = distance.Func{MetricName: "custom", F: opts.CustomMetric}
-	default:
-		m := opts.Metric
-		if m == "" {
-			m = MetricEdit
+	} else {
+		m, err := distance.ByName(string(opts.Metric), keys)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzydup: unknown metric %q", opts.Metric)
 		}
-		switch m {
-		case MetricEdit:
-			metric = distance.Edit{}
-		case MetricFMS:
-			metric = distance.NewFMS(keys)
-		case MetricCosine:
-			metric = distance.NewCosine(keys)
-		case MetricJaccard:
-			metric = distance.Jaccard{}
-		case MetricJaro:
-			metric = distance.Jaro{}
-		case MetricJaroWinkler:
-			metric = distance.JaroWinkler{}
-		case MetricMongeElkan:
-			metric = distance.MongeElkan{}
-		case MetricSoftTFIDF:
-			metric = distance.NewSoftTFIDF(keys, 0, nil)
-		case MetricSoundex:
-			metric = distance.SoundexDistance{}
-		case MetricDamerau:
-			metric = distance.Damerau{}
-		default:
-			return nil, fmt.Errorf("fuzzydup: unknown metric %q", m)
-		}
+		metric = m
 	}
 	// Every metric call — index probes, diagnostics, representatives —
 	// goes through a counting wrapper so reports can state how many

@@ -1,0 +1,196 @@
+package distance
+
+import "math"
+
+// Rune-level bounded edit kernels. These are the verification workhorses
+// of the query-snapshot candidate scan: the caller has already normalized
+// and rune-converted both strings once (amortized over thousands of
+// comparisons), and only cares about the exact distance when it is at
+// most maxDist — the current k-th best. Both kernels compute only the
+// cells within maxDist of the diagonal (any cell (i, j) satisfies
+// D(i, j) >= |i-j|, for OSA too, since every length-changing operation
+// costs 1), and return exactly D when D <= maxDist and maxDist+1
+// otherwise.
+
+// BoundedScratch holds reusable DP rows for the bounded kernels so a
+// tight verification loop performs zero allocations per call. The zero
+// value is ready; rows grow on demand and are retained. A scratch must
+// not be shared between concurrent calls.
+type BoundedScratch struct {
+	prev, curr, prev2 []int
+}
+
+// grow ensures each row holds at least n ints.
+func (s *BoundedScratch) grow(n int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.curr = make([]int, n)
+		s.prev2 = make([]int, n)
+	}
+	s.prev = s.prev[:n]
+	s.curr = s.curr[:n]
+	s.prev2 = s.prev2[:n]
+}
+
+// BoundedLevenshteinRunes is BoundedLevenshtein over pre-converted rune
+// slices, with caller-owned scratch; see BoundedLevenshtein for the
+// contract. A nil scratch allocates internally.
+func BoundedLevenshteinRunes(ra, rb []rune, maxDist int, sc *BoundedScratch) int {
+	if abs(len(ra)-len(rb)) > maxDist {
+		return maxDist + 1
+	}
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		if len(ra) > maxDist {
+			return maxDist + 1
+		}
+		return len(ra)
+	}
+	if sc == nil {
+		sc = &BoundedScratch{}
+	}
+	sc.grow(len(rb) + 1)
+	const inf = math.MaxInt32 / 2
+	prev, curr := sc.prev, sc.curr
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := max(1, i-maxDist)
+		hi := min(len(rb), i+maxDist)
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			if i <= maxDist {
+				curr[0] = i
+			} else {
+				curr[0] = inf
+			}
+		}
+		rowMin := curr[lo-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if curr[j-1]+1 < v {
+				v = curr[j-1] + 1
+			}
+			if j <= i+maxDist-1 && prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < len(rb) {
+			curr[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return maxDist + 1
+		}
+		prev, curr = curr, prev
+	}
+	if prev[len(rb)] > maxDist {
+		return maxDist + 1
+	}
+	return prev[len(rb)]
+}
+
+// BoundedOSARunes returns the optimal string alignment distance between
+// ra and rb if it is at most maxDist, and maxDist+1 otherwise — the
+// banded counterpart of OSADistance, with caller-owned scratch (nil
+// allocates internally). The early-exit condition is weaker than plain
+// Levenshtein's: the transposition recurrence reads two rows back, so
+// one row whose minimum exceeds maxDist does not yet prove the final
+// distance does; the scan stops only once row i exceeds maxDist AND row
+// i-1 is at least maxDist (every path to a later row either goes through
+// row i at cost >= 0 or jumps row i from row i-1 at cost 1).
+func BoundedOSARunes(ra, rb []rune, maxDist int, sc *BoundedScratch) int {
+	if abs(len(ra)-len(rb)) > maxDist {
+		return maxDist + 1
+	}
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	la, lb := len(ra), len(rb)
+	if lb == 0 {
+		if la > maxDist {
+			return maxDist + 1
+		}
+		return la
+	}
+	if sc == nil {
+		sc = &BoundedScratch{}
+	}
+	sc.grow(lb + 1)
+	const inf = math.MaxInt32 / 2
+	// prev2 is never read at i = 1 (the recurrence guards on i > 1) and
+	// becomes row 0 by rotation before its first read, so whatever the
+	// scratch held last call is never observed.
+	prev2, prev, curr := sc.prev2, sc.prev, sc.curr
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	prevRowMin := 0
+	for i := 1; i <= la; i++ {
+		lo := max(1, i-maxDist)
+		hi := min(lb, i+maxDist)
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			if i <= maxDist {
+				curr[0] = i
+			} else {
+				curr[0] = inf
+			}
+		}
+		rowMin := curr[lo-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if curr[j-1]+1 < v {
+				v = curr[j-1] + 1
+			}
+			if j <= i+maxDist-1 && prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < v {
+					v = t
+				}
+			}
+			curr[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < lb {
+			curr[hi+1] = inf
+		}
+		if rowMin > maxDist && prevRowMin >= maxDist {
+			return maxDist + 1
+		}
+		prevRowMin = rowMin
+		prev2, prev, curr = prev, curr, prev2
+	}
+	if prev[lb] > maxDist {
+		return maxDist + 1
+	}
+	return prev[lb]
+}

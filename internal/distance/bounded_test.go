@@ -1,0 +1,86 @@
+package distance
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randRunes(r *rand.Rand, n int) []rune {
+	b := make([]rune, n)
+	for i := range b {
+		b[i] = rune('a' + r.Intn(6)) // tiny alphabet: frequent matches and transpositions
+	}
+	return b
+}
+
+// TestBoundedKernelsExact: for every random pair and every cap, the
+// bounded kernels must return the true distance when it is within the
+// cap and exactly cap+1 otherwise — the contract the query snapshot's
+// pruning correctness depends on.
+func TestBoundedKernelsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	// One scratch across every call: stale row contents from earlier
+	// (larger) computations must never leak into later results.
+	sc := &BoundedScratch{}
+	for trial := 0; trial < 3000; trial++ {
+		ra := randRunes(r, r.Intn(15))
+		rb := randRunes(r, r.Intn(15))
+		a, b := string(ra), string(rb)
+		trueLev := Levenshtein(a, b)
+		trueOSA := OSADistance(a, b)
+		for cap := 0; cap <= 16; cap++ {
+			gotLev := BoundedLevenshteinRunes(ra, rb, cap, sc)
+			wantLev := trueLev
+			if trueLev > cap {
+				wantLev = cap + 1
+			}
+			if gotLev != wantLev {
+				t.Fatalf("BoundedLevenshteinRunes(%q, %q, %d) = %d, want %d (true %d)",
+					a, b, cap, gotLev, wantLev, trueLev)
+			}
+			gotOSA := BoundedOSARunes(ra, rb, cap, sc)
+			wantOSA := trueOSA
+			if trueOSA > cap {
+				wantOSA = cap + 1
+			}
+			if gotOSA != wantOSA {
+				t.Fatalf("BoundedOSARunes(%q, %q, %d) = %d, want %d (true %d)",
+					a, b, cap, gotOSA, wantOSA, trueOSA)
+			}
+		}
+	}
+}
+
+// TestBoundedOSATransposition: the canonical OSA cases must survive the
+// banding (a transposition reaches two rows back in the DP, the part the
+// band guards have to keep intact).
+func TestBoundedOSATransposition(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"ab", "ba", 1},
+		{"shania", "shaina", 1},
+		{"ca", "abc", 3}, // the classic OSA-vs-full-Damerau witness
+		{"abcdef", "abcdef", 0},
+		{"", "abc", 3},
+	}
+	for _, c := range cases {
+		for cap := c.want; cap <= c.want+3; cap++ {
+			if got := BoundedOSARunes([]rune(c.a), []rune(c.b), cap, nil); got != c.want {
+				t.Errorf("BoundedOSARunes(%q, %q, %d) = %d, want %d", c.a, c.b, cap, got, c.want)
+			}
+		}
+		if c.want > 0 {
+			if got := BoundedOSARunes([]rune(c.a), []rune(c.b), c.want-1, nil); got != c.want {
+				t.Errorf("BoundedOSARunes(%q, %q, %d) = %d, want cap+1 = %d", c.a, c.b, c.want-1, got, c.want)
+			}
+		}
+	}
+	long := strings.Repeat("x", 200) + "ab" + strings.Repeat("y", 200)
+	swapped := strings.Repeat("x", 200) + "ba" + strings.Repeat("y", 200)
+	if got := BoundedOSARunes([]rune(long), []rune(swapped), 3, nil); got != 1 {
+		t.Errorf("long transposition = %d, want 1", got)
+	}
+}

@@ -11,8 +11,6 @@
 package distance
 
 import (
-	"math"
-
 	"fuzzydup/internal/strutil"
 )
 
@@ -97,71 +95,7 @@ func levRunes(ra, rb []rune) int {
 // optimization: only cells within maxDist of the diagonal are computed, so
 // the cost is O(maxDist * min(len(a), len(b))) instead of quadratic.
 func BoundedLevenshtein(a, b string, maxDist int) int {
-	ra, rb := []rune(a), []rune(b)
-	if abs(len(ra)-len(rb)) > maxDist {
-		return maxDist + 1
-	}
-	if len(rb) > len(ra) {
-		ra, rb = rb, ra
-	}
-	if len(rb) == 0 {
-		if len(ra) > maxDist {
-			return maxDist + 1
-		}
-		return len(ra)
-	}
-	const inf = math.MaxInt32 / 2
-	prev := make([]int, len(rb)+1)
-	curr := make([]int, len(rb)+1)
-	for j := range prev {
-		if j <= maxDist {
-			prev[j] = j
-		} else {
-			prev[j] = inf
-		}
-	}
-	for i := 1; i <= len(ra); i++ {
-		lo := max(1, i-maxDist)
-		hi := min(len(rb), i+maxDist)
-		if lo > 1 {
-			curr[lo-1] = inf
-		} else {
-			if i <= maxDist {
-				curr[0] = i
-			} else {
-				curr[0] = inf
-			}
-		}
-		rowMin := curr[lo-1]
-		for j := lo; j <= hi; j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			v := prev[j-1] + cost
-			if j-1 >= lo-1 && curr[j-1]+1 < v {
-				v = curr[j-1] + 1
-			}
-			if j <= i+maxDist-1 && prev[j]+1 < v {
-				v = prev[j] + 1
-			}
-			curr[j] = v
-			if v < rowMin {
-				rowMin = v
-			}
-		}
-		if hi < len(rb) {
-			curr[hi+1] = inf
-		}
-		if rowMin > maxDist {
-			return maxDist + 1
-		}
-		prev, curr = curr, prev
-	}
-	if prev[len(rb)] > maxDist {
-		return maxDist + 1
-	}
-	return prev[len(rb)]
+	return BoundedLevenshteinRunes([]rune(a), []rune(b), maxDist, nil)
 }
 
 // Edit is the normalized edit distance metric: Levenshtein distance over

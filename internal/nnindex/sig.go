@@ -1,0 +1,98 @@
+package nnindex
+
+import (
+	"math/bits"
+
+	"fuzzydup/internal/strutil"
+)
+
+// Bit-signature prefilter kernel: every key is summarized as a fixed-width
+// bitmap of its distinct padded q-grams (one FNV-1a hash bit per gram —
+// a one-function Bloom filter). Signatures are laid out as a flat array
+// of uint64 words so a scan over n records walks n*SigWords contiguous
+// words with bit-parallel popcounts, the layout and kernel of the
+// multi-index Hamming literature (Gog & Venturini, SIGIR'16).
+//
+// The signatures admit a *sound* pruning bound for edit-family metrics.
+// A bit set in sig(a) but clear in sig(b) means no q-gram of b hashes to
+// that bit, so every q-gram of a hashing there is absent from b's q-gram
+// set: popcount(sig(a) &^ sig(b)) lower-bounds |grams(a) \ grams(b)|.
+// One edit operation removes at most SigQ distinct grams from a string's
+// gram set (a transposition at most SigQ+1), so
+//
+//	lev(a, b)  >=  popcount(sig(a) &^ sig(b)) / SigQ
+//	osa(a, b)  >=  popcount(sig(a) &^ sig(b)) / (SigQ+1)
+//
+// and symmetrically for b's bits missing from a. Dividing by the longer
+// normalized length turns these into lower bounds on the normalized
+// metrics "ed" and "damerau" — a candidate whose bound already exceeds
+// the current k-th best true distance cannot enter the answer, so
+// skipping it never changes the result. Hash collisions only *lower*
+// the popcount, weakening the bound; they can never break it.
+const (
+	// SigBits is the signature width in bits.
+	SigBits = 256
+	// SigWords is the signature width in 64-bit words.
+	SigWords = SigBits / 64
+	// SigQ is the q-gram length the signatures are built from. Short
+	// grams keep the per-edit gram damage (the bound's divisor) small,
+	// which is what makes the bound bite.
+	SigQ = 2
+)
+
+// Signature is one key's q-gram bitmap.
+type Signature [SigWords]uint64
+
+// NewSignature builds the signature of a key: the distinct padded q-grams
+// of the normalized key (strutil.QGrams), each hashed once. Equal
+// normalized keys always produce equal signatures.
+func NewSignature(key string) Signature {
+	var s Signature
+	for _, g := range strutil.QGrams(key, SigQ) {
+		// FNV-1a over the gram's bytes.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(g); i++ {
+			h ^= uint64(g[i])
+			h *= 1099511628211
+		}
+		b := h % SigBits
+		s[b/64] |= 1 << (b % 64)
+	}
+	return s
+}
+
+// BuildSignatures builds the flat array-of-uint64 signature table of a
+// key set: record i's signature occupies words [i*SigWords, (i+1)*SigWords).
+func BuildSignatures(keys []string) []uint64 {
+	flat := make([]uint64, len(keys)*SigWords)
+	for i, k := range keys {
+		s := NewSignature(k)
+		copy(flat[i*SigWords:], s[:])
+	}
+	return flat
+}
+
+// MissingBits returns popcount(a &^ b): the number of signature bits of a
+// with no witness in b, a lower bound on the number of distinct q-grams
+// of a absent from b.
+func MissingBits(a, b Signature) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount64(a[i] &^ b[i])
+	}
+	return n
+}
+
+// MissingBitsFlat computes both directional missing-bit counts between a
+// query signature and record i of a flat signature table: qm is the query
+// bits missing from the record, rm the record bits missing from the
+// query. One call is SigWords*2 popcounts on contiguous memory — the
+// whole-table scan this feeds is the prefilter's hot loop.
+func MissingBitsFlat(flat []uint64, i int, q Signature) (qm, rm int) {
+	row := flat[i*SigWords : i*SigWords+SigWords]
+	for w := 0; w < SigWords; w++ {
+		qm += bits.OnesCount64(q[w] &^ row[w])
+		rm += bits.OnesCount64(row[w] &^ q[w])
+	}
+	return qm, rm
+}

@@ -1,0 +1,130 @@
+package nnindex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/strutil"
+)
+
+// randKey draws a lowercase key of 3..20 characters with spaces.
+func randKey(r *rand.Rand) string {
+	n := 3 + r.Intn(18)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 && r.Intn(6) == 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		b.WriteByte(byte('a' + r.Intn(26)))
+	}
+	return b.String()
+}
+
+// mutate applies up to 3 random edits (substitute, insert, delete,
+// transpose) to a key.
+func mutate(r *rand.Rand, s string) string {
+	b := []byte(s)
+	for e := 1 + r.Intn(3); e > 0 && len(b) > 1; e-- {
+		i := r.Intn(len(b))
+		switch r.Intn(4) {
+		case 0:
+			b[i] = byte('a' + r.Intn(26))
+		case 1:
+			b = append(b[:i], append([]byte{byte('a' + r.Intn(26))}, b[i:]...)...)
+		case 2:
+			b = append(b[:i], b[i+1:]...)
+		case 3:
+			if i+1 < len(b) {
+				b[i], b[i+1] = b[i+1], b[i]
+			}
+		}
+	}
+	return string(b)
+}
+
+// TestSignatureEqualKeys: equal normalized keys must yield identical
+// signatures (the exact-match path and the zero-distance bound rely on
+// it).
+func TestSignatureEqualKeys(t *testing.T) {
+	pairs := [][2]string{
+		{"The Doors", "the doors"},
+		{"", ""},
+		{"a-b", "a b"},
+		{"I'm here", "Im here"},
+	}
+	for _, p := range pairs {
+		if NewSignature(p[0]) != NewSignature(p[1]) {
+			t.Errorf("signatures of %q and %q differ", p[0], p[1])
+		}
+	}
+}
+
+// TestSignatureBoundSound: the missing-bits lower bound must never exceed
+// the true normalized distance, for both metrics it certifies, across
+// randomized edit-mutated pairs. This is the soundness property the
+// query-snapshot prefilter's exactness rests on.
+func TestSignatureBoundSound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ed := distance.Edit{}
+	osa := distance.Damerau{}
+	for trial := 0; trial < 5000; trial++ {
+		a := randKey(r)
+		b := mutate(r, a)
+		if trial%3 == 0 {
+			b = randKey(r) // unrelated pair: the bound must hold there too
+		}
+		sa, sb := NewSignature(a), NewSignature(b)
+		m := MissingBits(sa, sb)
+		if mb := MissingBits(sb, sa); mb > m {
+			m = mb
+		}
+		la := len([]rune(strutil.Normalize(a)))
+		lb := len([]rune(strutil.Normalize(b)))
+		denom := la
+		if lb > denom {
+			denom = lb
+		}
+		if denom == 0 {
+			continue
+		}
+		if lbEd := float64((m + SigQ - 1) / SigQ); lbEd/float64(denom) > ed.Distance(a, b)+1e-12 {
+			t.Fatalf("ed bound unsound for %q vs %q: bound %g > true %g",
+				a, b, lbEd/float64(denom), ed.Distance(a, b))
+		}
+		if lbOSA := float64((m + SigQ) / (SigQ + 1)); lbOSA/float64(denom) > osa.Distance(a, b)+1e-12 {
+			t.Fatalf("damerau bound unsound for %q vs %q: bound %g > true %g",
+				a, b, lbOSA/float64(denom), osa.Distance(a, b))
+		}
+	}
+}
+
+// TestSignatureFlatLayout: the flat table and per-key signatures must
+// agree, and MissingBitsFlat must match MissingBits in both directions.
+func TestSignatureFlatLayout(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = randKey(r)
+	}
+	flat := BuildSignatures(keys)
+	if len(flat) != len(keys)*SigWords {
+		t.Fatalf("flat length %d, want %d", len(flat), len(keys)*SigWords)
+	}
+	q := NewSignature("query key")
+	for i, k := range keys {
+		s := NewSignature(k)
+		for w := 0; w < SigWords; w++ {
+			if flat[i*SigWords+w] != s[w] {
+				t.Fatalf("flat[%d] word %d mismatch", i, w)
+			}
+		}
+		qm, rm := MissingBitsFlat(flat, i, q)
+		if qm != MissingBits(q, s) || rm != MissingBits(s, q) {
+			t.Fatalf("flat missing bits (%d, %d) != (%d, %d)",
+				qm, rm, MissingBits(q, s), MissingBits(s, q))
+		}
+	}
+}

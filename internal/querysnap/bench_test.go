@@ -1,0 +1,70 @@
+package querysnap
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// benchSnapshot builds a snapshot over n synthetic records with a
+// singleton partition — group structure doesn't affect lookup cost, only
+// the scan does, so this isolates the query path.
+func benchSnapshot(b *testing.B, n int, metric string) (*Snapshot, [][]string) {
+	b.Helper()
+	r := rand.New(rand.NewSource(42))
+	recs := make([][]string, n)
+	groups := make([][]int, n)
+	reps := make([]int, n)
+	rids := make([]int64, n)
+	for i := range recs {
+		recs[i] = []string{fmt.Sprintf("%s %s %04d", randWord(r), randWord(r), i)}
+		groups[i] = []int{i}
+		reps[i] = i
+		rids[i] = int64(i + 1)
+	}
+	snap, err := Build(Config{
+		Dataset: "bench", Seq: 1, JobID: "bench", Built: time.Now(),
+		Records: recs, RIDs: rids, Groups: groups, Reps: reps,
+		Params: Params{Mode: "size", K: 4, C: 2, Metric: metric},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap, recs
+}
+
+// BenchmarkQuerySnapshot measures the two lookup paths: Hit is the
+// exact-match hash lookup; Miss is the prefiltered candidate scan. The
+// small sizes run everywhere; the 10k sizes (the acceptance-target scale)
+// run only with QUERYSNAP_BENCH=1 so routine test runs stay fast.
+func BenchmarkQuerySnapshot(b *testing.B) {
+	sizes := []int{1000}
+	if os.Getenv("QUERYSNAP_BENCH") != "" {
+		sizes = append(sizes, 10000, 50000)
+	}
+	for _, n := range sizes {
+		snap, recs := benchSnapshot(b, n, "ed")
+		r := rand.New(rand.NewSource(7))
+		misses := make([][]string, 256)
+		for i := range misses {
+			misses[i] = []string{mutate(r, recs[r.Intn(n)][0])}
+		}
+		b.Run(fmt.Sprintf("Hit/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := snap.Lookup(recs[i%n], 5)
+				if len(res.Matches) == 0 {
+					b.Fatal("expected hit")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Miss/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap.Lookup(misses[i%len(misses)], 5)
+			}
+		})
+	}
+}

@@ -1,0 +1,475 @@
+// Package querysnap implements the online point-query path: an
+// immutable, read-optimized snapshot of one dataset's solved dedup state
+// that answers "which duplicate group does this record belong to?" in
+// microseconds, without re-running a solve.
+//
+// A Snapshot holds the solved partition three ways at once — a
+// key→records hash for exact-match lookups, a record→group map plus
+// group membership lists for answering with full group context, and a
+// flat array-of-uint64 bit-signature table (internal/nnindex's q-gram
+// signature kernel) that prunes the nearest-candidate scan when no exact
+// match exists. A Snapshot is deeply immutable after Build: every field
+// is written once and never mutated, so any number of goroutines may
+// Lookup concurrently with zero synchronization. Publication is the
+// caller's job (internal/server swaps an atomic pointer, RCU-style);
+// this package only promises that a Snapshot, once built, never changes.
+//
+// # Exactness
+//
+// The candidate search is exact, not approximate: its results are
+// bit-for-bit what a linear scan of the true metric over every record
+// would return. Signatures only prune; exact verification decides.
+// A record is skipped only when a metric-specific lower bound proves its
+// true distance exceeds the current k-th best — the bound (see
+// nnindex.MissingBits) is sound for the edit-family metrics "ed" and
+// "damerau", so a skipped record can never belong to the answer. For
+// metrics with no certified bound the prefilter disables itself and
+// every record is verified; slower, still exact.
+package querysnap
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+	"fuzzydup/internal/strutil"
+)
+
+// Params echoes the solved problem the snapshot answers for: which cut,
+// thresholds, and metric produced its partition.
+type Params struct {
+	Mode   string  `json:"mode"`
+	K      int     `json:"k,omitempty"`
+	Theta  float64 `json:"theta,omitempty"`
+	C      float64 `json:"c"`
+	Metric string  `json:"metric"`
+}
+
+// Config is the input to Build: the dataset's records (with their stable
+// rids) and the solved partition over them, plus identity metadata.
+type Config struct {
+	// Dataset is the dataset ID the snapshot serves.
+	Dataset string
+	// Seq is the publication sequence number (assigned by the publisher;
+	// strictly increasing per dataset).
+	Seq uint64
+	// Rev is the dataset's mutation revision the solved state was
+	// computed from; readers compare it against the live revision to
+	// judge staleness.
+	Rev int64
+	// JobID is the job whose result the snapshot was built from.
+	JobID string
+	// Built is the build timestamp.
+	Built time.Time
+	// Records and RIDs are the solved corpus, parallel slices.
+	Records [][]string
+	RIDs    []int64
+	// Groups is the solved partition over record indexes; Reps[i] is the
+	// representative (medoid) index of Groups[i].
+	Groups [][]int
+	Reps   []int
+	// Params describes the problem; Params.Metric names the metric used
+	// for candidate distances (resolved via distance.ByName over the
+	// record keys).
+	Params Params
+}
+
+// Snapshot is the immutable read-optimized view. All exported methods
+// are safe for unlimited concurrent use.
+type Snapshot struct {
+	dataset string
+	seq     uint64
+	rev     int64
+	jobID   string
+	built   time.Time
+	params  Params
+
+	keys    []string // joined field strings, index-parallel with rids
+	rids    []int64
+	lens    []int    // normalized rune length per key (bound denominators)
+	nrunes  [][]rune // normalized runes per key (bounded-verify inputs); nil unless prefiltered
+	groupOf []int    // record index -> group index
+	groups  [][]int  // group index -> sorted member record indexes
+	reps    []int    // group index -> representative record index
+
+	byKey map[string][]int // exact-match buckets: key -> record indexes
+
+	sigs   []uint64 // flat signature table, nnindex.SigWords per record
+	metric distance.Metric
+	// divisor is the per-edit gram-damage bound of the metric (nnindex
+	// sig kernel); 0 means no certified bound — prefilter disabled, full
+	// verify.
+	divisor int
+
+	// scratch pools per-lookup scan buffers (bounds, counting-sort
+	// arrays, DP rows). Pooling is the only mutable state a Snapshot
+	// carries, and sync.Pool makes it safe under the lock-free read
+	// contract.
+	scratch sync.Pool
+}
+
+// scanScratch is one lookup's worth of reusable candidate-scan buffers.
+type scanScratch struct {
+	lbs      []float64
+	bucketOf []uint8
+	order    []int32
+	ed       distance.BoundedScratch
+}
+
+func (s *Snapshot) getScratch() *scanScratch {
+	sc, _ := s.scratch.Get().(*scanScratch)
+	if sc == nil {
+		sc = &scanScratch{}
+	}
+	n := len(s.keys)
+	if cap(sc.lbs) < n {
+		sc.lbs = make([]float64, n)
+		sc.bucketOf = make([]uint8, n)
+		sc.order = make([]int32, n)
+	}
+	sc.lbs = sc.lbs[:n]
+	sc.bucketOf = sc.bucketOf[:n]
+	sc.order = sc.order[:n]
+	return sc
+}
+
+// Build constructs a snapshot. The config's slices are copied or
+// re-derived; the caller may mutate its inputs afterwards. Building is
+// O(n) hashing plus O(n·len) signature construction and is meant to run
+// off the query hot path (a job worker, not a request handler).
+func Build(cfg Config) (*Snapshot, error) {
+	n := len(cfg.Records)
+	s := &Snapshot{
+		dataset: cfg.Dataset,
+		seq:     cfg.Seq,
+		rev:     cfg.Rev,
+		jobID:   cfg.JobID,
+		built:   cfg.Built,
+		params:  cfg.Params,
+		keys:    make([]string, n),
+		rids:    append([]int64(nil), cfg.RIDs...),
+		lens:    make([]int, n),
+		groupOf: make([]int, n),
+		groups:  make([][]int, len(cfg.Groups)),
+		reps:    append([]int(nil), cfg.Reps...),
+		byKey:   make(map[string][]int, n),
+	}
+	norm := make([][]rune, n)
+	for i, rec := range cfg.Records {
+		k := strutil.JoinFields(rec)
+		s.keys[i] = k
+		norm[i] = []rune(strutil.Normalize(k))
+		s.lens[i] = len(norm[i])
+		s.byKey[k] = append(s.byKey[k], i)
+	}
+	for gi, g := range cfg.Groups {
+		members := append([]int(nil), g...)
+		sort.Ints(members)
+		s.groups[gi] = members
+		for _, idx := range members {
+			s.groupOf[idx] = gi
+		}
+	}
+	metric, err := distance.ByName(cfg.Params.Metric, s.keys)
+	if err != nil {
+		return nil, err
+	}
+	s.metric = metric
+	s.sigs = nnindex.BuildSignatures(s.keys)
+	switch metric.Name() {
+	case "ed":
+		s.divisor = nnindex.SigQ
+	case "damerau":
+		s.divisor = nnindex.SigQ + 1
+	}
+	if s.divisor > 0 {
+		s.nrunes = norm
+	}
+	return s, nil
+}
+
+// Identity and metadata accessors.
+
+// Dataset returns the dataset ID the snapshot serves.
+func (s *Snapshot) Dataset() string { return s.dataset }
+
+// Seq returns the publication sequence number.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Rev returns the dataset mutation revision the snapshot was built from.
+func (s *Snapshot) Rev() int64 { return s.rev }
+
+// JobID returns the job whose result the snapshot holds.
+func (s *Snapshot) JobID() string { return s.jobID }
+
+// Built returns the build timestamp.
+func (s *Snapshot) Built() time.Time { return s.built }
+
+// Params returns the solved problem's parameters.
+func (s *Snapshot) Params() Params { return s.params }
+
+// Len returns the number of records in the snapshot.
+func (s *Snapshot) Len() int { return len(s.keys) }
+
+// Groups returns the number of groups in the snapshot's partition.
+func (s *Snapshot) Groups() int { return len(s.groups) }
+
+// Prefiltered reports whether the metric admits the certified signature
+// bound (the prefilter actually prunes; otherwise lookups verify every
+// record).
+func (s *Snapshot) Prefiltered() bool { return s.divisor > 0 }
+
+// GroupInfo is one duplicate group as seen from a query answer: its
+// index in the solved partition, its members (by rid and by record
+// index), and its representative's rid.
+type GroupInfo struct {
+	ID             int     `json:"id"`
+	Size           int     `json:"size"`
+	Representative int64   `json:"representative"`
+	Members        []int64 `json:"members"`
+	Indexes        []int   `json:"indexes"`
+}
+
+// Match is one record whose key exactly equals the query's key.
+type Match struct {
+	Index int       `json:"index"`
+	RID   int64     `json:"rid"`
+	Group GroupInfo `json:"group"`
+}
+
+// Candidate is one nearest-neighbor candidate of a query with no exact
+// match: its true (exactly verified) distance and its group.
+type Candidate struct {
+	Index    int       `json:"index"`
+	RID      int64     `json:"rid"`
+	Distance float64   `json:"distance"`
+	Group    GroupInfo `json:"group"`
+}
+
+// Stats counts the work of one lookup: Scanned signatures, Verified
+// exact-metric calls, and Pruned records skipped by the certified bound.
+// Scanned == Verified + Pruned on the candidate path; an exact-match hit
+// scans nothing.
+type Stats struct {
+	Scanned  int `json:"scanned"`
+	Verified int `json:"verified"`
+	Pruned   int `json:"pruned"`
+}
+
+// Result is one lookup's answer: every exact match (identical records
+// may be split across groups by the SN criterion, so there can be more
+// than one), or the top-k nearest candidates when no exact match exists.
+type Result struct {
+	Matches    []Match
+	Candidates []Candidate
+	Stats      Stats
+}
+
+func (s *Snapshot) groupInfo(gi int) GroupInfo {
+	members := s.groups[gi]
+	info := GroupInfo{
+		ID:             gi,
+		Size:           len(members),
+		Representative: s.rids[s.reps[gi]],
+		Members:        make([]int64, len(members)),
+		Indexes:        members, // immutable; shared, never mutated
+	}
+	for i, idx := range members {
+		info.Members[i] = s.rids[idx]
+	}
+	return info
+}
+
+// Lookup answers one point query. If any indexed record's key equals the
+// query record's key, all such records are returned as Matches and no
+// candidate scan runs. Otherwise the k nearest records by the snapshot's
+// metric are returned in ascending (distance, index) order, each with
+// its exactly-verified distance — see the package comment for why the
+// prefilter cannot change this answer. k <= 0 skips the candidate scan.
+func (s *Snapshot) Lookup(record []string, k int) Result {
+	var res Result
+	key := strutil.JoinFields(record)
+	if hits, ok := s.byKey[key]; ok {
+		res.Matches = make([]Match, len(hits))
+		for i, idx := range hits {
+			res.Matches[i] = Match{Index: idx, RID: s.rids[idx], Group: s.groupInfo(s.groupOf[idx])}
+		}
+		return res
+	}
+	if k <= 0 || len(s.keys) == 0 {
+		return res
+	}
+	if k > len(s.keys) {
+		k = len(s.keys)
+	}
+
+	// best is the current top-k, ascending (dist, idx); worst = last.
+	best := make([]scored, 0, k)
+	insert := func(c scored) {
+		pos := sort.Search(len(best), func(i int) bool {
+			if best[i].dist != c.dist {
+				return best[i].dist > c.dist
+			}
+			return best[i].idx > c.idx
+		})
+		if len(best) < k {
+			best = append(best, scored{})
+		} else if pos == len(best) {
+			return
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = c
+	}
+
+	res.Stats.Scanned = len(s.keys)
+	if s.divisor == 0 {
+		// No certified bound for this metric: verify everything.
+		for i, rk := range s.keys {
+			insert(scored{idx: i, dist: s.metric.Distance(key, rk)})
+		}
+		res.Stats.Verified = len(s.keys)
+	} else {
+		s.scanPruned(key, k, &res.Stats, &best, insert)
+	}
+
+	res.Candidates = make([]Candidate, len(best))
+	for i, c := range best {
+		res.Candidates[i] = Candidate{
+			Index:    c.idx,
+			RID:      s.rids[c.idx],
+			Distance: c.dist,
+			Group:    s.groupInfo(s.groupOf[c.idx]),
+		}
+	}
+	return res
+}
+
+// scored is one verified candidate during a lookup's top-k selection.
+type scored struct {
+	idx  int
+	dist float64
+}
+
+// boundBuckets quantizes lower bounds for the counting sort of the
+// pruned scan; bounds live in [0, 1] for the certified metrics, and
+// anything >= 1 lands in the last bucket.
+const boundBuckets = 256
+
+// scanPruned is the prefiltered candidate scan: a bit-parallel signature
+// pass computes every record's certified lower bound (the larger of the
+// gram-damage bound and the free length-difference bound — each edit
+// changes the length by at most one, for OSA too), a counting sort
+// orders records by bound, and exact verification proceeds in that order
+// so the running k-th best distance tightens as fast as possible.
+//
+// Two mechanisms prune, both provably lossless:
+//
+//   - A record is skipped outright only when its lower bound strictly
+//     exceeds the current worst retained distance; bound <= true
+//     distance proves it cannot displace any retained candidate,
+//     including on (distance, index) ties, which a strict comparison
+//     leaves to verification.
+//   - Verification itself is banded: the bounded kernels compute the
+//     exact edit count only up to cap = floor(worst*denom)+1. Any true
+//     distance at most worst has edit count at most that cap (ties
+//     included), so every candidate that could enter the answer gets its
+//     exact distance; a kernel overflow proves distance > worst.
+func (s *Snapshot) scanPruned(key string, k int, st *Stats, best *[]scored, insert func(scored)) {
+	qsig := nnindex.NewSignature(key)
+	qr := []rune(strutil.Normalize(key))
+	qlen := len(qr)
+	n := len(s.keys)
+
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
+
+	// Counting sort by quantized bound: one pass to bucket, one prefix
+	// sum, one placement pass — pooled flat buffers, no per-bucket
+	// slices.
+	lbs := sc.lbs
+	bucketOf := sc.bucketOf
+	var counts [boundBuckets + 1]int32
+	for i := 0; i < n; i++ {
+		qm, rm := nnindex.MissingBitsFlat(s.sigs, i, qsig)
+		m := qm
+		if rm > m {
+			m = rm
+		}
+		denom := qlen
+		if s.lens[i] > denom {
+			denom = s.lens[i]
+		}
+		lb := 0.0
+		if denom > 0 {
+			edits := (m + s.divisor - 1) / s.divisor // ceil: signature bound
+			if ld := qlen - s.lens[i]; ld > edits {
+				edits = ld // length bound: >= |la-lb| edits
+			} else if -ld > edits {
+				edits = -ld
+			}
+			lb = float64(edits) / float64(denom)
+		}
+		lbs[i] = lb
+		b := int(lb * boundBuckets)
+		if b >= boundBuckets {
+			b = boundBuckets - 1
+		}
+		bucketOf[i] = uint8(b)
+		counts[b+1]++
+	}
+	for b := 1; b <= boundBuckets; b++ {
+		counts[b] += counts[b-1]
+	}
+	order := sc.order
+	next := counts // array copy: running placement cursors
+	for i := 0; i < n; i++ {
+		b := bucketOf[i]
+		order[next[b]] = int32(i)
+		next[b]++
+	}
+
+	osa := s.divisor == nnindex.SigQ+1
+	for pos := 0; pos < n; pos++ {
+		i := int(order[pos])
+		if len(*best) == k {
+			worst := (*best)[k-1].dist
+			// Bounds arrive in ascending bucket order; once a bucket's
+			// floor exceeds the retained worst, nothing later qualifies.
+			if float64(bucketOf[i])/boundBuckets > worst {
+				st.Pruned += n - pos
+				return
+			}
+			if lbs[i] > worst {
+				st.Pruned++
+				continue
+			}
+		}
+		denom := qlen
+		if s.lens[i] > denom {
+			denom = s.lens[i]
+		}
+		st.Verified++
+		if denom == 0 {
+			insert(scored{idx: i, dist: 0})
+			continue
+		}
+		maxEd := denom // edit count never exceeds the longer length
+		if len(*best) == k {
+			if c := int((*best)[k-1].dist*float64(denom)) + 1; c < maxEd {
+				maxEd = c
+			}
+		}
+		var d int
+		if osa {
+			d = distance.BoundedOSARunes(qr, s.nrunes[i], maxEd, &sc.ed)
+		} else {
+			d = distance.BoundedLevenshteinRunes(qr, s.nrunes[i], maxEd, &sc.ed)
+		}
+		if d > maxEd {
+			continue // proven further than the retained worst
+		}
+		insert(scored{idx: i, dist: float64(d) / float64(denom)})
+	}
+}

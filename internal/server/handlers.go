@@ -73,6 +73,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.engine.DropSession(id)
+	s.engine.snaps.drop(id)
 	s.metrics.datasets.Add(-1)
 	w.WriteHeader(http.StatusNoContent)
 }

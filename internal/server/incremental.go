@@ -213,7 +213,7 @@ func (e *Engine) NotifyMutation(dataset, requestID string) string {
 // in snapshot order (with the rid of every record, so clients can address
 // group members for further mutation).
 func (e *Engine) solveIncremental(j *job) error {
-	records, rids, err := e.store.SnapshotRIDs(j.spec.Dataset)
+	records, rids, rev, err := e.store.SnapshotFull(j.spec.Dataset)
 	if err != nil {
 		return err
 	}
@@ -282,6 +282,9 @@ func (e *Engine) solveIncremental(j *job) error {
 	j.records = len(records)
 	j.results = []SweepResult{result}
 	j.recordIDs = rids
+	j.snapRecords = records
+	j.snapRIDs = rids
+	j.snapRev = rev
 	j.mu.Unlock()
 	return nil
 }

@@ -283,6 +283,13 @@ type job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+
+	// The exact store snapshot the solve ran against, stashed so a
+	// successful job can publish a query snapshot built from the same
+	// inputs its results describe. Cleared once the snapshot is published.
+	snapRecords []fuzzydup.Record
+	snapRIDs    []int64
+	snapRev     int64
 }
 
 // kind labels the job for status bodies and logs.
@@ -340,6 +347,11 @@ type Engine struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*incSession // dataset ID -> live incremental session
+
+	// snaps holds the published query snapshots (see query.go). Readers
+	// hit it lock-free; job workers publish into it after every completed
+	// solve.
+	snaps snapRegistry
 
 	// testBeforeSolve, when set (tests only), runs before each sweep
 	// point with the job's context and ID; it lets tests hold a job
@@ -628,6 +640,10 @@ func (e *Engine) run(j *job) {
 		// Commit the result to the WAL before the state flips to done: no
 		// result is ever observable that a restart would lose.
 		e.commitJob(j)
+		// Publish the query snapshot before the state flips too, so any
+		// client that observes the job as done can immediately query the
+		// state it computed.
+		e.publishSnapshot(j)
 	}
 
 	j.mu.Lock()
@@ -657,7 +673,7 @@ func (e *Engine) run(j *job) {
 }
 
 func (e *Engine) solve(j *job) error {
-	records, err := e.store.Snapshot(j.spec.Dataset)
+	records, rids, rev, err := e.store.SnapshotFull(j.spec.Dataset)
 	if err != nil {
 		return err
 	}
@@ -745,6 +761,9 @@ func (e *Engine) solve(j *job) error {
 	j.mu.Lock()
 	j.records = len(records)
 	j.results = results
+	j.snapRecords = records
+	j.snapRIDs = rids
+	j.snapRev = rev
 	j.mu.Unlock()
 	return nil
 }

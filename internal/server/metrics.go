@@ -45,6 +45,14 @@ import (
 //	repair_duration_ms     histogram of per-repair-operation durations
 //	                       (phase 1 + phase 2); the per-phase shares also
 //	                       land in phase1/phase2_duration_ms
+//	queries                point queries served (cumulative)
+//	query_matches          queries answered by an exact key match
+//	query_misses           queries answered by a nearest-candidate scan
+//	query_pruned_records   candidate records the signature prefilter
+//	                       eliminated without exact verification (cumulative)
+//	query_snapshots_published  query snapshots published by finished jobs
+//	query_duration_ms      histogram of per-query lookup latencies
+//	snapshot_build_duration_ms histogram of query snapshot build times
 //	wal_appends            WAL records appended (cumulative; durable mode)
 //	wal_fsyncs             group-commit fsyncs (cumulative; one fsync
 //	                       typically covers many appends)
@@ -81,19 +89,27 @@ type Metrics struct {
 	repairsRun          *expvar.Int
 	repairDirtyLookups  *expvar.Int
 
+	queries            *expvar.Int
+	queryMatches       *expvar.Int
+	queryMisses        *expvar.Int
+	queryPruned        *expvar.Int
+	snapshotsPublished *expvar.Int
+
 	walAppends       *expvar.Int
 	walFsyncs        *expvar.Int
 	walBytes         *expvar.Int
 	snapshotsTaken   *expvar.Int
 	recoveryDuration *expvar.Int
 
-	phase1Duration     *obs.Histogram
-	phase2Duration     *obs.Histogram
-	blockSolveDuration *obs.Histogram
-	jobDuration        *obs.Histogram
-	repairDuration     *obs.Histogram
-	walAppendDuration  *obs.Histogram
-	walFsyncDuration   *obs.Histogram
+	phase1Duration        *obs.Histogram
+	phase2Duration        *obs.Histogram
+	blockSolveDuration    *obs.Histogram
+	jobDuration           *obs.Histogram
+	repairDuration        *obs.Histogram
+	walAppendDuration     *obs.Histogram
+	walFsyncDuration      *obs.Histogram
+	queryDuration         *obs.Histogram
+	snapshotBuildDuration *obs.Histogram
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
@@ -119,6 +135,12 @@ func newMetrics() *Metrics {
 		repairsRun:          new(expvar.Int),
 		repairDirtyLookups:  new(expvar.Int),
 
+		queries:            new(expvar.Int),
+		queryMatches:       new(expvar.Int),
+		queryMisses:        new(expvar.Int),
+		queryPruned:        new(expvar.Int),
+		snapshotsPublished: new(expvar.Int),
+
 		walAppends:       new(expvar.Int),
 		walFsyncs:        new(expvar.Int),
 		walBytes:         new(expvar.Int),
@@ -134,7 +156,11 @@ func newMetrics() *Metrics {
 		// latency buckets would pile everything into the first bucket.
 		walAppendDuration: obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
 		walFsyncDuration:  obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
-		endpoints:         new(expvar.Map).Init(),
+		// Point queries target sub-millisecond latencies, same regime as
+		// WAL operations.
+		queryDuration:         obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
+		snapshotBuildDuration: obs.NewHistogram(),
+		endpoints:             new(expvar.Map).Init(),
 	}
 	m.root.Set("jobs_queued", m.jobsQueued)
 	m.root.Set("jobs_running", m.jobsRunning)
@@ -152,6 +178,13 @@ func newMetrics() *Metrics {
 	m.root.Set("incremental_sessions", m.incrementalSessions)
 	m.root.Set("repairs_run", m.repairsRun)
 	m.root.Set("repair_dirty_lookups", m.repairDirtyLookups)
+	m.root.Set("queries", m.queries)
+	m.root.Set("query_matches", m.queryMatches)
+	m.root.Set("query_misses", m.queryMisses)
+	m.root.Set("query_pruned_records", m.queryPruned)
+	m.root.Set("query_snapshots_published", m.snapshotsPublished)
+	m.root.Set("query_duration_ms", m.queryDuration)
+	m.root.Set("snapshot_build_duration_ms", m.snapshotBuildDuration)
 	m.root.Set("wal_appends", m.walAppends)
 	m.root.Set("wal_fsyncs", m.walFsyncs)
 	m.root.Set("wal_bytes", m.walBytes)

@@ -39,6 +39,7 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		capErr   *capError
 		spec     *specError
 		notTerm  *errJobNotTerminal
+		noSnap   *noSnapshotError
 		maxBytes *http.MaxBytesError
 	)
 	switch {
@@ -52,6 +53,8 @@ func writeServiceError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, "bad_spec", err.Error())
 	case errors.As(err, &notTerm):
 		writeError(w, http.StatusConflict, "not_finished", err.Error())
+	case errors.As(err, &noSnap):
+		writeError(w, http.StatusConflict, "no_solved_state", err.Error())
 	case errors.As(err, &maxBytes):
 		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err.Error())
 	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueryConcurrentWithMutations hammers the query endpoint while
+// records are appended, replaced, and deleted (each mutation triggering
+// an incremental repair that republishes the snapshot). Run under
+// -race this exercises the lock-free read path against concurrent
+// publication; with or without the detector it asserts every response
+// is internally consistent with SOME published snapshot:
+//
+//   - the snapshot sequence a reader observes never goes backwards,
+//   - every match's rid appears in its own group's member list,
+//   - candidates come back sorted by distance,
+//   - the scan statistics account for every record of that snapshot.
+func TestQueryConcurrentWithMutations(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	dsID := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q,"incremental":true,"mode":"size","k":[3],"c":[4]}`, dsID))
+
+	const (
+		queriers = 4
+		duration = 400 * time.Millisecond
+	)
+	stop := make(chan struct{})
+	var queries, failures atomic.Int64
+	var wg sync.WaitGroup
+
+	// Mutator: append typo'd variants, then replace and delete some of
+	// them, so snapshots keep republishing while readers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			var app appendResponse
+			body := fmt.Sprintf(`["The Doors %d","LA Woman"]`, i) + "\n"
+			if code := doJSON(t, "POST", ts.URL+"/v1/datasets/"+dsID+"/records",
+				"application/x-ndjson", body, &app); code != http.StatusOK {
+				continue
+			}
+			if len(app.RecordIDs) != 1 {
+				continue
+			}
+			rid := app.RecordIDs[0]
+			switch i % 3 {
+			case 0:
+				doJSON(t, "DELETE", fmt.Sprintf("%s/v1/datasets/%s/records/%d", ts.URL, dsID, rid), "", "", nil)
+			case 1:
+				doJSON(t, "PUT", fmt.Sprintf("%s/v1/datasets/%s/records/%d", ts.URL, dsID, rid),
+					"application/json", fmt.Sprintf(`["Doors %d","LA Woman"]`, i), nil)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	queryBodies := []string{
+		`{"record":["The Doors","LA Woman"]}`,
+		`{"record":["Doors","LA Woman"],"k":3}`,
+		`{"record":["The Doorz","LA Womann"],"k":2}`,
+		`{"record":["Aaliyah","Are You Ready"]}`,
+	}
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastSeq uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var qr queryResponse
+				code := doJSON(t, "POST", ts.URL+"/v1/datasets/"+dsID+"/query",
+					"application/json", queryBodies[(g+i)%len(queryBodies)], &qr)
+				if code != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("querier %d: status %d", g, code)
+					return
+				}
+				queries.Add(1)
+				if qr.Snapshot.Seq < lastSeq {
+					t.Errorf("querier %d: snapshot seq went backwards: %d after %d", g, qr.Snapshot.Seq, lastSeq)
+					return
+				}
+				lastSeq = qr.Snapshot.Seq
+				for _, m := range qr.Matches {
+					if !containsInt64Srv(m.Group.Members, m.RID) {
+						t.Errorf("querier %d: match rid %d not in its group %v", g, m.RID, m.Group.Members)
+						return
+					}
+					if m.Group.Size != len(m.Group.Members) {
+						t.Errorf("querier %d: group size %d vs %d members", g, m.Group.Size, len(m.Group.Members))
+						return
+					}
+				}
+				for j := 1; j < len(qr.Candidates); j++ {
+					if qr.Candidates[j].Distance < qr.Candidates[j-1].Distance {
+						t.Errorf("querier %d: candidates unsorted: %+v", g, qr.Candidates)
+						return
+					}
+				}
+				if len(qr.Matches) == 0 {
+					if qr.Stats.Scanned != qr.Snapshot.Records {
+						t.Errorf("querier %d: scanned %d of %d snapshot records", g, qr.Stats.Scanned, qr.Snapshot.Records)
+						return
+					}
+					if qr.Stats.Verified+qr.Stats.Pruned != qr.Stats.Scanned {
+						t.Errorf("querier %d: stats do not add up: %+v", g, qr.Stats)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	if q := queries.Load(); q < int64(queriers) {
+		t.Fatalf("only %d queries completed", q)
+	}
+	t.Logf("%d queries, %d failures", queries.Load(), failures.Load())
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// runJob submits a job spec and waits for it to finish, returning its ID.
+func runJob(t *testing.T, base, spec string) string {
+	t.Helper()
+	var st JobStatus
+	if code := doJSON(t, "POST", base+"/v1/jobs", "application/json", spec, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitForState(t, base, st.ID, StateDone)
+	return st.ID
+}
+
+// queryBody posts a query and decodes the response.
+func queryBody(t *testing.T, base, dsID, body string, out any) int {
+	t.Helper()
+	return doJSON(t, "POST", base+"/v1/datasets/"+dsID+"/query", "application/json", body, out)
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	dsID := createSeedDataset(t, ts.URL)
+
+	// Before any job completes the dataset has no solved state: 409 with
+	// the structured code, not a 500.
+	var eb errorBody
+	if code := queryBody(t, ts.URL, dsID, `{"record":["The Doors","LA Woman"]}`, &eb); code != http.StatusConflict {
+		t.Fatalf("query before job: status %d, want 409", code)
+	}
+	if eb.Error.Code != "no_solved_state" {
+		t.Fatalf("query before job: code %q, want no_solved_state", eb.Error.Code)
+	}
+
+	jobID := runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q,"mode":"size","k":[3],"c":[4]}`, dsID))
+	var res JobResult
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+jobID+"/result", "", "", &res); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+
+	// An ingested record exact-matches straight into its solved group.
+	var qr queryResponse
+	if code := queryBody(t, ts.URL, dsID, `{"record":["The Doors","LA Woman"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if qr.Dataset != dsID {
+		t.Errorf("dataset = %q, want %q", qr.Dataset, dsID)
+	}
+	if qr.Snapshot.Seq != 1 || qr.Snapshot.Job != jobID || qr.Snapshot.Stale {
+		t.Errorf("snapshot meta = %+v, want seq 1, job %s, not stale", qr.Snapshot, jobID)
+	}
+	if qr.Snapshot.Records != 10 || !qr.Snapshot.Prefiltered {
+		t.Errorf("snapshot meta = %+v, want 10 records, prefiltered", qr.Snapshot)
+	}
+	if len(qr.Matches) != 1 {
+		t.Fatalf("matches = %+v, want exactly one", qr.Matches)
+	}
+	m := qr.Matches[0]
+	if m.RID != 1 || m.Index != 0 {
+		t.Errorf("match = %+v, want rid 1 (index 0)", m)
+	}
+	// The match's group must be the group the job result assigned,
+	// index for index.
+	want := res.Results[0].Groups
+	var wantGroup []int
+	for _, g := range want {
+		for _, idx := range g {
+			if idx == m.Index {
+				wantGroup = g
+			}
+		}
+	}
+	if len(m.Group.Indexes) != len(wantGroup) {
+		t.Fatalf("match group %v, want %v", m.Group.Indexes, wantGroup)
+	}
+	for i, idx := range wantGroup {
+		if m.Group.Indexes[i] != idx {
+			t.Fatalf("match group %v, want %v", m.Group.Indexes, wantGroup)
+		}
+	}
+	if m.Group.Size < 2 {
+		t.Errorf("The Doors group size = %d, want >= 2 (rows 0 and 1 are duplicates)", m.Group.Size)
+	}
+	if len(m.Group.Members) != m.Group.Size {
+		t.Errorf("members %v vs size %d", m.Group.Members, m.Group.Size)
+	}
+
+	// A record the dataset has never seen misses the exact path and
+	// comes back as nearest candidates, sorted by distance.
+	if code := queryBody(t, ts.URL, dsID, `{"record":["The Doorz","LA Woman"],"k":3}`, &qr); code != http.StatusOK {
+		t.Fatalf("miss query: status %d", code)
+	}
+	if len(qr.Matches) != 0 {
+		t.Fatalf("miss query matches = %+v, want none", qr.Matches)
+	}
+	if len(qr.Candidates) != 3 {
+		t.Fatalf("candidates = %+v, want 3", qr.Candidates)
+	}
+	for i := 1; i < len(qr.Candidates); i++ {
+		if qr.Candidates[i].Distance < qr.Candidates[i-1].Distance {
+			t.Errorf("candidates out of order: %+v", qr.Candidates)
+		}
+	}
+	// The nearest candidate to a one-letter typo of row 0 is row 0.
+	if qr.Candidates[0].RID != 1 {
+		t.Errorf("nearest candidate = %+v, want rid 1", qr.Candidates[0])
+	}
+	if got := qr.Stats.Scanned + len(qr.Matches); got == 0 {
+		t.Errorf("stats = %+v, expected a scan", qr.Stats)
+	}
+	if qr.Stats.Scanned != 10 {
+		t.Errorf("scanned = %d, want 10", qr.Stats.Scanned)
+	}
+	if qr.Stats.Verified+qr.Stats.Pruned != qr.Stats.Scanned {
+		t.Errorf("stats do not add up: %+v", qr.Stats)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	dsID := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q}`, dsID))
+
+	cases := []struct {
+		name, ds, body string
+		status         int
+		code           string
+	}{
+		{"unknown dataset", "ds-999999", `{"record":["x"]}`, http.StatusNotFound, "not_found"},
+		{"missing record", dsID, `{}`, http.StatusBadRequest, "bad_spec"},
+		{"empty record", dsID, `{"record":[]}`, http.StatusBadRequest, "bad_spec"},
+		{"negative k", dsID, `{"record":["x"],"k":-1}`, http.StatusBadRequest, "bad_spec"},
+		{"huge k", dsID, `{"record":["x"],"k":101}`, http.StatusBadRequest, "bad_spec"},
+		{"malformed body", dsID, `{"record":`, http.StatusBadRequest, "bad_spec"},
+		{"trailing garbage", dsID, `{"record":["x"]} extra`, http.StatusBadRequest, "bad_spec"},
+	}
+	for _, c := range cases {
+		var eb errorBody
+		if code := queryBody(t, ts.URL, c.ds, c.body, &eb); code != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.status)
+		} else if eb.Error.Code != c.code {
+			t.Errorf("%s: code %q, want %q", c.name, eb.Error.Code, c.code)
+		}
+	}
+}
+
+// TestQueryBodyCap: the query endpoint sits behind the same global body
+// limit as ingest — an oversized query is a structured 413.
+func TestQueryBodyCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 512})
+	dsID := createSeedDataset(t, ts.URL)
+
+	big := fmt.Sprintf(`{"record":["%s"]}`, strings.Repeat("x", 2048))
+	var eb errorBody
+	if code := queryBody(t, ts.URL, dsID, big, &eb); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized query: status %d, want 413", code)
+	}
+	if eb.Error.Code != "body_too_large" {
+		t.Fatalf("oversized query: code %q, want body_too_large", eb.Error.Code)
+	}
+}
+
+// TestQueryRequestID: the query handler adopts and echoes X-Request-ID
+// like every other endpoint.
+func TestQueryRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	dsID := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q}`, dsID))
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/datasets/"+dsID+"/query",
+		strings.NewReader(`{"record":["Miles Davis","Kind of Blue"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "query-test-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "query-test-42" {
+		t.Errorf("X-Request-ID = %q, want query-test-42", got)
+	}
+	// A request without an ID gets one minted.
+	req.Header.Del("X-Request-ID")
+	req.Body = http.NoBody
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/datasets/"+dsID+"/query",
+		strings.NewReader(`{"record":["Miles Davis","Kind of Blue"]}`))
+	req2.Header.Set("Content-Type", "application/json")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID minted")
+	}
+}
+
+// TestQueryStalenessAndSeq: mutations after a solve flag the snapshot
+// stale; the next job publishes a fresh snapshot with the next sequence
+// number.
+func TestQueryStalenessAndSeq(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	dsID := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q}`, dsID))
+
+	var qr queryResponse
+	if code := queryBody(t, ts.URL, dsID, `{"record":["Joni Mitchell","Blue"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	if qr.Snapshot.Seq != 1 || qr.Snapshot.Stale || qr.Snapshot.Rev != qr.Snapshot.CurrentRev {
+		t.Fatalf("fresh snapshot meta = %+v", qr.Snapshot)
+	}
+
+	// Append a record (no incremental session, so no repair runs): the
+	// snapshot answers from pre-append state and must say so.
+	var app appendResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/datasets/"+dsID+"/records",
+		"application/x-ndjson", `["Nick Drake","Pink Moon"]`+"\n", &app); code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+	if code := queryBody(t, ts.URL, dsID, `{"record":["Joni Mitchell","Blue"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query after append: status %d", code)
+	}
+	if !qr.Snapshot.Stale || qr.Snapshot.CurrentRev <= qr.Snapshot.Rev {
+		t.Fatalf("snapshot after append = %+v, want stale with current_rev > rev", qr.Snapshot)
+	}
+	if qr.Snapshot.Records != 10 {
+		t.Errorf("stale snapshot records = %d, want 10 (pre-append)", qr.Snapshot.Records)
+	}
+
+	// The next completed job republishes: seq advances, staleness clears,
+	// the new record is queryable.
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q}`, dsID))
+	if code := queryBody(t, ts.URL, dsID, `{"record":["Nick Drake","Pink Moon"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query after second job: status %d", code)
+	}
+	if qr.Snapshot.Seq != 2 || qr.Snapshot.Stale || qr.Snapshot.Records != 11 {
+		t.Fatalf("second snapshot meta = %+v, want seq 2, 11 records, not stale", qr.Snapshot)
+	}
+	if len(qr.Matches) != 1 {
+		t.Fatalf("appended record not found: %+v", qr.Matches)
+	}
+	if got := s.Metrics().snapshotsPublished.Value(); got != 2 {
+		t.Errorf("snapshots published = %d, want 2", got)
+	}
+	if got := s.Metrics().queries.Value(); got < 3 {
+		t.Errorf("queries = %d, want >= 3", got)
+	}
+}
+
+// TestQueryDatasetDelete: deleting the dataset drops its snapshot with
+// it — the registry entry goes, and queries answer 404.
+func TestQueryDatasetDelete(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	dsID := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q}`, dsID))
+
+	if snap := s.engine.snaps.lookup(dsID); snap == nil {
+		t.Fatal("no snapshot published after job")
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/datasets/"+dsID, "", "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	if snap := s.engine.snaps.lookup(dsID); snap != nil {
+		t.Error("snapshot survived dataset delete")
+	}
+	var eb errorBody
+	if code := queryBody(t, ts.URL, dsID, `{"record":["x"]}`, &eb); code != http.StatusNotFound {
+		t.Fatalf("query deleted dataset: status %d, want 404", code)
+	}
+}
+
+// TestQueryIncrementalRepublish: record mutations on a live incremental
+// session auto-repair and republish, so queries track the data.
+func TestQueryIncrementalRepublish(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	dsID := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q,"incremental":true,"mode":"size","k":[3],"c":[4]}`, dsID))
+
+	var qr queryResponse
+	if code := queryBody(t, ts.URL, dsID, `{"record":["The Doors","LA Woman"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	seq := qr.Snapshot.Seq
+	if seq != 1 || len(qr.Matches) != 1 {
+		t.Fatalf("initial incremental query: %+v", qr)
+	}
+
+	// Mutating a record triggers a repair job; once it finishes, a fresh
+	// snapshot with the change is live.
+	var app appendResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/datasets/"+dsID+"/records",
+		"application/x-ndjson", `["The Dors","LA Woman"]`+"\n", &app); code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+	if app.RepairJob == "" {
+		t.Fatal("no repair job triggered")
+	}
+	waitForState(t, ts.URL, app.RepairJob, StateDone)
+
+	if code := queryBody(t, ts.URL, dsID, `{"record":["The Dors","LA Woman"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query after repair: status %d", code)
+	}
+	if qr.Snapshot.Seq != seq+1 || qr.Snapshot.Stale {
+		t.Fatalf("snapshot after repair = %+v, want seq %d, not stale", qr.Snapshot, seq+1)
+	}
+	if len(qr.Matches) != 1 {
+		t.Fatalf("mutated record not queryable: %+v", qr)
+	}
+	// The typo'd Doors row lands in the Doors duplicate group.
+	if !containsInt64Srv(qr.Matches[0].Group.Members, 1) || !containsInt64Srv(qr.Matches[0].Group.Members, 2) {
+		t.Errorf("repaired group = %+v, want it to contain rids 1 and 2", qr.Matches[0].Group)
+	}
+}
+
+func containsInt64Srv(s []int64, v int64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

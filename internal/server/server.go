@@ -21,6 +21,12 @@
 //	GET    /v1/datasets/{id}/records        list records with rids
 //	PUT    /v1/datasets/{id}/records/{rid}  replace one record (JSON array)
 //	DELETE /v1/datasets/{id}/records/{rid}  delete one record
+//	POST   /v1/datasets/{id}/query          point query: find the record's
+//	                                        duplicate group (or its nearest
+//	                                        candidates) in the last solved
+//	                                        state, served lock-free from an
+//	                                        immutable snapshot (409 until a
+//	                                        job completes)
 //	POST   /v1/jobs                         submit a dedup job (async, 202);
 //	                                        "incremental": true opens or
 //	                                        repairs the dataset's session
@@ -176,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/datasets/{id}/records", s.handleRecordList)
 	mux.HandleFunc("PUT /v1/datasets/{id}/records/{rid}", s.handleRecordReplace)
 	mux.HandleFunc("DELETE /v1/datasets/{id}/records/{rid}", s.handleRecordDelete)
+	mux.HandleFunc("POST /v1/datasets/{id}/query", s.handleDatasetQuery)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)

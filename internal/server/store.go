@@ -40,6 +40,11 @@ type datasetEntry struct {
 	records []fuzzydup.Record
 	rids    []int64 // rids[i] identifies records[i]; parallel slices
 	nextRID int64
+	// rev counts record mutations (appends, deletes, replaces) since the
+	// dataset was created or recovered. Query snapshots record the rev
+	// they were built from; comparing it against the live rev is how the
+	// query path reports staleness without locking the store.
+	rev int64
 }
 
 // assignRIDs mints rids for n freshly appended records.
@@ -149,6 +154,7 @@ func (s *Store) Append(id string, recs []fuzzydup.Record) (DatasetInfo, []int64,
 	e.records = append(e.records, recs...)
 	e.rids = append(e.rids, rids...)
 	e.nextRID += int64(len(recs))
+	e.rev++
 	info := e.info()
 	s.mu.Unlock()
 	if err := s.logCommit(seq); err != nil {
@@ -177,6 +183,7 @@ func (s *Store) RemoveRecord(id string, rid int64) (DatasetInfo, error) {
 	}
 	e.records = append(e.records[:i], e.records[i+1:]...)
 	e.rids = append(e.rids[:i], e.rids[i+1:]...)
+	e.rev++
 	info := e.info()
 	s.mu.Unlock()
 	if err := s.logCommit(seq); err != nil {
@@ -211,6 +218,7 @@ func (s *Store) ReplaceRecord(id string, rid int64, rec fuzzydup.Record) (Datase
 		return DatasetInfo{}, err
 	}
 	e.records[i] = rec
+	e.rev++
 	info := e.info()
 	s.mu.Unlock()
 	if err := s.logCommit(seq); err != nil {
@@ -272,17 +280,36 @@ func (s *Store) Snapshot(id string) ([]fuzzydup.Record, error) {
 // SnapshotRIDs is Snapshot plus the parallel rid slice — the consistent
 // (records, rids) view incremental repair jobs reconcile against.
 func (s *Store) SnapshotRIDs(id string) ([]fuzzydup.Record, []int64, error) {
+	recs, rids, _, err := s.SnapshotFull(id)
+	return recs, rids, err
+}
+
+// SnapshotFull is SnapshotRIDs plus the dataset's mutation revision at
+// the same instant — the triple a query snapshot is built from, so its
+// staleness metadata is exact for the record set it indexed.
+func (s *Store) SnapshotFull(id string) ([]fuzzydup.Record, []int64, int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.datasets[id]
 	if !ok {
-		return nil, nil, errDatasetNotFound(id)
+		return nil, nil, 0, errDatasetNotFound(id)
 	}
 	recs := make([]fuzzydup.Record, len(e.records))
 	copy(recs, e.records)
 	rids := make([]int64, len(e.rids))
 	copy(rids, e.rids)
-	return recs, rids, nil
+	return recs, rids, e.rev, nil
+}
+
+// Rev returns the dataset's current mutation revision.
+func (s *Store) Rev(id string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[id]
+	if !ok {
+		return 0, errDatasetNotFound(id)
+	}
+	return e.rev, nil
 }
 
 // RecordItem is one record with its rid, as listed by

@@ -18,9 +18,15 @@
 // -data-dir the service is fully in-memory.
 //
 // Observability: logs are structured (logfmt via log/slog; -log-level
-// debug adds per-request access lines), /metrics serves counters and
-// latency histograms, and -pprof mounts the runtime profiler under
-// /debug/pprof/.
+// debug adds per-request access lines). /metrics serves counters and
+// latency histograms as JSON by default and as the Prometheus text
+// exposition with ?format=prometheus (or Accept: text/plain) — see
+// cmd/dedupstat for a live top-style view over it. Completed traces are
+// retained with tail sampling (all errored, slowest per path, recent
+// ring; sized by -trace-capacity) on /debug/traces; operations slower
+// than -slow-query / -slow-job / -slow-repair emit one wide slog event
+// each and land on /debug/slowops. -pprof mounts the runtime profiler
+// under /debug/pprof/.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
 // 503, the listener stops accepting, and running jobs get up to -drain
@@ -64,6 +70,10 @@ func run(args []string) error {
 		dataDir    = fs.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory")
 		fsync      = fs.Bool("fsync", true, "fsync the WAL on group commit (-data-dir only)")
 		snapEvery  = fs.Int("snapshot-every", 4096, "logged mutations between snapshots (-1 disables)")
+		slowQuery  = fs.Duration("slow-query", 250*time.Millisecond, "slow-op threshold for point queries (-1s disables)")
+		slowJob    = fs.Duration("slow-job", 60*time.Second, "slow-op threshold for job runs (-1s disables)")
+		slowRepair = fs.Duration("slow-repair", time.Second, "slow-op threshold for incremental repair ops (-1s disables)")
+		traceCap   = fs.Int("trace-capacity", 256, "retained trace ring size (GET /debug/traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +100,10 @@ func run(args []string) error {
 		DataDir:        *dataDir,
 		NoFsync:        !*fsync,
 		SnapshotEvery:  *snapEvery,
+		SlowQuery:      *slowQuery,
+		SlowJob:        *slowJob,
+		SlowRepair:     *slowRepair,
+		TraceCapacity:  *traceCap,
 	})
 	if err != nil {
 		return err

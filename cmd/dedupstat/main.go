@@ -1,0 +1,345 @@
+// Command dedupstat is a top-style live view of a running dedupd: it
+// polls GET /metrics?format=prometheus, diffs consecutive scrapes, and
+// renders one screen of rates and latencies — overall and per-endpoint
+// qps with p50/p99 (estimated from the histogram bucket deltas), the
+// phase-1 cache hit rate, WAL fsync latency, query snapshot staleness,
+// the slow-op count, and Go runtime stats.
+//
+// Usage:
+//
+//	dedupstat -addr http://127.0.0.1:8080 -interval 2s
+//
+// By default the screen is cleared between frames like top; -plain
+// appends frames instead (for logs and scripts), and -count bounds the
+// number of frames rendered (0 runs until interrupted). Rates need two
+// scrapes, so the first frame appears one interval after startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fuzzydup/internal/obs/promtext"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dedupstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dedupstat", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "dedupd base URL")
+		interval = fs.Duration("interval", 2*time.Second, "time between scrapes")
+		count    = fs.Int("count", 0, "frames to render before exiting (0 = forever)")
+		plain    = fs.Bool("plain", false, "append frames instead of clearing the screen")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	url := strings.TrimSuffix(*addr, "/") + "/metrics?format=prometheus"
+	prev, err := fetch(client, url)
+	if err != nil {
+		return err
+	}
+	for frame := 1; *count == 0 || frame <= *count; frame++ {
+		time.Sleep(*interval)
+		cur, err := fetch(client, url)
+		if err != nil {
+			return err
+		}
+		if !*plain {
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+		}
+		render(out, *addr, frame, prev, cur)
+		prev = cur
+	}
+	return nil
+}
+
+// scrape is one parsed exposition plus when it was taken.
+type scrape struct {
+	t        time.Time
+	families map[string]promtext.Family
+}
+
+func fetch(client *http.Client, url string) (*scrape, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	families, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", url, err)
+	}
+	s := &scrape{t: time.Now(), families: make(map[string]promtext.Family, len(families))}
+	for _, f := range families {
+		s.families[f.Name] = f
+	}
+	return s, nil
+}
+
+// value returns the sample of a counter or gauge family matching the
+// given labels exactly on the named keys (other labels are ignored).
+func (s *scrape) value(name string, labels map[string]string) float64 {
+	f, ok := s.families[name]
+	if !ok {
+		return 0
+	}
+	for _, sm := range f.Samples {
+		if sm.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if sm.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return sm.Value
+		}
+	}
+	return 0
+}
+
+// sum adds every sample of a counter family (e.g. across kind labels).
+func (s *scrape) sum(name string) float64 {
+	var total float64
+	for _, sm := range s.families[name].Samples {
+		if sm.Name == name {
+			total += sm.Value
+		}
+	}
+	return total
+}
+
+// hist collects one labelset's cumulative (le, count) pairs plus the
+// _count total, sorted by le.
+type hist struct {
+	les    []float64
+	counts []float64
+	count  float64
+}
+
+func (s *scrape) histogram(name string, labels map[string]string) hist {
+	var h hist
+	f, ok := s.families[name]
+	if !ok {
+		return h
+	}
+	match := func(sm promtext.ParsedSample) bool {
+		for k, v := range labels {
+			if sm.Labels[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	for _, sm := range f.Samples {
+		switch sm.Name {
+		case name + "_bucket":
+			if !match(sm) {
+				continue
+			}
+			le, err := strconv.ParseFloat(sm.Labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, sm.Value)
+		case name + "_count":
+			if match(sm) {
+				h.count = sm.Value
+			}
+		}
+	}
+	sort.Sort(byLe{&h})
+	return h
+}
+
+type byLe struct{ h *hist }
+
+func (b byLe) Len() int           { return len(b.h.les) }
+func (b byLe) Less(i, j int) bool { return b.h.les[i] < b.h.les[j] }
+func (b byLe) Swap(i, j int) {
+	b.h.les[i], b.h.les[j] = b.h.les[j], b.h.les[i]
+	b.h.counts[i], b.h.counts[j] = b.h.counts[j], b.h.counts[i]
+}
+
+// quantile estimates the q-quantile of the observations that landed
+// between two scrapes, by linear interpolation inside the first bucket
+// whose cumulative delta reaches rank q. Returns NaN with no new
+// observations; the +Inf bucket answers its lower bound (the largest
+// finite le), since there is nothing to interpolate toward.
+func quantile(q float64, prev, cur hist) float64 {
+	if len(cur.les) == 0 {
+		return math.NaN()
+	}
+	// An endpoint first seen this scrape has no previous histogram; all
+	// of its observations are new, so diff against zero.
+	if len(prev.les) == 0 {
+		prev = hist{les: cur.les, counts: make([]float64, len(cur.les))}
+	}
+	if len(prev.les) != len(cur.les) {
+		return math.NaN()
+	}
+	n := len(cur.les)
+	delta := make([]float64, n)
+	for i := range delta {
+		delta[i] = cur.counts[i] - prev.counts[i]
+	}
+	total := delta[n-1]
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for i, cum := range delta {
+		if cum < rank {
+			continue
+		}
+		lo, cumLo := 0.0, 0.0
+		if i > 0 {
+			lo, cumLo = cur.les[i-1], delta[i-1]
+		}
+		hi := cur.les[i]
+		if math.IsInf(hi, 1) {
+			return lo
+		}
+		inBucket := cum - cumLo
+		if inBucket <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-cumLo)/inBucket
+	}
+	return cur.les[n-1]
+}
+
+// rate is a counter delta per second between the scrapes.
+func rate(prev, cur *scrape, name string) float64 {
+	dt := cur.t.Sub(prev.t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (cur.value(name, nil) - prev.value(name, nil)) / dt
+}
+
+// pct formats a ratio as a percentage, "-" when the denominator is zero.
+func pct(num, den float64) string {
+	if den <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
+}
+
+// ms formats a millisecond quantile, "-" for NaN (no observations).
+func ms(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func render(out io.Writer, addr string, frame int, prev, cur *scrape) {
+	dt := cur.t.Sub(prev.t).Seconds()
+	fmt.Fprintf(out, "dedupstat — %s — frame %d — interval %.1fs — %s\n\n",
+		addr, frame, dt, cur.t.Format(time.TimeOnly))
+
+	// Overall qps across all endpoints, from the per-endpoint counters.
+	var totalQPS float64
+	type endpointRow struct {
+		name string
+		qps  float64
+		p50  float64
+		p99  float64
+	}
+	var rows []endpointRow
+	reqs := cur.families["dedupd_http_requests_total"]
+	for _, sm := range reqs.Samples {
+		if sm.Name != "dedupd_http_requests_total" {
+			continue
+		}
+		ep := sm.Labels["endpoint"]
+		labels := map[string]string{"endpoint": ep}
+		qps := (sm.Value - prev.value("dedupd_http_requests_total", labels)) / dt
+		totalQPS += qps
+		if qps <= 0 {
+			continue
+		}
+		ph, ch := prev.histogram("dedupd_http_request_duration_ms", labels),
+			cur.histogram("dedupd_http_request_duration_ms", labels)
+		rows = append(rows, endpointRow{
+			name: ep,
+			qps:  qps,
+			p50:  quantile(0.50, ph, ch),
+			p99:  quantile(0.99, ph, ch),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].qps > rows[j].qps })
+
+	queryQPS := rate(prev, cur, "dedupd_queries_total")
+	matches := cur.value("dedupd_query_matches_total", nil) - prev.value("dedupd_query_matches_total", nil)
+	queries := cur.value("dedupd_queries_total", nil) - prev.value("dedupd_queries_total", nil)
+	hits := cur.value("dedupd_phase1_cache_hits_total", nil) - prev.value("dedupd_phase1_cache_hits_total", nil)
+	computes := cur.value("dedupd_phase1_cache_computes_total", nil) - prev.value("dedupd_phase1_cache_computes_total", nil)
+	qp, qc := prev.histogram("dedupd_query_duration_ms", nil), cur.histogram("dedupd_query_duration_ms", nil)
+	fp, fc := prev.histogram("dedupd_wal_fsync_duration_ms", nil), cur.histogram("dedupd_wal_fsync_duration_ms", nil)
+
+	fmt.Fprintf(out, "http     qps=%.1f endpoints=%d\n", totalQPS, len(rows))
+	fmt.Fprintf(out, "jobs     running=%.0f queued/s=%.2f done/s=%.2f failed/s=%.2f slow_ops=%.0f\n",
+		cur.value("dedupd_jobs_running", nil),
+		rate(prev, cur, "dedupd_jobs_queued_total"),
+		rate(prev, cur, "dedupd_jobs_done_total"),
+		rate(prev, cur, "dedupd_jobs_failed_total"),
+		cur.sum("dedupd_slow_ops_total"))
+	fmt.Fprintf(out, "queries  qps=%.1f match_rate=%s p50_ms=%s p99_ms=%s snapshot_age_s=%.1f\n",
+		queryQPS,
+		pct(matches, queries),
+		ms(quantile(0.50, qp, qc)),
+		ms(quantile(0.99, qp, qc)),
+		cur.value("dedupd_query_snapshot_age_seconds", nil))
+	fmt.Fprintf(out, "cache    phase1_hit_rate=%s distance_calls/s=%.0f\n",
+		pct(hits, hits+computes),
+		rate(prev, cur, "dedupd_distance_calls_total"))
+	fmt.Fprintf(out, "wal      appends/s=%.1f fsyncs/s=%.1f fsync_p50_ms=%s fsync_p99_ms=%s\n",
+		rate(prev, cur, "dedupd_wal_appends_total"),
+		rate(prev, cur, "dedupd_wal_fsyncs_total"),
+		ms(quantile(0.50, fp, fc)),
+		ms(quantile(0.99, fp, fc)))
+	fmt.Fprintf(out, "go       goroutines=%.0f heap_mib=%.1f gc_cycles=%.0f\n",
+		cur.value("dedupd_go_goroutines", nil),
+		cur.value("dedupd_go_heap_alloc_bytes", nil)/(1<<20),
+		cur.value("dedupd_go_gc_cycles_total", nil))
+
+	if len(rows) > 0 {
+		fmt.Fprintf(out, "\n%-40s %10s %10s %10s\n", "endpoint", "qps", "p50_ms", "p99_ms")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-40s %10.1f %10s %10s\n", r.name, r.qps, ms(r.p50), ms(r.p99))
+		}
+	}
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// The two fixture expositions a fake dedupd serves to consecutive
+// scrapes. The deltas are chosen so every derived statistic is exact:
+// query histogram deltas 10/40/50 across buckets 1/5/25 put p50 at 3.00
+// and p99 at 24.00; +25 matches on +50 queries is a 50.0% match rate;
+// +30 hits on +10 computes is a 75.0% hit rate.
+const scrapeOne = `# TYPE dedupd_jobs_running gauge
+dedupd_jobs_running 2
+# TYPE dedupd_jobs_queued_total counter
+dedupd_jobs_queued_total 10
+# TYPE dedupd_jobs_done_total counter
+dedupd_jobs_done_total 8
+# TYPE dedupd_jobs_failed_total counter
+dedupd_jobs_failed_total 1
+# TYPE dedupd_slow_ops_total counter
+dedupd_slow_ops_total{kind="job"} 3
+dedupd_slow_ops_total{kind="query"} 4
+# TYPE dedupd_queries_total counter
+dedupd_queries_total 100
+# TYPE dedupd_query_matches_total counter
+dedupd_query_matches_total 60
+# TYPE dedupd_query_snapshot_age_seconds gauge
+dedupd_query_snapshot_age_seconds 0.5
+# TYPE dedupd_phase1_cache_hits_total counter
+dedupd_phase1_cache_hits_total 70
+# TYPE dedupd_phase1_cache_computes_total counter
+dedupd_phase1_cache_computes_total 30
+# TYPE dedupd_distance_calls_total counter
+dedupd_distance_calls_total 1000
+# TYPE dedupd_query_duration_ms histogram
+dedupd_query_duration_ms_bucket{le="1"} 20
+dedupd_query_duration_ms_bucket{le="5"} 60
+dedupd_query_duration_ms_bucket{le="25"} 100
+dedupd_query_duration_ms_bucket{le="+Inf"} 100
+dedupd_query_duration_ms_sum 420
+dedupd_query_duration_ms_count 100
+# TYPE dedupd_wal_appends_total counter
+dedupd_wal_appends_total 50
+# TYPE dedupd_wal_fsyncs_total counter
+dedupd_wal_fsyncs_total 25
+# TYPE dedupd_wal_fsync_duration_ms histogram
+dedupd_wal_fsync_duration_ms_bucket{le="1"} 5
+dedupd_wal_fsync_duration_ms_bucket{le="+Inf"} 25
+dedupd_wal_fsync_duration_ms_sum 100
+dedupd_wal_fsync_duration_ms_count 25
+# TYPE dedupd_http_requests_total counter
+dedupd_http_requests_total{endpoint="POST /v1/datasets/{id}/query"} 100
+dedupd_http_requests_total{endpoint="GET /v1/jobs"} 10
+# TYPE dedupd_http_request_duration_ms histogram
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="1"} 20
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="5"} 60
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="25"} 100
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="+Inf"} 100
+dedupd_http_request_duration_ms_sum{endpoint="POST /v1/datasets/{id}/query"} 420
+dedupd_http_request_duration_ms_count{endpoint="POST /v1/datasets/{id}/query"} 100
+# TYPE dedupd_go_goroutines gauge
+dedupd_go_goroutines 12
+# TYPE dedupd_go_heap_alloc_bytes gauge
+dedupd_go_heap_alloc_bytes 2097152
+# TYPE dedupd_go_gc_cycles_total counter
+dedupd_go_gc_cycles_total 4
+`
+
+const scrapeTwo = `# TYPE dedupd_jobs_running gauge
+dedupd_jobs_running 2
+# TYPE dedupd_jobs_queued_total counter
+dedupd_jobs_queued_total 12
+# TYPE dedupd_jobs_done_total counter
+dedupd_jobs_done_total 10
+# TYPE dedupd_jobs_failed_total counter
+dedupd_jobs_failed_total 1
+# TYPE dedupd_slow_ops_total counter
+dedupd_slow_ops_total{kind="job"} 4
+dedupd_slow_ops_total{kind="query"} 5
+# TYPE dedupd_queries_total counter
+dedupd_queries_total 150
+# TYPE dedupd_query_matches_total counter
+dedupd_query_matches_total 85
+# TYPE dedupd_query_snapshot_age_seconds gauge
+dedupd_query_snapshot_age_seconds 1.5
+# TYPE dedupd_phase1_cache_hits_total counter
+dedupd_phase1_cache_hits_total 100
+# TYPE dedupd_phase1_cache_computes_total counter
+dedupd_phase1_cache_computes_total 40
+# TYPE dedupd_distance_calls_total counter
+dedupd_distance_calls_total 2000
+# TYPE dedupd_query_duration_ms histogram
+dedupd_query_duration_ms_bucket{le="1"} 30
+dedupd_query_duration_ms_bucket{le="5"} 100
+dedupd_query_duration_ms_bucket{le="25"} 150
+dedupd_query_duration_ms_bucket{le="+Inf"} 150
+dedupd_query_duration_ms_sum 800
+dedupd_query_duration_ms_count 150
+# TYPE dedupd_wal_appends_total counter
+dedupd_wal_appends_total 70
+# TYPE dedupd_wal_fsyncs_total counter
+dedupd_wal_fsyncs_total 35
+# TYPE dedupd_wal_fsync_duration_ms histogram
+dedupd_wal_fsync_duration_ms_bucket{le="1"} 10
+dedupd_wal_fsync_duration_ms_bucket{le="+Inf"} 35
+dedupd_wal_fsync_duration_ms_sum 150
+dedupd_wal_fsync_duration_ms_count 35
+# TYPE dedupd_http_requests_total counter
+dedupd_http_requests_total{endpoint="POST /v1/datasets/{id}/query"} 150
+dedupd_http_requests_total{endpoint="GET /v1/jobs"} 10
+# TYPE dedupd_http_request_duration_ms histogram
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="1"} 30
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="5"} 100
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="25"} 150
+dedupd_http_request_duration_ms_bucket{endpoint="POST /v1/datasets/{id}/query",le="+Inf"} 150
+dedupd_http_request_duration_ms_sum{endpoint="POST /v1/datasets/{id}/query"} 800
+dedupd_http_request_duration_ms_count{endpoint="POST /v1/datasets/{id}/query"} 150
+# TYPE dedupd_go_goroutines gauge
+dedupd_go_goroutines 13
+# TYPE dedupd_go_heap_alloc_bytes gauge
+dedupd_go_heap_alloc_bytes 3145728
+# TYPE dedupd_go_gc_cycles_total counter
+dedupd_go_gc_cycles_total 5
+`
+
+// fixtureServer serves scrapeOne to the first request and scrapeTwo to
+// every later one, mimicking a dedupd whose counters moved between polls.
+func fixtureServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" || r.URL.Query().Get("format") != "prometheus" {
+			t.Errorf("unexpected scrape %s?%s", r.URL.Path, r.URL.RawQuery)
+		}
+		if n.Add(1) == 1 {
+			fmt.Fprint(w, scrapeOne)
+		} else {
+			fmt.Fprint(w, scrapeTwo)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRenderFromScrapeDiff(t *testing.T) {
+	ts := fixtureServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-interval", "10ms", "-count", "1", "-plain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "\x1b[") {
+		t.Error("-plain output contains ANSI escapes")
+	}
+	for _, want := range []string{
+		"frame 1",
+		"endpoints=1", // the idle GET /v1/jobs endpoint renders no row
+		"running=2",
+		"slow_ops=9",
+		"match_rate=50.0%",
+		"p50_ms=3.00",
+		"p99_ms=24.00",
+		"snapshot_age_s=1.5",
+		"phase1_hit_rate=75.0%",
+		"fsync_p50_ms=1.00",
+		"fsync_p99_ms=1.00",
+		"goroutines=13",
+		"heap_mib=3.0",
+		"gc_cycles=5",
+		"POST /v1/datasets/{id}/query",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "http     qps=0.0") {
+		t.Errorf("qps rendered as zero despite moving counters:\n%s", got)
+	}
+	if strings.Contains(got, "GET /v1/jobs") {
+		t.Errorf("idle endpoint rendered a row:\n%s", got)
+	}
+}
+
+func TestQuantileFromBucketDeltas(t *testing.T) {
+	prev := hist{les: []float64{1, 5, 25, math.Inf(1)}, counts: []float64{20, 60, 100, 100}, count: 100}
+	cur := hist{les: []float64{1, 5, 25, math.Inf(1)}, counts: []float64{30, 100, 150, 150}, count: 150}
+	if got := quantile(0.50, prev, cur); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("p50 = %g, want 3.0", got)
+	}
+	if got := quantile(0.99, prev, cur); math.Abs(got-24.0) > 1e-9 {
+		t.Errorf("p99 = %g, want 24.0", got)
+	}
+	// No new observations: NaN, rendered "-".
+	if got := quantile(0.5, cur, cur); !math.IsNaN(got) {
+		t.Errorf("idle quantile = %g, want NaN", got)
+	}
+	// Everything past the last finite bound answers that bound.
+	inf := hist{les: []float64{1, math.Inf(1)}, counts: []float64{0, 10}, count: 10}
+	if got := quantile(0.99, hist{les: inf.les, counts: []float64{0, 0}}, inf); got != 1 {
+		t.Errorf("overflow quantile = %g, want 1", got)
+	}
+	// An endpoint first seen this scrape diffs against zero.
+	if got := quantile(0.50, hist{}, cur); math.IsNaN(got) {
+		t.Error("first-scrape histogram yields NaN, want a value")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-interval", "0s"}, &out); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := run([]string{"stray"}, &out); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-count", "1"}, &out); err == nil {
+		t.Error("unreachable server did not error")
+	}
+}

@@ -21,7 +21,9 @@ package obs
 import (
 	"context"
 	"log/slog"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,10 +34,17 @@ type SpanData struct {
 	Name string
 	// Path is the slash-joined ancestry ("dedup.solve/phase1").
 	Path string
+	// TraceID identifies the trace the span belongs to: every root span
+	// mints one and children inherit it, so a sink can reassemble the
+	// tree from the flat End-ordered stream.
+	TraceID string
 	// Start is the span's start time on the tracer's clock.
 	Start time.Time
 	// Duration is the span's wall-clock duration.
 	Duration time.Duration
+	// Err is the error the span was failed with (SetError), or "". A
+	// non-empty Err marks the whole trace as errored for retention.
+	Err string
 	// Counters holds the span's named counters (nil when none were added).
 	Counters map[string]int64
 }
@@ -61,6 +70,14 @@ type Tracer struct {
 	// Now supplies the clock; nil selects time.Now. Tests inject a fake
 	// clock here to make durations deterministic.
 	Now func() time.Time
+
+	// parent, when set, roots every Start under an existing span (see
+	// Span.Tracer): instrumented code that takes a *Tracer then nests its
+	// spans inside the caller's trace instead of minting new ones.
+	parent *Span
+
+	// seq mints trace IDs for root spans.
+	seq atomic.Uint64
 }
 
 func (t *Tracer) now() time.Time {
@@ -70,36 +87,77 @@ func (t *Tracer) now() time.Time {
 	return time.Now()
 }
 
-// Start begins a root span. On a nil tracer it returns nil, which every
-// Span method accepts.
+// Start begins a root span, minting a fresh trace ID. On a nil tracer it
+// returns nil, which every Span method accepts. On a sub-tracer (see
+// Span.Tracer) the new span is a child of the anchoring span instead and
+// shares its trace.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{tracer: t, name: name, path: name, start: t.now()}
+	if t.parent != nil {
+		return t.parent.Child(name)
+	}
+	return &Span{
+		tracer:  t,
+		name:    name,
+		path:    name,
+		traceID: "t-" + strconv.FormatUint(t.seq.Add(1), 10),
+		start:   t.now(),
+	}
 }
 
 // Span is one timed region of work, possibly with children and named
 // counters. All methods are safe on a nil receiver and safe for
 // concurrent use.
 type Span struct {
-	tracer *Tracer
-	name   string
-	path   string
-	start  time.Time
+	tracer  *Tracer
+	name    string
+	path    string
+	traceID string
+	start   time.Time
 
 	mu       sync.Mutex
 	counters map[string]int64
+	errMsg   string
 	ended    bool
 }
 
 // Child begins a nested span. The child is independent: it may End before
-// or after its parent (sinks see spans in End order).
+// or after its parent (sinks see spans in End order), and it carries the
+// parent's trace ID.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{tracer: s.tracer, name: name, path: s.path + "/" + name, start: s.tracer.now()}
+	return &Span{
+		tracer:  s.tracer,
+		name:    name,
+		path:    s.path + "/" + name,
+		traceID: s.traceID,
+		start:   s.tracer.now(),
+	}
+}
+
+// Tracer returns a tracer that roots its spans under s: Start becomes
+// Child, so code instrumented against a *Tracer nests inside the caller's
+// trace. A nil span returns a nil tracer, preserving the zero-cost path.
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return &Tracer{Sink: s.tracer.Sink, Now: s.tracer.Now, parent: s}
+}
+
+// SetError marks the span (and therefore its trace) as failed. The last
+// non-nil error wins; a nil err is a no-op.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
 }
 
 // Add increments the span's named counter by n.
@@ -131,8 +189,10 @@ func (s *Span) End() {
 	d := SpanData{
 		Name:     s.name,
 		Path:     s.path,
+		TraceID:  s.traceID,
 		Start:    s.start,
 		Duration: s.tracer.now().Sub(s.start),
+		Err:      s.errMsg,
 	}
 	if len(s.counters) > 0 {
 		d.Counters = make(map[string]int64, len(s.counters))
@@ -185,8 +245,11 @@ func (c *Collector) Find(path string) (SpanData, bool) {
 // structured attributes. This is how dedupd turns traces into log lines.
 func NewLogSink(l *slog.Logger, level slog.Level) Sink {
 	return SinkFunc(func(d SpanData) {
-		attrs := make([]any, 0, 2+2*len(d.Counters))
+		attrs := make([]any, 0, 6+2*len(d.Counters))
 		attrs = append(attrs, "span", d.Path, "duration_us", d.Duration.Microseconds())
+		if d.Err != "" {
+			attrs = append(attrs, "error", d.Err)
+		}
 		for k, v := range d.Counters {
 			attrs = append(attrs, k, v)
 		}

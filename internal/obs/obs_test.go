@@ -223,6 +223,46 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+// TestHistogramRenderUnderConcurrentObserve renders the histogram while
+// writers hammer it; every render must be valid, self-consistent JSON
+// (bucket sum + overflow == count is not guaranteed mid-race, but the
+// snapshot must never tear into something unparseable or negative).
+func TestHistogramRenderUnderConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i % 150))
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		var dec Snapshot
+		if err := json.Unmarshal([]byte(h.String()), &dec); err != nil {
+			t.Fatalf("render %d is not JSON: %v", i, err)
+		}
+		if dec.Count < 0 || dec.Overflow < 0 {
+			t.Fatalf("render %d has negative counts: %+v", i, dec)
+		}
+		for _, b := range dec.Buckets {
+			if b.N < 0 {
+				t.Fatalf("render %d has negative bucket: %+v", i, dec)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestLogSink(t *testing.T) {
 	var buf bytes.Buffer
 	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))

@@ -1,0 +1,441 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one series line: its sample name (which for histograms
+// carries the _bucket/_sum/_count suffix), labels, and value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the TYPE header plus every sample
+// belonging to it.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram
+	Help    string
+	Samples []ParsedSample
+}
+
+// Label reconstructs the sample's labels sorted by name (excluding le).
+func (s ParsedSample) Label(name string) string { return s.Labels[name] }
+
+// Parse reads a text exposition and validates it strictly. Violations —
+// bad metric or label names, samples without a TYPE, split families,
+// duplicate series, non-monotone or incomplete histogram buckets,
+// negative counters — return an error naming the offending line. This is
+// deliberately harsher than Prometheus's own parser: it lints dedupd's
+// exposition in CI, where failing early beats scraping garbage.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var (
+		families []Family
+		cur      *Family
+		closed   = make(map[string]bool) // family name -> fully parsed
+		series   = make(map[string]bool) // canonical series -> seen
+		pendHelp string                  // name of an unconsumed HELP line
+		helpText string
+		lineNo   int
+	)
+	closeCur := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.Type == "histogram" {
+			if err := validateHistogram(cur); err != nil {
+				return err
+			}
+		}
+		closed[cur.Name] = true
+		families = append(families, *cur)
+		cur = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			switch kind {
+			case "HELP":
+				if pendHelp != "" {
+					return nil, fail("HELP %s follows HELP %s without a TYPE between", name, pendHelp)
+				}
+				if closed[name] || (cur != nil && cur.Name == name) {
+					return nil, fail("HELP %s repeats an already-declared family", name)
+				}
+				pendHelp, helpText = name, rest
+			case "TYPE":
+				if closed[name] {
+					return nil, fail("TYPE %s re-declares a closed family (family split)", name)
+				}
+				if cur != nil && cur.Name == name {
+					return nil, fail("duplicate TYPE for family %s", name)
+				}
+				if pendHelp != "" && pendHelp != name {
+					return nil, fail("TYPE %s does not match preceding HELP %s", name, pendHelp)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fail("unknown type %q for %s", rest, name)
+				}
+				if !validMetricName(name) {
+					return nil, fail("invalid metric name %q", name)
+				}
+				if err := closeCur(); err != nil {
+					return nil, err
+				}
+				cur = &Family{Name: name, Type: rest, Help: helpText}
+				pendHelp, helpText = "", ""
+			}
+			continue
+		}
+
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		if cur == nil {
+			return nil, fail("sample %s before any TYPE declaration", s.Name)
+		}
+		if !sampleBelongs(cur, s.Name) {
+			if closed[familyOf(s.Name)] || closed[s.Name] {
+				return nil, fail("sample %s reopens a closed family (family split)", s.Name)
+			}
+			return nil, fail("sample %s does not belong to family %s", s.Name, cur.Name)
+		}
+		key := seriesKey(s)
+		if series[key] {
+			return nil, fail("duplicate series %s", key)
+		}
+		series[key] = true
+		if cur.Type == "counter" && s.Value < 0 {
+			return nil, fail("counter %s has negative value %g", s.Name, s.Value)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendHelp != "" {
+		return nil, fmt.Errorf("HELP %s has no TYPE", pendHelp)
+	}
+	if err := closeCur(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// parseComment splits a "# HELP name text" / "# TYPE name type" line.
+// Any other comment is rejected: the linted exposition writes none.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		kind, body = "HELP", strings.TrimPrefix(body, "HELP ")
+	case strings.HasPrefix(body, "TYPE "):
+		kind, body = "TYPE", strings.TrimPrefix(body, "TYPE ")
+	default:
+		return "", "", "", fmt.Errorf("comment is neither HELP nor TYPE: %q", line)
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	if name == "" {
+		return "", "", "", fmt.Errorf("%s line without a metric name: %q", kind, line)
+	}
+	if kind == "TYPE" {
+		rest = strings.TrimSpace(rest)
+	}
+	return kind, name, rest, nil
+}
+
+// parseSampleLine parses `name{label="value",...} value [timestamp]`.
+func parseSampleLine(line string) (ParsedSample, error) {
+	s := ParsedSample{}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	s.Name = line[:i]
+	if s.Name == "" || !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name in %q", line)
+	}
+	if i < len(line) && line[i] == '{' {
+		labels, n, err := parseLabels(line[i:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		i += n
+	}
+	valPart := strings.TrimSpace(line[i:])
+	if valPart == "" {
+		return s, fmt.Errorf("sample %s has no value", s.Name)
+	}
+	fields := strings.Fields(valPart)
+	if len(fields) > 2 {
+		return s, fmt.Errorf("sample %s has trailing garbage: %q", s.Name, valPart)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %s has invalid value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s has invalid timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block, returning the labels
+// and how many bytes were consumed.
+func parseLabels(in string) (map[string]string, int, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(in) && in[i] == ' ' {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(in) && isLabelChar(in[i], i == start) {
+			i++
+		}
+		name := in[start:i]
+		if name == "" || (name != "le" && !validLabelName(name)) {
+			return nil, 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, 0, fmt.Errorf("duplicate label %q", name)
+		}
+		if i >= len(in) || in[i] != '=' {
+			return nil, 0, fmt.Errorf("label %s missing '='", name)
+		}
+		i++
+		if i >= len(in) || in[i] != '"' {
+			return nil, 0, fmt.Errorf("label %s missing opening quote", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, 0, fmt.Errorf("label %s unterminated", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return nil, 0, fmt.Errorf("label %s trailing backslash", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, 0, fmt.Errorf("label %s bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, i + 1, nil
+		}
+		return nil, 0, fmt.Errorf("label block: expected ',' or '}' after %s", name)
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// familyOf strips a histogram suffix from a sample name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// sampleBelongs reports whether the sample name is valid inside the
+// family: the exact name for counters and gauges, the _bucket/_sum/_count
+// forms for histograms.
+func sampleBelongs(f *Family, name string) bool {
+	if f.Type == "histogram" {
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return name == f.Name
+}
+
+// seriesKey canonicalizes a sample into its unique-series identity.
+func seriesKey(s ParsedSample) string {
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, s.Labels[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// validateHistogram checks every labelset group of a histogram family:
+// strictly increasing le bounds ending in +Inf, non-decreasing cumulative
+// counts, and _count present and equal to the +Inf bucket.
+func validateHistogram(f *Family) error {
+	type group struct {
+		les      []float64
+		counts   []float64
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	key := func(labels map[string]string) string {
+		names := make([]string, 0, len(labels))
+		for n := range labels {
+			if n == "le" {
+				continue
+			}
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s=%q,", n, labels[n])
+		}
+		return b.String()
+	}
+	get := func(k string) *group {
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		k := key(s.Labels)
+		g := get(k)
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: invalid le %q", f.Name, leStr)
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			g.hasSum = true
+		case f.Name + "_count":
+			g.hasCount = true
+			g.count = s.Value
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		where := f.Name
+		if k != "" {
+			where = fmt.Sprintf("%s{%s}", f.Name, strings.TrimSuffix(k, ","))
+		}
+		if len(g.les) == 0 {
+			return fmt.Errorf("histogram %s: no buckets", where)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if !(g.les[i] > g.les[i-1]) {
+				return fmt.Errorf("histogram %s: le bounds not strictly increasing (%g then %g)",
+					where, g.les[i-1], g.les[i])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s: cumulative counts decrease (%g then %g at le=%g)",
+					where, g.counts[i-1], g.counts[i], g.les[i])
+			}
+		}
+		last := len(g.les) - 1
+		if !math.IsInf(g.les[last], 1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", where)
+		}
+		if !g.hasCount {
+			return fmt.Errorf("histogram %s: missing _count", where)
+		}
+		if !g.hasSum {
+			return fmt.Errorf("histogram %s: missing _sum", where)
+		}
+		if g.count != g.counts[last] {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", where, g.count, g.counts[last])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package promtext renders and parses the Prometheus text exposition
+// format (version 0.0.4) using only the standard library.
+//
+// The Writer half is what dedupd's /metrics?format=prometheus endpoint
+// renders through: counter, gauge, and histogram families with
+// bounded-cardinality labels, one HELP/TYPE header per family, samples
+// escaped and ordered deterministically. The Parser half is deliberately
+// stricter than Prometheus itself — it enforces metric-name and
+// label-name syntax, contiguous families, unique series, and monotone
+// cumulative histogram buckets — and backs the CI scrape-lint test, so a
+// malformed exposition fails the build rather than an on-call's query.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"fuzzydup/internal/obs"
+)
+
+// ContentType is the Content-Type of a text exposition response.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair. Sample labels render in the order
+// given; the writer validates names and escapes values.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one series of a counter or gauge family: a label set and its
+// current value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// HistogramSample is one series of a histogram family: a label set and
+// the obs histogram snapshot to render as cumulative buckets.
+type HistogramSample struct {
+	Labels   []Label
+	Snapshot obs.Snapshot
+}
+
+// Writer renders families to an io.Writer. Errors are sticky: rendering
+// continues as a no-op after the first write error, reported by Err.
+// Family names must be unique per writer; duplicates panic, since the
+// family set is static configuration.
+type Writer struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewWriter returns a Writer rendering to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Counter renders one counter family. By convention the name should end
+// in "_total".
+func (w *Writer) Counter(name, help string, samples ...Sample) {
+	w.family(name, "counter", help, samples)
+}
+
+// Gauge renders one gauge family.
+func (w *Writer) Gauge(name, help string, samples ...Sample) {
+	w.family(name, "gauge", help, samples)
+}
+
+func (w *Writer) family(name, typ, help string, samples []Sample) {
+	w.header(name, typ, help)
+	for _, s := range samples {
+		w.sample(name, s.Labels, "", s.Value)
+	}
+}
+
+// Histogram renders one histogram family: cumulative le buckets
+// (including +Inf), _sum, and _count per label set. The +Inf bucket and
+// _count are both computed as the sum of the snapshot's per-bucket
+// counts, so the exposition is self-consistent even when the snapshot
+// was taken while observations raced.
+func (w *Writer) Histogram(name, help string, samples ...HistogramSample) {
+	w.header(name, "histogram", help)
+	for _, s := range samples {
+		var cum int64
+		for _, b := range s.Snapshot.Buckets {
+			cum += b.N
+			w.sample(name+"_bucket", s.Labels, formatFloat(b.Le), float64(cum))
+		}
+		cum += s.Snapshot.Overflow
+		w.sample(name+"_bucket", s.Labels, "+Inf", float64(cum))
+		w.sample(name+"_sum", s.Labels, "", s.Snapshot.Sum)
+		w.sample(name+"_count", s.Labels, "", float64(cum))
+	}
+}
+
+func (w *Writer) header(name, typ, help string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("promtext: invalid metric name %q", name))
+	}
+	if w.seen[name] {
+		panic(fmt.Sprintf("promtext: duplicate family %q", name))
+	}
+	w.seen[name] = true
+	if help != "" {
+		w.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	w.printf("# TYPE %s %s\n", name, typ)
+}
+
+// sample renders one line. le, when non-empty, is appended as the
+// trailing "le" label (histogram buckets).
+func (w *Writer) sample(name string, labels []Label, le string, v float64) {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if !validLabelName(l.Name) {
+				panic(fmt.Sprintf("promtext: invalid label name %q", l.Name))
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+	w.printf("%s", b.String())
+}
+
+func (w *Writer) printf(format string, args ...any) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.w, format, args...)
+}
+
+// formatFloat renders a value the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value: backslash, quote, newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]* and
+// is not reserved (double-underscore prefix, or "le" which the writer
+// owns on histogram buckets).
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") || name == "le" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

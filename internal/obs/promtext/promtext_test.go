@@ -1,0 +1,240 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/obs"
+)
+
+// renderFixture writes a representative exposition: counters (plain and
+// labeled), gauges, and histograms (plain and labeled), with values that
+// exercise escaping and float formatting.
+func renderFixture() string {
+	h := obs.NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} { // one per bucket + overflow
+		h.Observe(v)
+	}
+	var b strings.Builder
+	w := NewWriter(&b)
+	w.Counter("dedupd_jobs_done_total", "Jobs finished successfully.", Sample{Value: 42})
+	w.Counter("dedupd_slow_ops_total", "Slow operations by kind.",
+		Sample{Labels: []Label{{Name: "kind", Value: "query"}}, Value: 1},
+		Sample{Labels: []Label{{Name: "kind", Value: "job"}}, Value: 2})
+	w.Gauge("dedupd_jobs_running", "Jobs currently executing.", Sample{Value: 3})
+	w.Gauge("dedupd_quoted", `Help with backslash \ and
+newline.`, Sample{Labels: []Label{{Name: "path", Value: `a"b\c` + "\nd"}}, Value: 1.5})
+	w.Histogram("dedupd_latency_ms", "Latencies.", HistogramSample{Snapshot: h.Snapshot()})
+	w.Histogram("dedupd_latency_by_kind_ms", "Latencies by kind.",
+		HistogramSample{Labels: []Label{{Name: "kind", Value: "a"}}, Snapshot: h.Snapshot()},
+		HistogramSample{Labels: []Label{{Name: "kind", Value: "b"}}, Snapshot: h.Snapshot()})
+	if w.Err() != nil {
+		panic(w.Err())
+	}
+	return b.String()
+}
+
+func TestWriterRoundTripsThroughStrictParse(t *testing.T) {
+	text := renderFixture()
+	families, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("strict parse rejected writer output: %v\n%s", err, text)
+	}
+	byName := make(map[string]Family)
+	for _, f := range families {
+		byName[f.Name] = f
+	}
+	if f := byName["dedupd_jobs_done_total"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Errorf("jobs_done family = %+v", f)
+	}
+	if f := byName["dedupd_slow_ops_total"]; len(f.Samples) != 2 || f.Samples[1].Labels["kind"] != "job" {
+		t.Errorf("slow_ops family = %+v", f)
+	}
+	// Escaped label value survives the round trip.
+	g := byName["dedupd_quoted"]
+	if len(g.Samples) != 1 || g.Samples[0].Labels["path"] != "a\"b\\c\nd" {
+		t.Errorf("escaped label = %+v", g.Samples)
+	}
+	// Histogram: cumulative buckets 1,2,3 then +Inf=4, count=4.
+	hf := byName["dedupd_latency_ms"]
+	var infVal, countVal float64
+	for _, s := range hf.Samples {
+		if s.Name == "dedupd_latency_ms_bucket" && s.Labels["le"] == "+Inf" {
+			infVal = s.Value
+		}
+		if s.Name == "dedupd_latency_ms_count" {
+			countVal = s.Value
+		}
+	}
+	if infVal != 4 || countVal != 4 {
+		t.Errorf("+Inf = %g, count = %g, want 4", infVal, countVal)
+	}
+	// Labeled histogram parses as two independent groups.
+	if f := byName["dedupd_latency_by_kind_ms"]; len(f.Samples) != 12 {
+		t.Errorf("labeled histogram samples = %d, want 12", len(f.Samples))
+	}
+}
+
+func TestWriterPanicsOnInvalidNames(t *testing.T) {
+	mustPanic := func(name string, f func(w *Writer)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f(NewWriter(&strings.Builder{}))
+	}
+	mustPanic("bad metric name", func(w *Writer) { w.Counter("1bad", "", Sample{}) })
+	mustPanic("metric name with dash", func(w *Writer) { w.Gauge("bad-name", "", Sample{}) })
+	mustPanic("bad label name", func(w *Writer) {
+		w.Counter("ok_total", "", Sample{Labels: []Label{{Name: "1bad", Value: "x"}}})
+	})
+	mustPanic("reserved label le", func(w *Writer) {
+		w.Counter("ok_total", "", Sample{Labels: []Label{{Name: "le", Value: "x"}}})
+	})
+	mustPanic("reserved __ prefix", func(w *Writer) {
+		w.Counter("ok_total", "", Sample{Labels: []Label{{Name: "__x", Value: "x"}}})
+	})
+	mustPanic("duplicate family", func(w *Writer) {
+		w.Counter("ok_total", "", Sample{Value: 1})
+		w.Counter("ok_total", "", Sample{Value: 2})
+	})
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		1.5:         "1.5",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("NaN renders %q", got)
+	}
+}
+
+func TestParseRejectsMalformedExpositions(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the error
+	}{
+		{
+			"duplicate series",
+			"# TYPE a_total counter\na_total 1\na_total 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate labeled series",
+			"# TYPE a_total counter\na_total{k=\"x\"} 1\na_total{k=\"x\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"family split",
+			"# TYPE a_total counter\na_total 1\n# TYPE b gauge\nb 1\n# TYPE a_total counter\na_total 2\n",
+			"family split",
+		},
+		{
+			"sample without TYPE",
+			"a_total 1\n",
+			"before any TYPE",
+		},
+		{
+			"sample outside its family",
+			"# TYPE a_total counter\nb_total 1\n",
+			"does not belong",
+		},
+		{
+			"negative counter",
+			"# TYPE a_total counter\na_total -1\n",
+			"negative value",
+		},
+		{
+			"non-monotone buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"cumulative counts decrease",
+		},
+		{
+			"missing +Inf bucket",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			"missing +Inf",
+		},
+		{
+			"count disagrees with +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+			"_count 4 != +Inf bucket 5",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+		{
+			"le bounds out of order",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"not strictly increasing",
+		},
+		{
+			"bad metric name",
+			"# TYPE 1bad counter\n",
+			"invalid metric name",
+		},
+		{
+			"bad label name",
+			"# TYPE a_total counter\na_total{1bad=\"x\"} 1\n",
+			"invalid label name",
+		},
+		{
+			"unterminated label",
+			"# TYPE a_total counter\na_total{k=\"x} 1\n",
+			"unterminated",
+		},
+		{
+			"HELP without TYPE",
+			"# HELP a_total something\n",
+			"has no TYPE",
+		},
+		{
+			"HELP TYPE mismatch",
+			"# HELP a_total something\n# TYPE b_total counter\n",
+			"does not match",
+		},
+		{
+			"unknown type",
+			"# TYPE a_total sparkline\n",
+			"unknown type",
+		},
+		{
+			"stray comment",
+			"# EOF\n",
+			"neither HELP nor TYPE",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.text))
+		if err == nil {
+			t.Errorf("%s: accepted\n%s", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseAcceptsTimestampsAndBlankLines(t *testing.T) {
+	text := "# HELP a_total A counter.\n# TYPE a_total counter\n\na_total 5 1700000000000\n"
+	families, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(families) != 1 || families[0].Help != "A counter." || families[0].Samples[0].Value != 5 {
+		t.Errorf("families = %+v", families)
+	}
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is one completed span tree: the root span plus every descendant
+// that ended before it, with a counter rollup summed across all spans.
+type Trace struct {
+	// ID is the trace ID the root span minted.
+	ID string
+	// Root is the root span's name (which equals its path).
+	Root string
+	// Start and Duration are the root span's.
+	Start    time.Time
+	Duration time.Duration
+	// Err is the first non-empty error found on any span of the trace
+	// (root checked first). A trace with Err != "" is retained
+	// unconditionally by the tail sampler.
+	Err string
+	// Spans holds every span of the trace in End order; the root is last.
+	Spans []SpanData
+	// Rollup sums each named counter across all spans. Counters live on
+	// exactly one level of the instrumented tree (phase counters on phase
+	// spans, totals on the root), so the sum does not double-count.
+	Rollup map[string]int64
+}
+
+// TraceBuffer is a Sink that reassembles completed spans into traces and
+// retains them in fixed-size rings with tail sampling:
+//
+//   - every errored trace is kept (up to capacity, newest win),
+//   - the slowest N traces per root path are kept regardless of age,
+//   - the most recent capacity traces are kept as context.
+//
+// The decision is made at trace completion — tail sampling — so slow and
+// failed work is always inspectable even under high trace volume, without
+// head-based sampling's blind spots. All methods are safe for concurrent
+// use; Emit is called from whatever goroutine ends a span.
+type TraceBuffer struct {
+	capacity int
+	slowN    int
+
+	mu      sync.Mutex
+	pending map[string][]SpanData // trace ID -> spans whose root has not ended
+	recent  ring
+	errored ring
+	slowest map[string][]*Trace // root path -> up to slowN traces, slowest first
+
+	completed    int64 // traces finalized over the buffer's life
+	orphanSpans  int64 // spans dropped for missing/overflowed pending state
+	pendingLimit int
+}
+
+// ring is a fixed-size overwrite-oldest buffer of traces.
+type ring struct {
+	buf []*Trace
+	pos int
+	n   int
+}
+
+func (r *ring) add(t *Trace) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// all returns the ring's traces, oldest first.
+func (r *ring) all() []*Trace {
+	out := make([]*Trace, 0, r.n)
+	start := r.pos - r.n
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[((start+i)%len(r.buf)+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// NewTraceBuffer builds a buffer retaining up to capacity recent traces,
+// up to capacity errored traces, and the slowestPerPath slowest traces
+// per root path. Non-positive arguments select 256 and 8.
+func NewTraceBuffer(capacity, slowestPerPath int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if slowestPerPath <= 0 {
+		slowestPerPath = 8
+	}
+	return &TraceBuffer{
+		capacity: capacity,
+		slowN:    slowestPerPath,
+		pending:  make(map[string][]SpanData),
+		recent:   ring{buf: make([]*Trace, capacity)},
+		errored:  ring{buf: make([]*Trace, capacity)},
+		slowest:  make(map[string][]*Trace),
+		// Unfinished traces cannot accumulate without bound: beyond this
+		// many simultaneously-open traces, spans of new traces are dropped
+		// (and counted) until roots end.
+		pendingLimit: 4 * capacity,
+	}
+}
+
+// Emit implements Sink. A span whose path contains no separator is a
+// root: its trace is finalized and handed to the retention policy.
+func (b *TraceBuffer) Emit(d SpanData) {
+	if d.TraceID == "" {
+		return
+	}
+	isRoot := d.Path == d.Name
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !isRoot {
+		spans, ok := b.pending[d.TraceID]
+		if !ok && len(b.pending) >= b.pendingLimit {
+			b.orphanSpans++
+			return
+		}
+		b.pending[d.TraceID] = append(spans, d)
+		return
+	}
+	spans := append(b.pending[d.TraceID], d)
+	delete(b.pending, d.TraceID)
+	b.retain(buildTrace(spans))
+}
+
+// buildTrace assembles the finalized trace from its spans (root last).
+func buildTrace(spans []SpanData) *Trace {
+	root := spans[len(spans)-1]
+	t := &Trace{
+		ID:       root.TraceID,
+		Root:     root.Path,
+		Start:    root.Start,
+		Duration: root.Duration,
+		Err:      root.Err,
+		Spans:    spans,
+	}
+	for _, s := range spans {
+		if t.Err == "" && s.Err != "" {
+			t.Err = s.Err
+		}
+		for k, v := range s.Counters {
+			if t.Rollup == nil {
+				t.Rollup = make(map[string]int64)
+			}
+			t.Rollup[k] += v
+		}
+	}
+	return t
+}
+
+// retain applies the tail-sampling policy. Caller holds b.mu.
+func (b *TraceBuffer) retain(t *Trace) {
+	b.completed++
+	b.recent.add(t)
+	if t.Err != "" {
+		b.errored.add(t)
+	}
+	s := b.slowest[t.Root]
+	i := sort.Search(len(s), func(i int) bool { return s[i].Duration < t.Duration })
+	if i < b.slowN {
+		s = append(s, nil)
+		copy(s[i+1:], s[i:])
+		s[i] = t
+		if len(s) > b.slowN {
+			s = s[:b.slowN]
+		}
+		b.slowest[t.Root] = s
+	}
+}
+
+// TraceStats summarizes the buffer's activity.
+type TraceStats struct {
+	// Completed counts traces finalized since the buffer was built.
+	Completed int64 `json:"completed"`
+	// Retained is the number of distinct traces currently held.
+	Retained int `json:"retained"`
+	// Pending is the number of traces with spans but no ended root yet.
+	Pending int `json:"pending"`
+	// OrphanSpans counts spans dropped because their trace's pending
+	// state was missing or the open-trace limit was hit.
+	OrphanSpans int64 `json:"orphan_spans"`
+}
+
+// Stats returns the buffer's activity counters.
+func (b *TraceBuffer) Stats() TraceStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := make(map[string]struct{})
+	for _, t := range b.recent.all() {
+		seen[t.ID] = struct{}{}
+	}
+	for _, t := range b.errored.all() {
+		seen[t.ID] = struct{}{}
+	}
+	for _, s := range b.slowest {
+		for _, t := range s {
+			seen[t.ID] = struct{}{}
+		}
+	}
+	return TraceStats{
+		Completed:   b.completed,
+		Retained:    len(seen),
+		Pending:     len(b.pending),
+		OrphanSpans: b.orphanSpans,
+	}
+}
+
+// RetainedTrace is one held trace plus why it is held: any of "recent",
+// "slow", "error".
+type RetainedTrace struct {
+	*Trace
+	Kept []string
+}
+
+// Traces returns every retained trace exactly once, oldest first, each
+// annotated with the retention reasons that apply. The returned traces
+// are shared with the buffer and must be treated as immutable.
+func (b *TraceBuffer) Traces() []RetainedTrace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := make(map[string]int)
+	var out []RetainedTrace
+	add := func(t *Trace, why string) {
+		i, ok := idx[t.ID]
+		if !ok {
+			i = len(out)
+			idx[t.ID] = i
+			out = append(out, RetainedTrace{Trace: t})
+		}
+		for _, k := range out[i].Kept {
+			if k == why {
+				return
+			}
+		}
+		out[i].Kept = append(out[i].Kept, why)
+	}
+	for _, t := range b.recent.all() {
+		add(t, "recent")
+	}
+	for _, t := range b.errored.all() {
+		add(t, "error")
+	}
+	for _, s := range b.slowest {
+		for _, t := range s {
+			add(t, "slow")
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Errored returns the retained errored traces, oldest first.
+func (b *TraceBuffer) Errored() []*Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.errored.all()
+}
+
+// Slowest returns the retained slowest traces for one root path,
+// slowest first (nil for an unknown path).
+func (b *TraceBuffer) Slowest(root string) []*Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*Trace(nil), b.slowest[root]...)
+}

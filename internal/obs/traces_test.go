@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// endTrace builds one complete trace through the buffer: a root with two
+// children, durations driven by the fake clock.
+func endTrace(tr *Tracer, clock *fakeClock, root string, d time.Duration, fail error) {
+	sp := tr.Start(root)
+	c := sp.Child("phase1")
+	c.Add("lookups", 10)
+	c.End()
+	c2 := sp.Child("phase2")
+	c2.Add("groups", 3)
+	if fail != nil {
+		c2.SetError(fail)
+	}
+	c2.End()
+	sp.Add("distance_calls", 5)
+	clock.advance(d)
+	sp.End()
+}
+
+func TestTraceAssemblyAndRollup(t *testing.T) {
+	clock := newFakeClock(0)
+	buf := NewTraceBuffer(8, 2)
+	tr := &Tracer{Sink: buf, Now: clock.Now}
+
+	endTrace(tr, clock, "job.batch", 40*time.Millisecond, nil)
+
+	traces := buf.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tc := traces[0]
+	if tc.Root != "job.batch" || tc.ID == "" {
+		t.Errorf("trace root=%q id=%q", tc.Root, tc.ID)
+	}
+	if tc.Duration != 40*time.Millisecond {
+		t.Errorf("duration = %s, want 40ms", tc.Duration)
+	}
+	if len(tc.Spans) != 3 || tc.Spans[2].Path != "job.batch" {
+		t.Fatalf("spans = %+v", tc.Spans)
+	}
+	for _, sp := range tc.Spans {
+		if sp.TraceID != tc.ID {
+			t.Errorf("span %s trace ID %q != %q", sp.Path, sp.TraceID, tc.ID)
+		}
+	}
+	want := map[string]int64{"lookups": 10, "groups": 3, "distance_calls": 5}
+	for k, v := range want {
+		if tc.Rollup[k] != v {
+			t.Errorf("rollup[%s] = %d, want %d", k, tc.Rollup[k], v)
+		}
+	}
+	if len(tc.Kept) == 0 || tc.Kept[0] != "recent" {
+		t.Errorf("kept = %v", tc.Kept)
+	}
+	st := buf.Stats()
+	if st.Completed != 1 || st.Retained != 1 || st.Pending != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTraceErrorRetention(t *testing.T) {
+	clock := newFakeClock(0)
+	// Capacity 2: errored traces must survive the recent ring wrapping.
+	buf := NewTraceBuffer(2, 1)
+	tr := &Tracer{Sink: buf, Now: clock.Now}
+
+	endTrace(tr, clock, "job.batch", time.Millisecond, errors.New("index exploded"))
+	for i := 0; i < 5; i++ {
+		endTrace(tr, clock, "job.batch", time.Millisecond, nil)
+	}
+
+	errored := buf.Errored()
+	if len(errored) != 1 {
+		t.Fatalf("errored traces = %d, want 1", len(errored))
+	}
+	if errored[0].Err != "index exploded" {
+		t.Errorf("err = %q", errored[0].Err)
+	}
+	var kept []string
+	for _, rt := range buf.Traces() {
+		if rt.ID == errored[0].ID {
+			kept = rt.Kept
+		}
+	}
+	found := false
+	for _, k := range kept {
+		if k == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("errored trace kept reasons = %v, want to include error", kept)
+	}
+}
+
+func TestTraceErrorPropagatesFromRoot(t *testing.T) {
+	clock := newFakeClock(0)
+	buf := NewTraceBuffer(4, 1)
+	tr := &Tracer{Sink: buf, Now: clock.Now}
+	sp := tr.Start("job.batch")
+	sp.SetError(errors.New("cancelled"))
+	sp.End()
+	if got := buf.Errored(); len(got) != 1 || got[0].Err != "cancelled" {
+		t.Fatalf("errored = %+v", got)
+	}
+}
+
+func TestTailSamplingKeepsSlowest(t *testing.T) {
+	clock := newFakeClock(0)
+	// Tiny recent ring: only tail sampling can keep the slow outliers.
+	buf := NewTraceBuffer(2, 2)
+	tr := &Tracer{Sink: buf, Now: clock.Now}
+
+	durations := []time.Duration{
+		5 * time.Millisecond,
+		900 * time.Millisecond, // slowest
+		1 * time.Millisecond,
+		400 * time.Millisecond, // second slowest
+		2 * time.Millisecond,
+		3 * time.Millisecond,
+		4 * time.Millisecond,
+	}
+	for _, d := range durations {
+		endTrace(tr, clock, "job.batch", d, nil)
+	}
+
+	slowest := buf.Slowest("job.batch")
+	if len(slowest) != 2 {
+		t.Fatalf("slowest = %d traces, want 2", len(slowest))
+	}
+	if slowest[0].Duration != 900*time.Millisecond || slowest[1].Duration != 400*time.Millisecond {
+		t.Errorf("slowest durations = %s, %s", slowest[0].Duration, slowest[1].Duration)
+	}
+	// The slow outliers are long gone from the 2-deep recent ring but
+	// still retained, flagged "slow".
+	var reasons []string
+	for _, rt := range buf.Traces() {
+		if rt.Duration == 900*time.Millisecond {
+			reasons = rt.Kept
+		}
+	}
+	if len(reasons) != 1 || reasons[0] != "slow" {
+		t.Errorf("slow outlier kept = %v, want [slow]", reasons)
+	}
+	// Per-path isolation: another root gets its own slowest set.
+	endTrace(tr, clock, "job.incremental", 7*time.Millisecond, nil)
+	if got := buf.Slowest("job.incremental"); len(got) != 1 {
+		t.Errorf("incremental slowest = %d, want 1", len(got))
+	}
+}
+
+func TestTraceBufferOrphanLimit(t *testing.T) {
+	clock := newFakeClock(0)
+	buf := NewTraceBuffer(1, 1) // pendingLimit = 4
+	tr := &Tracer{Sink: buf, Now: clock.Now}
+
+	// Open 5 traces and end only a child span of each: the 5th exceeds
+	// the open-trace limit and its span is dropped as an orphan.
+	var roots []*Span
+	for i := 0; i < 5; i++ {
+		sp := tr.Start("job.batch")
+		sp.Child("phase1").End()
+		roots = append(roots, sp)
+	}
+	st := buf.Stats()
+	if st.Pending != 4 || st.OrphanSpans != 1 {
+		t.Fatalf("stats = %+v, want pending=4 orphans=1", st)
+	}
+	// Ending the tracked roots finalizes their traces and frees slots.
+	for _, sp := range roots[:4] {
+		sp.End()
+	}
+	if st = buf.Stats(); st.Completed != 4 || st.Pending != 0 {
+		t.Errorf("after ends: %+v", st)
+	}
+}
+
+func TestSubTracerNestsUnderParent(t *testing.T) {
+	clock := newFakeClock(0)
+	buf := NewTraceBuffer(4, 1)
+	tr := &Tracer{Sink: buf, Now: clock.Now}
+
+	root := tr.Start("job.batch")
+	// Code instrumented against a *Tracer (the fuzzydup facade) starts
+	// what it thinks is a root span; through the sub-tracer it nests.
+	sub := root.Tracer()
+	inner := sub.Start("dedup.solve")
+	inner.Child("phase1").End()
+	inner.End()
+	root.End()
+
+	traces := buf.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1 (sub-tracer must not mint a new trace)", len(traces))
+	}
+	paths := make(map[string]bool)
+	for _, sp := range traces[0].Spans {
+		paths[sp.Path] = true
+	}
+	for _, want := range []string{"job.batch", "job.batch/dedup.solve", "job.batch/dedup.solve/phase1"} {
+		if !paths[want] {
+			t.Errorf("missing span path %q in %v", want, paths)
+		}
+	}
+
+	// A nil span yields a nil sub-tracer, preserving the disabled path.
+	var nilSpan *Span
+	if nilSpan.Tracer() != nil {
+		t.Error("nil span returned a non-nil tracer")
+	}
+}
+
+// TestTraceBufferRaceHammer drives many concurrent traces — some erroring,
+// with varying durations — through one buffer; run with -race. Asserts
+// that everything completes, errored traces are retained, and the slowest
+// set is populated.
+func TestTraceBufferRaceHammer(t *testing.T) {
+	buf := NewTraceBuffer(16, 4)
+	tr := &Tracer{Sink: buf}
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Start(fmt.Sprintf("job.%d", w%2))
+				c := sp.Child("phase1")
+				c.Add("lookups", 1)
+				if i%10 == 0 {
+					c.SetError(errors.New("boom"))
+				}
+				c.End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := buf.Stats()
+	if st.Completed != workers*perWorker {
+		t.Errorf("completed = %d, want %d", st.Completed, workers*perWorker)
+	}
+	if st.Pending != 0 || st.OrphanSpans != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(buf.Errored()) == 0 {
+		t.Error("no errored traces retained")
+	}
+	if len(buf.Slowest("job.0")) == 0 || len(buf.Slowest("job.1")) == 0 {
+		t.Error("slowest sets empty")
+	}
+	for _, rt := range buf.Traces() {
+		if len(rt.Spans) != 2 {
+			t.Fatalf("trace %s has %d spans, want 2", rt.ID, len(rt.Spans))
+		}
+	}
+}
+
+// TestDisabledPathsAllocateNothing pins the zero-cost contract: with no
+// tracer configured, instrumented code must not allocate.
+func TestDisabledPathsAllocateNothing(t *testing.T) {
+	var tr *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("solve")
+		c := sp.Child("phase1")
+		c.Add("lookups", 1)
+		c.SetError(nil)
+		c.End()
+		sub := sp.Tracer()
+		sub.Start("nested").End()
+		sp.End()
+	}); n != 0 {
+		t.Errorf("nil-tracer path allocates %.1f per run, want 0", n)
+	}
+
+	h := NewHistogram(1, 10, 100)
+	if n := testing.AllocsPerRun(100, func() {
+		h.Observe(3)
+		h.ObserveDuration(2 * time.Millisecond)
+	}); n != 0 {
+		t.Errorf("histogram observe allocates %.1f per run, want 0", n)
+	}
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"fuzzydup/internal/obs"
+)
+
+// Debug endpoints for the telemetry pipeline:
+//
+//	GET /debug/traces   the retained span trees (tail-sampled: all
+//	                    errored traces, the slowest per root path, and
+//	                    a recent ring), with per-trace counter rollups
+//	GET /debug/slowops  the slow-op ring, newest first (?n= limits)
+
+// traceSpanDTO is one span of a rendered trace.
+type traceSpanDTO struct {
+	Name       string           `json:"name"`
+	Path       string           `json:"path"`
+	Start      time.Time        `json:"start"`
+	DurationUs int64            `json:"duration_us"`
+	Error      string           `json:"error,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// traceDTO is one retained trace.
+type traceDTO struct {
+	ID         string    `json:"id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationUs int64     `json:"duration_us"`
+	Error      string    `json:"error,omitempty"`
+	// Kept lists why the trace is retained: "recent", "slow", "error".
+	Kept []string `json:"kept"`
+	// Rollup sums each counter across the trace's spans.
+	Rollup map[string]int64 `json:"rollup,omitempty"`
+	Spans  []traceSpanDTO   `json:"spans"`
+}
+
+// tracesResponse is the body of GET /debug/traces.
+type tracesResponse struct {
+	Stats  obs.TraceStats `json:"stats"`
+	Traces []traceDTO     `json:"traces"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	retained := s.traces.Traces()
+	out := make([]traceDTO, len(retained))
+	for i, t := range retained {
+		spans := make([]traceSpanDTO, len(t.Spans))
+		for j, sp := range t.Spans {
+			spans[j] = traceSpanDTO{
+				Name:       sp.Name,
+				Path:       sp.Path,
+				Start:      sp.Start,
+				DurationUs: sp.Duration.Microseconds(),
+				Error:      sp.Err,
+				Counters:   sp.Counters,
+			}
+		}
+		out[i] = traceDTO{
+			ID:         t.ID,
+			Root:       t.Root,
+			Start:      t.Start,
+			DurationUs: t.Duration.Microseconds(),
+			Error:      t.Err,
+			Kept:       t.Kept,
+			Rollup:     t.Rollup,
+			Spans:      spans,
+		}
+	}
+	writeJSON(w, http.StatusOK, tracesResponse{Stats: s.traces.Stats(), Traces: out})
+}
+
+// slowOpsResponse is the body of GET /debug/slowops.
+type slowOpsResponse struct {
+	// Total is what slow_ops in /metrics counts, summed over kinds.
+	Total   int64    `json:"total"`
+	SlowOps []SlowOp `json:"slow_ops"`
+}
+
+func (s *Server) handleDebugSlowOps(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad_param", "n must be a non-negative integer")
+			return
+		}
+		n = v
+	}
+	var total int64
+	for _, c := range s.metrics.slowOpsKind {
+		total += c.Value()
+	}
+	writeJSON(w, http.StatusOK, slowOpsResponse{Total: total, SlowOps: s.slowOps.tail(n)})
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"fuzzydup"
+	"fuzzydup/internal/obs"
 )
 
 // Incremental sessions: a per-dataset fuzzydup.Incremental engine kept
@@ -95,9 +96,14 @@ func (k sessionKey) options() fuzzydup.Options {
 // "build" entry). ctx is polled between operations so a cancelled job
 // stops repairing; the session stays consistent (each applied op is a
 // complete repair) and the next job finishes the reconciliation.
-func (s *incSession) reconcile(ctx context.Context, records []fuzzydup.Record, rids []int64) ([]fuzzydup.RepairStats, error) {
+func (s *incSession) reconcile(ctx context.Context, records []fuzzydup.Record, rids []int64, tr *obs.Tracer) ([]fuzzydup.RepairStats, error) {
 	if s.inc == nil {
-		inc, err := fuzzydup.NewIncremental(records, s.key.ispec(), s.key.options())
+		opts := s.key.options()
+		// The initial build's solve spans nest under the building job's
+		// trace. Later repairs run without spans (the engine outlives any
+		// single job), but their stats still reach the job via LastRepair.
+		opts.Tracer = tr
+		inc, err := fuzzydup.NewIncremental(records, s.key.ispec(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +227,7 @@ func (e *Engine) solveIncremental(j *job) error {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
-	stats, err := sess.reconcile(j.ctx, records, rids)
+	stats, err := sess.reconcile(j.ctx, records, rids, j.span.Tracer())
 	for _, st := range stats {
 		// Each repair op is a first-class unit of phase work: its dirty
 		// relookup and stitched partition land in the same phase1/phase2
@@ -233,6 +239,17 @@ func (e *Engine) solveIncremental(j *job) error {
 		e.metrics.phase1Duration.ObserveDuration(st.Phase1)
 		e.metrics.phase2Duration.ObserveDuration(st.Phase2)
 		e.metrics.repairDuration.ObserveDuration(st.Phase1 + st.Phase2)
+		e.slow.note("repair", st.Phase1+st.Phase2, func() SlowOp {
+			return SlowOp{
+				Dataset:   j.spec.Dataset,
+				Job:       j.id,
+				RequestID: j.requestID,
+				Counters: map[string]int64{
+					"dirty_lookups":  int64(st.DirtyLookups),
+					"distance_calls": st.DistanceCalls,
+				},
+			}
+		})
 	}
 	if err != nil {
 		return err

@@ -24,7 +24,7 @@ func TestReconcileFollowsSnapshot(t *testing.T) {
 
 	recs := []fuzzydup.Record{{"alpha one"}, {"alpha onE"}, {"zebra far away"}}
 	rids := []int64{1, 2, 3}
-	stats, err := sess.reconcile(context.Background(), recs, rids)
+	stats, err := sess.reconcile(context.Background(), recs, rids, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestReconcileFollowsSnapshot(t *testing.T) {
 	}
 
 	// Same snapshot again: nothing to do.
-	stats, err = sess.reconcile(context.Background(), recs, rids)
+	stats, err = sess.reconcile(context.Background(), recs, rids, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestReconcileFollowsSnapshot(t *testing.T) {
 	// of delete-then-upsert within the reconcile.
 	recs2 := []fuzzydup.Record{{"alpha one two"}, {"zebra far away"}, {"new record here"}}
 	rids2 := []int64{1, 3, 4}
-	stats, err = sess.reconcile(context.Background(), recs2, rids2)
+	stats, err = sess.reconcile(context.Background(), recs2, rids2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

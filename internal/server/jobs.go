@@ -272,6 +272,11 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// span is the job run's root span ("job.batch" / "job.incremental");
+	// the solve's facade spans nest under it via span.Tracer(). Set by
+	// run() before the solve starts, nil when tracing is off.
+	span *obs.Span
+
 	mu        sync.Mutex
 	state     JobState
 	done      int // sweep points completed
@@ -337,6 +342,11 @@ type Engine struct {
 	logger  *slog.Logger
 	db      *durable.DB // nil in memory-only mode
 
+	// tracer roots one span tree per job run (nil-safe: a nil tracer
+	// records nothing); slow is the slow-op log (nil-safe likewise).
+	tracer *obs.Tracer
+	slow   *slowOpLog
+
 	queue chan *job
 	wg    sync.WaitGroup
 
@@ -378,12 +388,14 @@ func errJobNotFound(id string) error { return &notFoundError{what: "job", id: id
 
 // newEngine starts a pool of workers draining a queue of the given
 // capacity.
-func newEngine(store *Store, metrics *Metrics, logger *slog.Logger, workers, queueCap int, db *durable.DB) *Engine {
+func newEngine(store *Store, metrics *Metrics, logger *slog.Logger, workers, queueCap int, db *durable.DB, tracer *obs.Tracer, slow *slowOpLog) *Engine {
 	e := &Engine{
 		store:   store,
 		metrics: metrics,
 		logger:  logger,
 		db:      db,
+		tracer:  tracer,
+		slow:    slow,
 		queue:   make(chan *job, queueCap),
 		jobs:    make(map[string]*job),
 	}
@@ -604,6 +616,8 @@ func (e *Engine) run(j *job) {
 	j.mu.Unlock()
 	e.metrics.jobsRunning.Add(1)
 	defer e.metrics.jobsRunning.Add(-1)
+	j.span = e.tracer.Start("job." + j.kind())
+	j.span.Add("sweep_points", int64(len(j.points)))
 	e.logger.Info("job started",
 		"job_id", j.id,
 		"kind", j.kind(),
@@ -623,6 +637,9 @@ func (e *Engine) run(j *job) {
 	// mid-run included — so drain behaviour is visible, not censored.
 	elapsed := j.finished.Sub(j.started)
 	e.metrics.jobDuration.ObserveDuration(elapsed)
+	if h := e.metrics.jobDurationKind[j.kind()]; h != nil {
+		h.ObserveDuration(elapsed)
+	}
 	var state JobState
 	switch {
 	case j.ctx.Err() != nil:
@@ -634,7 +651,12 @@ func (e *Engine) run(j *job) {
 	default:
 		state = StateDone
 	}
+	finErr := j.err
 	j.mu.Unlock()
+	// The root span ends here — after the solve's child spans, so the
+	// trace buffer finalizes a complete tree — carrying the outcome.
+	j.span.SetError(finErr)
+	j.span.End()
 
 	if state == StateDone {
 		// Commit the result to the WAL before the state flips to done: no
@@ -670,6 +692,31 @@ func (e *Engine) run(j *job) {
 		attrs = append(attrs, "error", jobErr.Error())
 	}
 	e.logger.Info("job finished", attrs...)
+
+	e.slow.note("job", elapsed, func() SlowOp {
+		op := SlowOp{
+			Dataset:   j.spec.Dataset,
+			Job:       j.id,
+			RequestID: j.requestID,
+		}
+		if jobErr != nil {
+			op.Error = jobErr.Error()
+		}
+		j.mu.Lock()
+		if j.report != nil {
+			op.Counters = map[string]int64{
+				"sweep_points":   int64(len(j.points)),
+				"records":        int64(j.records),
+				"lookups":        j.report.Lookups,
+				"index_probes":   j.report.IndexProbes,
+				"distance_calls": j.report.DistanceCalls,
+				"cache_hits":     int64(j.report.CacheHits),
+				"cache_computes": int64(j.report.CacheComputes),
+			}
+		}
+		j.mu.Unlock()
+		return op
+	})
 }
 
 func (e *Engine) solve(j *job) error {
@@ -685,6 +732,9 @@ func (e *Engine) solve(j *job) error {
 		MinimalCompact: j.spec.MinimalCompact,
 		UseSQL:         j.spec.UseSQL,
 		Parallel:       j.spec.Parallel,
+		// The facade's dedup.solve spans nest under the job's root span,
+		// so each run retains as one coherent trace.
+		Tracer: j.span.Tracer(),
 	}
 	if j.spec.Blocked {
 		opts.Blocking = &fuzzydup.BlockingOptions{

@@ -2,6 +2,7 @@ package server
 
 import (
 	"expvar"
+	"math"
 	"net/http"
 	"strings"
 	"sync"
@@ -10,13 +11,21 @@ import (
 	"fuzzydup/internal/obs"
 )
 
+// httpLatencyBucketsMs are the histogram bounds for per-endpoint request
+// latencies: handlers are quick (jobs run asynchronously), so the range
+// reaches from tens of microseconds up through the request timeout.
+var httpLatencyBucketsMs = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000,
+}
+
 // Metrics holds the service's operational counters. They are expvar
 // values but owned per-Server rather than registered in expvar's global
 // registry, which panics on duplicate names — tests (and embedders) can
 // run many servers in one process. Publish exports them globally for the
 // daemon.
 //
-// Counter map served at GET /metrics:
+// Counter map served at GET /metrics (JSON; add ?format=prometheus for
+// the text exposition rendered by prom.go):
 //
 //	jobs_queued            jobs accepted into the queue (cumulative)
 //	jobs_running           jobs currently executing (gauge)
@@ -31,6 +40,8 @@ import (
 //	phase2_duration_ms     histogram of per-sweep-point phase-2 durations
 //	job_duration_ms        histogram of job run durations (all outcomes,
 //	                       including cancelled mid-run)
+//	job_duration_by_kind   {"batch": hist, "incremental": hist} — the same
+//	                       durations split by job kind
 //	distance_calls         metric invocations across all jobs (cumulative)
 //	blocks_solved          block solves run by blocked jobs (cumulative,
 //	                       all guard rounds included)
@@ -51,8 +62,13 @@ import (
 //	query_pruned_records   candidate records the signature prefilter
 //	                       eliminated without exact verification (cumulative)
 //	query_snapshots_published  query snapshots published by finished jobs
+//	query_snapshot_age_seconds max over datasets of (now − last snapshot
+//	                       publish), computed at scrape time (gauge); 0
+//	                       with no published snapshots
 //	query_duration_ms      histogram of per-query lookup latencies
 //	snapshot_build_duration_ms histogram of query snapshot build times
+//	slow_ops               {"query": n, "job": n, "repair": n} operations
+//	                       that exceeded their slow-op threshold
 //	wal_appends            WAL records appended (cumulative; durable mode)
 //	wal_fsyncs             group-commit fsyncs (cumulative; one fsync
 //	                       typically covers many appends)
@@ -61,8 +77,9 @@ import (
 //	recovery_duration_ms   wall time of the last startup recovery
 //	wal_append_duration_ms histogram of per-append WAL latencies
 //	wal_fsync_duration_ms  histogram of group-commit fsync latencies
-//	endpoints              per-endpoint request count and latency:
-//	                       {"POST /v1/jobs": {"count": n, "total_us": µs}}
+//	endpoints              per-endpoint request count, total latency, and
+//	                       latency histogram: {"POST /v1/jobs": {"count": n,
+//	                       "total_us": µs, "latency_ms": hist}}
 //
 // Histograms render as {"count", "sum", "buckets": [{"le", "n"}, ...],
 // "overflow"} with bounds in milliseconds (see obs.Histogram).
@@ -101,10 +118,14 @@ type Metrics struct {
 	snapshotsTaken   *expvar.Int
 	recoveryDuration *expvar.Int
 
+	slowOps     *expvar.Map
+	slowOpsKind map[string]*expvar.Int
+
 	phase1Duration        *obs.Histogram
 	phase2Duration        *obs.Histogram
 	blockSolveDuration    *obs.Histogram
 	jobDuration           *obs.Histogram
+	jobDurationKind       map[string]*obs.Histogram // "batch", "incremental"
 	repairDuration        *obs.Histogram
 	walAppendDuration     *obs.Histogram
 	walFsyncDuration      *obs.Histogram
@@ -113,6 +134,10 @@ type Metrics struct {
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
+
+	// snapshotAge computes the query_snapshot_age_seconds gauge at scrape
+	// time (set by the Server once the engine exists; nil reads 0).
+	snapshotAge func() float64
 }
 
 func newMetrics() *Metrics {
@@ -147,11 +172,22 @@ func newMetrics() *Metrics {
 		snapshotsTaken:   new(expvar.Int),
 		recoveryDuration: new(expvar.Int),
 
+		slowOps: new(expvar.Map).Init(),
+		slowOpsKind: map[string]*expvar.Int{
+			"query":  new(expvar.Int),
+			"job":    new(expvar.Int),
+			"repair": new(expvar.Int),
+		},
+
 		phase1Duration:     obs.NewHistogram(),
 		phase2Duration:     obs.NewHistogram(),
 		blockSolveDuration: obs.NewHistogram(),
 		jobDuration:        obs.NewHistogram(),
-		repairDuration:     obs.NewHistogram(),
+		jobDurationKind: map[string]*obs.Histogram{
+			"batch":       obs.NewHistogram(),
+			"incremental": obs.NewHistogram(),
+		},
+		repairDuration: obs.NewHistogram(),
 		// WAL operations live in the sub-millisecond range; the default
 		// latency buckets would pile everything into the first bucket.
 		walAppendDuration: obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
@@ -183,8 +219,15 @@ func newMetrics() *Metrics {
 	m.root.Set("query_misses", m.queryMisses)
 	m.root.Set("query_pruned_records", m.queryPruned)
 	m.root.Set("query_snapshots_published", m.snapshotsPublished)
+	m.root.Set("query_snapshot_age_seconds", expvar.Func(func() any {
+		return m.snapshotAgeSeconds()
+	}))
 	m.root.Set("query_duration_ms", m.queryDuration)
 	m.root.Set("snapshot_build_duration_ms", m.snapshotBuildDuration)
+	for kind, v := range m.slowOpsKind {
+		m.slowOps.Set(kind, v)
+	}
+	m.root.Set("slow_ops", m.slowOps)
 	m.root.Set("wal_appends", m.walAppends)
 	m.root.Set("wal_fsyncs", m.walFsyncs)
 	m.root.Set("wal_bytes", m.walBytes)
@@ -195,9 +238,23 @@ func newMetrics() *Metrics {
 	m.root.Set("phase1_duration_ms", m.phase1Duration)
 	m.root.Set("phase2_duration_ms", m.phase2Duration)
 	m.root.Set("job_duration_ms", m.jobDuration)
+	jobKinds := new(expvar.Map).Init()
+	for kind, h := range m.jobDurationKind {
+		jobKinds.Set(kind, h)
+	}
+	m.root.Set("job_duration_by_kind", jobKinds)
 	m.root.Set("repair_duration_ms", m.repairDuration)
 	m.root.Set("endpoints", m.endpoints)
 	return m
+}
+
+// snapshotAgeSeconds evaluates the staleness gauge, rounded to
+// milliseconds so the JSON rendering stays readable.
+func (m *Metrics) snapshotAgeSeconds() float64 {
+	if m.snapshotAge == nil {
+		return 0
+	}
+	return math.Round(m.snapshotAge()*1000) / 1000
 }
 
 // Publish registers the counter map in the global expvar registry under
@@ -207,7 +264,8 @@ func (m *Metrics) Publish(name string) {
 	expvar.Publish(name, m.root)
 }
 
-// observe records one served request for the per-endpoint counters.
+// observe records one served request for the per-endpoint counters and
+// latency histogram.
 func (m *Metrics) observe(endpoint string, d time.Duration) {
 	v := m.endpoints.Get(endpoint)
 	if v == nil {
@@ -216,6 +274,7 @@ func (m *Metrics) observe(endpoint string, d time.Duration) {
 			e := new(expvar.Map).Init()
 			e.Set("count", new(expvar.Int))
 			e.Set("total_us", new(expvar.Int))
+			e.Set("latency_ms", obs.NewHistogram(httpLatencyBucketsMs...))
 			m.endpoints.Set(endpoint, e)
 			v = e
 		}
@@ -224,14 +283,36 @@ func (m *Metrics) observe(endpoint string, d time.Duration) {
 	e := v.(*expvar.Map)
 	e.Get("count").(*expvar.Int).Add(1)
 	e.Get("total_us").(*expvar.Int).Add(d.Microseconds())
+	e.Get("latency_ms").(*obs.Histogram).ObserveDuration(d)
 }
 
-// handler serves the counter map as JSON.
+// handler serves the counter map: JSON by default, the Prometheus text
+// exposition when the request asks for it via ?format=prometheus or an
+// Accept header preferring text/plain (see prom.go).
 func (m *Metrics) handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			m.servePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Write([]byte(m.root.String()))
 	})
+}
+
+// wantsPrometheus implements the content negotiation of GET /metrics:
+// the explicit ?format=prometheus query wins; otherwise an Accept header
+// that mentions text/plain (what Prometheus scrapers send) and not
+// application/json selects the exposition.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
 }
 
 // endpointLabel normalizes a request to a bounded-cardinality metrics

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"runtime"
+	"sort"
+
+	"fuzzydup/internal/obs"
+	"fuzzydup/internal/obs/promtext"
+)
+
+// Prometheus text exposition of the server's metrics. Every counter,
+// gauge, and histogram of the JSON map renders as a dedupd_* family;
+// label cardinality is bounded by construction (endpoint labels are mux
+// patterns, job kinds and phases are fixed enumerations). Go runtime
+// gauges are sampled at scrape time.
+
+// servePrometheus renders the full exposition.
+func (m *Metrics) servePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", promtext.ContentType)
+	pw := promtext.NewWriter(w)
+
+	counter := func(name, help string, v *expvar.Int) {
+		pw.Counter(name, help, promtext.Sample{Value: float64(v.Value())})
+	}
+	gauge := func(name, help string, v float64) {
+		pw.Gauge(name, help, promtext.Sample{Value: v})
+	}
+	hist := func(name, help string, h *obs.Histogram) {
+		pw.Histogram(name, help, promtext.HistogramSample{Snapshot: h.Snapshot()})
+	}
+
+	// Job lifecycle.
+	counter("dedupd_jobs_queued_total", "Jobs accepted into the queue.", m.jobsQueued)
+	counter("dedupd_jobs_done_total", "Jobs finished successfully.", m.jobsDone)
+	counter("dedupd_jobs_failed_total", "Jobs finished with an error.", m.jobsFailed)
+	counter("dedupd_jobs_cancelled_total", "Jobs cancelled before or during execution.", m.jobsCancelled)
+	gauge("dedupd_jobs_running", "Jobs currently executing.", float64(m.jobsRunning.Value()))
+	pw.Histogram("dedupd_job_duration_ms",
+		"Job run durations by kind, all outcomes including cancelled.",
+		histKinds("kind", m.jobDurationKind)...)
+
+	// Datasets and ingest.
+	gauge("dedupd_datasets", "Datasets currently registered.", float64(m.datasets.Value()))
+	counter("dedupd_records_ingested_total", "Records accepted across all datasets.", m.recordsIngested)
+
+	// Solve internals: phases, cache, distance calls, blocked pipeline.
+	pw.Histogram("dedupd_phase_duration_ms",
+		"Per-sweep-point phase durations by phase.",
+		promtext.HistogramSample{
+			Labels:   []promtext.Label{{Name: "phase", Value: "phase1"}},
+			Snapshot: m.phase1Duration.Snapshot(),
+		},
+		promtext.HistogramSample{
+			Labels:   []promtext.Label{{Name: "phase", Value: "phase2"}},
+			Snapshot: m.phase2Duration.Snapshot(),
+		})
+	counter("dedupd_phase1_cache_hits_total", "Sweep points served from a job's phase-1 cache.", m.cacheHits)
+	counter("dedupd_phase1_cache_computes_total", "Sweep points that ran the full NN computation.", m.cacheComputes)
+	counter("dedupd_distance_calls_total", "Metric invocations across all jobs.", m.distanceCalls)
+	counter("dedupd_blocks_solved_total", "Block solves run by blocked jobs.", m.blocksSolved)
+	counter("dedupd_boundary_resolves_total", "Block re-solves triggered by the boundary guard.", m.boundaryResolves)
+	hist("dedupd_block_solve_duration_ms", "Per-block solve durations of blocked jobs.", m.blockSolveDuration)
+
+	// Incremental sessions and repairs.
+	gauge("dedupd_incremental_sessions", "Live incremental sessions.", float64(m.incrementalSessions.Value()))
+	counter("dedupd_repairs_run_total", "Incremental repair operations applied.", m.repairsRun)
+	counter("dedupd_repair_dirty_lookups_total", "Phase-1 rows relooked up by repairs.", m.repairDirtyLookups)
+	hist("dedupd_repair_duration_ms", "Per-repair-operation durations (phase 1 + phase 2).", m.repairDuration)
+
+	// Online query path.
+	counter("dedupd_queries_total", "Point queries served.", m.queries)
+	counter("dedupd_query_matches_total", "Queries answered by an exact key match.", m.queryMatches)
+	counter("dedupd_query_misses_total", "Queries answered by a nearest-candidate scan.", m.queryMisses)
+	counter("dedupd_query_pruned_records_total", "Candidate records eliminated by the signature prefilter.", m.queryPruned)
+	counter("dedupd_query_snapshots_published_total", "Query snapshots published by finished jobs.", m.snapshotsPublished)
+	gauge("dedupd_query_snapshot_age_seconds",
+		"Max over datasets of now minus the last snapshot publish (staleness).",
+		m.snapshotAgeSeconds())
+	hist("dedupd_query_duration_ms", "Per-query lookup latencies.", m.queryDuration)
+	hist("dedupd_snapshot_build_duration_ms", "Query snapshot build times.", m.snapshotBuildDuration)
+
+	// Slow-op log.
+	pw.Counter("dedupd_slow_ops_total",
+		"Operations that exceeded their slow-op latency threshold.",
+		kindSamples(m.slowOpsKind)...)
+
+	// Durability.
+	counter("dedupd_wal_appends_total", "WAL records appended.", m.walAppends)
+	counter("dedupd_wal_fsyncs_total", "Group-commit fsyncs.", m.walFsyncs)
+	counter("dedupd_wal_bytes_total", "Bytes appended to the WAL.", m.walBytes)
+	counter("dedupd_snapshots_taken_total", "Durable snapshots completed.", m.snapshotsTaken)
+	gauge("dedupd_recovery_duration_ms", "Wall time of the last startup recovery.", float64(m.recoveryDuration.Value()))
+	hist("dedupd_wal_append_duration_ms", "Per-append WAL latencies.", m.walAppendDuration)
+	hist("dedupd_wal_fsync_duration_ms", "Group-commit fsync latencies.", m.walFsyncDuration)
+
+	// HTTP surface, labeled by mux pattern (bounded by the route table).
+	counts, hists := m.endpointSeries()
+	pw.Counter("dedupd_http_requests_total", "Requests served by endpoint pattern.", counts...)
+	pw.Histogram("dedupd_http_request_duration_ms", "Request latencies by endpoint pattern.", hists...)
+
+	// Go runtime, sampled at scrape time.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("dedupd_go_goroutines", "Goroutines at scrape time.", float64(runtime.NumGoroutine()))
+	gauge("dedupd_go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("dedupd_go_heap_objects", "Allocated heap objects.", float64(ms.HeapObjects))
+	pw.Counter("dedupd_go_gc_cycles_total", "Completed GC cycles.",
+		promtext.Sample{Value: float64(ms.NumGC)})
+	pw.Counter("dedupd_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.",
+		promtext.Sample{Value: float64(ms.PauseTotalNs) / 1e9})
+	pw.Gauge("dedupd_go_gc_pause_last_seconds", "Most recent GC stop-the-world pause.",
+		promtext.Sample{Value: lastGCPauseSeconds(&ms)})
+}
+
+// lastGCPauseSeconds extracts the most recent pause from the circular
+// PauseNs buffer (0 before the first GC).
+func lastGCPauseSeconds(ms *runtime.MemStats) float64 {
+	if ms.NumGC == 0 {
+		return 0
+	}
+	return float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9
+}
+
+// histKinds renders a fixed kind->histogram map as labeled samples in
+// deterministic order.
+func histKinds(label string, kinds map[string]*obs.Histogram) []promtext.HistogramSample {
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]promtext.HistogramSample, len(names))
+	for i, k := range names {
+		out[i] = promtext.HistogramSample{
+			Labels:   []promtext.Label{{Name: label, Value: k}},
+			Snapshot: kinds[k].Snapshot(),
+		}
+	}
+	return out
+}
+
+// kindSamples renders a fixed kind->counter map as labeled samples in
+// deterministic order.
+func kindSamples(kinds map[string]*expvar.Int) []promtext.Sample {
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]promtext.Sample, len(names))
+	for i, k := range names {
+		out[i] = promtext.Sample{
+			Labels: []promtext.Label{{Name: "kind", Value: k}},
+			Value:  float64(kinds[k].Value()),
+		}
+	}
+	return out
+}
+
+// endpointSeries snapshots the per-endpoint map into labeled counter and
+// histogram samples, sorted by endpoint for a deterministic exposition.
+func (m *Metrics) endpointSeries() ([]promtext.Sample, []promtext.HistogramSample) {
+	type row struct {
+		endpoint string
+		count    int64
+		snap     obs.Snapshot
+	}
+	var rows []row
+	m.endpoints.Do(func(kv expvar.KeyValue) {
+		e := kv.Value.(*expvar.Map)
+		rows = append(rows, row{
+			endpoint: kv.Key,
+			count:    e.Get("count").(*expvar.Int).Value(),
+			snap:     e.Get("latency_ms").(*obs.Histogram).Snapshot(),
+		})
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].endpoint < rows[j].endpoint })
+	counts := make([]promtext.Sample, len(rows))
+	hists := make([]promtext.HistogramSample, len(rows))
+	for i, r := range rows {
+		labels := []promtext.Label{{Name: "endpoint", Value: r.endpoint}}
+		counts[i] = promtext.Sample{Labels: labels, Value: float64(r.count)}
+		hists[i] = promtext.HistogramSample{Labels: labels, Snapshot: r.snap}
+	}
+	return counts, hists
+}

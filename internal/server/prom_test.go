@@ -1,0 +1,204 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fuzzydup/internal/obs/promtext"
+)
+
+// scrapeProm fetches the Prometheus exposition and lints it with the
+// strict parser, failing the test on any violation. This test doubles as
+// the CI scrape-lint gate.
+func scrapeProm(t *testing.T, base string) map[string]promtext.Family {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promtext.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, promtext.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, err := promtext.Parse(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("strict parse rejected exposition: %v\n%s", err, body)
+	}
+	byName := make(map[string]promtext.Family, len(families))
+	for _, f := range families {
+		byName[f.Name] = f
+	}
+	return byName
+}
+
+// TestPromExposition populates the metrics through real traffic (a full
+// job, point queries, list requests), scrapes the text exposition, and
+// lints it strictly: valid syntax, no duplicate series, monotone
+// cumulative buckets, and every key family present with sane values.
+func TestPromExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, `{"dataset":"`+id+`","k":[3],"c":[4]}`)
+	var qr queryResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/datasets/"+id+"/query",
+		"application/json", `{"record":["Doors","LA Woman"]}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	doJSON(t, "GET", ts.URL+"/v1/jobs", "", "", nil)
+
+	fams := scrapeProm(t, ts.URL)
+
+	counter := func(name string) float64 {
+		t.Helper()
+		f, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		var total float64
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+		return total
+	}
+	if got := counter("dedupd_jobs_done_total"); got != 1 {
+		t.Errorf("jobs_done = %g, want 1", got)
+	}
+	if got := counter("dedupd_queries_total"); got != 1 {
+		t.Errorf("queries = %g, want 1", got)
+	}
+	if got := counter("dedupd_records_ingested_total"); got != 10 {
+		t.Errorf("records_ingested = %g, want 10", got)
+	}
+	if got := counter("dedupd_distance_calls_total"); got <= 0 {
+		t.Errorf("distance_calls = %g, want > 0", got)
+	}
+
+	// Labeled families: job kind histogram carries both kinds, the batch
+	// one holding the run; HTTP families label by mux pattern.
+	jobHist := fams["dedupd_job_duration_ms"]
+	var batchCount, incCount float64
+	for _, s := range jobHist.Samples {
+		if s.Name == "dedupd_job_duration_ms_count" {
+			switch s.Labels["kind"] {
+			case "batch":
+				batchCount = s.Value
+			case "incremental":
+				incCount = s.Value
+			}
+		}
+	}
+	if batchCount != 1 || incCount != 0 {
+		t.Errorf("job_duration counts: batch=%g incremental=%g, want 1, 0", batchCount, incCount)
+	}
+	var sawQueryEndpoint bool
+	for _, s := range fams["dedupd_http_requests_total"].Samples {
+		if s.Labels["endpoint"] == "POST /v1/datasets/{id}/query" && s.Value >= 1 {
+			sawQueryEndpoint = true
+		}
+	}
+	if !sawQueryEndpoint {
+		t.Error("http_requests_total missing the query endpoint series")
+	}
+	for _, s := range fams["dedupd_phase_duration_ms"].Samples {
+		if s.Name == "dedupd_phase_duration_ms_count" && s.Labels["phase"] == "phase1" && s.Value < 1 {
+			t.Errorf("phase1 histogram count = %g, want >= 1", s.Value)
+		}
+	}
+
+	// Gauges: snapshot age is fresh (a job just published), runtime
+	// gauges are live.
+	age := fams["dedupd_query_snapshot_age_seconds"]
+	if len(age.Samples) != 1 || age.Samples[0].Value < 0 || age.Samples[0].Value > 60 {
+		t.Errorf("snapshot age = %+v, want [0, 60)", age.Samples)
+	}
+	if g := fams["dedupd_go_goroutines"]; len(g.Samples) != 1 || g.Samples[0].Value <= 0 {
+		t.Errorf("go_goroutines = %+v", g.Samples)
+	}
+	if g := fams["dedupd_go_heap_alloc_bytes"]; len(g.Samples) != 1 || g.Samples[0].Value <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %+v", g.Samples)
+	}
+	if _, ok := fams["dedupd_slow_ops_total"]; !ok {
+		t.Error("slow_ops family missing")
+	}
+}
+
+// TestMetricsContentNegotiation pins the /metrics format selection: JSON
+// by default and with ?format=json, the exposition with ?format=prometheus
+// or a text/plain Accept header.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	get := func(path, accept string) string {
+		t.Helper()
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.Header.Get("Content-Type")
+	}
+
+	if ct := get("/metrics", ""); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default: %q", ct)
+	}
+	if ct := get("/metrics?format=json", "text/plain"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("format=json overrides Accept: %q", ct)
+	}
+	if ct := get("/metrics?format=prometheus", ""); ct != promtext.ContentType {
+		t.Errorf("format=prometheus: %q", ct)
+	}
+	if ct := get("/metrics", "text/plain;version=0.0.4"); ct != promtext.ContentType {
+		t.Errorf("Accept text/plain: %q", ct)
+	}
+	if ct := get("/metrics", "application/json, text/plain"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Accept preferring json: %q", ct)
+	}
+}
+
+// TestPromExpositionUnderLoad scrapes concurrently with live traffic and
+// lints every scrape — the exposition must stay valid while counters and
+// histograms move underneath it.
+func TestPromExpositionUnderLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, `{"dataset":"`+id+`","k":[3],"c":[4]}`)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/query",
+					"application/json", strings.NewReader(`{"record":["Doors","LA Woman"]}`))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		scrapeProm(t, ts.URL) // fails the test on any lint violation
+	}
+	close(stop)
+	<-done
+}

@@ -72,6 +72,22 @@ func (r *snapRegistry) drop(dataset string) {
 	r.entries.Delete(dataset)
 }
 
+// maxAge returns the age in seconds of the stalest published snapshot —
+// max over datasets of (now − Built) — or 0 with none published. This
+// backs the query_snapshot_age_seconds gauge, evaluated at scrape time.
+func (r *snapRegistry) maxAge(now time.Time) float64 {
+	var oldest float64
+	r.entries.Range(func(_, v any) bool {
+		if snap := v.(*snapEntry).ptr.Load(); snap != nil {
+			if age := now.Sub(snap.Built()).Seconds(); age > oldest {
+				oldest = age
+			}
+		}
+		return true
+	})
+	return oldest
+}
+
 // noSnapshotError marks a query against a dataset with no solved state
 // (HTTP 409: the request is well-formed, the dataset exists, but the
 // server has nothing to answer from until a job completes).
@@ -233,9 +249,14 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	span := s.tracer.Start("http.query")
 	start := time.Now()
 	res := snap.Lookup(req.Record, k)
 	elapsed := time.Since(start)
+	span.Add("scanned", int64(res.Stats.Scanned))
+	span.Add("verified", int64(res.Stats.Verified))
+	span.Add("pruned", int64(res.Stats.Pruned))
+	span.End()
 
 	s.metrics.queries.Add(1)
 	s.metrics.queryDuration.ObserveDuration(elapsed)
@@ -245,6 +266,19 @@ func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.metrics.queryMisses.Add(1)
 	}
+	s.slowOps.note("query", elapsed, func() SlowOp {
+		return SlowOp{
+			Dataset:   id,
+			RequestID: obs.RequestID(r.Context()),
+			Counters: map[string]int64{
+				"scanned":    int64(res.Stats.Scanned),
+				"verified":   int64(res.Stats.Verified),
+				"pruned":     int64(res.Stats.Pruned),
+				"matches":    int64(len(res.Matches)),
+				"candidates": int64(len(res.Candidates)),
+			},
+		}
+	})
 	s.cfg.Logger.Debug("query",
 		"dataset", id,
 		"snapshot_seq", snap.Seq(),

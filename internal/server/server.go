@@ -11,7 +11,11 @@
 //
 //	GET    /healthz                         liveness probe
 //	GET    /readyz                          readiness probe (503 draining)
-//	GET    /metrics                         operational counters (JSON)
+//	GET    /metrics                         operational counters (JSON, or the
+//	                                        Prometheus text exposition with
+//	                                        ?format=prometheus)
+//	GET    /debug/traces                    retained span trees (tail-sampled)
+//	GET    /debug/slowops                   slow-op ring, newest first
 //	GET    /debug/pprof/...                 runtime profiles (Config.EnablePprof)
 //	POST   /v1/datasets                     register a dataset (JSON array)
 //	GET    /v1/datasets                     list datasets
@@ -51,6 +55,7 @@ import (
 	"time"
 
 	"fuzzydup/internal/durable"
+	"fuzzydup/internal/obs"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults.
@@ -89,6 +94,21 @@ type Config struct {
 	// SnapshotEvery is the number of logged mutations between automatic
 	// snapshots (default 4096; < 0 disables automatic snapshots).
 	SnapshotEvery int
+	// SlowQuery, SlowJob, and SlowRepair are the slow-op thresholds:
+	// a point query, job run, or incremental repair operation exceeding
+	// its threshold is recorded in the slow-op ring (GET /debug/slowops)
+	// and emitted as one wide structured log event. Defaults 250ms, 60s,
+	// and 1s; < 0 disables that kind.
+	SlowQuery  time.Duration
+	SlowJob    time.Duration
+	SlowRepair time.Duration
+	// SlowOpCapacity sizes the slow-op ring (default 256).
+	SlowOpCapacity int
+	// TraceCapacity sizes the trace retention rings (default 256) and
+	// TraceSlowest the per-root-path slowest set (default 8); see
+	// GET /debug/traces.
+	TraceCapacity int
+	TraceSlowest  int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,7 +133,34 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 4096
 	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 250 * time.Millisecond
+	}
+	if c.SlowJob == 0 {
+		c.SlowJob = 60 * time.Second
+	}
+	if c.SlowRepair == 0 {
+		c.SlowRepair = time.Second
+	}
+	if c.SlowOpCapacity <= 0 {
+		c.SlowOpCapacity = 256
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 256
+	}
+	if c.TraceSlowest <= 0 {
+		c.TraceSlowest = 8
+	}
 	return c
+}
+
+// threshold maps a configured slow-op threshold to the log's convention
+// (0 disables): negatives disable, zero never reaches here (defaulted).
+func threshold(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Server wires the dataset store, job engine, and metrics behind an
@@ -123,6 +170,9 @@ type Server struct {
 	store   *Store
 	engine  *Engine
 	metrics *Metrics
+	traces  *obs.TraceBuffer
+	tracer  *obs.Tracer
+	slowOps *slowOpLog
 	db      *durable.DB // nil without Config.DataDir
 	handler http.Handler
 }
@@ -137,7 +187,14 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
+		traces:  obs.NewTraceBuffer(cfg.TraceCapacity, cfg.TraceSlowest),
 	}
+	s.tracer = &obs.Tracer{Sink: s.traces}
+	s.slowOps = newSlowOpLog(cfg.SlowOpCapacity, cfg.Logger, s.metrics, map[string]time.Duration{
+		"query":  threshold(cfg.SlowQuery),
+		"job":    threshold(cfg.SlowJob),
+		"repair": threshold(cfg.SlowRepair),
+	})
 	var state *durable.State
 	if cfg.DataDir != "" {
 		start := time.Now()
@@ -163,17 +220,23 @@ func New(cfg Config) (*Server, error) {
 			"duration_ms", elapsed.Milliseconds())
 	}
 	s.store = newStore(cfg.MaxRecords, s.db)
-	s.engine = newEngine(s.store, s.metrics, cfg.Logger, cfg.Workers, cfg.QueueCap, s.db)
+	s.engine = newEngine(s.store, s.metrics, cfg.Logger, cfg.Workers, cfg.QueueCap, s.db, s.tracer, s.slowOps)
 	if state != nil {
 		s.store.load(state)
 		s.engine.restore(state)
 		s.metrics.datasets.Set(int64(s.store.Len()))
+	}
+	// The staleness gauge reads the snapshot registry at scrape time.
+	s.metrics.snapshotAge = func() float64 {
+		return s.engine.snaps.maxAge(time.Now())
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.metrics.handler())
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/slowops", s.handleDebugSlowOps)
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// The slow-op log: every query, job run, and incremental repair that
+// exceeds its kind's latency threshold is recorded in a fixed-size ring
+// and emitted as one wide structured log event carrying the operation's
+// full counter set and request ID — enough context to diagnose the
+// outlier without correlating across log lines. The ring is served at
+// GET /debug/slowops.
+
+// SlowOp is one recorded slow operation.
+type SlowOp struct {
+	// Time is when the operation finished.
+	Time time.Time `json:"time"`
+	// Kind is "query", "job", or "repair".
+	Kind string `json:"kind"`
+	// Dataset and Job identify the operation's subject, where applicable.
+	Dataset string `json:"dataset,omitempty"`
+	Job     string `json:"job,omitempty"`
+	// DurationMs is the operation's latency; ThresholdMs the limit it
+	// exceeded.
+	DurationMs  float64 `json:"duration_ms"`
+	ThresholdMs float64 `json:"threshold_ms"`
+	// RequestID correlates the operation with the request that caused it.
+	RequestID string `json:"request_id,omitempty"`
+	// Counters carries the operation's work counters (lookups, distance
+	// calls, pruned candidates, ...), so the event explains where the
+	// time went, not just that it was spent.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Error is set when the operation also failed.
+	Error string `json:"error,omitempty"`
+}
+
+// slowOpLog is the ring plus the thresholds and the emission side
+// effects (wide log event, per-kind counter). Safe for concurrent use.
+type slowOpLog struct {
+	logger     *slog.Logger
+	metrics    *Metrics
+	thresholds map[string]time.Duration // kind -> threshold; 0 disables
+
+	mu  sync.Mutex
+	buf []SlowOp
+	pos int
+	n   int
+}
+
+func newSlowOpLog(capacity int, logger *slog.Logger, metrics *Metrics, thresholds map[string]time.Duration) *slowOpLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &slowOpLog{
+		logger:     logger,
+		metrics:    metrics,
+		thresholds: thresholds,
+		buf:        make([]SlowOp, capacity),
+	}
+}
+
+// note records the operation if d exceeds the kind's threshold. The
+// SlowOp is built lazily — the fast path costs one map lookup and one
+// comparison. Returns whether the operation was recorded.
+func (l *slowOpLog) note(kind string, d time.Duration, build func() SlowOp) bool {
+	if l == nil {
+		return false
+	}
+	threshold := l.thresholds[kind]
+	if threshold <= 0 || d < threshold {
+		return false
+	}
+	op := build()
+	op.Time = time.Now()
+	op.Kind = kind
+	op.DurationMs = float64(d.Microseconds()) / 1000
+	op.ThresholdMs = float64(threshold.Microseconds()) / 1000
+
+	l.mu.Lock()
+	l.buf[l.pos] = op
+	l.pos = (l.pos + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+
+	if c := l.metrics.slowOpsKind[kind]; c != nil {
+		c.Add(1)
+	}
+	attrs := []any{
+		"kind", kind,
+		"duration_ms", op.DurationMs,
+		"threshold_ms", op.ThresholdMs,
+	}
+	if op.Dataset != "" {
+		attrs = append(attrs, "dataset", op.Dataset)
+	}
+	if op.Job != "" {
+		attrs = append(attrs, "job_id", op.Job)
+	}
+	if op.RequestID != "" {
+		attrs = append(attrs, "request_id", op.RequestID)
+	}
+	if op.Error != "" {
+		attrs = append(attrs, "error", op.Error)
+	}
+	for k, v := range op.Counters {
+		attrs = append(attrs, k, v)
+	}
+	l.logger.Warn("slow op", attrs...)
+	return true
+}
+
+// tail returns the most recent n recorded operations, newest first
+// (n <= 0 or beyond the retained count returns everything retained).
+func (l *slowOpLog) tail(n int) []SlowOp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]SlowOp, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[((l.pos-i)%len(l.buf)+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

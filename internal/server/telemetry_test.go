@@ -1,0 +1,274 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSlowOpLogRecordsSlowOperations forces every op over its threshold
+// (1ns limits) and checks the ring, the wide-event side effects, and the
+// /debug/slowops endpoint.
+func TestSlowOpLogRecordsSlowOperations(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:    2,
+		SlowQuery:  time.Nanosecond,
+		SlowJob:    time.Nanosecond,
+		SlowRepair: time.Nanosecond,
+	})
+	id := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, `{"dataset":"`+id+`","k":[3],"c":[4]}`)
+	if code := doJSON(t, "POST", ts.URL+"/v1/datasets/"+id+"/query",
+		"application/json", `{"record":["Doors","LA Woman"]}`, nil); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	// Incremental job: the session build is one repair op.
+	incSt := submitJob(t, ts.URL, fmt.Sprintf(`{"dataset":%q,"mode":"size","k":[3],"c":[4],"incremental":true}`, id))
+	waitForState(t, ts.URL, incSt.ID, StateDone)
+
+	var body slowOpsResponse
+	if code := doJSON(t, "GET", ts.URL+"/debug/slowops", "", "", &body); code != http.StatusOK {
+		t.Fatalf("slowops: status %d", code)
+	}
+	if body.Total < 3 {
+		t.Fatalf("slow-op total = %d, want >= 3 (job, query, repair):\n%+v", body.Total, body.SlowOps)
+	}
+	kinds := make(map[string]SlowOp)
+	for _, op := range body.SlowOps {
+		kinds[op.Kind] = op
+	}
+	for _, kind := range []string{"job", "query", "repair"} {
+		op, ok := kinds[kind]
+		if !ok {
+			t.Errorf("no %s slow op recorded", kind)
+			continue
+		}
+		if op.ThresholdMs < 0 || op.DurationMs < 0 || op.Time.IsZero() {
+			t.Errorf("%s op fields: %+v", kind, op)
+		}
+		if op.Dataset != id {
+			t.Errorf("%s op dataset = %q, want %q", kind, op.Dataset, id)
+		}
+		if len(op.Counters) == 0 {
+			t.Errorf("%s op carries no counters", kind)
+		}
+	}
+	if kinds["job"].Job == "" || kinds["job"].Counters["distance_calls"] <= 0 {
+		t.Errorf("job op = %+v", kinds["job"])
+	}
+
+	// ?n= truncates to the newest entries; bad n is a 400.
+	var one slowOpsResponse
+	doJSON(t, "GET", ts.URL+"/debug/slowops?n=1", "", "", &one)
+	if len(one.SlowOps) != 1 {
+		t.Errorf("n=1 returned %d entries", len(one.SlowOps))
+	}
+	if code := doJSON(t, "GET", ts.URL+"/debug/slowops?n=-2", "", "", nil); code != http.StatusBadRequest {
+		t.Errorf("n=-2: status %d, want 400", code)
+	}
+
+	// The per-kind counters surface under slow_ops in /metrics.
+	if got := s.metrics.slowOpsKind["query"].Value(); got < 1 {
+		t.Errorf("slow_ops query counter = %d", got)
+	}
+}
+
+// TestSlowOpThresholdsDisable pins the opt-outs: negative thresholds
+// disable, and fast ops under a generous threshold never record.
+func TestSlowOpThresholdsDisable(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:   2,
+		SlowQuery: -1,
+		SlowJob:   time.Hour,
+	})
+	id := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, `{"dataset":"`+id+`","k":[3],"c":[4]}`)
+	doJSON(t, "POST", ts.URL+"/v1/datasets/"+id+"/query",
+		"application/json", `{"record":["Doors","LA Woman"]}`, nil)
+
+	var body slowOpsResponse
+	doJSON(t, "GET", ts.URL+"/debug/slowops", "", "", &body)
+	if body.Total != 0 || len(body.SlowOps) != 0 {
+		t.Errorf("slow ops recorded with disabled/high thresholds: %+v", body)
+	}
+}
+
+// TestDebugTracesRetainsJobTraces runs a successful job, a cancelled job,
+// and a query, then checks /debug/traces: complete span trees with
+// rollups, the cancelled job kept as errored, and per-path slowest sets.
+func TestDebugTracesRetainsJobTraces(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	id := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, `{"dataset":"`+id+`","k":[3],"c":[4]}`)
+
+	// A job parked until cancellation produces an errored trace.
+	s.engine.testBeforeSolve = func(ctx context.Context, id string) { <-ctx.Done() }
+	var st JobStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "application/json",
+		fmt.Sprintf(`{"dataset":%q}`, id), &st)
+	waitForState(t, ts.URL, st.ID, StateRunning)
+	doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+st.ID, "", "", nil)
+	waitForState(t, ts.URL, st.ID, StateCancelled)
+	s.engine.testBeforeSolve = nil
+
+	doJSON(t, "POST", ts.URL+"/v1/datasets/"+id+"/query",
+		"application/json", `{"record":["Doors","LA Woman"]}`, nil)
+
+	var body tracesResponse
+	if code := doJSON(t, "GET", ts.URL+"/debug/traces", "", "", &body); code != http.StatusOK {
+		t.Fatalf("traces: status %d", code)
+	}
+	if body.Stats.Completed < 3 || body.Stats.Pending != 0 {
+		t.Fatalf("stats = %+v", body.Stats)
+	}
+
+	var done, errored, query *traceDTO
+	for i := range body.Traces {
+		tr := &body.Traces[i]
+		switch {
+		case tr.Root == "job.batch" && tr.Error == "":
+			done = tr
+		case tr.Root == "job.batch" && tr.Error != "":
+			errored = tr
+		case tr.Root == "http.query":
+			query = tr
+		}
+	}
+	if done == nil {
+		t.Fatal("no successful job.batch trace retained")
+	}
+	// The facade's solve spans nest under the job root, and the rollup
+	// carries the solve's counters.
+	var sawSolve, sawPhase1 bool
+	for _, sp := range done.Spans {
+		switch sp.Path {
+		case "job.batch/dedup.solve":
+			sawSolve = true
+		case "job.batch/dedup.solve/phase1":
+			sawPhase1 = true
+		}
+	}
+	if !sawSolve || !sawPhase1 {
+		t.Errorf("job trace spans missing solve tree: %+v", done.Spans)
+	}
+	if done.Rollup["distance_calls"] <= 0 || done.Rollup["sweep_points"] != 1 {
+		t.Errorf("job rollup = %+v", done.Rollup)
+	}
+	if errored == nil {
+		t.Fatal("cancelled job trace not retained as errored")
+	}
+	var keptAsError bool
+	for _, k := range errored.Kept {
+		if k == "error" {
+			keptAsError = true
+		}
+	}
+	if !keptAsError {
+		t.Errorf("cancelled trace kept = %v, want to include error", errored.Kept)
+	}
+	if query == nil {
+		t.Fatal("no http.query trace retained")
+	}
+	if _, ok := query.Rollup["scanned"]; !ok {
+		t.Errorf("query rollup = %+v, want a scanned counter", query.Rollup)
+	}
+}
+
+// TestDebugTracesUnderConcurrentLoad hammers jobs and queries from many
+// goroutines while scraping /debug/traces; run with -race. Afterwards the
+// slowest and errored retention must hold: every cancelled job's trace is
+// present, and the job.batch slowest set is populated.
+func TestDebugTracesUnderConcurrentLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueCap: 256, TraceCapacity: 64})
+	id := createSeedDataset(t, ts.URL)
+	runJob(t, ts.URL, `{"dataset":"`+id+`","k":[3],"c":[4]}`)
+
+	var wg, scrapers sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers race the writers.
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					resp, err := http.Get(ts.URL + "/debug/traces")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+	// Jobs and queries in parallel.
+	const jobs = 12
+	ids := make([]string, 0, jobs)
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"dataset":%q,"k":[3],"c":[4]}`, id)))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var st JobStatus
+			if resp.StatusCode != http.StatusAccepted || json.NewDecoder(resp.Body).Decode(&st) != nil {
+				return
+			}
+			mu.Lock()
+			ids = append(ids, st.ID)
+			mu.Unlock()
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/datasets/"+id+"/query",
+				"application/json", strings.NewReader(`{"record":["Doors","LA Woman"]}`))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	for _, jid := range ids {
+		waitForState(t, ts.URL, jid, StateDone)
+	}
+
+	var body tracesResponse
+	if code := doJSON(t, "GET", ts.URL+"/debug/traces", "", "", &body); code != http.StatusOK {
+		t.Fatalf("traces: status %d", code)
+	}
+	if body.Stats.Pending != 0 {
+		t.Errorf("pending traces after quiesce: %+v", body.Stats)
+	}
+	var slowBatch int
+	for _, tr := range body.Traces {
+		for _, k := range tr.Kept {
+			if k == "slow" && tr.Root == "job.batch" {
+				slowBatch++
+			}
+		}
+		if tr.Root == "job.batch" && len(tr.Spans) < 2 {
+			t.Errorf("job trace %s has %d spans", tr.ID, len(tr.Spans))
+		}
+	}
+	if slowBatch == 0 {
+		t.Error("no job.batch traces kept as slow")
+	}
+}

@@ -8,6 +8,13 @@
 # harness exercises the RCU pointer swap under real read concurrency.
 # Any non-2xx query response fails the run; MAX_P99 (default 1ms)
 # enforces the sub-millisecond hit-latency budget.
+#
+# The daemon runs with -slow-job 1ms so the initial solve always lands
+# in the slow-op log, and a dedupstat frame is rendered mid-load; the
+# run fails unless at least one slow op was recorded and dedupstat saw
+# non-zero qps. On any failure the trap dumps full diagnostics —
+# /metrics (JSON and Prometheus), the slow-op log tail, trace stats,
+# and the daemon log — instead of exiting silently.
 set -euo pipefail
 
 RECORDS=${RECORDS:-10000}
@@ -33,22 +40,58 @@ workdir=$(mktemp -d)
 addr="127.0.0.1:18423"
 base="http://$addr"
 
+# dump_diagnostics — everything needed to debug a failed run, on stderr.
+dump_diagnostics() {
+  echo "=== load-smoke diagnostics ===" >&2
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then
+    echo "--- /metrics (JSON) ---" >&2
+    curl -fsS "$base/metrics" >&2 || true
+    echo >&2
+    echo "--- /metrics?format=prometheus ---" >&2
+    curl -fsS "$base/metrics?format=prometheus" >&2 || true
+    echo "--- /debug/slowops (newest 20) ---" >&2
+    curl -fsS "$base/debug/slowops?n=20" >&2 || true
+    echo >&2
+    echo "--- /debug/traces stats ---" >&2
+    curl -fsS "$base/debug/traces" | python3 -c 'import json,sys; print(json.dumps(json.load(sys.stdin)["stats"], indent=2))' >&2 || true
+  else
+    echo "(daemon not responding; skipping endpoint dumps)" >&2
+  fi
+  if [ -f "$workdir/daemon.log" ]; then
+    echo "--- daemon log (last 100 lines) ---" >&2
+    tail -n 100 "$workdir/daemon.log" >&2
+  fi
+  if [ -f "$workdir/dedupstat.out" ]; then
+    echo "--- dedupstat frame ---" >&2
+    cat "$workdir/dedupstat.out" >&2
+  fi
+  echo "=== end diagnostics ===" >&2
+}
+
 cleanup() {
-  kill "$pid" 2>/dev/null || true
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    dump_diagnostics
+  fi
+  kill "${pid:-}" 2>/dev/null || true
   rm -rf "$workdir"
+  exit "$rc"
 }
 trap cleanup EXIT
 
 go build -o "$workdir/dedupd" ./cmd/dedupd
 go build -o "$workdir/dedupload" ./cmd/dedupload
+go build -o "$workdir/dedupstat" ./cmd/dedupstat
 
-"$workdir/dedupd" -addr "$addr" -workers 4 >"$workdir/daemon.log" 2>&1 &
+# -slow-job 1ms guarantees the initial solve exceeds its threshold, so a
+# successful run always demonstrates the slow-op pipeline end to end.
+"$workdir/dedupd" -addr "$addr" -workers 4 -slow-job 1ms >"$workdir/daemon.log" 2>&1 &
 pid=$!
 for _ in $(seq 1 100); do
   if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
   sleep 0.1
 done
-curl -fsS "$base/healthz" >/dev/null || { cat "$workdir/daemon.log" >&2; exit 1; }
+curl -fsS "$base/healthz" >/dev/null || { echo "dedupd never became healthy" >&2; exit 1; }
 
 ds=$(curl -fsS -X POST "$base/v1/datasets" -H 'Content-Type: application/json' \
   -d '{"name":"load"}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
@@ -80,7 +123,7 @@ for _ in $(seq 1 $((SOLVE_TIMEOUT * 2))); do
   state=$(curl -fsS "$base/v1/jobs/$job" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
   case "$state" in
     done) break ;;
-    failed|cancelled) echo "job $job ended $state" >&2; cat "$workdir/daemon.log" >&2; exit 1 ;;
+    failed|cancelled) echo "job $job ended $state" >&2; exit 1 ;;
   esac
   sleep 0.5
 done
@@ -102,11 +145,18 @@ done
 ) &
 mutator=$!
 
+# One dedupstat frame rendered while dedupload is querying: its scrape
+# diff must see the load (non-zero qps).
+("$workdir/dedupstat" -addr "$base" -interval 1s -count 1 -plain \
+  >"$workdir/dedupstat.out" 2>&1 || true) &
+statpid=$!
+
 rc=0
 "$workdir/dedupload" -addr "$base" -dataset "$ds" \
   -duration "$DURATION" -concurrency "$CONCURRENCY" -k 1 -miss-fraction 0.2 \
   -max-p99 "$MAX_P99" || rc=$?
 
+wait "$statpid" 2>/dev/null || true
 kill "$mutator" 2>/dev/null || true
 wait "$mutator" 2>/dev/null || true
 
@@ -114,6 +164,20 @@ seqs=$(curl -fsS "$base/metrics" | python3 -c 'import json,sys; print(json.load(
 echo "snapshots published during run: $seqs"
 if [ "$seqs" -lt 2 ]; then
   echo "FAIL: mutation loop never republished a snapshot" >&2
+  exit 1
+fi
+
+slow=$(curl -fsS "$base/debug/slowops" | python3 -c 'import json,sys; print(json.load(sys.stdin)["total"])')
+echo "slow ops recorded: $slow"
+if [ "$slow" -lt 1 ]; then
+  echo "FAIL: no slow op recorded despite -slow-job 1ms" >&2
+  exit 1
+fi
+
+echo "--- dedupstat frame ---"
+cat "$workdir/dedupstat.out"
+if ! grep -E 'qps=[0-9]*[1-9]' "$workdir/dedupstat.out" >/dev/null; then
+  echo "FAIL: dedupstat saw no traffic (qps=0)" >&2
   exit 1
 fi
 

@@ -28,9 +28,19 @@
 // each and land on /debug/slowops. -pprof mounts the runtime profiler
 // under /debug/pprof/.
 //
+// Clustering: -role coordinator accepts jobs with "distributed": true
+// and fans their block solves out to worker nodes (started with -role
+// worker -advertise <url> -peers <coordinator>), placed by consistent
+// hashing with bounded retries, reassignment off dead workers, and a
+// local fallback — the results are bit-for-bit identical to a
+// standalone solve. See internal/cluster and the README's "Running a
+// cluster" walkthrough.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
 // 503, the listener stops accepting, and running jobs get up to -drain
-// to finish before they are cancelled.
+// to finish before they are cancelled. A draining worker deregisters
+// from its coordinators and finishes the block solves it already
+// accepted.
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +85,14 @@ func run(args []string) error {
 		slowJob    = fs.Duration("slow-job", 60*time.Second, "slow-op threshold for job runs (-1s disables)")
 		slowRepair = fs.Duration("slow-repair", time.Second, "slow-op threshold for incremental repair ops (-1s disables)")
 		traceCap   = fs.Int("trace-capacity", 256, "retained trace ring size (GET /debug/traces)")
+
+		role         = fs.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+		peers        = fs.String("peers", "", "comma-separated cluster base URLs: worker seeds (coordinator) or coordinators to announce to (worker)")
+		advertise    = fs.String("advertise", "", "base URL coordinators reach this worker at (role worker with -peers)")
+		heartbeat    = fs.Duration("heartbeat", time.Second, "worker heartbeat interval")
+		heartbeatTTL = fs.Duration("heartbeat-ttl", 3*time.Second, "coordinator liveness window before a silent worker is skipped")
+		solveTimeout = fs.Duration("solve-timeout", 30*time.Second, "per-attempt remote block solve deadline (coordinator)")
+		solveRetries = fs.Int("solve-retries", 3, "per-worker attempt budget before a block is reassigned (coordinator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +123,14 @@ func run(args []string) error {
 		SlowJob:        *slowJob,
 		SlowRepair:     *slowRepair,
 		TraceCapacity:  *traceCap,
+
+		Role:              *role,
+		Peers:             splitPeers(*peers),
+		Advertise:         *advertise,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTTL:      *heartbeatTTL,
+		SolveTimeout:      *solveTimeout,
+		SolveRetries:      *solveRetries,
 	})
 	if err != nil {
 		return err
@@ -113,11 +140,23 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue, "pprof", *pprof, "data_dir", *dataDir)
+	logger.Info("listening", "addr", *addr, "role", *role, "workers", *workers, "queue", *queue, "pprof", *pprof, "data_dir", *dataDir)
 	err = srv.ListenAndServe(ctx, *addr, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	logger.Info("bye")
 	return nil
+}
+
+// splitPeers parses the comma-separated -peers list, dropping empty
+// entries so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -13,6 +13,11 @@
 // appends frames instead (for logs and scripts), and -count bounds the
 // number of frames rendered (0 runs until interrupted). Rates need two
 // scrapes, so the first frame appears one interval after startup.
+//
+// Against a coordinator node, -cluster appends a fleet section: the
+// cluster headline (workers alive, reassignments, local fallbacks, the
+// rolled-up solve total) plus one row per worker with its liveness,
+// blocks solved, solve rate, and remote solve round-trip quantiles.
 package main
 
 import (
@@ -44,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		interval = fs.Duration("interval", 2*time.Second, "time between scrapes")
 		count    = fs.Int("count", 0, "frames to render before exiting (0 = forever)")
 		plain    = fs.Bool("plain", false, "append frames instead of clearing the screen")
+		clusterV = fs.Bool("cluster", false, "append the coordinator's per-worker cluster table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +77,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, "\x1b[2J\x1b[H")
 		}
 		render(out, *addr, frame, prev, cur)
+		if *clusterV {
+			renderCluster(out, prev, cur)
+		}
 		prev = cur
 	}
 	return nil
@@ -340,6 +349,73 @@ func render(out io.Writer, addr string, frame int, prev, cur *scrape) {
 		for _, r := range rows {
 			fmt.Fprintf(out, "%-40s %10.1f %10s %10s\n", r.name, r.qps, ms(r.p50), ms(r.p99))
 		}
+	}
+	fmt.Fprintln(out)
+}
+
+// renderCluster appends the coordinator's cluster view (-cluster): the
+// fleet headline plus one row per worker with its liveness, routed block
+// solves, solve rate, and remote solve round-trip quantiles — all read
+// from the dedupd_cluster_* families a coordinator node exports.
+func renderCluster(out io.Writer, prev, cur *scrape) {
+	solvedFam, ok := cur.families["dedupd_cluster_worker_blocks_solved_total"]
+	if !ok {
+		fmt.Fprintln(out, "cluster  (no dedupd_cluster_* families: not a coordinator node)")
+		return
+	}
+	dt := cur.t.Sub(prev.t).Seconds()
+
+	fmt.Fprintf(out, "cluster  workers_alive=%.0f reassigned=%.0f remote_errors=%.0f local_fallbacks=%.0f agg_solves=%.0f scrape_failed=%.0f\n",
+		cur.value("dedupd_cluster_workers_alive", nil),
+		cur.value("dedupd_cluster_blocks_reassigned_total", nil),
+		cur.value("dedupd_cluster_remote_solve_errors_total", nil),
+		cur.value("dedupd_cluster_local_fallbacks_total", nil),
+		cur.value("dedupd_cluster_agg_worker_block_solves_total", nil),
+		cur.value("dedupd_cluster_workers_scrape_failed", nil))
+
+	type workerRow struct {
+		worker string
+		alive  string
+		solved float64
+		rate   float64
+		p50    float64
+		p99    float64
+	}
+	var rows []workerRow
+	for _, sm := range solvedFam.Samples {
+		if sm.Name != solvedFam.Name {
+			continue
+		}
+		w := sm.Labels["worker"]
+		labels := map[string]string{"worker": w}
+		alive := "dead"
+		if cur.value("dedupd_cluster_worker_alive", labels) == 1 {
+			alive = "alive"
+		}
+		r := 0.0
+		if dt > 0 {
+			r = (sm.Value - prev.value(solvedFam.Name, labels)) / dt
+		}
+		ph := prev.histogram("dedupd_cluster_remote_block_solve_duration_ms", labels)
+		ch := cur.histogram("dedupd_cluster_remote_block_solve_duration_ms", labels)
+		rows = append(rows, workerRow{
+			worker: w,
+			alive:  alive,
+			solved: sm.Value,
+			rate:   r,
+			p50:    quantile(0.50, ph, ch),
+			p99:    quantile(0.99, ph, ch),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].worker < rows[j].worker })
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "cluster  no workers registered")
+		return
+	}
+	fmt.Fprintf(out, "\n%-32s %7s %10s %10s %10s %10s\n", "worker", "state", "blocks", "blocks/s", "p50_ms", "p99_ms")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-32s %7s %10.0f %10.2f %10s %10s\n",
+			r.worker, r.alive, r.solved, r.rate, ms(r.p50), ms(r.p99))
 	}
 	fmt.Fprintln(out)
 }

@@ -130,9 +130,68 @@ dedupd_go_heap_alloc_bytes 3145728
 dedupd_go_gc_cycles_total 5
 `
 
-// fixtureServer serves scrapeOne to the first request and scrapeTwo to
-// every later one, mimicking a dedupd whose counters moved between polls.
-func fixtureServer(t *testing.T) *httptest.Server {
+// The coordinator's cluster families, appended to the base fixtures for
+// the -cluster view: two workers, one alive and one dead, with solve
+// deltas (w1 +20 blocks) whose histogram delta puts p50 exactly at 1.00.
+const clusterOne = `# TYPE dedupd_cluster_workers_alive gauge
+dedupd_cluster_workers_alive 2
+# TYPE dedupd_cluster_blocks_reassigned_total counter
+dedupd_cluster_blocks_reassigned_total 0
+# TYPE dedupd_cluster_remote_solve_errors_total counter
+dedupd_cluster_remote_solve_errors_total 0
+# TYPE dedupd_cluster_local_fallbacks_total counter
+dedupd_cluster_local_fallbacks_total 0
+# TYPE dedupd_cluster_worker_alive gauge
+dedupd_cluster_worker_alive{worker="http://w1:8080"} 1
+dedupd_cluster_worker_alive{worker="http://w2:8080"} 1
+# TYPE dedupd_cluster_worker_blocks_solved_total counter
+dedupd_cluster_worker_blocks_solved_total{worker="http://w1:8080"} 40
+dedupd_cluster_worker_blocks_solved_total{worker="http://w2:8080"} 10
+# TYPE dedupd_cluster_remote_block_solve_duration_ms histogram
+dedupd_cluster_remote_block_solve_duration_ms_bucket{worker="http://w1:8080",le="1"} 20
+dedupd_cluster_remote_block_solve_duration_ms_bucket{worker="http://w1:8080",le="5"} 40
+dedupd_cluster_remote_block_solve_duration_ms_bucket{worker="http://w1:8080",le="+Inf"} 40
+dedupd_cluster_remote_block_solve_duration_ms_sum{worker="http://w1:8080"} 90
+dedupd_cluster_remote_block_solve_duration_ms_count{worker="http://w1:8080"} 40
+# TYPE dedupd_cluster_workers_scraped gauge
+dedupd_cluster_workers_scraped 2
+# TYPE dedupd_cluster_workers_scrape_failed gauge
+dedupd_cluster_workers_scrape_failed 0
+# TYPE dedupd_cluster_agg_worker_block_solves_total counter
+dedupd_cluster_agg_worker_block_solves_total 50
+`
+
+const clusterTwo = `# TYPE dedupd_cluster_workers_alive gauge
+dedupd_cluster_workers_alive 1
+# TYPE dedupd_cluster_blocks_reassigned_total counter
+dedupd_cluster_blocks_reassigned_total 3
+# TYPE dedupd_cluster_remote_solve_errors_total counter
+dedupd_cluster_remote_solve_errors_total 3
+# TYPE dedupd_cluster_local_fallbacks_total counter
+dedupd_cluster_local_fallbacks_total 0
+# TYPE dedupd_cluster_worker_alive gauge
+dedupd_cluster_worker_alive{worker="http://w1:8080"} 1
+dedupd_cluster_worker_alive{worker="http://w2:8080"} 0
+# TYPE dedupd_cluster_worker_blocks_solved_total counter
+dedupd_cluster_worker_blocks_solved_total{worker="http://w1:8080"} 60
+dedupd_cluster_worker_blocks_solved_total{worker="http://w2:8080"} 10
+# TYPE dedupd_cluster_remote_block_solve_duration_ms histogram
+dedupd_cluster_remote_block_solve_duration_ms_bucket{worker="http://w1:8080",le="1"} 40
+dedupd_cluster_remote_block_solve_duration_ms_bucket{worker="http://w1:8080",le="5"} 60
+dedupd_cluster_remote_block_solve_duration_ms_bucket{worker="http://w1:8080",le="+Inf"} 60
+dedupd_cluster_remote_block_solve_duration_ms_sum{worker="http://w1:8080"} 130
+dedupd_cluster_remote_block_solve_duration_ms_count{worker="http://w1:8080"} 60
+# TYPE dedupd_cluster_workers_scraped gauge
+dedupd_cluster_workers_scraped 1
+# TYPE dedupd_cluster_workers_scrape_failed gauge
+dedupd_cluster_workers_scrape_failed 1
+# TYPE dedupd_cluster_agg_worker_block_solves_total counter
+dedupd_cluster_agg_worker_block_solves_total 70
+`
+
+// fixtureServer serves one to the first request and two to every later
+// one, mimicking a dedupd whose counters moved between polls.
+func fixtureServerBodies(t *testing.T, one, two string) *httptest.Server {
 	t.Helper()
 	var n atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -140,13 +199,17 @@ func fixtureServer(t *testing.T) *httptest.Server {
 			t.Errorf("unexpected scrape %s?%s", r.URL.Path, r.URL.RawQuery)
 		}
 		if n.Add(1) == 1 {
-			fmt.Fprint(w, scrapeOne)
+			fmt.Fprint(w, one)
 		} else {
-			fmt.Fprint(w, scrapeTwo)
+			fmt.Fprint(w, two)
 		}
 	}))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+func fixtureServer(t *testing.T) *httptest.Server {
+	return fixtureServerBodies(t, scrapeOne, scrapeTwo)
 }
 
 func TestRenderFromScrapeDiff(t *testing.T) {
@@ -185,6 +248,60 @@ func TestRenderFromScrapeDiff(t *testing.T) {
 	}
 	if strings.Contains(got, "GET /v1/jobs") {
 		t.Errorf("idle endpoint rendered a row:\n%s", got)
+	}
+}
+
+func TestRenderClusterTable(t *testing.T) {
+	ts := fixtureServerBodies(t, scrapeOne+clusterOne, scrapeTwo+clusterTwo)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-interval", "10ms", "-count", "1", "-plain", "-cluster"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"workers_alive=1",
+		"reassigned=3",
+		"remote_errors=3",
+		"local_fallbacks=0",
+		"agg_solves=70",
+		"scrape_failed=1",
+		"http://w1:8080",
+		"http://w2:8080",
+		"alive",
+		"dead",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, got)
+		}
+	}
+	// w1's row: 60 blocks total, +20 since the last scrape, delta
+	// histogram entirely inside the le=1 bucket (interpolated p50 =
+	// 0.50); w2 is dead and idle, so its quantiles render "-".
+	w1, w2 := "", ""
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "http://w1:8080") {
+			w1 = line
+		}
+		if strings.HasPrefix(line, "http://w2:8080") {
+			w2 = line
+		}
+	}
+	if !strings.Contains(w1, "alive") || !strings.Contains(w1, "60") || !strings.Contains(w1, "0.50") {
+		t.Errorf("w1 row = %q", w1)
+	}
+	if !strings.Contains(w2, "dead") || !strings.Contains(w2, "-") {
+		t.Errorf("w2 row = %q", w2)
+	}
+
+	// Against a non-coordinator node the cluster section degrades to a
+	// single notice instead of an empty table.
+	plainTS := fixtureServer(t)
+	out.Reset()
+	if err := run([]string{"-addr", plainTS.URL, "-interval", "10ms", "-count", "1", "-plain", "-cluster"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "not a coordinator node") {
+		t.Errorf("non-coordinator notice missing:\n%s", out.String())
 	}
 }
 

@@ -25,6 +25,7 @@ package blocked
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -107,6 +108,16 @@ type Options struct {
 	// the block size and the solve duration. Calls are sequential and
 	// deterministic in order.
 	OnBlockSolved func(size int, d time.Duration)
+	// Solver, when non-nil, replaces the local per-block solve: each
+	// dirty block's ascending global member IDs are handed to it (from up
+	// to Parallel goroutines) and it must return the block's solved state
+	// in local coordinates — exactly what SolveBlock computes for the
+	// block's records. This is the hook the distributed pipeline
+	// (internal/cluster) plugs remote workers into; the guard, merge, and
+	// reconcile steps are unchanged, so the fixpoint proof (DESIGN.md §8)
+	// carries over verbatim. Incompatible with Problem.Exclude: the
+	// predicate is a closure over global IDs and cannot be shipped.
+	Solver func(ctx context.Context, members []int) (*BlockResult, error)
 }
 
 func (o Options) pivots() int {
@@ -175,12 +186,55 @@ type blockSolve struct {
 	dur     time.Duration
 }
 
+// BlockResult is one block's solved state in local coordinates (dense
+// IDs 0..n-1 in the order the block's records were given): the phase-1
+// relation the boundary guard certifies against, the canonical local
+// partition, and the partitioning counters. It is what SolveBlock
+// returns and what an Options.Solver must produce — the two are
+// interchangeable by construction, which is the exactness contract of
+// the distributed pipeline.
+type BlockResult struct {
+	Rel    *core.NNRelation
+	Groups [][]int
+	Stats  core.PartitionStats
+	// Dur is the solve's wall clock (for a remote solve, as measured by
+	// the solver — typically including the network round trip).
+	Dur time.Duration
+}
+
+// SolveBlock runs the exact two-phase solve over one block's records:
+// a block-local exact index, sequential phase-1 lookups, and the
+// canonical partition. Record order must be ascending in the global IDs
+// the block was cut from — the remap is then monotone, so the
+// (distance, ID) tie-break and the greedy anchor order inside the block
+// coincide with the global ones restricted to it. This is the primitive
+// a remote worker executes for the distributed solve; the local
+// pipeline goes through the same code via solveOne.
+func SolveBlock(records []string, metric distance.Metric, prob core.Problem, opts core.Phase1Options) (*BlockResult, error) {
+	t0 := time.Now()
+	opts.Order = core.OrderSequential
+	idx := nnindex.NewExact(records, metric)
+	rel, err := core.ComputeNN(idx, prob.Cut, prob.P, opts)
+	if err != nil {
+		return nil, err
+	}
+	var ps core.PartitionStats
+	groups, err := core.PartitionWithStats(rel, prob, &ps)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockResult{Rel: rel, Groups: groups, Stats: ps, Dur: time.Since(t0)}, nil
+}
+
 // Solve runs the blocked pipeline over the records' string forms under
 // the given metric and problem. The returned partition is bit-for-bit
 // the one core.Solve produces on the same input.
 func Solve(keys []string, metric distance.Metric, prob core.Problem, strat Strategy, opts Options) (*Result, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Solver != nil && prob.Exclude != nil {
+		return nil, fmt.Errorf("blocked: Options.Solver is incompatible with Problem.Exclude")
 	}
 	res := &Result{Groups: [][]int{}}
 	n := len(keys)
@@ -371,7 +425,13 @@ func solveBlocks(keys []string, metric distance.Metric, prob core.Problem, comps
 					return
 				}
 				ci := dirty[i]
-				bs, err := solveOne(keys, metric, prob, comps[ci], opts)
+				var bs *blockSolve
+				var err error
+				if opts.Solver != nil {
+					bs, err = solveRemote(prob, comps[ci], opts)
+				} else {
+					bs, err = solveOne(keys, metric, prob, comps[ci], opts)
+				}
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					return
@@ -390,30 +450,42 @@ func solveBlocks(keys []string, metric distance.Metric, prob core.Problem, comps
 // the (distance, ID) tie-break and the greedy anchor order inside the
 // block coincide with the global ones restricted to it.
 func solveOne(keys []string, metric distance.Metric, prob core.Problem, members []int, opts Options) (*blockSolve, error) {
-	t0 := time.Now()
 	local := make([]string, len(members))
 	for i, id := range members {
 		local[i] = keys[id]
 	}
-	idx := nnindex.NewExact(local, metric)
 	lprob := prob
 	if ex := prob.Exclude; ex != nil {
 		lprob.Exclude = func(a, b int) bool { return ex(members[a], members[b]) }
 	}
-	rel, err := core.ComputeNN(idx, prob.Cut, prob.P, core.Phase1Options{
-		Order: core.OrderSequential,
+	r, err := SolveBlock(local, metric, lprob, core.Phase1Options{
 		Ctx:   opts.Ctx,
 		Stats: opts.Stats,
 	})
 	if err != nil {
 		return nil, err
 	}
-	var ps core.PartitionStats
-	groups, err := core.PartitionWithStats(rel, lprob, &ps)
+	return &blockSolve{members: members, rel: r.Rel, groups: r.Groups, pstats: r.Stats, dur: r.Dur}, nil
+}
+
+// solveRemote delegates one block to Options.Solver, wrapping its local-
+// coordinate result back into the pipeline's bookkeeping.
+func solveRemote(prob core.Problem, members []int, opts Options) (*blockSolve, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := opts.Solver(ctx, members)
 	if err != nil {
 		return nil, err
 	}
-	return &blockSolve{members: members, rel: rel, groups: groups, pstats: ps, dur: time.Since(t0)}, nil
+	if n := len(r.Rel.Rows); n != len(members) {
+		return nil, fmt.Errorf("blocked: solver returned %d rows for a %d-member block", n, len(members))
+	}
+	if r.Rel.Cut != prob.Cut {
+		return nil, fmt.Errorf("blocked: solver relation computed for %v, problem asks %v", r.Rel.Cut, prob.Cut)
+	}
+	return &blockSolve{members: members, rel: r.Rel, groups: r.Groups, pstats: r.Stats, dur: r.Dur}, nil
 }
 
 // blockReaches computes each block member's certificate radius — the

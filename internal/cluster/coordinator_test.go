@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the coordinator's liveness window from the test.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func clockedCoordinator(t *testing.T) (*Coordinator, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg := fastConfig(t)
+	cfg.now = clk.now
+	return NewCoordinator(cfg), clk
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	c, clk := clockedCoordinator(t)
+
+	// A static peer is trusted alive before its first beat.
+	c.AddPeer("http://w1")
+	if got := c.WorkersAlive(); got != 1 {
+		t.Fatalf("static peer not alive: WorkersAlive = %d", got)
+	}
+	ws := c.Workers()
+	if len(ws) != 1 || !ws[0].Static || !ws[0].Alive || ws[0].LastBeatAgeSeconds != -1 {
+		t.Fatalf("static peer status = %+v", ws[0])
+	}
+	// AddPeer is idempotent and never resurrects a registered member.
+	c.AddPeer("http://w1")
+	if len(c.Workers()) != 1 {
+		t.Fatal("duplicate AddPeer grew the member set")
+	}
+
+	// A dynamic worker registers, stays alive within the TTL, and times
+	// out after it.
+	c.Register("http://w2")
+	if got := c.WorkersAlive(); got != 2 {
+		t.Fatalf("WorkersAlive = %d after register, want 2", got)
+	}
+	clk.advance(2 * time.Second)
+	if got := c.WorkersAlive(); got != 2 {
+		t.Fatalf("WorkersAlive = %d within TTL, want 2", got)
+	}
+	clk.advance(2 * time.Second) // 4s > 3s TTL
+	if got := c.WorkersAlive(); got != 1 {
+		t.Fatalf("WorkersAlive = %d after TTL, want 1 (the static peer)", got)
+	}
+	// A fresh heartbeat revives it.
+	c.Heartbeat("http://w2")
+	if got := c.WorkersAlive(); got != 2 {
+		t.Fatalf("WorkersAlive = %d after revival beat, want 2", got)
+	}
+
+	// Once a static peer starts beating, the TTL governs it too.
+	c.Heartbeat("http://w1")
+	clk.advance(4 * time.Second)
+	if got := c.WorkersAlive(); got != 0 {
+		t.Fatalf("WorkersAlive = %d after both timed out, want 0", got)
+	}
+
+	// markDead benches a member until its next beat.
+	c.Heartbeat("http://w2")
+	c.markDead("http://w2")
+	if got := c.WorkersAlive(); got != 0 {
+		t.Fatalf("dead worker still counted alive: %d", got)
+	}
+	c.Heartbeat("http://w2")
+	if got := c.WorkersAlive(); got != 1 {
+		t.Fatalf("beat did not revive dead worker: %d", got)
+	}
+
+	// Deregistration removes the member outright.
+	c.DeregisterWorker("http://w2")
+	c.DeregisterWorker("http://nope") // unknown: no-op
+	if got := len(c.Workers()); got != 1 {
+		t.Fatalf("%d members after deregister, want 1", got)
+	}
+}
+
+func TestMembershipChangesInvalidateRing(t *testing.T) {
+	c, _ := clockedCoordinator(t)
+	c.AddPeer("http://w1")
+	key := hashKey("some-block")
+	if got := c.owners(key); len(got) != 1 || got[0] != "http://w1" {
+		t.Fatalf("owners = %v", got)
+	}
+	c.Register("http://w2")
+	if got := c.owners(key); len(got) != 2 {
+		t.Fatalf("owners after join = %v, want both workers", got)
+	}
+	c.DeregisterWorker("http://w1")
+	if got := c.owners(key); len(got) != 1 || got[0] != "http://w2" {
+		t.Fatalf("owners after leave = %v", got)
+	}
+}
+
+func TestMembershipHandlers(t *testing.T) {
+	c, clk := clockedCoordinator(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+RegisterPath, c.HandleRegister)
+	mux.HandleFunc("POST "+HeartbeatPath, c.HandleHeartbeat)
+	mux.HandleFunc("POST "+DeregisterPath, c.HandleDeregister)
+	mux.HandleFunc("GET "+WorkersPath, c.HandleWorkers)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post(RegisterPath, `{"worker":"http://w1"}`); code != http.StatusOK {
+		t.Fatalf("register: status %d", code)
+	}
+	if code := post(HeartbeatPath, `{"worker":"http://w2"}`); code != http.StatusOK {
+		t.Fatalf("heartbeat: status %d", code)
+	}
+	for _, bad := range []string{``, `{}`, `{"worker":""}`, `not json`} {
+		if code := post(RegisterPath, bad); code != http.StatusBadRequest {
+			t.Errorf("register %q: status %d, want 400", bad, code)
+		}
+	}
+
+	clk.advance(time.Second)
+	resp, err := http.Get(ts.URL + WorkersPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Workers) != 2 {
+		t.Fatalf("workers = %+v, want 2 entries", body.Workers)
+	}
+	for _, w := range body.Workers {
+		if !w.Alive || w.Static || w.LastBeatAgeSeconds != 1 {
+			t.Errorf("worker status = %+v", w)
+		}
+	}
+
+	if code := post(DeregisterPath, `{"worker":"http://w1"}`); code != http.StatusOK {
+		t.Fatalf("deregister: status %d", code)
+	}
+	if got := len(c.Workers()); got != 1 {
+		t.Fatalf("%d workers after deregister, want 1", got)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	cfg := fastConfig(t)
+	cfg.BackoffBase = 100 * time.Millisecond
+	cfg.BackoffMax = time.Second
+	cfg.jitter = func() float64 { return 0.5 } // jitter factor exactly 1.0
+	c := NewCoordinator(cfg)
+	for _, tc := range []struct {
+		try  int
+		want time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second},  // capped
+		{40, time.Second}, // shift overflow saturates at the cap
+	} {
+		if got := c.backoff(tc.try); got != tc.want {
+			t.Errorf("backoff(%d) = %v, want %v", tc.try, got, tc.want)
+		}
+	}
+
+	// Jitter scales the delay within [0.5, 1.5).
+	cfg.jitter = func() float64 { return 0.999 }
+	c = NewCoordinator(cfg)
+	if got := c.backoff(1); got < 149*time.Millisecond || got > 150*time.Millisecond {
+		t.Errorf("jittered backoff(1) = %v, want ≈149.9ms", got)
+	}
+}
+
+func TestPostErrorClassification(t *testing.T) {
+	// A 400 from a worker is permanent: retrying identical bytes cannot
+	// succeed, so the ladder must not burn its budget or mark the worker
+	// dead for it.
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		writeClusterError(w, http.StatusBadRequest, "bad_spec", "no such metric")
+	}))
+	defer ts.Close()
+
+	c := NewCoordinator(fastConfig(t))
+	_, err := c.attempt(context.Background(), ts.URL, []byte(`{}`))
+	var perm *permanentError
+	if !errors.As(err, &perm) {
+		t.Fatalf("400 classified as %v, want permanentError", err)
+	}
+	if perm.status != http.StatusBadRequest || perm.message != "no such metric" {
+		t.Errorf("permanent error = %+v", perm)
+	}
+	if perm.Error() == "" {
+		t.Error("empty error string")
+	}
+	if calls != 1 {
+		t.Errorf("400 was retried %d times", calls)
+	}
+
+	// A 500 is retryable: the full attempt budget is spent.
+	calls = 0
+	ts5 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		writeClusterError(w, http.StatusInternalServerError, "solve_failed", "boom")
+	}))
+	defer ts5.Close()
+	if _, err := c.attempt(context.Background(), ts5.URL, []byte(`{}`)); err == nil {
+		t.Fatal("500 reported success")
+	}
+	if calls != c.cfg.Retries {
+		t.Errorf("500 attempted %d times, want %d", calls, c.cfg.Retries)
+	}
+
+	// Malformed success bodies are errors, not empty results.
+	for name, handler := range map[string]http.HandlerFunc{
+		"not json": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("not json"))
+		},
+		"no relation": func(w http.ResponseWriter, r *http.Request) {
+			writeClusterJSON(w, http.StatusOK, map[string]any{"groups": [][]int{}})
+		},
+	} {
+		ts := httptest.NewServer(handler)
+		if _, err := c.post(context.Background(), ts.URL, []byte(`{}`)); err == nil {
+			t.Errorf("%s: decode reported success", name)
+		}
+		ts.Close()
+	}
+}

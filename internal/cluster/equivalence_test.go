@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/blocked"
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+)
+
+// distSolve runs one distributed solve through a coordinator built for
+// the test and compares the partition bit-for-bit with core.Solve.
+func distSolve(t *testing.T, c *Coordinator, ds Dataset, keys []string, prob core.Problem, label string) *blocked.Result {
+	t.Helper()
+	var stats core.Phase1Stats
+	res, err := c.Solve(context.Background(), ds, keys, distance.Edit{}, "ed", prob,
+		blocked.DefaultStrategy(), blocked.Options{Parallel: 4, Exhaustive: true, Stats: &stats})
+	if err != nil {
+		t.Fatalf("%s: distributed solve: %v", label, err)
+	}
+	want := referenceGroups(t, keys, prob)
+	if !reflect.DeepEqual(res.Groups, want) {
+		t.Fatalf("%s: distributed partition diverged from core.Solve\ngot:  %v\nwant: %v",
+			label, res.Groups, want)
+	}
+	return res
+}
+
+// TestDistributedMatchesCoreSolve is the central equivalence test: the
+// coordinator fans block solves out to 1–4 real worker HTTP servers and
+// the resulting partition must be bit-for-bit the monolithic core.Solve
+// answer, across DE_S, DE_D, and combined cuts.
+func TestDistributedMatchesCoreSolve(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		keys := typoCorpus(rand.New(rand.NewSource(seed)), 90)
+		for nw := 1; nw <= 4; nw++ {
+			workers, urls := startWorkers(t, nw)
+			c := NewCoordinator(fastConfig(t))
+			for _, u := range urls {
+				c.AddPeer(u)
+			}
+			for pi, prob := range testProblems() {
+				label := fmt.Sprintf("seed=%d workers=%d %s", seed, nw, probLabel(pi, prob))
+				ds := Dataset{ID: fmt.Sprintf("ds-%d", seed), Revision: int64(pi)}
+				distSolve(t, c, ds, keys, prob, label)
+			}
+			if c.LocalFallbacks.Load() != 0 {
+				t.Errorf("seed=%d workers=%d: healthy cluster fell back locally %d times",
+					seed, nw, c.LocalFallbacks.Load())
+			}
+			solved := int64(0)
+			for _, w := range workers {
+				solved += w.Solves.Load()
+			}
+			if solved == 0 {
+				t.Errorf("seed=%d workers=%d: no block reached a worker", seed, nw)
+			}
+		}
+	}
+}
+
+// TestDistributedWorkerDiesMidSolve injects a failpoint transport that
+// kills one worker after it has answered a few blocks: the remaining
+// blocks must reassign to survivors and the result stay exact.
+func TestDistributedWorkerDiesMidSolve(t *testing.T) {
+	// A diameter cut: typo clusters shard into ~25 certified blocks, so
+	// the victim owns several and dies with blocks still to serve. (Size
+	// cuts under normalized edit distance honestly collapse to a few
+	// large blocks — the growth spheres of a [0,1]-normalized metric
+	// reach most of the corpus — so they exercise the wire but not
+	// reassignment fan-out.)
+	keys := typoCorpus(rand.New(rand.NewSource(11)), 150)
+	prob := core.Problem{Cut: core.Cut{Diameter: 0.3}, C: 3}
+
+	_, urls := startWorkers(t, 3)
+	victim := strings.TrimPrefix(urls[0], "http://")
+	served := 0
+	fp := &failpointTransport{}
+	fp.set(func(req *http.Request) error {
+		if req.URL.Host == victim && req.URL.Path == SolvePath {
+			served++
+			if served > 2 {
+				return errors.New("failpoint: worker killed")
+			}
+		}
+		return nil
+	})
+	cfg := fastConfig(t)
+	cfg.Client = &http.Client{Transport: fp}
+	c := NewCoordinator(cfg)
+	for _, u := range urls {
+		c.AddPeer(u)
+	}
+
+	res := distSolve(t, c, Dataset{ID: "chaos", Revision: 1}, keys, prob, "kill mid-solve")
+	if res.BlocksSolved == 0 {
+		t.Fatal("no blocks solved")
+	}
+	if c.BlocksReassigned.Load() == 0 {
+		t.Error("victim died mid-solve but no block was reassigned")
+	}
+	if c.LocalFallbacks.Load() != 0 {
+		t.Errorf("survivors were alive yet %d blocks fell back locally", c.LocalFallbacks.Load())
+	}
+	if c.WorkersAlive() != 2 {
+		t.Errorf("WorkersAlive = %d after one death, want 2", c.WorkersAlive())
+	}
+}
+
+// TestDistributedFlakyTransport drops a deterministic ~30% of solve
+// requests with retryable errors: the bounded-retry ladder must absorb
+// them without changing the result.
+func TestDistributedFlakyTransport(t *testing.T) {
+	keys := typoCorpus(rand.New(rand.NewSource(23)), 100)
+	prob := core.Problem{Cut: core.Cut{Diameter: 0.35}, C: 3}
+
+	_, urls := startWorkers(t, 3)
+	flake := rand.New(rand.NewSource(99))
+	dropped := 0
+	fp := &failpointTransport{}
+	fp.set(func(req *http.Request) error {
+		if req.URL.Path == SolvePath && flake.Intn(10) < 3 {
+			dropped++
+			return errors.New("failpoint: connection reset")
+		}
+		return nil
+	})
+	cfg := fastConfig(t)
+	cfg.Retries = 4 // enough budget that a 30% drop rate cannot exhaust every owner
+	cfg.Client = &http.Client{Transport: fp}
+	c := NewCoordinator(cfg)
+	for _, u := range urls {
+		c.AddPeer(u)
+	}
+
+	distSolve(t, c, Dataset{ID: "flaky", Revision: 1}, keys, prob, "flaky transport")
+	if dropped == 0 {
+		t.Error("failpoint never fired; the test exercised nothing")
+	}
+}
+
+// TestDistributedAllWorkersDead exercises the last rung: with every
+// worker unreachable the coordinator solves blocks itself, still
+// bit-for-bit exact.
+func TestDistributedAllWorkersDead(t *testing.T) {
+	keys := typoCorpus(rand.New(rand.NewSource(31)), 60)
+	prob := core.Problem{Cut: core.Cut{MaxSize: 4}, C: 3}
+
+	fp := &failpointTransport{}
+	fp.set(func(req *http.Request) error { return errors.New("failpoint: network down") })
+	cfg := fastConfig(t)
+	cfg.Client = &http.Client{Transport: fp}
+	c := NewCoordinator(cfg)
+	c.AddPeer("http://127.0.0.1:1") // never reachable
+	c.AddPeer("http://127.0.0.1:2")
+
+	distSolve(t, c, Dataset{ID: "dark", Revision: 1}, keys, prob, "all workers dead")
+	if c.LocalFallbacks.Load() == 0 {
+		t.Error("no local fallbacks despite a fully dead fleet")
+	}
+	if c.WorkersAlive() != 0 {
+		t.Errorf("WorkersAlive = %d, want 0", c.WorkersAlive())
+	}
+
+	// A coordinator with no members at all must also degrade to local.
+	lone := NewCoordinator(fastConfig(t))
+	distSolve(t, lone, Dataset{ID: "alone", Revision: 1}, keys, prob, "no members")
+	if lone.LocalFallbacks.Load() == 0 {
+		t.Error("memberless coordinator reported no local fallbacks")
+	}
+}
+
+// TestDistributedIdempotentReplay re-runs the identical solve against
+// the same dataset revision: every block must replay from the workers'
+// idempotency caches rather than recompute.
+func TestDistributedIdempotentReplay(t *testing.T) {
+	keys := typoCorpus(rand.New(rand.NewSource(41)), 80)
+	prob := core.Problem{Cut: core.Cut{MaxSize: 3}, C: 3}
+
+	workers, urls := startWorkers(t, 2)
+	c := NewCoordinator(fastConfig(t))
+	for _, u := range urls {
+		c.AddPeer(u)
+	}
+	ds := Dataset{ID: "replay", Revision: 7}
+	first := distSolve(t, c, ds, keys, prob, "first run")
+	solvesBefore := workers[0].Solves.Load() + workers[1].Solves.Load()
+
+	second := distSolve(t, c, ds, keys, prob, "replayed run")
+	if !reflect.DeepEqual(first.Groups, second.Groups) {
+		t.Fatal("replayed solve diverged from the first")
+	}
+	if got := workers[0].Solves.Load() + workers[1].Solves.Load(); got != solvesBefore {
+		t.Errorf("replay recomputed blocks: %d solves before, %d after", solvesBefore, got)
+	}
+	if hits := workers[0].CacheHits.Load() + workers[1].CacheHits.Load(); hits == 0 {
+		t.Error("replay produced no cache hits")
+	}
+
+	// A new revision is a different corpus state: blocks must recompute.
+	distSolve(t, c, Dataset{ID: "replay", Revision: 8}, keys, prob, "new revision")
+	if got := workers[0].Solves.Load() + workers[1].Solves.Load(); got == solvesBefore {
+		t.Error("bumped revision still served from cache")
+	}
+}
+
+// TestDistributedCancellation aborts the solve via context: the solve
+// must return the context error promptly instead of retrying through
+// the backoff ladder.
+func TestDistributedCancellation(t *testing.T) {
+	keys := typoCorpus(rand.New(rand.NewSource(53)), 80)
+	prob := core.Problem{Cut: core.Cut{MaxSize: 3}, C: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fp := &failpointTransport{}
+	fp.set(func(req *http.Request) error {
+		cancel() // first wire touch aborts the job
+		return errors.New("failpoint: cancelled")
+	})
+	cfg := fastConfig(t)
+	cfg.Client = &http.Client{Transport: fp}
+	c := NewCoordinator(cfg)
+	c.AddPeer("http://127.0.0.1:1")
+
+	_, err := c.Solve(ctx, Dataset{ID: "cancel", Revision: 1}, keys, distance.Edit{}, "ed", prob,
+		blocked.DefaultStrategy(), blocked.Options{Parallel: 2, Exhaustive: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve returned %v, want context.Canceled", err)
+	}
+}
+
+// TestDistributedRejectsCorpusDependentMetric pins the admission check:
+// a block-local IDF table would silently diverge from the corpus-wide
+// one, so the solve must refuse rather than approximate.
+func TestDistributedRejectsCorpusDependentMetric(t *testing.T) {
+	keys := []string{"alpha", "beta"}
+	c := NewCoordinator(fastConfig(t))
+	m, err := distance.ByName("fms", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Solve(context.Background(), Dataset{ID: "x", Revision: 1}, keys, m, "fms",
+		core.Problem{Cut: core.Cut{MaxSize: 3}, C: 3}, blocked.DefaultStrategy(), blocked.Options{})
+	if err == nil || !strings.Contains(err.Error(), "corpus-dependent") {
+		t.Fatalf("corpus-dependent metric accepted: %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+)
+
+// testLogger routes cluster logs through the test's own output so they
+// only surface on failure.
+func testLogger(t testing.TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(logWriter{t}, &slog.HandlerOptions{Level: slog.LevelWarn}))
+}
+
+type logWriter struct{ t testing.TB }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
+}
+
+// fastConfig shrinks the retry/backoff knobs so failure-path tests run
+// in milliseconds.
+func fastConfig(t testing.TB) CoordinatorConfig {
+	return CoordinatorConfig{
+		SolveTimeout: 5 * time.Second,
+		Retries:      2,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   2 * time.Millisecond,
+		Logger:       testLogger(t),
+	}
+}
+
+// startWorkers launches n in-process worker nodes, each a real HTTP
+// server mounting the solve endpoint, and returns them with their base
+// URLs. Servers close with the test.
+func startWorkers(t testing.TB, n int) ([]*Worker, []string) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		w := NewWorker(testLogger(t), 0)
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST "+SolvePath, w.HandleSolve)
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		workers[i] = w
+		urls[i] = ts.URL
+	}
+	return workers, urls
+}
+
+// failpointTransport wraps the real transport with an injectable
+// failure decision: decide runs under the mutex (so closures may keep
+// counters without their own locking) and a non-nil error fails the
+// request before it reaches the network.
+type failpointTransport struct {
+	mu     sync.Mutex
+	decide func(req *http.Request) error
+}
+
+func (f *failpointTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	var err error
+	if f.decide != nil {
+		err = f.decide(req)
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (f *failpointTransport) set(decide func(req *http.Request) error) {
+	f.mu.Lock()
+	f.decide = decide
+	f.mu.Unlock()
+}
+
+// typoCorpus builds a tightly clustered corpus for normalized edit
+// distance: every record belongs to a duplicate cluster of 4–6 typo
+// variants of a long base word. Typos usually hit the tail, so the
+// default prefix blocking co-blocks a cluster; ~1 in 8 hits the head,
+// splitting its cluster across blocks so the boundary guard has merges
+// to find. Clusters-only (no singleton noise) keeps certificate radii
+// small: under a metric normalized into [0, 1], a record whose nearest
+// neighbor is a random word has a growth sphere covering most of the
+// corpus, which would honestly — but uselessly for this test — collapse
+// the blocking to one block.
+func typoCorpus(r *rand.Rand, n int) []string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	word := func() string {
+		// Long words keep typo clusters tight relative to the ~0.6–0.8
+		// normalized distance between unrelated words, so size-cut
+		// growth spheres stay inside their own cluster.
+		b := make([]byte, 14+r.Intn(6))
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	mutate := func(s string, pos int) string {
+		b := []byte(s)
+		switch r.Intn(3) {
+		case 0: // substitute
+			b[pos] = letters[r.Intn(len(letters))]
+			return string(b)
+		case 1: // delete
+			return string(b[:pos]) + string(b[pos+1:])
+		default: // insert
+			return string(b[:pos]) + string(letters[r.Intn(len(letters))]) + string(b[pos:])
+		}
+	}
+	keys := make([]string, 0, n)
+	for len(keys) < n {
+		base := word()
+		keys = append(keys, base)
+		for s := 4 + r.Intn(3); s > 0 && len(keys) < n; s-- {
+			pos := 4 + r.Intn(len(base)-4) // tail edit: blocking keys agree
+			if r.Intn(8) == 0 {
+				pos = r.Intn(4) // head edit: cluster straddles blocks
+			}
+			keys = append(keys, mutate(base, pos))
+		}
+	}
+	return keys
+}
+
+// referenceGroups is the monolithic ground truth: core.Solve over an
+// exact index on the whole corpus under normalized edit distance.
+func referenceGroups(t testing.TB, keys []string, prob core.Problem) [][]int {
+	t.Helper()
+	idx := nnindex.NewExact(keys, distance.Edit{})
+	groups, _, err := core.Solve(idx, prob, core.Phase1Options{Order: core.OrderSequential})
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	return groups
+}
+
+// testProblems spans both cut families, the aggregation extensions, and
+// minimal-compact post-processing, all under normalized edit distance.
+func testProblems() []core.Problem {
+	return []core.Problem{
+		{Cut: core.Cut{MaxSize: 3}, C: 3},
+		{Cut: core.Cut{MaxSize: 5}, Agg: core.AggAvg, C: 2.5},
+		{Cut: core.Cut{Diameter: 0.3}, C: 3},
+		{Cut: core.Cut{Diameter: 0.45}, C: 3, MinimalCompact: true},
+		{Cut: core.Cut{MaxSize: 4, Diameter: 0.4}, C: 3},
+	}
+}
+
+func probLabel(i int, p core.Problem) string {
+	return fmt.Sprintf("prob%d[k=%d θ=%g agg=%s]", i, p.Cut.MaxSize, p.Cut.Diameter, p.Agg)
+}

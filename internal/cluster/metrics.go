@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+
+	"fuzzydup/internal/obs/promtext"
+)
+
+// Cluster-aware metrics roll-up. The coordinator exports two layers:
+//
+//   - Its own view of the cluster (WriteCoordinatorFamilies): worker
+//     liveness, per-worker blocks solved, coordinator-observed remote
+//     solve round trips, reassignment and fallback counters. Label
+//     cardinality is bounded by cluster membership.
+//   - An aggregation of the workers' own expositions (WriteRollup): at
+//     scrape time the coordinator fetches every alive worker's
+//     /metrics?format=prometheus, parses it with the strict promtext
+//     linter, and re-exports an allowlisted set of families summed
+//     across workers under the dedupd_cluster_agg_ prefix. One scrape of
+//     the coordinator thus answers for the fleet.
+
+// rollupFamilies is the allowlist of worker families aggregated by
+// WriteRollup, each summed over all samples of all scraped workers.
+var rollupFamilies = []struct {
+	name string
+	typ  string // "counter" or "gauge"
+	help string
+}{
+	{"dedupd_http_requests_total", "counter", "Requests served, summed across workers and endpoints."},
+	{"dedupd_worker_block_solves_total", "counter", "Remote block solves executed, summed across workers."},
+	{"dedupd_worker_block_cache_hits_total", "counter", "Idempotent block-solve replays, summed across workers."},
+	{"dedupd_distance_calls_total", "counter", "Metric invocations, summed across workers."},
+	{"dedupd_go_goroutines", "gauge", "Goroutines, summed across workers."},
+	{"dedupd_go_heap_alloc_bytes", "gauge", "Allocated heap bytes, summed across workers."},
+}
+
+// WriteCoordinatorFamilies renders the coordinator's own cluster
+// families into an exposition writer.
+func (c *Coordinator) WriteCoordinatorFamilies(pw *promtext.Writer) {
+	workers := c.Workers()
+
+	pw.Gauge("dedupd_cluster_workers_alive",
+		"Workers currently eligible for block placement.",
+		promtext.Sample{Value: float64(c.WorkersAlive())})
+	pw.Counter("dedupd_cluster_blocks_reassigned_total",
+		"Failover hops: blocks moved off a worker that exhausted its retry budget.",
+		promtext.Sample{Value: float64(c.BlocksReassigned.Load())})
+	pw.Counter("dedupd_cluster_remote_solve_errors_total",
+		"Per-worker retry budgets exhausted by remote block solves.",
+		promtext.Sample{Value: float64(c.RemoteErrors.Load())})
+	pw.Counter("dedupd_cluster_local_fallbacks_total",
+		"Blocks the coordinator solved itself because no worker was reachable.",
+		promtext.Sample{Value: float64(c.LocalFallbacks.Load())})
+
+	alive := make([]promtext.Sample, len(workers))
+	solved := make([]promtext.Sample, len(workers))
+	for i, w := range workers {
+		labels := []promtext.Label{{Name: "worker", Value: w.Worker}}
+		v := 0.0
+		if w.Alive {
+			v = 1
+		}
+		alive[i] = promtext.Sample{Labels: labels, Value: v}
+		solved[i] = promtext.Sample{Labels: labels, Value: float64(w.BlocksSolved)}
+	}
+	pw.Gauge("dedupd_cluster_worker_alive",
+		"Per-worker liveness (1 alive, 0 dead or timed out).", alive...)
+	pw.Counter("dedupd_cluster_worker_blocks_solved_total",
+		"Blocks solved per worker, as routed by this coordinator.", solved...)
+
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.stats))
+	for id := range c.stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	hists := make([]promtext.HistogramSample, len(ids))
+	for i, id := range ids {
+		hists[i] = promtext.HistogramSample{
+			Labels:   []promtext.Label{{Name: "worker", Value: id}},
+			Snapshot: c.stats[id].solveDur.Snapshot(),
+		}
+	}
+	c.mu.Unlock()
+	pw.Histogram("dedupd_cluster_remote_block_solve_duration_ms",
+		"Coordinator-observed remote block solve round trips per worker.", hists...)
+}
+
+// WriteRollup scrapes every alive worker's Prometheus exposition
+// (concurrently, each bounded by ScrapeTimeout) and re-exports the
+// allowlisted families summed across the fleet. Unreachable or
+// unparseable workers are skipped and counted in
+// dedupd_cluster_workers_scrape_failed.
+func (c *Coordinator) WriteRollup(ctx context.Context, pw *promtext.Writer) {
+	var targets []string
+	for _, w := range c.Workers() {
+		if w.Alive {
+			targets = append(targets, w.Worker)
+		}
+	}
+
+	sums := make(map[string]float64, len(rollupFamilies))
+	var (
+		mu       sync.Mutex
+		scraped  int
+		failed   int
+		wg       sync.WaitGroup
+		allowSet = make(map[string]bool, len(rollupFamilies))
+	)
+	for _, f := range rollupFamilies {
+		allowSet[f.name] = true
+	}
+	for _, target := range targets {
+		wg.Add(1)
+		go func(target string) {
+			defer wg.Done()
+			fams, err := c.scrapeWorker(ctx, target)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed++
+				c.cfg.Logger.Warn("worker metrics scrape failed", "worker", target, "error", err)
+				return
+			}
+			scraped++
+			for _, fam := range fams {
+				if !allowSet[fam.Name] {
+					continue
+				}
+				for _, s := range fam.Samples {
+					if s.Name != fam.Name {
+						continue // skip _bucket/_count/_sum of histograms
+					}
+					sums[fam.Name] += s.Value
+				}
+			}
+		}(target)
+	}
+	wg.Wait()
+
+	pw.Gauge("dedupd_cluster_workers_scraped",
+		"Workers whose expositions the last roll-up aggregated.",
+		promtext.Sample{Value: float64(scraped)})
+	pw.Gauge("dedupd_cluster_workers_scrape_failed",
+		"Alive workers the last roll-up could not scrape.",
+		promtext.Sample{Value: float64(failed)})
+	for _, f := range rollupFamilies {
+		name := "dedupd_cluster_agg_" + f.name[len("dedupd_"):]
+		sample := promtext.Sample{Value: sums[f.name]}
+		if f.typ == "gauge" {
+			pw.Gauge(name, f.help, sample)
+		} else {
+			pw.Counter(name, f.help, sample)
+		}
+	}
+}
+
+// scrapeWorker fetches and strictly parses one worker's exposition.
+func (c *Coordinator) scrapeWorker(ctx context.Context, worker string) ([]promtext.Family, error) {
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.ScrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, worker+"/metrics?format=prometheus", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &permanentError{status: resp.StatusCode, message: resp.Status}
+	}
+	return promtext.Parse(resp.Body)
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/obs/promtext"
+)
+
+// renderFamilies runs a write func through the exposition writer and the
+// strict parser, returning sample values keyed "name{labels}".
+func renderFamilies(t *testing.T, write func(pw *promtext.Writer)) map[string]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	pw := promtext.NewWriter(&buf)
+	write(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatalf("write exposition: %v", err)
+	}
+	fams, err := promtext.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("coordinator exposition does not parse: %v\n%s", err, buf.String())
+	}
+	values := map[string]float64{}
+	for _, fam := range fams {
+		for _, s := range fam.Samples {
+			key := s.Name
+			if len(s.Labels) > 0 {
+				parts := make([]string, 0, len(s.Labels))
+				for name, value := range s.Labels {
+					if name == "le" {
+						continue // bucket samples collapse; tests read _count/_sum
+					}
+					parts = append(parts, name+"="+value)
+				}
+				sort.Strings(parts)
+				key += "{" + strings.Join(parts, ",") + "}"
+			}
+			values[key] = s.Value
+		}
+	}
+	return values
+}
+
+func TestWriteCoordinatorFamilies(t *testing.T) {
+	_, urls := startWorkers(t, 2)
+	keys := typoCorpus(rand.New(rand.NewSource(77)), 60)
+	c := NewCoordinator(fastConfig(t))
+	for _, u := range urls {
+		c.AddPeer(u)
+	}
+	prob := testProblems()[0]
+	distSolve(t, c, Dataset{ID: "mx", Revision: 1}, keys, prob, "metrics run")
+
+	vals := renderFamilies(t, c.WriteCoordinatorFamilies)
+	if vals["dedupd_cluster_workers_alive"] != 2 {
+		t.Errorf("workers_alive = %v, want 2", vals["dedupd_cluster_workers_alive"])
+	}
+	if vals["dedupd_cluster_local_fallbacks_total"] != 0 {
+		t.Errorf("local_fallbacks = %v on a healthy run", vals["dedupd_cluster_local_fallbacks_total"])
+	}
+	var solvedTotal, durCount float64
+	for _, u := range urls {
+		if vals[fmt.Sprintf("dedupd_cluster_worker_alive{worker=%s}", u)] != 1 {
+			t.Errorf("worker %s not reported alive", u)
+		}
+		solvedTotal += vals[fmt.Sprintf("dedupd_cluster_worker_blocks_solved_total{worker=%s}", u)]
+		durCount += vals[fmt.Sprintf("dedupd_cluster_remote_block_solve_duration_ms_count{worker=%s}", u)]
+	}
+	if solvedTotal == 0 {
+		t.Error("no per-worker blocks_solved samples")
+	}
+	if durCount != solvedTotal {
+		t.Errorf("remote solve histogram count %v != blocks solved %v", durCount, solvedTotal)
+	}
+}
+
+// fakeExposition serves a minimal worker /metrics exposition with the
+// given solve counter value, plus a family outside the allowlist that
+// the roll-up must ignore.
+func fakeExposition(solves float64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		pw := promtext.NewWriter(&buf)
+		pw.Counter("dedupd_worker_block_solves_total", "solves", promtext.Sample{Value: solves})
+		pw.Counter("dedupd_worker_block_cache_hits_total", "hits", promtext.Sample{Value: 1})
+		pw.Gauge("dedupd_go_goroutines", "g", promtext.Sample{Value: 10})
+		pw.Counter("dedupd_private_family_total", "must not be rolled up", promtext.Sample{Value: 999})
+		w.Write(buf.Bytes())
+	}
+}
+
+func TestWriteRollup(t *testing.T) {
+	// Two healthy workers, one serving garbage, one unreachable.
+	good1 := httptest.NewServer(fakeExposition(3))
+	defer good1.Close()
+	good2 := httptest.NewServer(fakeExposition(4))
+	defer good2.Close()
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("this is not an exposition {{{"))
+	}))
+	defer garbage.Close()
+
+	c := NewCoordinator(fastConfig(t))
+	for _, u := range []string{good1.URL, good2.URL, garbage.URL, "http://127.0.0.1:1"} {
+		c.AddPeer(u)
+	}
+
+	vals := renderFamilies(t, func(pw *promtext.Writer) {
+		c.WriteRollup(context.Background(), pw)
+	})
+	if vals["dedupd_cluster_workers_scraped"] != 2 {
+		t.Errorf("workers_scraped = %v, want 2", vals["dedupd_cluster_workers_scraped"])
+	}
+	if vals["dedupd_cluster_workers_scrape_failed"] != 2 {
+		t.Errorf("workers_scrape_failed = %v, want 2 (garbage + unreachable)", vals["dedupd_cluster_workers_scrape_failed"])
+	}
+	if got := vals["dedupd_cluster_agg_worker_block_solves_total"]; got != 7 {
+		t.Errorf("agg solves = %v, want 3+4", got)
+	}
+	if got := vals["dedupd_cluster_agg_worker_block_cache_hits_total"]; got != 2 {
+		t.Errorf("agg cache hits = %v, want 2", got)
+	}
+	if got := vals["dedupd_cluster_agg_go_goroutines"]; got != 20 {
+		t.Errorf("agg goroutines = %v, want 20", got)
+	}
+	for name := range vals {
+		if strings.Contains(name, "private_family") {
+			t.Errorf("non-allowlisted family leaked into the roll-up: %s", name)
+		}
+	}
+
+	// Dead workers are not scraped at all.
+	c.markDead(good2.URL)
+	vals = renderFamilies(t, func(pw *promtext.Writer) {
+		c.WriteRollup(context.Background(), pw)
+	})
+	if vals["dedupd_cluster_workers_scraped"] != 1 || vals["dedupd_cluster_agg_worker_block_solves_total"] != 3 {
+		t.Errorf("dead worker still scraped: scraped=%v solves=%v",
+			vals["dedupd_cluster_workers_scraped"], vals["dedupd_cluster_agg_worker_block_solves_total"])
+	}
+
+	// A non-200 worker is a scrape failure.
+	status := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusForbidden)
+	}))
+	defer status.Close()
+	if _, err := c.scrapeWorker(context.Background(), status.URL); err == nil {
+		t.Error("403 scrape reported success")
+	}
+}

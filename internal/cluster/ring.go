@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Consistent-hash placement. Every worker contributes vnodes points on a
+// uint64 ring; a block lands on the first point clockwise of its key's
+// hash. The walk order from that point — distinct workers in ring order —
+// is the block's failover sequence: placement of every other block is
+// untouched when one worker dies, and a given block's reassignment target
+// is deterministic, which keeps retried and reassigned solves idempotent.
+
+// defaultVNodes balances placement smoothness against ring size; at 64
+// points per worker the max/min block share across 4 workers stays within
+// a few tens of percent, plenty for block-granular work.
+const defaultVNodes = 64
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// mix64 finalizes a raw FNV sum before it is used as a ring position.
+// FNV's multiplicative step spreads a trailing-byte change across only
+// ~2^40 of the output space, so short keys sharing a prefix — exactly
+// what vnode labels and block keys are — land within 2^-24 of each
+// other on the ring, destroying placement balance. The splitmix64
+// finalizer avalanches every input bit across all 64 output bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+type ring struct {
+	points []ringPoint
+}
+
+// buildRing places vnodes points per worker id. Hash collisions between
+// points are broken by id so the ring is deterministic regardless of
+// membership insertion order.
+func buildRing(ids []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for _, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(id))
+			h.Write([]byte("#"))
+			h.Write([]byte(strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// walk returns the distinct worker ids in ring order starting from the
+// first point at or clockwise of key — the primary owner first, then the
+// failover sequence.
+func (r *ring) walk(key uint64) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make(map[string]bool)
+	var out []string
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingWalkCoversAllWorkers(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	r := buildRing(ids, 16)
+	for key := uint64(0); key < 64; key++ {
+		walk := r.walk(key * 0x9e3779b97f4a7c15)
+		if len(walk) != len(ids) {
+			t.Fatalf("walk(%d) visited %d workers, want %d", key, len(walk), len(ids))
+		}
+		seen := map[string]bool{}
+		for _, id := range walk {
+			if seen[id] {
+				t.Fatalf("walk(%d) repeated %s", key, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	// The coordinator always sorts member ids before building, but the
+	// ring itself must not care: identical id sets give identical walks.
+	a := buildRing([]string{"w1", "w2", "w3"}, 32)
+	b := buildRing([]string{"w3", "w1", "w2"}, 32)
+	for key := uint64(0); key < 32; key++ {
+		h := hashKey(BlockKey(Dataset{ID: "ds", Revision: int64(key)}, []int{1, 2}))
+		if !reflect.DeepEqual(a.walk(h), b.walk(h)) {
+			t.Fatalf("walks diverge for key %d: %v vs %v", key, a.walk(h), b.walk(h))
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hashing property the failover
+// design rests on: removing one worker only moves the blocks that
+// worker owned — every other block keeps its primary.
+func TestRingStability(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4"}
+	full := buildRing(ids, defaultVNodes)
+	without := buildRing([]string{"w1", "w2", "w4"}, defaultVNodes)
+	moved, owned := 0, 0
+	for i := 0; i < 500; i++ {
+		h := hashKey(BlockKey(Dataset{ID: "stab", Revision: int64(i)}, []int{i}))
+		before := full.walk(h)[0]
+		after := without.walk(h)[0]
+		if before == "w3" {
+			owned++
+			// Orphaned blocks must land on the dead worker's ring
+			// successor — the same worker the full ring lists second.
+			if want := full.walk(h)[1]; after != want {
+				t.Errorf("block %d reassigned to %s, want ring successor %s", i, after, want)
+			}
+			continue
+		}
+		if after != before {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d blocks not owned by the removed worker changed owner", moved)
+	}
+	if owned == 0 {
+		t.Error("test corpus never placed a block on the removed worker")
+	}
+}
+
+// TestRingBalance pins the vnode count's placement smoothness: across 4
+// workers no one takes more than twice the fair share.
+func TestRingBalance(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4"}
+	r := buildRing(ids, defaultVNodes)
+	counts := map[string]int{}
+	const blocks = 2000
+	for i := 0; i < blocks; i++ {
+		h := hashKey(BlockKey(Dataset{ID: "bal", Revision: int64(i)}, []int{i, i + 1}))
+		counts[r.walk(h)[0]]++
+	}
+	for id, n := range counts {
+		if n > blocks/len(ids)*2 {
+			t.Errorf("worker %s owns %d of %d blocks (fair share %d)", id, n, blocks, blocks/len(ids))
+		}
+		if n == 0 {
+			t.Errorf("worker %s owns no blocks", id)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if w := buildRing(nil, 8).walk(42); w != nil {
+		t.Errorf("empty ring walked to %v", w)
+	}
+	// vnodes <= 0 falls back to the default rather than an empty ring.
+	if r := buildRing([]string{"w"}, 0); len(r.points) != defaultVNodes {
+		t.Errorf("vnodes 0 built %d points, want %d", len(r.points), defaultVNodes)
+	}
+}

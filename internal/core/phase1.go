@@ -76,9 +76,10 @@ type Phase1Options struct {
 	Stats *Phase1Stats
 }
 
-// Phase1Stats counts the work of one (or several) ComputeNN runs. The
-// atomic counters are written by worker goroutines; Workers is written
-// once before the fan-out starts.
+// Phase1Stats counts the work of one (or several) ComputeNN runs. All
+// fields are atomic: one Stats value may be shared across concurrent
+// ComputeNN calls (the blocked pipeline solves blocks in parallel
+// against a single accumulator).
 type Phase1Stats struct {
 	// Lookups is the number of tuples whose neighbor lists were fetched.
 	Lookups atomic.Int64
@@ -87,7 +88,7 @@ type Phase1Stats struct {
 	Probes atomic.Int64
 	// Workers is the lookup fan-out of the most recent run: 1 for the
 	// serial orders, the effective goroutine count under Parallel.
-	Workers int
+	Workers atomic.Int32
 }
 
 // addProbes is nil-safe so the hot path stays branch-light at the call
@@ -152,7 +153,7 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 	}
 
 	if opts.Stats != nil {
-		opts.Stats.Workers = 1
+		opts.Stats.Workers.Store(1)
 	}
 	if opts.Parallel > 1 {
 		if _, ok := idx.(ConcurrentQuerier); ok {
@@ -161,7 +162,7 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 				workers = n
 			}
 			if opts.Stats != nil {
-				opts.Stats.Workers = workers
+				opts.Stats.Workers.Store(int32(workers))
 			}
 			parallelVisit(n, workers, visit)
 			return finish()

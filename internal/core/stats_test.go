@@ -39,8 +39,8 @@ func TestPhase1StatsCounts(t *testing.T) {
 	if got := stats.Probes.Load(); got != 2*n {
 		t.Errorf("probes = %d, want %d", got, 2*n)
 	}
-	if stats.Workers != 1 {
-		t.Errorf("workers = %d, want 1 (serial)", stats.Workers)
+	if stats.Workers.Load() != 1 {
+		t.Errorf("workers = %d, want 1 (serial)", stats.Workers.Load())
 	}
 }
 
@@ -51,8 +51,8 @@ func TestPhase1StatsParallelWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Workers != 3 {
-		t.Errorf("workers = %d, want 3", stats.Workers)
+	if stats.Workers.Load() != 3 {
+		t.Errorf("workers = %d, want 3", stats.Workers.Load())
 	}
 	if got := stats.Lookups.Load(); got != int64(idx.Len()) {
 		t.Errorf("lookups = %d, want %d", got, idx.Len())

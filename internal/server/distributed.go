@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"fuzzydup"
+	"fuzzydup/internal/blocked"
+	"fuzzydup/internal/cluster"
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/obs/promtext"
+	"fuzzydup/internal/strutil"
+)
+
+// The distributed job path: a coordinator node runs the blocked pipeline
+// locally — seeding, canopy merge, boundary guard, reconciliation — with
+// every per-block solve shipped to a worker through the cluster
+// coordinator (placement by consistent hashing, bounded retries,
+// reassignment on worker death, local fallback when no worker is
+// reachable). The groups are bit-for-bit what the batch path computes on
+// the same snapshot; see internal/cluster's package comment and
+// DESIGN.md §11 for the exactness argument.
+
+// defaultDistributedParallel is the block fan-out when the spec leaves
+// Parallel unset. Remote solves are network-bound, not CPU-bound, so
+// serial (the batch default) would ship one block at a time.
+const defaultDistributedParallel = 8
+
+// solveDistributed runs a distributed job's sweep through the engine's
+// cluster coordinator. The spec validations (exact index, no use_sql,
+// corpus-independent metric) already ran in normalize, and Submit
+// guaranteed e.coord is non-nil.
+func (e *Engine) solveDistributed(j *job) error {
+	records, rids, rev, err := e.store.SnapshotFull(j.spec.Dataset)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, len(records))
+	for i, r := range records {
+		keys[i] = strutil.JoinFields(r)
+	}
+	base, err := distance.ByName(j.spec.Metric, keys)
+	if err != nil {
+		return err
+	}
+	// The counter sees only coordinator-side calls (guard probes, local
+	// fallbacks, representatives); worker-side calls surface through the
+	// cluster metrics roll-up.
+	counter := distance.NewCounting(base)
+	agg, err := cluster.ParseAgg(j.spec.Agg)
+	if err != nil {
+		return err
+	}
+	ds := cluster.Dataset{ID: j.spec.Dataset, Revision: rev}
+	parallel := j.spec.Parallel
+	if parallel <= 0 {
+		parallel = defaultDistributedParallel
+	}
+
+	// The deferred block runs on every exit — success, failure, or
+	// cancellation — so partial runs still publish their distance-call
+	// total and RunReport, mirroring the batch path.
+	report := &fuzzydup.RunReport{}
+	defer func() {
+		calls := counter.Calls()
+		report.DistanceCalls = calls
+		e.metrics.distanceCalls.Add(calls)
+		j.mu.Lock()
+		j.report = report
+		j.mu.Unlock()
+	}()
+
+	results := make([]SweepResult, len(j.points))
+	for _, idx := range sweepOrder(j.points) {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if e.testBeforeSolve != nil {
+			e.testBeforeSolve(j.ctx, j.id)
+		}
+		pt := j.points[idx]
+		prob := core.Problem{
+			Agg:            agg,
+			C:              pt.C,
+			P:              j.spec.P,
+			MinimalCompact: j.spec.MinimalCompact,
+		}
+		switch j.spec.Mode {
+		case "size":
+			prob.Cut = core.Cut{MaxSize: pt.K}
+		case "diameter":
+			prob.Cut = core.Cut{Diameter: pt.Theta}
+		default: // both
+			prob.Cut = core.Cut{MaxSize: pt.K, Diameter: pt.Theta}
+		}
+
+		var p1 core.Phase1Stats
+		res, err := e.coord.Solve(j.ctx, ds, keys, counter, j.spec.Metric, prob,
+			blocked.DefaultStrategy(), blocked.Options{
+				Parallel: parallel,
+				// Normalized metrics may violate the triangle inequality,
+				// which the pivot guard needs; full foreign scans are always
+				// sound (the same choice the facade's blocked path defaults
+				// to).
+				Exhaustive: true,
+				Ctx:        j.ctx,
+				Stats:      &p1,
+				OnBlockSolved: func(size int, dur time.Duration) {
+					e.metrics.blockSolveDuration.ObserveDuration(dur)
+				},
+			})
+		if err != nil {
+			return err
+		}
+
+		e.metrics.phase1Duration.ObserveDuration(res.SolveTime)
+		e.metrics.phase2Duration.ObserveDuration(res.MergeTime)
+		e.metrics.blocksSolved.Add(int64(res.BlocksSolved))
+		e.metrics.boundaryResolves.Add(int64(res.BoundaryResolves))
+
+		report.Solves++
+		report.Phase1 += res.SolveTime
+		report.Phase2 += res.MergeTime
+		report.Lookups += p1.Lookups.Load()
+		report.IndexProbes += p1.Probes.Load()
+		report.Groups += res.Partition.Groups
+		report.DuplicateGroups += res.Partition.Duplicates
+		report.Splits += res.Partition.Splits
+		report.RejectedCompact += res.Partition.RejectedCompact
+		report.RejectedSN += res.Partition.RejectedSN
+		report.RejectedExcluded += res.Partition.RejectedExcluded
+		report.BlocksSolved += res.BlocksSolved
+		report.BoundaryResolves += res.BoundaryResolves
+
+		groups := fuzzydup.Groups(res.Groups)
+		reps := make([]int, len(groups))
+		for i, g := range groups {
+			reps[i] = representative(keys, counter, g)
+		}
+		results[idx] = SweepResult{
+			K:               pt.K,
+			Theta:           pt.Theta,
+			C:               pt.C,
+			Groups:          groups,
+			Duplicates:      nonNil(groups.Duplicates()),
+			Pairs:           nonNilPairs(groups.Pairs()),
+			Representatives: reps,
+		}
+		j.mu.Lock()
+		j.done++
+		j.mu.Unlock()
+	}
+
+	j.mu.Lock()
+	j.records = len(records)
+	j.results = results
+	j.snapRecords = records
+	j.snapRIDs = rids
+	j.snapRev = rev
+	j.mu.Unlock()
+	return nil
+}
+
+// representative returns the medoid of a group under the metric: the
+// member with the smallest total distance to the others, ties broken by
+// the lowest record index — the same choice Deduper.Representative makes,
+// so distributed results render identically to batch results.
+func representative(keys []string, m distance.Metric, group []int) int {
+	best, bestTotal := group[0], -1.0
+	for _, cand := range group {
+		total := 0.0
+		for _, other := range group {
+			if other != cand {
+				total += m.Distance(keys[cand], keys[other])
+			}
+		}
+		if bestTotal < 0 || total < bestTotal || (total == bestTotal && cand < best) {
+			best, bestTotal = cand, total
+		}
+	}
+	return best
+}
+
+// clusterFamilies appends the node's role-specific cluster families to
+// the Prometheus exposition (wired into Metrics.clusterProm by New). A
+// coordinator exports its membership view plus the fleet roll-up; a
+// worker exports its block-solve counters.
+func (s *Server) clusterFamilies(pw *promtext.Writer) {
+	if s.coord != nil {
+		s.coord.WriteCoordinatorFamilies(pw)
+		s.coord.WriteRollup(context.Background(), pw)
+		return
+	}
+	if w := s.worker; w != nil {
+		pw.Counter("dedupd_worker_block_solves_total",
+			"Remote block solves executed by this worker.",
+			promtext.Sample{Value: float64(w.Solves.Load())})
+		pw.Counter("dedupd_worker_block_cache_hits_total",
+			"Solve requests replayed from the idempotency cache.",
+			promtext.Sample{Value: float64(w.CacheHits.Load())})
+		pw.Counter("dedupd_worker_block_solves_rejected_total",
+			"Solve requests refused while draining.",
+			promtext.Sample{Value: float64(w.Rejected.Load())})
+		pw.Histogram("dedupd_worker_block_solve_duration_ms",
+			"Worker-side block solve durations.",
+			promtext.HistogramSample{Snapshot: w.SolveDuration.Snapshot()})
+	}
+}
+
+// clusterJSON is the "cluster" entry of the JSON metrics map, evaluated
+// at read time.
+func (s *Server) clusterJSON() any {
+	switch {
+	case s.coord != nil:
+		return map[string]any{
+			"role":              "coordinator",
+			"workers":           s.coord.Workers(),
+			"workers_alive":     s.coord.WorkersAlive(),
+			"blocks_reassigned": s.coord.BlocksReassigned.Load(),
+			"remote_errors":     s.coord.RemoteErrors.Load(),
+			"local_fallbacks":   s.coord.LocalFallbacks.Load(),
+		}
+	case s.worker != nil:
+		return map[string]any{
+			"role":       "worker",
+			"draining":   s.worker.Draining(),
+			"solves":     s.worker.Solves.Load(),
+			"cache_hits": s.worker.CacheHits.Load(),
+			"rejected":   s.worker.Rejected.Load(),
+		}
+	}
+	return map[string]any{"role": "standalone"}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fuzzydup"
+	"fuzzydup/internal/cluster"
 	"fuzzydup/internal/durable"
 	"fuzzydup/internal/obs"
 )
@@ -80,6 +81,14 @@ type JobSpec struct {
 	// require. Incremental jobs take a single (k, θ, c) point, the exact
 	// index, and a corpus-independent metric.
 	Incremental bool `json:"incremental,omitempty"`
+	// Distributed routes every sweep point through the cluster
+	// coordinator: blocks are placed on worker nodes by consistent
+	// hashing and solved remotely, while the boundary guard and merge
+	// loop run locally — the groups are bit-for-bit what a plain batch
+	// job computes. Only coordinator nodes (-role coordinator) accept
+	// it; requires the exact index and a corpus-independent metric;
+	// incompatible with use_sql and incremental.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // maxSweepPoints bounds the K × Theta × C cross product of one job.
@@ -185,6 +194,20 @@ func (spec *JobSpec) normalize() ([]sweepPoint, error) {
 			return nil, &specError{fmt.Sprintf("blocked jobs require the exact index, not %q", spec.Index)}
 		}
 	}
+	if spec.Distributed {
+		if spec.Incremental {
+			return nil, &specError{"distributed jobs cannot be incremental"}
+		}
+		if spec.UseSQL {
+			return nil, &specError{"distributed jobs do not support use_sql"}
+		}
+		if spec.Index != string(fuzzydup.IndexExact) {
+			return nil, &specError{fmt.Sprintf("distributed jobs require the exact index, not %q", spec.Index)}
+		}
+		if cluster.CorpusDependent(spec.Metric) {
+			return nil, &specError{fmt.Sprintf("metric %q is corpus-dependent and cannot be solved block-locally", spec.Metric)}
+		}
+	}
 	if spec.Incremental {
 		if len(points) != 1 {
 			return nil, &specError{fmt.Sprintf("incremental jobs take a single (k, theta, c) point, got %d", len(points))}
@@ -244,8 +267,8 @@ type SweepProgress struct {
 type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
-	// Kind is "batch" for full solves and "incremental" for session
-	// repair jobs.
+	// Kind is "batch" for full solves, "incremental" for session repair
+	// jobs, and "distributed" for cluster-fanned solves.
 	Kind    string        `json:"kind"`
 	Dataset string        `json:"dataset"`
 	Sweep   SweepProgress `json:"sweep"`
@@ -299,8 +322,11 @@ type job struct {
 
 // kind labels the job for status bodies and logs.
 func (j *job) kind() string {
-	if j.spec.Incremental {
+	switch {
+	case j.spec.Incremental:
 		return "incremental"
+	case j.spec.Distributed:
+		return "distributed"
 	}
 	return "batch"
 }
@@ -346,6 +372,10 @@ type Engine struct {
 	// records nothing); slow is the slow-op log (nil-safe likewise).
 	tracer *obs.Tracer
 	slow   *slowOpLog
+
+	// coord is the cluster coordinator on coordinator nodes (nil
+	// otherwise); distributed jobs solve through it.
+	coord *cluster.Coordinator
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -415,6 +445,9 @@ func (e *Engine) Submit(spec JobSpec, requestID string) (JobStatus, error) {
 	points, err := spec.normalize()
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if spec.Distributed && e.coord == nil {
+		return JobStatus{}, &specError{"distributed jobs require a coordinator node (-role coordinator)"}
 	}
 	if _, err := e.store.Get(spec.Dataset); err != nil {
 		return JobStatus{}, err
@@ -625,9 +658,12 @@ func (e *Engine) run(j *job) {
 		"request_id", j.requestID)
 
 	var err error
-	if j.spec.Incremental {
+	switch {
+	case j.spec.Incremental:
 		err = e.solveIncremental(j)
-	} else {
+	case j.spec.Distributed:
+		err = e.solveDistributed(j)
+	default:
 		err = e.solve(j)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fuzzydup/internal/obs"
+	"fuzzydup/internal/obs/promtext"
 )
 
 // httpLatencyBucketsMs are the histogram bounds for per-endpoint request
@@ -40,8 +41,9 @@ var httpLatencyBucketsMs = []float64{
 //	phase2_duration_ms     histogram of per-sweep-point phase-2 durations
 //	job_duration_ms        histogram of job run durations (all outcomes,
 //	                       including cancelled mid-run)
-//	job_duration_by_kind   {"batch": hist, "incremental": hist} — the same
-//	                       durations split by job kind
+//	job_duration_by_kind   {"batch": hist, "incremental": hist,
+//	                       "distributed": hist} — the same durations
+//	                       split by job kind
 //	distance_calls         metric invocations across all jobs (cumulative)
 //	blocks_solved          block solves run by blocked jobs (cumulative,
 //	                       all guard rounds included)
@@ -125,7 +127,7 @@ type Metrics struct {
 	phase2Duration        *obs.Histogram
 	blockSolveDuration    *obs.Histogram
 	jobDuration           *obs.Histogram
-	jobDurationKind       map[string]*obs.Histogram // "batch", "incremental"
+	jobDurationKind       map[string]*obs.Histogram // "batch", "incremental", "distributed"
 	repairDuration        *obs.Histogram
 	walAppendDuration     *obs.Histogram
 	walFsyncDuration      *obs.Histogram
@@ -138,6 +140,17 @@ type Metrics struct {
 	// snapshotAge computes the query_snapshot_age_seconds gauge at scrape
 	// time (set by the Server once the engine exists; nil reads 0).
 	snapshotAge func() float64
+
+	// clusterProm appends the node's cluster families to the Prometheus
+	// exposition (set by the Server for coordinator and worker roles;
+	// nil for standalone).
+	clusterProm func(pw *promtext.Writer)
+}
+
+// attachClusterJSON adds a "cluster" entry to the JSON metrics map,
+// evaluated at read time.
+func (m *Metrics) attachClusterJSON(f func() any) {
+	m.root.Set("cluster", expvar.Func(f))
 }
 
 func newMetrics() *Metrics {
@@ -186,6 +199,7 @@ func newMetrics() *Metrics {
 		jobDurationKind: map[string]*obs.Histogram{
 			"batch":       obs.NewHistogram(),
 			"incremental": obs.NewHistogram(),
+			"distributed": obs.NewHistogram(),
 		},
 		repairDuration: obs.NewHistogram(),
 		// WAL operations live in the sub-millisecond range; the default

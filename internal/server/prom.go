@@ -112,6 +112,12 @@ func (m *Metrics) servePrometheus(w http.ResponseWriter) {
 		promtext.Sample{Value: float64(ms.PauseTotalNs) / 1e9})
 	pw.Gauge("dedupd_go_gc_pause_last_seconds", "Most recent GC stop-the-world pause.",
 		promtext.Sample{Value: lastGCPauseSeconds(&ms)})
+
+	// Cluster families: coordinator membership/roll-up or worker block
+	// solve counters, depending on the node's role (see distributed.go).
+	if m.clusterProm != nil {
+		m.clusterProm(pw)
+	}
 }
 
 // lastGCPauseSeconds extracts the most recent pause from the circular

@@ -52,8 +52,10 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
+	"fuzzydup/internal/cluster"
 	"fuzzydup/internal/durable"
 	"fuzzydup/internal/obs"
 )
@@ -109,6 +111,29 @@ type Config struct {
 	// GET /debug/traces.
 	TraceCapacity int
 	TraceSlowest  int
+
+	// Role selects the node's cluster role: "standalone" (or "", the
+	// default) runs exactly as before; "coordinator" accepts
+	// "distributed": true jobs and fans block solves out to workers;
+	// "worker" serves POST /v1/internal/blocks/solve and announces itself
+	// to its coordinators.
+	Role string
+	// Peers are cluster base URLs: for a coordinator, static worker
+	// seeds (workers may also register dynamically); for a worker, the
+	// coordinators to heartbeat.
+	Peers []string
+	// Advertise is the base URL coordinators reach this worker at
+	// (required for role "worker" when Peers is non-empty).
+	Advertise string
+	// HeartbeatInterval is the worker's announce cadence (default 1s);
+	// HeartbeatTTL is the coordinator's liveness window (default 3s).
+	HeartbeatInterval time.Duration
+	HeartbeatTTL      time.Duration
+	// SolveTimeout bounds one remote block solve attempt (default 30s);
+	// SolveRetries is the per-worker attempt budget before a block is
+	// reassigned (default 3).
+	SolveTimeout time.Duration
+	SolveRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +176,21 @@ func (c Config) withDefaults() Config {
 	if c.TraceSlowest <= 0 {
 		c.TraceSlowest = 8
 	}
+	if c.Role == "" {
+		c.Role = "standalone"
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatTTL <= 0 {
+		c.HeartbeatTTL = 3 * time.Second
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
+	}
+	if c.SolveRetries <= 0 {
+		c.SolveRetries = 3
+	}
 	return c
 }
 
@@ -175,6 +215,16 @@ type Server struct {
 	slowOps *slowOpLog
 	db      *durable.DB // nil without Config.DataDir
 	handler http.Handler
+
+	// Cluster role state: at most one of coord/worker is non-nil
+	// (standalone has neither). The registrar is the worker's heartbeat
+	// loop; regStop cancels it and regDone closes when it has exited.
+	coord     *cluster.Coordinator
+	worker    *cluster.Worker
+	registrar *cluster.Registrar
+	regStop   context.CancelFunc
+	regDone   chan struct{}
+	drainOnce sync.Once
 }
 
 // New builds a Server and starts its worker pool. With Config.DataDir
@@ -231,6 +281,47 @@ func New(cfg Config) (*Server, error) {
 		return s.engine.snaps.maxAge(time.Now())
 	}
 
+	switch cfg.Role {
+	case "standalone":
+	case "coordinator":
+		s.coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			SolveTimeout: cfg.SolveTimeout,
+			Retries:      cfg.SolveRetries,
+			HeartbeatTTL: cfg.HeartbeatTTL,
+			Logger:       cfg.Logger,
+		})
+		for _, p := range cfg.Peers {
+			s.coord.AddPeer(p)
+		}
+		s.engine.coord = s.coord
+		s.metrics.clusterProm = s.clusterFamilies
+		s.metrics.attachClusterJSON(s.clusterJSON)
+	case "worker":
+		s.worker = cluster.NewWorker(cfg.Logger, 0)
+		s.metrics.clusterProm = s.clusterFamilies
+		s.metrics.attachClusterJSON(s.clusterJSON)
+		if len(cfg.Peers) > 0 {
+			if cfg.Advertise == "" {
+				return nil, fmt.Errorf("role worker with peers requires an advertise URL")
+			}
+			s.registrar = &cluster.Registrar{
+				Coordinators: cfg.Peers,
+				Self:         cfg.Advertise,
+				Every:        cfg.HeartbeatInterval,
+				Logger:       cfg.Logger,
+			}
+			regCtx, cancel := context.WithCancel(context.Background())
+			s.regStop = cancel
+			s.regDone = make(chan struct{})
+			go func() {
+				defer close(s.regDone)
+				s.registrar.Run(regCtx)
+			}()
+		}
+	default:
+		return nil, fmt.Errorf("unknown role %q (standalone, coordinator, worker)", cfg.Role)
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -251,6 +342,15 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if s.coord != nil {
+		mux.HandleFunc("POST "+cluster.RegisterPath, s.coord.HandleRegister)
+		mux.HandleFunc("POST "+cluster.HeartbeatPath, s.coord.HandleHeartbeat)
+		mux.HandleFunc("POST "+cluster.DeregisterPath, s.coord.HandleDeregister)
+		mux.HandleFunc("GET "+cluster.WorkersPath, s.coord.HandleWorkers)
+	}
+	if s.worker != nil {
+		mux.HandleFunc("POST "+cluster.SolvePath, s.worker.HandleSolve)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such endpoint")
 	})
@@ -290,7 +390,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // so no acknowledged mutation is lost across a clean restart. It
 // returns ctx.Err() if the deadline forced cancellation. The HTTP
 // listener (if any) is the caller's to close — see ListenAndServe.
+//
+// A worker node first leaves the cluster: it stops heartbeating,
+// deregisters from its coordinators so future blocks place elsewhere,
+// and finishes the block solves it already accepted (new ones get 503,
+// which the coordinator treats as a reassignment signal).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainCluster()
+	if s.worker != nil {
+		s.worker.Wait()
+	}
 	err := s.engine.Shutdown(ctx)
 	if s.db != nil {
 		if cerr := s.db.Close(); cerr != nil && err == nil {
@@ -298,6 +407,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	return err
+}
+
+// drainCluster runs the worker's exit sequence exactly once: refuse new
+// block solves (the coordinator reassigns them), stop the heartbeat
+// loop, and send a best-effort deregistration so coordinators drop this
+// node immediately instead of waiting out the liveness TTL. It runs
+// before the HTTP listener shuts down — deregistering while still
+// serving lets in-flight solves complete and be returned. A no-op for
+// non-worker roles.
+func (s *Server) drainCluster() {
+	s.drainOnce.Do(func() {
+		if s.worker == nil {
+			return
+		}
+		s.worker.BeginDrain()
+		if s.registrar != nil {
+			s.regStop()
+			<-s.regDone
+			s.registrar.Deregister()
+		}
+	})
 }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts the
@@ -321,6 +451,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 	}
 
 	s.cfg.Logger.Info("shutting down", "drain", drain.String())
+	// Leave the cluster before the listener stops: deregistration routes
+	// future blocks elsewhere while srv.Shutdown below waits for the
+	// in-flight remote block solves this node already accepted.
+	s.drainCluster()
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	httpErr := srv.Shutdown(drainCtx)

@@ -28,6 +28,18 @@
 // each and land on /debug/slowops. -pprof mounts the runtime profiler
 // under /debug/pprof/.
 //
+// SQL: -sql-addr serves a MySQL wire-protocol listener (stock MySQL
+// clients and drivers connect with mysql_native_password; gate it with
+// -sql-user/-sql-password). Live state is queryable as virtual tables
+// (datasets, records, dup_groups, nn_reln) and through the DEDUP()
+// table function, which reuses the committed solve when its parameters
+// match and otherwise runs a job and waits. Equality/IN predicates on
+// the block_key column push down into the blocked solver, restricting
+// the solve to the selected blocks without changing any returned group.
+// -sql-max-rows caps every materialized row set (ERR 4001 beyond it);
+// statements slower than -slow-query land on /debug/slowops. See the
+// README's "SQL access" section and cmd/sqlsh -remote for a client.
+//
 // Clustering: -role coordinator accepts jobs with "distributed": true
 // and fans their block solves out to worker nodes (started with -role
 // worker -advertise <url> -peers <coordinator>), placed by consistent
@@ -86,6 +98,11 @@ func run(args []string) error {
 		slowRepair = fs.Duration("slow-repair", time.Second, "slow-op threshold for incremental repair ops (-1s disables)")
 		traceCap   = fs.Int("trace-capacity", 256, "retained trace ring size (GET /debug/traces)")
 
+		sqlAddr     = fs.String("sql-addr", "", "MySQL wire-protocol listen address (e.g. :3306); empty disables the SQL surface")
+		sqlMaxRows  = fs.Int("sql-max-rows", 1_000_000, "row cap on every materialized SQL row set (ERR 4001 beyond it)")
+		sqlUser     = fs.String("sql-user", "", "SQL username to require (empty accepts any)")
+		sqlPassword = fs.String("sql-password", "", "SQL password (mysql_native_password; empty accepts any)")
+
 		role         = fs.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
 		peers        = fs.String("peers", "", "comma-separated cluster base URLs: worker seeds (coordinator) or coordinators to announce to (worker)")
 		advertise    = fs.String("advertise", "", "base URL coordinators reach this worker at (role worker with -peers)")
@@ -124,6 +141,11 @@ func run(args []string) error {
 		SlowRepair:     *slowRepair,
 		TraceCapacity:  *traceCap,
 
+		SQLAddr:     *sqlAddr,
+		SQLMaxRows:  *sqlMaxRows,
+		SQLUser:     *sqlUser,
+		SQLPassword: *sqlPassword,
+
 		Role:              *role,
 		Peers:             splitPeers(*peers),
 		Advertise:         *advertise,
@@ -140,7 +162,7 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger.Info("listening", "addr", *addr, "role", *role, "workers", *workers, "queue", *queue, "pprof", *pprof, "data_dir", *dataDir)
+	logger.Info("listening", "addr", *addr, "sql_addr", *sqlAddr, "role", *role, "workers", *workers, "queue", *queue, "pprof", *pprof, "data_dir", *dataDir)
 	err = srv.ListenAndServe(ctx, *addr, *drain)
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -341,3 +341,59 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Error("unreachable server did not error")
 	}
 }
+
+// The SQL surface's series ride the same generic scrape parser: a
+// fixture exposition carrying dedupd_sql_* families is readable through
+// value/sum/histogram without any dedupstat change, and an exposition
+// that includes them still renders. This is the forward-compatibility
+// contract: new server series never break the dashboard.
+const sqlFamilies = `# TYPE dedupd_sql_connections gauge
+dedupd_sql_connections 3
+# TYPE dedupd_sql_queries_total counter
+dedupd_sql_queries_total 42
+# TYPE dedupd_sql_rows_returned_total counter
+dedupd_sql_rows_returned_total 410
+# TYPE dedupd_sql_errors_total counter
+dedupd_sql_errors_total 2
+# TYPE dedupd_sql_query_duration_ms histogram
+dedupd_sql_query_duration_ms_bucket{le="1"} 30
+dedupd_sql_query_duration_ms_bucket{le="5"} 40
+dedupd_sql_query_duration_ms_bucket{le="+Inf"} 42
+dedupd_sql_query_duration_ms_sum 99
+dedupd_sql_query_duration_ms_count 42
+`
+
+func TestScrapeParsesSQLFamilies(t *testing.T) {
+	ts := fixtureServerBodies(t, scrapeOne+sqlFamilies, scrapeTwo+sqlFamilies)
+	s, err := fetch(http.DefaultClient, ts.URL+"/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.value("dedupd_sql_connections", nil); got != 3 {
+		t.Errorf("sql_connections = %g, want 3", got)
+	}
+	if got := s.value("dedupd_sql_queries_total", nil); got != 42 {
+		t.Errorf("sql_queries_total = %g, want 42", got)
+	}
+	if got := s.value("dedupd_sql_errors_total", nil); got != 2 {
+		t.Errorf("sql_errors_total = %g, want 2", got)
+	}
+	h := s.histogram("dedupd_sql_query_duration_ms", nil)
+	if h.count != 42 || len(h.les) != 3 {
+		t.Errorf("sql_query_duration_ms hist = count %g, %d buckets", h.count, len(h.les))
+	}
+	// slow_ops sums across kinds, so a kind="sql" sample would simply
+	// fold into the existing total — nothing to special-case.
+	if got := s.sum("dedupd_slow_ops_total"); got != 7 {
+		t.Errorf("slow_ops sum = %g, want 7", got)
+	}
+
+	// The full render path tolerates the extra families.
+	var out bytes.Buffer
+	if err := run([]string{"-addr", ts.URL, "-interval", "10ms", "-count", "1", "-plain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "frame 1") {
+		t.Errorf("render with sql families failed:\n%s", out.String())
+	}
+}

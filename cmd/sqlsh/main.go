@@ -1,11 +1,16 @@
-// Command sqlsh is an interactive shell for the embedded relational
-// engine (internal/sqldb) — the database substrate the paper's phase-2
-// partitioning runs on.
+// Command sqlsh is an interactive SQL shell. By default it drives the
+// embedded relational engine (internal/sqldb) — the database substrate
+// the paper's phase-2 partitioning runs on. With -remote it instead
+// connects to a dedupd SQL listener (-sql-addr) over the MySQL wire
+// protocol and runs every statement there, against the server's live
+// virtual tables and the DEDUP() table function.
 //
 // Usage:
 //
-//	sqlsh            # empty database
-//	sqlsh -demo      # preloaded with the paper's Table 1 as table "media"
+//	sqlsh                         # empty local database
+//	sqlsh -demo                   # preloaded with the paper's Table 1 as table "media"
+//	sqlsh -remote localhost:3306  # speak the wire protocol to a dedupd
+//	sqlsh -remote localhost:3306 -user ops -password s3cret
 //
 // Statements end at a newline; \q quits, \tables lists tables.
 package main
@@ -21,12 +26,27 @@ import (
 
 	"fuzzydup/internal/dataset"
 	"fuzzydup/internal/sqldb"
+	"fuzzydup/internal/sqlwire"
 )
 
 func main() {
 	log.SetFlags(0)
 	demo := flag.Bool("demo", false, "preload the paper's Table 1 as table media(id, artist, track)")
+	remote := flag.String("remote", "", "dedupd SQL address (host:port); empty runs the embedded engine")
+	user := flag.String("user", "", "username for -remote")
+	password := flag.String("password", "", "password for -remote")
 	flag.Parse()
+
+	if *remote != "" {
+		client, err := sqlwire.Dial(*remote, *user, *password, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		fmt.Printf("connected to %s — try: SELECT * FROM datasets\n", *remote)
+		replRemote(client, os.Stdin, os.Stdout)
+		return
+	}
 
 	db := sqldb.Open()
 	if *demo {
@@ -63,6 +83,31 @@ func repl(db *sqldb.DB, in io.Reader, out io.Writer) {
 	}
 }
 
+// replRemote is repl against a wire connection: same prompt, same
+// rendering, every statement shipped as COM_QUERY.
+func replRemote(client *sqlwire.Client, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "sql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`, line == "quit", line == "exit":
+			return
+		case line == `\tables`:
+			fmt.Fprintln(out, "virtual tables: datasets, records, dup_groups, nn_reln; table function: DEDUP(dataset[, k[, theta[, c]]])")
+		default:
+			res, err := client.Query(line)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				printWireResult(out, res)
+			}
+		}
+		fmt.Fprint(out, "sql> ")
+	}
+}
+
 func loadDemo(db *sqldb.DB) error {
 	if _, err := db.Exec("CREATE TABLE media (id INT, artist TEXT, track TEXT)"); err != nil {
 		return err
@@ -86,6 +131,32 @@ func printResult(out io.Writer, res *sqldb.Result) {
 		parts := make([]string, len(row))
 		for i, v := range row {
 			parts[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(parts, " | "))
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+}
+
+// printWireResult renders a wire result set in printResult's format, so
+// local and remote sessions read identically.
+func printWireResult(out io.Writer, res *sqlwire.Resultset) {
+	if len(res.Cols) == 0 {
+		fmt.Fprintf(out, "ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	names := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		names[i] = c.Name
+	}
+	fmt.Fprintln(out, strings.Join(names, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			if c.Null {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = c.S
+			}
 		}
 		fmt.Fprintln(out, strings.Join(parts, " | "))
 	}

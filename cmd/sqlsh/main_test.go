@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
+	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"fuzzydup/internal/sqldb"
+	"fuzzydup/internal/sqlwire"
 )
 
 func TestReplSession(t *testing.T) {
@@ -50,5 +54,76 @@ func TestLoadDemo(t *testing.T) {
 	}
 	if res.Rows[0][0].Int != 4 {
 		t.Errorf("series rows = %v", res.Rows[0][0])
+	}
+}
+
+// sqldbExecutor backs a wire server with a plain embedded database — the
+// shape of a dedupd-less test rig, enough to drive replRemote end to end.
+type sqldbExecutor struct{ db *sqldb.DB }
+
+func (e *sqldbExecutor) Query(ctx context.Context, sess *sqlwire.Session, query string) (*sqlwire.Resultset, error) {
+	res, err := e.db.ExecContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	rs := &sqlwire.Resultset{Affected: uint64(res.Affected)}
+	for _, c := range res.Cols {
+		rs.Cols = append(rs.Cols, sqlwire.Column{Name: c, Type: sqlwire.TypeVarString})
+	}
+	for _, row := range res.Rows {
+		cells := make([]sqlwire.Cell, len(row))
+		for i, v := range row {
+			if v.Kind == sqldb.KindNull {
+				cells[i] = sqlwire.NullCell()
+			} else {
+				cells[i] = sqlwire.StringCell(v.String())
+			}
+		}
+		rs.Rows = append(rs.Rows, cells)
+	}
+	return rs, nil
+}
+
+// TestReplRemoteSession runs the remote repl against a real wire server:
+// the same session script as TestReplSession, shipped as COM_QUERY, with
+// identical rendering.
+func TestReplRemoteSession(t *testing.T) {
+	srv := &sqlwire.Server{Exec: &sqldbExecutor{db: sqldb.Open()}}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	client, err := sqlwire.Dial(lis.Addr().String(), "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	in := strings.NewReader(strings.Join([]string{
+		"CREATE TABLE t (a INT, b TEXT)",
+		"INSERT INTO t VALUES (1, 'one'), (2, NULL)",
+		"SELECT a, b FROM t ORDER BY a",
+		"BOGUS SYNTAX",
+		`\tables`,
+		`\q`,
+	}, "\n"))
+	var out strings.Builder
+	replRemote(client, in, &out)
+	got := out.String()
+	for _, want := range []string{
+		"ok (0 rows affected)", "ok (2 rows affected)",
+		"a | b", "1 | one", "2 | NULL", "(2 rows)",
+		"error:", "DEDUP(dataset",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
 	}
 }

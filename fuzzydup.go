@@ -170,6 +170,16 @@ type BlockingOptions struct {
 	// block size and solve duration — the hook dedupd feeds its per-block
 	// duration histogram from. Calls are sequential.
 	OnBlockSolved func(size int, d time.Duration)
+	// Restrict, when non-nil, limits the solve to the blocks containing
+	// at least one record with Restrict(id) true (a restricted blocked
+	// solve — see blocked.Options.Restrict). The returned partition then
+	// holds only those blocks' groups, but each of them is bit-for-bit
+	// the group the unrestricted solve would produce: the boundary guard
+	// still certifies active blocks against the whole corpus. Use
+	// Deduper.LastCovered to learn which records the partition covers.
+	// This is the hook SQL predicate pushdown on blocking-key columns
+	// rides on.
+	Restrict func(id int) bool
 }
 
 // strategy materializes the blocking strategy the options describe.
@@ -295,8 +305,9 @@ type Deduper struct {
 	cacheHits     int // phase-1 requests served from a cached relation
 	cacheComputes int // phase-1 requests that ran ComputeNN
 
-	report     RunReport // accumulated across solves
-	lastReport RunReport // most recent solve's delta
+	report      RunReport // accumulated across solves
+	lastReport  RunReport // most recent solve's delta
+	lastCovered []bool    // restricted-solve coverage; nil = full coverage
 }
 
 // CacheStats reports how often the phase-1 cache answered an NN-relation
@@ -315,6 +326,13 @@ func (d *Deduper) Report() RunReport { return d.report }
 // are that solve's deltas), which is what per-sweep-point monitoring
 // wants.
 func (d *Deduper) LastReport() RunReport { return d.lastReport }
+
+// LastCovered reports which records the most recent solve's partition
+// covers. It is nil after an unrestricted solve (every record is
+// covered); after a solve with BlockingOptions.Restrict set it marks
+// exactly the records whose groups appear in the returned partition —
+// each such group identical to the unrestricted solve's.
+func (d *Deduper) LastCovered() []bool { return d.lastCovered }
 
 // New builds a Deduper over the records. IDF-weighted metrics compute
 // their weights from these records.
@@ -517,6 +535,7 @@ func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) 
 
 	d.lastReport = delta
 	d.report.add(delta)
+	d.lastCovered = nil // monolithic solves always cover every record
 	return groups, nil
 }
 
@@ -545,6 +564,7 @@ func (d *Deduper) solveBlocked(ctx context.Context, prob core.Problem) (Groups, 
 		Ctx:           ctx,
 		Stats:         &p1,
 		OnBlockSolved: bo.OnBlockSolved,
+		Restrict:      bo.Restrict,
 	})
 	if err != nil {
 		bSpan.End()
@@ -577,6 +597,11 @@ func (d *Deduper) solveBlocked(ctx context.Context, prob core.Problem) (Groups, 
 
 	d.lastReport = delta
 	d.report.add(delta)
+	if bo.Restrict != nil {
+		d.lastCovered = res.Covered
+	} else {
+		d.lastCovered = nil
+	}
 	return Groups(res.Groups), nil
 }
 

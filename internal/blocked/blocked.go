@@ -108,6 +108,19 @@ type Options struct {
 	// the block size and the solve duration. Calls are sequential and
 	// deterministic in order.
 	OnBlockSolved func(size int, d time.Duration)
+	// Restrict, when non-nil, limits the solve to the blocks that
+	// matter for a record predicate: only components containing at least
+	// one record with Restrict(id) true are solved, guarded, and
+	// reconciled; every other block is skipped wholesale. The certificate
+	// machinery still runs in full for the active blocks — their members'
+	// radii are checked against the entire corpus, and guard merges can
+	// pull untouched records in — so the groups returned for covered
+	// records (see Result.Covered) are bit-for-bit the global partition
+	// restricted to their blocks. Activity is monotone under merges: a
+	// merged component containing an active member stays active, so
+	// restriction composes with the fixpoint proof of DESIGN.md §8.
+	// This is what SQL predicate pushdown on blocking-key columns drives.
+	Restrict func(id int) bool
 	// Solver, when non-nil, replaces the local per-block solve: each
 	// dirty block's ascending global member IDs are handed to it (from up
 	// to Parallel goroutines) and it must return the block's solved state
@@ -140,8 +153,15 @@ func (o Options) maxRounds() int {
 type Result struct {
 	// Groups is the global partition: members ascending within each
 	// group, groups ordered by smallest member — the same canonical form
-	// core.Partition emits.
+	// core.Partition emits. Under Options.Restrict it holds only the
+	// groups of active blocks (see Covered).
 	Groups [][]int
+	// Covered marks the records whose groups are present in Groups: all
+	// of them for an unrestricted solve, exactly the members of active
+	// blocks under Options.Restrict. A covered record's group membership
+	// equals what the unrestricted solve would report; uncovered records
+	// simply were not computed.
+	Covered []bool
 	// Partition sums the phase-2 counters over the final blocks.
 	Partition core.PartitionStats
 
@@ -236,10 +256,19 @@ func Solve(keys []string, metric distance.Metric, prob core.Problem, strat Strat
 	if opts.Solver != nil && prob.Exclude != nil {
 		return nil, fmt.Errorf("blocked: Options.Solver is incompatible with Problem.Exclude")
 	}
-	res := &Result{Groups: [][]int{}}
+	res := &Result{Groups: [][]int{}, Covered: []bool{}}
 	n := len(keys)
 	if n == 0 {
 		return res, nil
+	}
+	// Evaluate the restriction predicate once; component activity is then
+	// a pure union over match bits each round.
+	var match []bool
+	if opts.Restrict != nil {
+		match = make([]bool, n)
+		for v := 0; v < n; v++ {
+			match[v] = opts.Restrict(v)
+		}
 	}
 	if len(strat.Keys) == 0 && len(strat.Windows) == 0 {
 		strat = DefaultStrategy()
@@ -296,6 +325,9 @@ func Solve(keys []string, metric distance.Metric, prob core.Problem, strat Strat
 		var dirty []int
 		newCache := make(map[int]*cached, len(comps))
 		for ci, members := range comps {
+			if match != nil && !componentActive(members, match) {
+				continue // restricted out: never solved, blocks[ci] stays nil
+			}
 			root := u.find(members[0])
 			if c, ok := cache[root]; ok && c.size == len(members) {
 				blocks[ci] = c.solve
@@ -372,7 +404,14 @@ func Solve(keys []string, metric distance.Metric, prob core.Problem, strat Strat
 		}
 		if converged {
 			res.Blocks = len(comps)
+			res.Covered = make([]bool, n)
 			for _, b := range blocks {
+				if b == nil {
+					continue // restricted out
+				}
+				for _, v := range b.members {
+					res.Covered[v] = true
+				}
 				if len(b.members) > res.MaxBlock {
 					res.MaxBlock = len(b.members)
 				}
@@ -548,6 +587,18 @@ func growthReach(nn, p float64) float64 {
 	return p * nn
 }
 
+// componentActive reports whether a component contains a record matched
+// by the restriction predicate. Merging can only add members, so an
+// active component stays active in every later round.
+func componentActive(members []int, match []bool) bool {
+	for _, v := range members {
+		if match[v] {
+			return true
+		}
+	}
+	return false
+}
+
 // reconcile concatenates the per-block partitions into the global
 // canonical form. Local groups are already canonically ordered and the
 // member remap is monotone, so each remapped group is ascending; only
@@ -555,6 +606,9 @@ func growthReach(nn, p float64) float64 {
 func reconcile(blocks []*blockSolve) [][]int {
 	groups := make([][]int, 0, len(blocks))
 	for _, b := range blocks {
+		if b == nil {
+			continue // restricted out of the solve
+		}
 		for _, lg := range b.groups {
 			gg := make([]int, len(lg))
 			for i, lv := range lg {

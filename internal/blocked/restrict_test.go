@@ -1,0 +1,147 @@
+package blocked
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fuzzydup/internal/core"
+)
+
+// TestRestrictExactOnCoveredBlocks is the exactness contract predicate
+// pushdown relies on: a restricted solve returns, for every covered
+// record, exactly the group the unrestricted solve would — while
+// solving measurably fewer blocks.
+func TestRestrictExactOnCoveredBlocks(t *testing.T) {
+	probs := []core.Problem{
+		{Cut: core.Cut{MaxSize: 3}, C: 3},
+		{Cut: core.Cut{Diameter: 10.0 / numScale}, C: 3},
+		{Cut: core.Cut{MaxSize: 4, Diameter: 25.0 / numScale}, C: 3},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		keys := clusteredKeys(rand.New(rand.NewSource(seed)), 200)
+		for pi, prob := range probs {
+			ctx := fmt.Sprintf("seed=%d prob=%d", seed, pi)
+			full, err := Solve(keys, numMetric, prob, numStrategy(), Options{})
+			if err != nil {
+				t.Fatalf("%s: full solve: %v", ctx, err)
+			}
+			// Restrict to records in one thousand-bucket (the blocking-key
+			// prefix of record 0) — the shape a pushed-down equality
+			// predicate on the block_key column produces.
+			prefix := keys[0][:3]
+			match := func(id int) bool { return strings.HasPrefix(keys[id], prefix) }
+			res, err := Solve(keys, numMetric, prob, numStrategy(), Options{Restrict: match})
+			if err != nil {
+				t.Fatalf("%s: restricted solve: %v", ctx, err)
+			}
+
+			if res.BlocksSolved >= full.BlocksSolved {
+				t.Errorf("%s: restriction did not reduce work: %d blocks solved vs %d unrestricted",
+					ctx, res.BlocksSolved, full.BlocksSolved)
+			}
+			for id := range keys {
+				if match(id) && !res.Covered[id] {
+					t.Fatalf("%s: matching record %d not covered", ctx, id)
+				}
+			}
+
+			// Each restricted group must appear bit-for-bit in the full
+			// partition, and every full group whose members are covered
+			// must appear in the restricted result.
+			fullSet := make(map[string][]int, len(full.Groups))
+			for _, g := range full.Groups {
+				fullSet[fmt.Sprint(g)] = g
+			}
+			for _, g := range res.Groups {
+				if _, ok := fullSet[fmt.Sprint(g)]; !ok {
+					t.Fatalf("%s: restricted group %v absent from full partition", ctx, g)
+				}
+			}
+			resSet := make(map[string]bool, len(res.Groups))
+			for _, g := range res.Groups {
+				resSet[fmt.Sprint(g)] = true
+			}
+			for _, g := range full.Groups {
+				if res.Covered[g[0]] && !resSet[fmt.Sprint(g)] {
+					t.Fatalf("%s: covered full group %v missing from restricted result", ctx, g)
+				}
+			}
+		}
+	}
+}
+
+func TestRestrictEmptyMatchSet(t *testing.T) {
+	keys := clusteredKeys(rand.New(rand.NewSource(7)), 100)
+	prob := core.Problem{Cut: core.Cut{MaxSize: 3}, C: 3}
+	res, err := Solve(keys, numMetric, prob, numStrategy(), Options{Restrict: func(int) bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 || res.BlocksSolved != 0 {
+		t.Fatalf("empty match set still solved: %+v", res)
+	}
+	for id, c := range res.Covered {
+		if c {
+			t.Fatalf("record %d covered with an empty match set", id)
+		}
+	}
+}
+
+func TestUnrestrictedCoversEverything(t *testing.T) {
+	keys := clusteredKeys(rand.New(rand.NewSource(3)), 60)
+	prob := core.Problem{Cut: core.Cut{MaxSize: 3}, C: 3}
+	res, err := Solve(keys, numMetric, prob, numStrategy(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Covered) != len(keys) {
+		t.Fatalf("Covered length %d, want %d", len(res.Covered), len(keys))
+	}
+	for id, c := range res.Covered {
+		if !c {
+			t.Fatalf("record %d uncovered in unrestricted solve", id)
+		}
+	}
+	want := referenceGroups(t, keys, prob)
+	if !reflect.DeepEqual(res.Groups, want) {
+		t.Fatalf("unrestricted groups diverged after restriction change")
+	}
+}
+
+// TestRestrictGuardStillMerges: on the fold corpus (see foldCorpus),
+// restricting to the true pair must still trigger the boundary guard —
+// a restricted solve takes no certification shortcuts on active blocks.
+func TestRestrictGuardStillMerges(t *testing.T) {
+	keys, prob, strat := foldCorpus()
+	v := numKey(600000)
+	res, err := Solve(keys, numMetric, prob, strat, Options{Restrict: func(id int) bool { return keys[id] == v }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundaryViolations == 0 {
+		t.Fatalf("guard never fired on the restricted fold corpus: %+v", res)
+	}
+	want := referenceGroups(t, keys, prob)
+	// The true pair's group must match the global answer.
+	var got, exp []int
+	for _, g := range res.Groups {
+		for _, m := range g {
+			if keys[m] == v {
+				got = g
+			}
+		}
+	}
+	for _, g := range want {
+		for _, m := range g {
+			if keys[m] == v {
+				exp = g
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, exp) {
+		t.Fatalf("restricted group %v, global answer %v", got, exp)
+	}
+}

@@ -221,6 +221,32 @@ func (s *Snapshot) Groups() int { return len(s.groups) }
 // record).
 func (s *Snapshot) Prefiltered() bool { return s.divisor > 0 }
 
+// Enumeration accessors, used by the SQL catalog to expose the solved
+// partition as virtual-table rows. Returned slices are the snapshot's
+// own immutable backing arrays: read freely, never mutate.
+
+// RID returns the stable record ID of record index i.
+func (s *Snapshot) RID(i int) int64 { return s.rids[i] }
+
+// Key returns the joined field string of record index i.
+func (s *Snapshot) Key(i int) string { return s.keys[i] }
+
+// GroupOf returns the group index record index i belongs to.
+func (s *Snapshot) GroupOf(i int) int { return s.groupOf[i] }
+
+// Members returns group gi's member record indexes, ascending. The
+// slice is shared and must not be mutated.
+func (s *Snapshot) Members(gi int) []int { return s.groups[gi] }
+
+// RepIndex returns the representative (medoid) record index of group gi.
+func (s *Snapshot) RepIndex(gi int) int { return s.reps[gi] }
+
+// Distance returns the snapshot metric's distance between two record
+// indexes (used to compute group diameters on demand).
+func (s *Snapshot) Distance(i, j int) float64 {
+	return s.metric.Distance(s.keys[i], s.keys[j])
+}
+
 // GroupInfo is one duplicate group as seen from a query answer: its
 // index in the solved partition, its members (by rid and by record
 // index), and its representative's rid.

@@ -69,8 +69,14 @@ var httpLatencyBucketsMs = []float64{
 //	                       with no published snapshots
 //	query_duration_ms      histogram of per-query lookup latencies
 //	snapshot_build_duration_ms histogram of query snapshot build times
-//	slow_ops               {"query": n, "job": n, "repair": n} operations
-//	                       that exceeded their slow-op threshold
+//	sql_connections        open SQL wire-protocol connections (gauge)
+//	sql_queries            SQL statements executed over the wire surface
+//	                       (cumulative, errors included)
+//	sql_rows_returned      result rows sent to SQL clients (cumulative)
+//	sql_errors             SQL statements that failed (cumulative)
+//	sql_query_duration_ms  histogram of per-statement execution latencies
+//	slow_ops               {"query": n, "job": n, "repair": n, "sql": n}
+//	                       operations that exceeded their slow-op threshold
 //	wal_appends            WAL records appended (cumulative; durable mode)
 //	wal_fsyncs             group-commit fsyncs (cumulative; one fsync
 //	                       typically covers many appends)
@@ -114,6 +120,11 @@ type Metrics struct {
 	queryPruned        *expvar.Int
 	snapshotsPublished *expvar.Int
 
+	sqlConnections  *expvar.Int
+	sqlQueries      *expvar.Int
+	sqlRowsReturned *expvar.Int
+	sqlErrors       *expvar.Int
+
 	walAppends       *expvar.Int
 	walFsyncs        *expvar.Int
 	walBytes         *expvar.Int
@@ -133,6 +144,7 @@ type Metrics struct {
 	walFsyncDuration      *obs.Histogram
 	queryDuration         *obs.Histogram
 	snapshotBuildDuration *obs.Histogram
+	sqlQueryDuration      *obs.Histogram
 
 	endpoints *expvar.Map
 	mu        sync.Mutex // serializes creation of per-endpoint entries
@@ -179,6 +191,11 @@ func newMetrics() *Metrics {
 		queryPruned:        new(expvar.Int),
 		snapshotsPublished: new(expvar.Int),
 
+		sqlConnections:  new(expvar.Int),
+		sqlQueries:      new(expvar.Int),
+		sqlRowsReturned: new(expvar.Int),
+		sqlErrors:       new(expvar.Int),
+
 		walAppends:       new(expvar.Int),
 		walFsyncs:        new(expvar.Int),
 		walBytes:         new(expvar.Int),
@@ -190,6 +207,7 @@ func newMetrics() *Metrics {
 			"query":  new(expvar.Int),
 			"job":    new(expvar.Int),
 			"repair": new(expvar.Int),
+			"sql":    new(expvar.Int),
 		},
 
 		phase1Duration:     obs.NewHistogram(),
@@ -210,7 +228,10 @@ func newMetrics() *Metrics {
 		// WAL operations.
 		queryDuration:         obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250),
 		snapshotBuildDuration: obs.NewHistogram(),
-		endpoints:             new(expvar.Map).Init(),
+		// SQL statements range from sub-ms catalog scans to DEDUP()
+		// solves that run a full job; the default (wide) bounds fit.
+		sqlQueryDuration: obs.NewHistogram(),
+		endpoints:        new(expvar.Map).Init(),
 	}
 	m.root.Set("jobs_queued", m.jobsQueued)
 	m.root.Set("jobs_running", m.jobsRunning)
@@ -238,6 +259,11 @@ func newMetrics() *Metrics {
 	}))
 	m.root.Set("query_duration_ms", m.queryDuration)
 	m.root.Set("snapshot_build_duration_ms", m.snapshotBuildDuration)
+	m.root.Set("sql_connections", m.sqlConnections)
+	m.root.Set("sql_queries", m.sqlQueries)
+	m.root.Set("sql_rows_returned", m.sqlRowsReturned)
+	m.root.Set("sql_errors", m.sqlErrors)
+	m.root.Set("sql_query_duration_ms", m.sqlQueryDuration)
 	for kind, v := range m.slowOpsKind {
 		m.slowOps.Set(kind, v)
 	}

@@ -81,6 +81,13 @@ func (m *Metrics) servePrometheus(w http.ResponseWriter) {
 	hist("dedupd_query_duration_ms", "Per-query lookup latencies.", m.queryDuration)
 	hist("dedupd_snapshot_build_duration_ms", "Query snapshot build times.", m.snapshotBuildDuration)
 
+	// SQL wire surface.
+	gauge("dedupd_sql_connections", "Open SQL wire-protocol connections.", float64(m.sqlConnections.Value()))
+	counter("dedupd_sql_queries_total", "SQL statements executed (errors included).", m.sqlQueries)
+	counter("dedupd_sql_rows_returned_total", "Result rows sent to SQL clients.", m.sqlRowsReturned)
+	counter("dedupd_sql_errors_total", "SQL statements that failed.", m.sqlErrors)
+	hist("dedupd_sql_query_duration_ms", "Per-statement SQL execution latencies.", m.sqlQueryDuration)
+
 	// Slow-op log.
 	pw.Counter("dedupd_slow_ops_total",
 		"Operations that exceeded their slow-op latency threshold.",

@@ -50,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime"
 	"sync"
@@ -58,6 +59,7 @@ import (
 	"fuzzydup/internal/cluster"
 	"fuzzydup/internal/durable"
 	"fuzzydup/internal/obs"
+	"fuzzydup/internal/sqlwire"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults.
@@ -111,6 +113,21 @@ type Config struct {
 	// GET /debug/traces.
 	TraceCapacity int
 	TraceSlowest  int
+
+	// SQLAddr, when non-empty, serves the MySQL wire-protocol SQL
+	// surface on this address: virtual tables over live server state,
+	// the DEDUP() table function, and predicate pushdown into blocking
+	// (see internal/sqlwire and sqlcatalog.go). Empty disables it.
+	SQLAddr string
+	// SQLMaxRows bounds every materialized row set of a SQL query —
+	// sources, join intermediates, and results (default 1,000,000;
+	// exceeding it fails the query with ERR 4001 max_rows_exceeded).
+	SQLMaxRows int
+	// SQLUser and SQLPassword gate SQL connections
+	// (mysql_native_password). Empty SQLPassword accepts any
+	// credentials; empty SQLUser accepts any username.
+	SQLUser     string
+	SQLPassword string
 
 	// Role selects the node's cluster role: "standalone" (or "", the
 	// default) runs exactly as before; "coordinator" accepts
@@ -191,6 +208,9 @@ func (c Config) withDefaults() Config {
 	if c.SolveRetries <= 0 {
 		c.SolveRetries = 3
 	}
+	if c.SQLMaxRows <= 0 {
+		c.SQLMaxRows = 1_000_000
+	}
 	return c
 }
 
@@ -225,6 +245,12 @@ type Server struct {
 	regStop   context.CancelFunc
 	regDone   chan struct{}
 	drainOnce sync.Once
+
+	// SQL surface: the shared catalog adapter and, once StartSQL runs,
+	// the wire server (guarded by sqlMu; Shutdown drains it).
+	sqlCatalog *sqlCatalog
+	sqlMu      sync.Mutex
+	sqlSrv     *sqlwire.Server
 }
 
 // New builds a Server and starts its worker pool. With Config.DataDir
@@ -244,6 +270,9 @@ func New(cfg Config) (*Server, error) {
 		"query":  threshold(cfg.SlowQuery),
 		"job":    threshold(cfg.SlowJob),
 		"repair": threshold(cfg.SlowRepair),
+		// SQL statements share the point-query threshold: both are
+		// interactive read paths with the same latency expectations.
+		"sql": threshold(cfg.SlowQuery),
 	})
 	var state *durable.State
 	if cfg.DataDir != "" {
@@ -280,6 +309,7 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.snapshotAge = func() float64 {
 		return s.engine.snaps.maxAge(time.Now())
 	}
+	s.sqlCatalog = newSQLCatalog(s.store, s.engine)
 
 	switch cfg.Role {
 	case "standalone":
@@ -400,7 +430,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.worker != nil {
 		s.worker.Wait()
 	}
-	err := s.engine.Shutdown(ctx)
+	err := s.shutdownSQL(ctx)
+	if eerr := s.engine.Shutdown(ctx); eerr != nil && err == nil {
+		err = eerr
+	}
 	if s.db != nil {
 		if cerr := s.db.Close(); cerr != nil && err == nil {
 			err = cerr
@@ -438,6 +471,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Dur
 		Addr:              addr,
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if s.cfg.SQLAddr != "" {
+		lis, err := net.Listen("tcp", s.cfg.SQLAddr)
+		if err != nil {
+			return fmt.Errorf("sql listener: %w", err)
+		}
+		s.StartSQL(lis)
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -17,11 +17,13 @@ import (
 type SlowOp struct {
 	// Time is when the operation finished.
 	Time time.Time `json:"time"`
-	// Kind is "query", "job", or "repair".
+	// Kind is "query", "job", "repair", or "sql".
 	Kind string `json:"kind"`
 	// Dataset and Job identify the operation's subject, where applicable.
 	Dataset string `json:"dataset,omitempty"`
 	Job     string `json:"job,omitempty"`
+	// Query is the SQL text of a slow "sql" operation (truncated).
+	Query string `json:"query,omitempty"`
 	// DurationMs is the operation's latency; ThresholdMs the limit it
 	// exceeded.
 	DurationMs  float64 `json:"duration_ms"`
@@ -99,6 +101,9 @@ func (l *slowOpLog) note(kind string, d time.Duration, build func() SlowOp) bool
 	}
 	if op.Job != "" {
 		attrs = append(attrs, "job_id", op.Job)
+	}
+	if op.Query != "" {
+		attrs = append(attrs, "query", op.Query)
 	}
 	if op.RequestID != "" {
 		attrs = append(attrs, "request_id", op.RequestID)

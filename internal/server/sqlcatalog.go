@@ -1,0 +1,769 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fuzzydup"
+	"fuzzydup/internal/blocking"
+	"fuzzydup/internal/core"
+	"fuzzydup/internal/distance"
+	"fuzzydup/internal/nnindex"
+	"fuzzydup/internal/querysnap"
+	"fuzzydup/internal/sqldb"
+	"fuzzydup/internal/strutil"
+)
+
+// The SQL catalog: live server state exposed as sqldb virtual tables
+// plus the DEDUP table function. Every SQL connection gets its own
+// sqldb.DB (the engine is single-threaded), but all of them share one
+// catalog — the catalog itself holds no per-query state and every
+// method is safe for concurrent use.
+//
+//	datasets(dataset, records, rev, created)
+//	records(dataset, rid, record, block_key)
+//	dup_groups(dataset, rid, record, group_id, group_size, diameter, is_rep)
+//	nn_reln(dataset, rid, rank, neighbor_rid, distance, ng)
+//	DEDUP(dataset [, k [, theta [, c]]])
+//
+// dup_groups and nn_reln read the dataset's published query snapshot
+// (the committed state of its last finished job) and are empty until
+// one exists. DEDUP reuses the snapshot when its (revision, params)
+// fingerprint matches the request and otherwise submits a job through
+// the engine and blocks on it. group_id is everywhere the smallest
+// member rid — a labeling that is stable between full and restricted
+// solves, which is what makes the pushdown path's output comparable
+// bit-for-bit against the unrestricted one.
+
+// blockKeyLen is the normalized-prefix length of the block_key column —
+// the same FirstNChars(4) key the blocked pipeline's default strategy
+// seeds blocks from, which is what makes equality predicates on it
+// translatable into a restricted blocked solve.
+const blockKeyLen = 4
+
+// blockKeyOf computes the block_key column for one record: the first
+// FirstNChars key of the joined field string, or "" for records whose
+// normalized form is empty (those render as NULL).
+func blockKeyOf(rec fuzzydup.Record) string {
+	keys := blocking.FirstNChars(blockKeyLen)(strutil.JoinFields(rec))
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
+}
+
+// sqlCatalog implements sqldb.Catalog over the store, the engine, and
+// the engine's snapshot registry.
+type sqlCatalog struct {
+	store  *Store
+	engine *Engine
+
+	mu sync.Mutex
+	// nnCache holds each dataset's last materialized nn_reln rows, keyed
+	// by the snapshot sequence that produced them (one entry per
+	// dataset; a new publication evicts the old rows).
+	nnCache map[string]*nnRelnEntry
+	// dedupCache holds restricted DEDUP results keyed by their full
+	// fingerprint (dataset, rev, params, sorted block keys).
+	dedupCache map[string][][]sqldb.Value
+}
+
+type nnRelnEntry struct {
+	seq  uint64
+	rows [][]sqldb.Value
+}
+
+// maxDedupCacheEntries bounds the restricted-result cache; on overflow
+// the whole cache is dropped (entries are cheap to recompute relative
+// to bookkeeping an eviction order).
+const maxDedupCacheEntries = 32
+
+func newSQLCatalog(store *Store, engine *Engine) *sqlCatalog {
+	return &sqlCatalog{
+		store:      store,
+		engine:     engine,
+		nnCache:    make(map[string]*nnRelnEntry),
+		dedupCache: make(map[string][][]sqldb.Value),
+	}
+}
+
+// VirtualTable implements sqldb.Catalog.
+func (c *sqlCatalog) VirtualTable(name string) (sqldb.VirtualTable, bool) {
+	switch strings.ToLower(name) {
+	case "datasets":
+		return &datasetsTable{c}, true
+	case "records":
+		return &recordsTable{c}, true
+	case "dup_groups":
+		return &dupGroupsTable{c}, true
+	case "nn_reln":
+		return &nnRelnTable{c}, true
+	}
+	return nil, false
+}
+
+// TableFunc implements sqldb.Catalog.
+func (c *sqlCatalog) TableFunc(name string) (sqldb.TableFunc, bool) {
+	if strings.EqualFold(name, "dedup") {
+		return &dedupFunc{c}, true
+	}
+	return nil, false
+}
+
+// pushedStrings collects the TEXT values pushed down for a column
+// (equality or IN). ok is false when the column has no pushdown — the
+// caller must then enumerate everything. Non-text values match nothing
+// (the executor's re-check would reject them anyway) and are dropped.
+func pushedStrings(push []sqldb.Pushdown, column string) (map[string]bool, bool) {
+	var set map[string]bool
+	found := false
+	for _, p := range push {
+		if !strings.EqualFold(p.Column, column) {
+			continue
+		}
+		found = true
+		vals := make(map[string]bool)
+		for _, v := range p.Values {
+			if v.Kind == sqldb.KindText {
+				vals[v.Str] = true
+			}
+		}
+		if set == nil {
+			set = vals
+		} else {
+			// Two conjuncts on the same column intersect.
+			for k := range set {
+				if !vals[k] {
+					delete(set, k)
+				}
+			}
+		}
+	}
+	return set, found
+}
+
+// datasetIDs returns the dataset IDs to enumerate, honoring a pushdown
+// on the dataset column when present (advisory: a pushed name that does
+// not exist simply contributes no rows).
+func (c *sqlCatalog) datasetIDs(push []sqldb.Pushdown) []string {
+	if want, ok := pushedStrings(push, "dataset"); ok {
+		ids := make([]string, 0, len(want))
+		for id := range want {
+			if _, err := c.store.Get(id); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		return ids
+	}
+	infos := c.store.List()
+	ids := make([]string, len(infos))
+	for i, info := range infos {
+		ids[i] = info.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// capped guards source-side materialization: a virtual table must never
+// silently truncate (the executor cannot tell a truncated set from a
+// complete one), so exceeding the offered limit fails the query early
+// with the same ErrMaxRows the executor itself would raise.
+func capped(rows [][]sqldb.Value, limit int, what string) ([][]sqldb.Value, error) {
+	if limit > 0 && len(rows) > limit {
+		return nil, fmt.Errorf("%w: %s materialized %d rows, cap %d", sqldb.ErrMaxRows, what, len(rows), limit)
+	}
+	return rows, nil
+}
+
+// textOrNull renders "" as NULL (block keys of empty records).
+func textOrNull(s string) sqldb.Value {
+	if s == "" {
+		return sqldb.Null()
+	}
+	return sqldb.Text(s)
+}
+
+// --- datasets ---------------------------------------------------------
+
+type datasetsTable struct{ c *sqlCatalog }
+
+func (t *datasetsTable) Columns() []sqldb.ColumnDef {
+	return []sqldb.ColumnDef{
+		{Name: "dataset", Type: sqldb.TypeText},
+		{Name: "records", Type: sqldb.TypeInt},
+		{Name: "rev", Type: sqldb.TypeInt},
+		{Name: "created", Type: sqldb.TypeText},
+	}
+}
+
+func (t *datasetsTable) Rows(ctx context.Context, push []sqldb.Pushdown, limit int) ([][]sqldb.Value, error) {
+	var out [][]sqldb.Value
+	for _, id := range t.c.datasetIDs(push) {
+		info, err := t.c.store.Get(id)
+		if err != nil {
+			continue // raced with a delete
+		}
+		rev, _ := t.c.store.Rev(id)
+		out = append(out, []sqldb.Value{
+			sqldb.Text(info.ID),
+			sqldb.Int(int64(info.Records)),
+			sqldb.Int(rev),
+			sqldb.Text(info.Created.UTC().Format(time.RFC3339)),
+		})
+	}
+	return capped(out, limit, "datasets")
+}
+
+// --- records ----------------------------------------------------------
+
+type recordsTable struct{ c *sqlCatalog }
+
+func (t *recordsTable) Columns() []sqldb.ColumnDef {
+	return []sqldb.ColumnDef{
+		{Name: "dataset", Type: sqldb.TypeText},
+		{Name: "rid", Type: sqldb.TypeInt},
+		{Name: "record", Type: sqldb.TypeText},
+		{Name: "block_key", Type: sqldb.TypeText},
+	}
+}
+
+func (t *recordsTable) Rows(ctx context.Context, push []sqldb.Pushdown, limit int) ([][]sqldb.Value, error) {
+	var out [][]sqldb.Value
+	for _, id := range t.c.datasetIDs(push) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		records, rids, _, err := t.c.store.SnapshotFull(id)
+		if err != nil {
+			continue
+		}
+		for i, rec := range records {
+			out = append(out, []sqldb.Value{
+				sqldb.Text(id),
+				sqldb.Int(rids[i]),
+				sqldb.Text(strutil.JoinFields(rec)),
+				textOrNull(blockKeyOf(rec)),
+			})
+		}
+		if _, err := capped(out, limit, "records"); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- dup_groups -------------------------------------------------------
+
+type dupGroupsTable struct{ c *sqlCatalog }
+
+func (t *dupGroupsTable) Columns() []sqldb.ColumnDef {
+	return []sqldb.ColumnDef{
+		{Name: "dataset", Type: sqldb.TypeText},
+		{Name: "rid", Type: sqldb.TypeInt},
+		{Name: "record", Type: sqldb.TypeText},
+		{Name: "group_id", Type: sqldb.TypeInt},
+		{Name: "group_size", Type: sqldb.TypeInt},
+		{Name: "diameter", Type: sqldb.TypeFloat},
+		{Name: "is_rep", Type: sqldb.TypeBool},
+	}
+}
+
+func (t *dupGroupsTable) Rows(ctx context.Context, push []sqldb.Pushdown, limit int) ([][]sqldb.Value, error) {
+	var out [][]sqldb.Value
+	for _, id := range t.c.datasetIDs(push) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		snap := t.c.engine.snaps.lookup(id)
+		if snap == nil {
+			continue // no committed solve yet: no rows, not an error
+		}
+		out = append(out, snapshotGroupRows(id, snap)...)
+		if _, err := capped(out, limit, "dup_groups"); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// snapshotGroupRows renders one snapshot's partition as dup_groups rows.
+func snapshotGroupRows(dataset string, snap *querysnap.Snapshot) [][]sqldb.Value {
+	out := make([][]sqldb.Value, 0, snap.Len())
+	for gi := 0; gi < snap.Groups(); gi++ {
+		members := snap.Members(gi)
+		gid := minRID(members, snap.RID)
+		diam := groupDiameter(members, snap.Distance)
+		rep := snap.RepIndex(gi)
+		for _, idx := range members {
+			out = append(out, []sqldb.Value{
+				sqldb.Text(dataset),
+				sqldb.Int(snap.RID(idx)),
+				sqldb.Text(snap.Key(idx)),
+				sqldb.Int(gid),
+				sqldb.Int(int64(len(members))),
+				sqldb.Float(diam),
+				sqldb.Bool(idx == rep),
+			})
+		}
+	}
+	return out
+}
+
+// minRID returns the smallest rid among the member indexes — the stable
+// group label shared by the snapshot, job, and restricted-solve paths.
+func minRID(members []int, rid func(int) int64) int64 {
+	min := rid(members[0])
+	for _, idx := range members[1:] {
+		if r := rid(idx); r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// groupDiameter is the maximum pairwise distance within a group. Group
+// sizes are cut-bounded (K, or small by construction under θ), so the
+// quadratic scan stays cheap.
+func groupDiameter(members []int, dist func(i, j int) float64) float64 {
+	var diam float64
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if d := dist(members[i], members[j]); d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// --- nn_reln ----------------------------------------------------------
+
+type nnRelnTable struct{ c *sqlCatalog }
+
+func (t *nnRelnTable) Columns() []sqldb.ColumnDef {
+	return []sqldb.ColumnDef{
+		{Name: "dataset", Type: sqldb.TypeText},
+		{Name: "rid", Type: sqldb.TypeInt},
+		{Name: "rank", Type: sqldb.TypeInt},
+		{Name: "neighbor_rid", Type: sqldb.TypeInt},
+		{Name: "distance", Type: sqldb.TypeFloat},
+		{Name: "ng", Type: sqldb.TypeInt},
+	}
+}
+
+func (t *nnRelnTable) Rows(ctx context.Context, push []sqldb.Pushdown, limit int) ([][]sqldb.Value, error) {
+	var out [][]sqldb.Value
+	for _, id := range t.c.datasetIDs(push) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := t.c.nnRelnRows(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+		if _, err := capped(out, limit, "nn_reln"); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// nnRelnRows materializes (and caches, per snapshot publication) the
+// phase-1 NN relation of a dataset's committed solve: for each record,
+// its nearest-neighbor list under the solved cut, in ascending
+// (distance, rid) order, plus its neighborhood growth ng(v). Datasets
+// without a published snapshot contribute no rows.
+func (c *sqlCatalog) nnRelnRows(ctx context.Context, dataset string) ([][]sqldb.Value, error) {
+	snap := c.engine.snaps.lookup(dataset)
+	if snap == nil {
+		return nil, nil
+	}
+	c.mu.Lock()
+	if e := c.nnCache[dataset]; e != nil && e.seq == snap.Seq() {
+		rows := e.rows
+		c.mu.Unlock()
+		return rows, nil
+	}
+	c.mu.Unlock()
+
+	// Recompute phase 1 over the snapshot's own records and params so
+	// the relation matches the committed partition exactly. This runs
+	// outside the catalog lock: a slow rebuild must not block other
+	// connections' cached reads.
+	rel, err := recomputeNNRelation(ctx, snap)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]sqldb.Value, 0, len(rel.Rows))
+	for i, row := range rel.Rows {
+		for rank, nb := range row.NNList {
+			rows = append(rows, []sqldb.Value{
+				sqldb.Text(dataset),
+				sqldb.Int(snap.RID(i)),
+				sqldb.Int(int64(rank + 1)),
+				sqldb.Int(snap.RID(nb.ID)),
+				sqldb.Float(nb.Dist),
+				sqldb.Int(int64(row.NG)),
+			})
+		}
+	}
+	c.mu.Lock()
+	c.nnCache[dataset] = &nnRelnEntry{seq: snap.Seq(), rows: rows}
+	c.mu.Unlock()
+	return rows, nil
+}
+
+// recomputeNNRelation rebuilds the phase-1 nearest-neighbor relation a
+// snapshot's partition was derived from: same records (the snapshot's
+// keys), same metric, same cut. The growth factor is the facade default
+// (core.DefaultP) — the same one batch jobs without an explicit P use.
+func recomputeNNRelation(ctx context.Context, snap *querysnap.Snapshot) (*core.NNRelation, error) {
+	keys := make([]string, snap.Len())
+	for i := range keys {
+		keys[i] = snap.Key(i)
+	}
+	metric, err := distance.ByName(snap.Params().Metric, keys)
+	if err != nil {
+		return nil, err
+	}
+	sp := snap.Params()
+	var cut core.Cut
+	switch sp.Mode {
+	case "diameter":
+		cut = core.Cut{Diameter: sp.Theta}
+	case "both":
+		cut = core.Cut{MaxSize: sp.K, Diameter: sp.Theta}
+	default:
+		cut = core.Cut{MaxSize: sp.K}
+	}
+	idx := nnindex.NewExact(keys, metric)
+	return core.ComputeNN(idx, cut, core.DefaultP, core.Phase1Options{Ctx: ctx})
+}
+
+// --- DEDUP() ----------------------------------------------------------
+
+// dedupDefaults mirror JobSpec.normalize: k 3, c 4.
+const (
+	dedupDefaultK = 3
+	dedupDefaultC = 4
+)
+
+// dedupFunc is the DEDUP(dataset [, k [, theta [, c]]]) table function.
+// theta 0 solves DE_S(k); k 0 with theta > 0 solves DE_D(θ); both
+// positive solve the combined cut.
+type dedupFunc struct{ c *sqlCatalog }
+
+func (f *dedupFunc) Columns(args []sqldb.Value) ([]sqldb.ColumnDef, error) {
+	return []sqldb.ColumnDef{
+		{Name: "dataset", Type: sqldb.TypeText},
+		{Name: "rid", Type: sqldb.TypeInt},
+		{Name: "record", Type: sqldb.TypeText},
+		{Name: "block_key", Type: sqldb.TypeText},
+		{Name: "group_id", Type: sqldb.TypeInt},
+		{Name: "group_size", Type: sqldb.TypeInt},
+		{Name: "diameter", Type: sqldb.TypeFloat},
+		{Name: "is_rep", Type: sqldb.TypeBool},
+	}, nil
+}
+
+// numeric widens an INT or FLOAT value to float64.
+func numeric(v sqldb.Value) (float64, bool) {
+	switch v.Kind {
+	case sqldb.KindInt:
+		return float64(v.Int), true
+	case sqldb.KindFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+// dedupParams is one invocation's normalized parameterization.
+type dedupParams struct {
+	dataset string
+	mode    string // "size", "diameter", "both"
+	k       int
+	theta   float64
+	c       float64
+}
+
+func parseDedupArgs(args []sqldb.Value) (dedupParams, error) {
+	var p dedupParams
+	if len(args) < 1 || len(args) > 4 {
+		return p, fmt.Errorf("DEDUP wants (dataset [, k [, theta [, c]]]), got %d arguments", len(args))
+	}
+	if args[0].Kind != sqldb.KindText {
+		return p, fmt.Errorf("DEDUP: dataset must be TEXT")
+	}
+	p.dataset = args[0].Str
+	p.c = dedupDefaultC
+	if len(args) >= 2 {
+		if args[1].Kind != sqldb.KindInt {
+			return p, fmt.Errorf("DEDUP: k must be INT")
+		}
+		p.k = int(args[1].Int)
+	}
+	if len(args) >= 3 {
+		f, ok := numeric(args[2])
+		if !ok {
+			return p, fmt.Errorf("DEDUP: theta must be numeric")
+		}
+		p.theta = f
+	}
+	if len(args) >= 4 {
+		f, ok := numeric(args[3])
+		if !ok {
+			return p, fmt.Errorf("DEDUP: c must be numeric")
+		}
+		p.c = f
+	}
+	switch {
+	case p.k > 0 && p.theta > 0:
+		p.mode = "both"
+	case p.theta > 0:
+		p.mode = "diameter"
+	default:
+		p.mode = "size"
+		if p.k == 0 {
+			p.k = dedupDefaultK
+		}
+	}
+	if p.k < 0 || p.theta < 0 || p.c <= 0 {
+		return p, fmt.Errorf("DEDUP: k and theta must be >= 0, c > 0")
+	}
+	return p, nil
+}
+
+// matchesSnapshot reports whether a published snapshot answers exactly
+// this parameterization (same mode, thresholds, and metric).
+func (p dedupParams) matchesSnapshot(snap *querysnap.Snapshot, rev int64) bool {
+	if snap == nil || snap.Rev() != rev {
+		return false
+	}
+	sp := snap.Params()
+	if sp.Mode != p.mode || sp.C != p.c || sp.Metric != string(fuzzydup.MetricEdit) {
+		return false
+	}
+	switch p.mode {
+	case "size":
+		return sp.K == p.k
+	case "diameter":
+		return sp.Theta == p.theta
+	default:
+		return sp.K == p.k && sp.Theta == p.theta
+	}
+}
+
+func (f *dedupFunc) Invoke(ctx context.Context, args []sqldb.Value, push []sqldb.Pushdown, limit int) ([][]sqldb.Value, error) {
+	p, err := parseDedupArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.c.store.Get(p.dataset); err != nil {
+		return nil, fmt.Errorf("DEDUP: %w", err)
+	}
+	if keys, ok := pushedStrings(push, "block_key"); ok {
+		rows, err := f.c.dedupRestricted(ctx, p, keys)
+		if err != nil {
+			return nil, err
+		}
+		return capped(rows, limit, "DEDUP")
+	}
+	rows, err := f.c.dedupFull(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return capped(rows, limit, "DEDUP")
+}
+
+// dedupFull answers an unrestricted DEDUP: reuse the committed snapshot
+// when its fingerprint matches, otherwise submit a job and block on it.
+// Either way the rows come from a published snapshot, so a SQL client
+// and a REST client asking the same question read the same bytes.
+func (c *sqlCatalog) dedupFull(ctx context.Context, p dedupParams) ([][]sqldb.Value, error) {
+	rev, err := c.store.Rev(p.dataset)
+	if err != nil {
+		return nil, fmt.Errorf("DEDUP: %w", err)
+	}
+	snap := c.engine.snaps.lookup(p.dataset)
+	if !p.matchesSnapshot(snap, rev) {
+		if snap, err = c.solveViaJob(ctx, p); err != nil {
+			return nil, err
+		}
+	}
+	return dedupSnapshotRows(p.dataset, snap), nil
+}
+
+// solveViaJob submits the DEDUP parameterization as a regular batch job
+// and waits for it, returning the snapshot it published. The job path —
+// queueing, durability, metrics, tracing — is shared with REST clients;
+// SQL adds only the blocking wait.
+func (c *sqlCatalog) solveViaJob(ctx context.Context, p dedupParams) (*querysnap.Snapshot, error) {
+	spec := JobSpec{Dataset: p.dataset, Mode: p.mode, C: []float64{p.c}}
+	if p.mode != "diameter" {
+		spec.K = []int{p.k}
+	}
+	if p.mode != "size" {
+		spec.Theta = []float64{p.theta}
+	}
+	st, err := c.engine.Submit(spec, "sql-dedup")
+	if err != nil {
+		return nil, fmt.Errorf("DEDUP: %w", err)
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for !st.State.terminal() {
+		select {
+		case <-ctx.Done():
+			c.engine.Cancel(st.ID)
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+		if st, err = c.engine.Status(st.ID); err != nil {
+			return nil, fmt.Errorf("DEDUP: %w", err)
+		}
+	}
+	switch st.State {
+	case StateDone:
+	case StateCancelled:
+		return nil, fmt.Errorf("DEDUP: job %s cancelled", st.ID)
+	default:
+		return nil, fmt.Errorf("DEDUP: job %s failed: %s", st.ID, st.Error)
+	}
+	// The snapshot publishes before done becomes observable, so it is
+	// here — unless an even fresher job overwrote it meanwhile, in which
+	// case the newest committed state is still the right answer.
+	snap := c.engine.snaps.lookup(p.dataset)
+	if snap == nil {
+		return nil, fmt.Errorf("DEDUP: job %s finished but published no snapshot", st.ID)
+	}
+	return snap, nil
+}
+
+// dedupSnapshotRows renders a snapshot's partition as DEDUP rows.
+func dedupSnapshotRows(dataset string, snap *querysnap.Snapshot) [][]sqldb.Value {
+	out := make([][]sqldb.Value, 0, snap.Len())
+	for gi := 0; gi < snap.Groups(); gi++ {
+		members := snap.Members(gi)
+		gid := minRID(members, snap.RID)
+		diam := groupDiameter(members, snap.Distance)
+		rep := snap.RepIndex(gi)
+		for _, idx := range members {
+			key := snap.Key(idx)
+			out = append(out, []sqldb.Value{
+				sqldb.Text(dataset),
+				sqldb.Int(snap.RID(idx)),
+				sqldb.Text(key),
+				textOrNull(firstKeyString(key)),
+				sqldb.Int(gid),
+				sqldb.Int(int64(len(members))),
+				sqldb.Float(diam),
+				sqldb.Bool(idx == rep),
+			})
+		}
+	}
+	return out
+}
+
+// firstKeyString is blockKeyOf for an already-joined record string.
+func firstKeyString(key string) string {
+	keys := blocking.FirstNChars(blockKeyLen)(key)
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
+}
+
+// dedupRestricted answers DEDUP under a block_key pushdown: a blocked
+// solve restricted to the blocks containing the selected keys. The
+// boundary guard still certifies those blocks against the whole corpus,
+// so every returned group is identical to the unrestricted partition's
+// — the executor's predicate re-check then trims the block's other
+// members. Results are cached per (dataset, rev, params, keys).
+func (c *sqlCatalog) dedupRestricted(ctx context.Context, p dedupParams, want map[string]bool) ([][]sqldb.Value, error) {
+	records, rids, rev, err := c.store.SnapshotFull(p.dataset)
+	if err != nil {
+		return nil, fmt.Errorf("DEDUP: %w", err)
+	}
+	fp := restrictedFingerprint(p, rev, want)
+	c.mu.Lock()
+	if rows, ok := c.dedupCache[fp]; ok {
+		c.mu.Unlock()
+		return rows, nil
+	}
+	c.mu.Unlock()
+
+	blockKeys := make([]string, len(records))
+	for i, rec := range records {
+		blockKeys[i] = blockKeyOf(rec)
+	}
+	d, err := fuzzydup.New(records, fuzzydup.Options{
+		Metric: fuzzydup.MetricEdit,
+		Blocking: &fuzzydup.BlockingOptions{
+			Restrict: func(id int) bool { return blockKeys[id] != "" && want[blockKeys[id]] },
+			OnBlockSolved: func(size int, dur time.Duration) {
+				c.engine.metrics.blockSolveDuration.ObserveDuration(dur)
+			},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("DEDUP: %w", err)
+	}
+	var groups fuzzydup.Groups
+	switch p.mode {
+	case "size":
+		groups, err = d.GroupsBySizeCtx(ctx, p.k, p.c)
+	case "diameter":
+		groups, err = d.GroupsByDiameterCtx(ctx, p.theta, p.c)
+	default:
+		groups, err = d.GroupsBySizeAndDiameterCtx(ctx, p.k, p.theta, p.c)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("DEDUP: %w", err)
+	}
+	rep := d.LastReport()
+	c.engine.metrics.blocksSolved.Add(int64(rep.BlocksSolved))
+	c.engine.metrics.boundaryResolves.Add(int64(rep.BoundaryResolves))
+	c.engine.metrics.distanceCalls.Add(rep.DistanceCalls)
+
+	rows := make([][]sqldb.Value, 0, len(groups))
+	for _, g := range groups {
+		gid := minRID(g, func(i int) int64 { return rids[i] })
+		diam := groupDiameter(g, d.Distance)
+		repIdx := d.Representative(g)
+		for _, idx := range g {
+			out := []sqldb.Value{
+				sqldb.Text(p.dataset),
+				sqldb.Int(rids[idx]),
+				sqldb.Text(strutil.JoinFields(records[idx])),
+				textOrNull(blockKeys[idx]),
+				sqldb.Int(gid),
+				sqldb.Int(int64(len(g))),
+				sqldb.Float(diam),
+				sqldb.Bool(idx == repIdx),
+			}
+			rows = append(rows, out)
+		}
+	}
+	c.mu.Lock()
+	if len(c.dedupCache) >= maxDedupCacheEntries {
+		c.dedupCache = make(map[string][][]sqldb.Value)
+	}
+	c.dedupCache[fp] = rows
+	c.mu.Unlock()
+	return rows, nil
+}
+
+func restrictedFingerprint(p dedupParams, rev int64, want map[string]bool) string {
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%s|%d|%s|%d|%g|%g|%s", p.dataset, rev, p.mode, p.k, p.theta, p.c, strings.Join(keys, "\x00"))
+}

@@ -55,10 +55,14 @@ type SelectItem struct {
 	Alias string
 }
 
-// TableRef is a table in the FROM list with an optional alias.
+// TableRef is a table in the FROM list with an optional alias, or —
+// when IsFunc is set — a table-function invocation F(arg, ...) whose
+// constant Args are evaluated before execution.
 type TableRef struct {
-	Table string
-	Alias string
+	Table  string
+	Alias  string
+	Args   []Expr
+	IsFunc bool
 }
 
 // JoinClause is INNER JOIN table [alias] ON cond.

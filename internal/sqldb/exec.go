@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,6 +31,17 @@ type DB struct {
 	// selects the default (16384). Exposed mainly so tests can force the
 	// external path.
 	SortSpillThreshold int
+
+	// Catalog, when non-nil, resolves names the physical table map does
+	// not: virtual tables (physical tables shadow them) and table
+	// functions in FROM clauses.
+	Catalog Catalog
+	// MaxRows, when > 0, bounds every materialized row set of a SELECT —
+	// virtual-source output, join intermediates, and the final result.
+	// Exceeding it fails the query with an ErrMaxRows-wrapped error; the
+	// cap is what keeps an unbounded `SELECT * FROM nn_reln` from
+	// exhausting a wire connection's memory.
+	MaxRows int
 }
 
 func (db *DB) sortSpillThreshold() int {
@@ -82,6 +94,13 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec with a context: virtual tables and table
+// functions receive it (a long DEDUP() solve is cancellable), and the
+// SELECT pipeline checks it between phases.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
@@ -96,7 +115,7 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	case *InsertStmt:
 		return db.execInsert(s)
 	case *SelectStmt:
-		return db.execSelect(s)
+		return db.execSelect(ctx, s)
 	case *UpdateStmt:
 		return db.execUpdate(s)
 	case *DeleteStmt:
@@ -351,11 +370,17 @@ func (db *DB) execDelete(s *DeleteStmt) (*Result, error) {
 
 // execSelect runs the SELECT pipeline: join, filter, group, project,
 // dedup, sort, limit, and optionally SELECT INTO.
-func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
-	// Resolve the FROM tables (comma list plus INNER JOINs).
+func (db *DB) execSelect(ctx context.Context, s *SelectStmt) (*Result, error) {
+	// Resolve the FROM sources (comma list plus INNER JOINs): physical
+	// tables first, then catalog virtual tables and table functions.
 	type source struct {
-		ref TableRef
-		on  Expr // nil for comma-list sources
+		ref  TableRef
+		on   Expr // nil for comma-list sources
+		t    *Table
+		vt   VirtualTable
+		tf   TableFunc
+		args []Value     // evaluated table-function arguments
+		cols []ColumnDef // declared schema, whichever kind
 	}
 	var sources []source
 	for _, ref := range s.From {
@@ -367,15 +392,40 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 
 	// Full schema (for resolving conjunct alias sets).
 	full := &schema{}
-	tables := make([]*Table, len(sources))
-	for i, src := range sources {
-		t, ok := db.Table(src.ref.Table)
-		if !ok {
-			return nil, fmt.Errorf("sqldb: table %s does not exist", src.ref.Table)
+	for i := range sources {
+		src := &sources[i]
+		switch {
+		case src.ref.IsFunc:
+			if db.Catalog != nil {
+				if tf, ok := db.Catalog.TableFunc(src.ref.Table); ok {
+					args, err := db.constArgs(src.ref.Args)
+					if err != nil {
+						return nil, err
+					}
+					cols, err := tf.Columns(args)
+					if err != nil {
+						return nil, err
+					}
+					src.tf, src.args, src.cols = tf, args, cols
+				}
+			}
+			if src.tf == nil {
+				return nil, fmt.Errorf("sqldb: table function %s does not exist", src.ref.Table)
+			}
+		default:
+			if t, ok := db.Table(src.ref.Table); ok {
+				src.t, src.cols = t, t.Columns
+			} else if db.Catalog != nil {
+				if vt, ok := db.Catalog.VirtualTable(src.ref.Table); ok {
+					src.vt, src.cols = vt, vt.Columns()
+				}
+			}
+			if src.t == nil && src.vt == nil {
+				return nil, fmt.Errorf("sqldb: table %s does not exist", src.ref.Table)
+			}
 		}
-		tables[i] = t
-		cols := make([]string, len(t.Columns))
-		for ci, c := range t.Columns {
+		cols := make([]string, len(src.cols))
+		for ci, c := range src.cols {
 			cols[ci] = c.Name
 		}
 		full.bindings = append(full.bindings, binding{alias: src.ref.Alias, cols: cols, off: full.width})
@@ -433,51 +483,76 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 	}
 
 	for i := range sources {
-		// Materialize the new table's rows — through a hash index when an
-		// unapplied point predicate (col = literal) targets an indexed
-		// column of this source, else by full scan.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Materialize the new source's rows. Physical tables go through a
+		// hash index when an unapplied point predicate (col = literal)
+		// targets an indexed column, else a full scan. Virtual sources
+		// receive the advisory pushdowns and the row cap.
 		var newRows [][]Value
 		usedIndex := false
-		for ci, c := range conjuncts {
-			if applied[ci] {
-				continue
+		if t := sources[i].t; t != nil {
+			for ci, c := range conjuncts {
+				if applied[ci] {
+					continue
+				}
+				ref, lit := pointPredicate(c)
+				if ref == nil {
+					continue
+				}
+				if ref.Table != "" && !strings.EqualFold(ref.Table, full.bindings[i].alias) {
+					continue
+				}
+				col := t.colIndex(ref.Column)
+				if col < 0 {
+					continue
+				}
+				if ref.Table == "" && resolveUniqueBinding(full, ref.Column) != i {
+					continue // ambiguous or belonging to another source
+				}
+				ix := t.indexOn(col)
+				if ix == nil {
+					continue
+				}
+				rows, err := t.lookupIndex(db.pool, ix, lit.Val)
+				if err != nil {
+					return nil, err
+				}
+				newRows = rows
+				applied[ci] = true
+				usedIndex = true
+				break
 			}
-			ref, lit := pointPredicate(c)
-			if ref == nil {
-				continue
+			if !usedIndex {
+				if err := t.scan(db.pool, func(vals []Value) (bool, error) {
+					row := make([]Value, len(vals))
+					copy(row, vals)
+					newRows = append(newRows, row)
+					return true, nil
+				}); err != nil {
+					return nil, err
+				}
 			}
-			if ref.Table != "" && !strings.EqualFold(ref.Table, full.bindings[i].alias) {
-				continue
+		} else {
+			push := pushdownsFor(conjuncts, applied, full, i, sources[i].cols)
+			var rows [][]Value
+			var err error
+			if sources[i].tf != nil {
+				rows, err = sources[i].tf.Invoke(ctx, sources[i].args, push, db.MaxRows)
+			} else {
+				rows, err = sources[i].vt.Rows(ctx, push, db.MaxRows)
 			}
-			col := tables[i].colIndex(ref.Column)
-			if col < 0 {
-				continue
-			}
-			if ref.Table == "" && resolveUniqueBinding(full, ref.Column) != i {
-				continue // ambiguous or belonging to another source
-			}
-			ix := tables[i].indexOn(col)
-			if ix == nil {
-				continue
-			}
-			rows, err := tables[i].lookupIndex(db.pool, ix, lit.Val)
 			if err != nil {
 				return nil, err
 			}
-			newRows = rows
-			applied[ci] = true
-			usedIndex = true
-			break
-		}
-		if !usedIndex {
-			if err := tables[i].scan(db.pool, func(vals []Value) (bool, error) {
-				row := make([]Value, len(vals))
-				copy(row, vals)
-				newRows = append(newRows, row)
-				return true, nil
-			}); err != nil {
+			if err := coerceVirtualRows(sources[i].ref.Table, sources[i].cols, rows); err != nil {
 				return nil, err
 			}
+			newRows = rows
+		}
+		if err := db.capRows(len(newRows), sources[i].ref.Table); err != nil {
+			return nil, err
 		}
 		newBinding := full.bindings[i]
 		newSchema := &schema{bindings: []binding{{alias: newBinding.alias, cols: newBinding.cols, off: 0}}, width: len(newBinding.cols)}
@@ -573,6 +648,9 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 					combined = append(combined, arow...)
 					combined = append(combined, nrow...)
 					joined = append(joined, combined)
+					if err := db.capRows(len(joined), "join"); err != nil {
+						return nil, err
+					}
 				}
 			}
 		} else {
@@ -583,6 +661,9 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 					combined = append(combined, arow...)
 					combined = append(combined, nrow...)
 					joined = append(joined, combined)
+					if err := db.capRows(len(joined), "join"); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -825,6 +906,9 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 	res := &Result{Cols: cols}
 	for _, r := range out {
 		res.Rows = append(res.Rows, r.vals)
+	}
+	if err := db.capRows(len(res.Rows), "result"); err != nil {
+		return nil, err
 	}
 
 	if s.Into != "" {

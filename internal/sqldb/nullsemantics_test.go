@@ -1,0 +1,118 @@
+package sqldb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// These tests pin the expression-layer NULL semantics and type-coercion
+// edges that became user-visible with the SQL wire surface: before it,
+// only internal phase-2 queries exercised the evaluator.
+
+func TestNullInInList(t *testing.T) {
+	db := newPeopleDB(t) // dave has score NULL
+
+	// x IN (..., NULL): matches behave normally; a non-matching x with a
+	// NULL in the list yields NULL (filtered), not FALSE.
+	res := mustExec(t, db, "SELECT name FROM people WHERE age IN (30, NULL) ORDER BY name")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"alice"}) {
+		t.Fatalf("IN with NULL list rows = %v", got)
+	}
+
+	// NOT IN with a NULL in the list can never be TRUE: every row drops.
+	res = mustExec(t, db, "SELECT name FROM people WHERE age NOT IN (30, NULL)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("NOT IN (…, NULL) kept rows: %v", rowsAsStrings(res))
+	}
+
+	// A NULL probe value is never IN anything.
+	res = mustExec(t, db, "SELECT name FROM people WHERE score IN (9.5, 7.25) ORDER BY name")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"alice", "bob"}) {
+		t.Fatalf("NULL probe rows = %v", got)
+	}
+	res = mustExec(t, db, "SELECT name FROM people WHERE score NOT IN (1.0)")
+	for _, r := range rowsAsStrings(res) {
+		if r == "dave" {
+			t.Fatal("NULL score passed NOT IN")
+		}
+	}
+}
+
+func TestNullOrderingInOrderBy(t *testing.T) {
+	db := newPeopleDB(t)
+	// NULL sorts first ascending (Compare: NULL < everything), last
+	// descending — and is stable against real values.
+	res := mustExec(t, db, "SELECT name, score FROM people ORDER BY score, name")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"dave|NULL", "bob|7.25", "carol|8", "alice|9.5"}) {
+		t.Fatalf("ascending rows = %v", got)
+	}
+	res = mustExec(t, db, "SELECT name FROM people ORDER BY score DESC")
+	if got := rowsAsStrings(res); got[len(got)-1] != "dave" {
+		t.Fatalf("descending rows = %v", got)
+	}
+}
+
+func TestNullComparisonsFilter(t *testing.T) {
+	db := newPeopleDB(t)
+	// score = score is NULL for dave's NULL score: comparisons with NULL
+	// never pass WHERE.
+	res := mustExec(t, db, "SELECT COUNT(*) FROM people WHERE score = score")
+	if res.Rows[0][0].Int != 3 {
+		t.Fatalf("score = score count = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "SELECT name FROM people WHERE score IS NULL")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"dave"}) {
+		t.Fatalf("IS NULL rows = %v", got)
+	}
+}
+
+func TestHashIndexIntFloatWidening(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE m (fv FLOAT, iv INT, tag TEXT)")
+	mustExec(t, db, "INSERT INTO m VALUES (2.0, 2, 'two'), (2.5, 3, 'half'), (4.0, 4, 'four')")
+	mustExec(t, db, "CREATE INDEX m_fv ON m (fv)")
+	mustExec(t, db, "CREATE INDEX m_iv ON m (iv)")
+
+	// An INT literal probing a FLOAT index must widen (2 hits 2.0).
+	res := mustExec(t, db, "SELECT tag FROM m WHERE fv = 2")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"two"}) {
+		t.Fatalf("INT probe on FLOAT index rows = %v", got)
+	}
+	// A FLOAT literal probing an INT index: 4.0 hits 4 …
+	res = mustExec(t, db, "SELECT tag FROM m WHERE iv = 4.0")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"four"}) {
+		t.Fatalf("FLOAT probe on INT index rows = %v", got)
+	}
+	// … and a fractional probe hits nothing rather than erroring.
+	res = mustExec(t, db, "SELECT tag FROM m WHERE iv = 2.5")
+	if len(res.Rows) != 0 {
+		t.Fatalf("fractional probe rows = %v", rowsAsStrings(res))
+	}
+	// NULL probe through the index path returns nothing (NULL = NULL is
+	// not TRUE).
+	res = mustExec(t, db, "SELECT tag FROM m WHERE fv = NULL")
+	if len(res.Rows) != 0 {
+		t.Fatalf("NULL probe rows = %v", rowsAsStrings(res))
+	}
+
+	// The index path and the scan path agree with each other: same query
+	// against an unindexed copy.
+	mustExec(t, db, "CREATE TABLE mcopy (fv FLOAT, iv INT, tag TEXT)")
+	mustExec(t, db, "INSERT INTO mcopy VALUES (2.0, 2, 'two'), (2.5, 3, 'half'), (4.0, 4, 'four')")
+	a := mustExec(t, db, "SELECT tag FROM m WHERE fv = 2")
+	b := mustExec(t, db, "SELECT tag FROM mcopy WHERE fv = 2")
+	if !reflect.DeepEqual(rowsAsStrings(a), rowsAsStrings(b)) {
+		t.Fatalf("index path %v != scan path %v", rowsAsStrings(a), rowsAsStrings(b))
+	}
+}
+
+func TestIntFloatWideningInGroupBy(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE g (v FLOAT)")
+	mustExec(t, db, "INSERT INTO g VALUES (1.0), (1.0), (2.5)")
+	// 1 (INT literal arithmetic) and 1.0 group/hash identically.
+	res := mustExec(t, db, "SELECT v, COUNT(*) FROM g GROUP BY v ORDER BY v")
+	if got := rowsAsStrings(res); !reflect.DeepEqual(got, []string{"1|2", "2.5|1"}) {
+		t.Fatalf("group rows = %v", got)
+	}
+}

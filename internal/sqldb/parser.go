@@ -437,6 +437,26 @@ func (p *parser) tableRef() (TableRef, error) {
 		return TableRef{}, err
 	}
 	ref := TableRef{Table: name, Alias: name}
+	if p.accept(tokSymbol, "(") {
+		// Table function: name(constExpr, ...).
+		ref.IsFunc = true
+		if !p.accept(tokSymbol, ")") {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return TableRef{}, err
+				}
+				ref.Args = append(ref.Args, arg)
+				if p.accept(tokSymbol, ",") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return TableRef{}, err
+			}
+		}
+	}
 	if p.accept(tokKeyword, "AS") {
 		alias, err := p.ident()
 		if err != nil {

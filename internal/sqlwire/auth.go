@@ -1,0 +1,65 @@
+package sqlwire
+
+import (
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/subtle"
+)
+
+// authPluginName is the only authentication plugin this package speaks.
+const authPluginName = "mysql_native_password"
+
+// newScramble returns the 20-byte random nonce sent in the handshake.
+// Every byte is non-zero so the NUL terminator after the second chunk
+// is unambiguous (matching real servers).
+func newScramble() ([]byte, error) {
+	s := make([]byte, 20)
+	if _, err := rand.Read(s); err != nil {
+		return nil, err
+	}
+	for i := range s {
+		if s[i] == 0 {
+			s[i] = byte(i) + 1
+		}
+	}
+	return s, nil
+}
+
+// nativePassword computes the mysql_native_password auth response:
+//
+//	SHA1(password) XOR SHA1(scramble + SHA1(SHA1(password)))
+//
+// An empty password yields an empty response.
+func nativePassword(scramble []byte, password string) []byte {
+	if password == "" {
+		return nil
+	}
+	h := sha1.New()
+	h.Write([]byte(password))
+	stage1 := h.Sum(nil)
+
+	h.Reset()
+	h.Write(stage1)
+	stage2 := h.Sum(nil)
+
+	h.Reset()
+	h.Write(scramble)
+	h.Write(stage2)
+	token := h.Sum(nil)
+
+	for i := range token {
+		token[i] ^= stage1[i]
+	}
+	return token
+}
+
+// checkNativePassword reports whether the client's auth response proves
+// knowledge of password for the given scramble. Constant-time on the
+// token comparison.
+func checkNativePassword(scramble, response []byte, password string) bool {
+	want := nativePassword(scramble, password)
+	if len(want) != len(response) {
+		return false
+	}
+	return subtle.ConstantTimeCompare(want, response) == 1
+}

@@ -1,0 +1,293 @@
+package sqlwire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal MySQL text-protocol client over the shared packet
+// codec. cmd/sqlsh uses it for -remote mode and the smoke script uses
+// it as a raw-protocol probe; it is not safe for concurrent use.
+type Client struct {
+	c       *conn
+	raw     net.Conn
+	Timeout time.Duration // per-exchange deadline; 0 disables
+}
+
+// Dial connects to addr and completes the handshake as user/password,
+// optionally selecting db.
+func Dial(addr, user, password, db string) (*Client, error) {
+	raw, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := NewClient(raw, user, password, db)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// NewClient completes the client side of the handshake over an existing
+// connection (tests use net.Pipe-style conns).
+func NewClient(raw net.Conn, user, password, db string) (*Client, error) {
+	cl := &Client{c: newConn(raw), raw: raw, Timeout: 30 * time.Second}
+	if err := cl.handshake(user, password, db); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Close sends COM_QUIT and closes the connection.
+func (cl *Client) Close() error {
+	cl.c.resetSeq()
+	if cl.c.writePacket([]byte{ComQuit}) == nil {
+		cl.c.flush()
+	}
+	return cl.raw.Close()
+}
+
+func (cl *Client) deadline() {
+	if cl.Timeout > 0 {
+		cl.raw.SetDeadline(time.Now().Add(cl.Timeout))
+	}
+}
+
+func (cl *Client) handshake(user, password, db string) error {
+	cl.deadline()
+	greet, err := cl.c.readPacket()
+	if err != nil {
+		return fmt.Errorf("reading handshake: %w", err)
+	}
+	if len(greet) > 0 && greet[0] == 0xff {
+		return parseErrPayload(greet)
+	}
+	r := newReader(greet)
+	if v := r.byte1(); v != 10 {
+		return fmt.Errorf("unsupported handshake protocol version %d", v)
+	}
+	r.strNul() // server version
+	r.uint32() // connection id
+	scramble := append([]byte(nil), r.bytesN(8)...)
+	r.byte1() // filler
+	capsLo := r.uint16()
+	r.byte1()  // charset
+	r.uint16() // status
+	capsHi := r.uint16()
+	caps := uint32(capsLo) | uint32(capsHi)<<16
+	authLen := int(r.byte1())
+	r.skip(10) // reserved
+	if caps&capSecureConnection != 0 {
+		n := 12
+		if authLen > 0 && authLen-9 > n {
+			n = authLen - 9
+		}
+		scramble = append(scramble, r.bytesN(n)...)
+		r.byte1() // trailing NUL
+	}
+	if r.err != nil {
+		return fmt.Errorf("malformed handshake: %w", r.err)
+	}
+	if caps&capProtocol41 == 0 {
+		return errors.New("server does not speak protocol 4.1")
+	}
+
+	clientCaps := uint32(capProtocol41 | capSecureConnection | capPluginAuth | capLongPassword)
+	if db != "" {
+		clientCaps |= capConnectWithDB
+	}
+	token := nativePassword(scramble, password)
+	var p packet
+	p.uint32(clientCaps)
+	p.uint32(16 << 20) // max packet size
+	p.byte1(charsetUTF8)
+	p.zeros(23)
+	p.strNul(user)
+	p.byte1(byte(len(token)))
+	p.bytes(token)
+	if db != "" {
+		p.strNul(db)
+	}
+	p.strNul(authPluginName)
+	if err := cl.c.writePacket(p.b); err != nil {
+		return err
+	}
+	if err := cl.c.flush(); err != nil {
+		return err
+	}
+
+	reply, err := cl.c.readPacket()
+	if err != nil {
+		return fmt.Errorf("reading auth result: %w", err)
+	}
+	if len(reply) > 0 && reply[0] == 0xfe {
+		// Auth switch request: plugin name + fresh scramble.
+		sr := newReader(reply)
+		sr.byte1()
+		plugin := sr.strNul()
+		if plugin != authPluginName {
+			return fmt.Errorf("server requested unsupported auth plugin %q", plugin)
+		}
+		data := []byte(sr.strEOF())
+		if n := len(data); n > 0 && data[n-1] == 0 {
+			data = data[:n-1]
+		}
+		if err := cl.c.writePacket(nativePassword(data, password)); err != nil {
+			return err
+		}
+		if err := cl.c.flush(); err != nil {
+			return err
+		}
+		if reply, err = cl.c.readPacket(); err != nil {
+			return fmt.Errorf("reading auth result: %w", err)
+		}
+	}
+	return checkOK(reply)
+}
+
+func checkOK(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("empty response packet")
+	}
+	switch payload[0] {
+	case 0x00:
+		return nil
+	case 0xff:
+		return parseErrPayload(payload)
+	default:
+		return fmt.Errorf("unexpected response packet 0x%02x", payload[0])
+	}
+}
+
+// Ping sends COM_PING.
+func (cl *Client) Ping() error {
+	cl.deadline()
+	cl.c.resetSeq()
+	if err := cl.c.writePacket([]byte{ComPing}); err != nil {
+		return err
+	}
+	if err := cl.c.flush(); err != nil {
+		return err
+	}
+	p, err := cl.c.readPacket()
+	if err != nil {
+		return err
+	}
+	return checkOK(p)
+}
+
+// InitDB sends COM_INIT_DB to select a database.
+func (cl *Client) InitDB(name string) error {
+	cl.deadline()
+	cl.c.resetSeq()
+	if err := cl.c.writePacket(append([]byte{ComInitDB}, name...)); err != nil {
+		return err
+	}
+	if err := cl.c.flush(); err != nil {
+		return err
+	}
+	p, err := cl.c.readPacket()
+	if err != nil {
+		return err
+	}
+	return checkOK(p)
+}
+
+// Query runs one statement and decodes the text-protocol response.
+func (cl *Client) Query(sql string) (*Resultset, error) {
+	cl.deadline()
+	cl.c.resetSeq()
+	if err := cl.c.writePacket(append([]byte{ComQuery}, sql...)); err != nil {
+		return nil, err
+	}
+	if err := cl.c.flush(); err != nil {
+		return nil, err
+	}
+	head, err := cl.c.readPacket()
+	if err != nil {
+		return nil, err
+	}
+	if len(head) == 0 {
+		return nil, errors.New("empty response packet")
+	}
+	switch head[0] {
+	case 0x00:
+		hr := newReader(head)
+		hr.byte1()
+		affected := hr.lenencInt()
+		return &Resultset{Affected: affected}, nil
+	case 0xff:
+		return nil, parseErrPayload(head)
+	}
+
+	hr := newReader(head)
+	ncols := int(hr.lenencInt())
+	if hr.err != nil {
+		return nil, hr.err
+	}
+	rs := &Resultset{}
+	for i := 0; i < ncols; i++ {
+		def, err := cl.c.readPacket()
+		if err != nil {
+			return nil, err
+		}
+		col, err := parseColumnDef(def)
+		if err != nil {
+			return nil, err
+		}
+		rs.Cols = append(rs.Cols, col)
+	}
+	// EOF after column definitions.
+	if p, err := cl.c.readPacket(); err != nil {
+		return nil, err
+	} else if len(p) == 0 || p[0] != 0xfe {
+		return nil, fmt.Errorf("expected EOF after column definitions, got 0x%02x", p[0])
+	}
+	for {
+		p, err := cl.c.readPacket()
+		if err != nil {
+			return nil, err
+		}
+		if len(p) > 0 && p[0] == 0xfe && len(p) < 9 {
+			return rs, nil // terminating EOF
+		}
+		if len(p) > 0 && p[0] == 0xff {
+			return nil, parseErrPayload(p)
+		}
+		row := make([]Cell, 0, ncols)
+		rr := newReader(p)
+		for i := 0; i < ncols; i++ {
+			if rr.remaining() > 0 && rr.b[rr.pos] == 0xfb {
+				rr.byte1()
+				row = append(row, NullCell())
+				continue
+			}
+			row = append(row, StringCell(rr.lenencStr()))
+		}
+		if rr.err != nil {
+			return nil, rr.err
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+}
+
+func parseColumnDef(b []byte) (Column, error) {
+	r := newReader(b)
+	r.lenencStr() // catalog
+	r.lenencStr() // schema
+	r.lenencStr() // table
+	r.lenencStr() // org_table
+	name := r.lenencStr()
+	r.lenencStr() // org_name
+	r.byte1()     // fixed-fields length
+	r.uint16()    // charset
+	r.uint32()    // column length
+	typ := r.byte1()
+	if r.err != nil {
+		return Column{}, fmt.Errorf("malformed column definition: %w", r.err)
+	}
+	return Column{Name: name, Type: ColumnType(typ)}, nil
+}

@@ -1,0 +1,314 @@
+package sqlwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// maxPayload is the largest single-packet payload the protocol can
+// frame. Payloads of exactly 0xffffff signal a multi-packet sequence,
+// which this implementation does not support; writers reject anything
+// that large and readers treat it as a protocol error.
+const maxPayload = 0xffffff - 1
+
+// conn frames MySQL packets over a net.Conn: a 3-byte little-endian
+// payload length, a 1-byte sequence id, then the payload. The sequence
+// id increments per packet and resets at each command boundary.
+type conn struct {
+	raw net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	seq uint8
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{
+		raw: raw,
+		br:  bufio.NewReaderSize(raw, 16<<10),
+		bw:  bufio.NewWriterSize(raw, 16<<10),
+	}
+}
+
+// resetSeq starts a new command cycle (sequence id 0).
+func (c *conn) resetSeq() { c.seq = 0 }
+
+// readPacket returns the payload of the next packet, verifying the
+// sequence id matches what the protocol state expects.
+func (c *conn) readPacket() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16
+	if n > maxPayload {
+		return nil, fmt.Errorf("sqlwire: %d-byte payload exceeds single-packet limit", n)
+	}
+	if hdr[3] != c.seq {
+		return nil, fmt.Errorf("sqlwire: packet out of order: sequence %d, want %d", hdr[3], c.seq)
+	}
+	c.seq++
+	p := make([]byte, n)
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// writePacket frames and buffers one packet; call flush to send.
+func (c *conn) writePacket(payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("sqlwire: %d-byte payload exceeds single-packet limit", len(payload))
+	}
+	hdr := [4]byte{byte(len(payload)), byte(len(payload) >> 8), byte(len(payload) >> 16), c.seq}
+	c.seq++
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.bw.Write(payload)
+	return err
+}
+
+func (c *conn) flush() error { return c.bw.Flush() }
+
+// packet is an in-construction payload with append helpers for the wire
+// primitives (fixed-width little-endian ints, length-encoded ints and
+// strings, NUL-terminated strings).
+type packet struct{ b []byte }
+
+func (p *packet) byte1(v byte)    { p.b = append(p.b, v) }
+func (p *packet) uint16(v uint16) { p.b = binary.LittleEndian.AppendUint16(p.b, v) }
+func (p *packet) uint32(v uint32) { p.b = binary.LittleEndian.AppendUint32(p.b, v) }
+func (p *packet) bytes(v []byte)  { p.b = append(p.b, v...) }
+func (p *packet) str(v string)    { p.b = append(p.b, v...) }
+func (p *packet) strNul(v string) { p.b = append(append(p.b, v...), 0) }
+func (p *packet) zeros(n int)     { p.b = append(p.b, make([]byte, n)...) }
+func (p *packet) lenencInt(v uint64) {
+	switch {
+	case v < 0xfb:
+		p.b = append(p.b, byte(v))
+	case v <= 0xffff:
+		p.b = append(p.b, 0xfc, byte(v), byte(v>>8))
+	case v <= 0xffffff:
+		p.b = append(p.b, 0xfd, byte(v), byte(v>>8), byte(v>>16))
+	default:
+		p.b = append(p.b, 0xfe)
+		p.b = binary.LittleEndian.AppendUint64(p.b, v)
+	}
+}
+func (p *packet) lenencStr(v string) {
+	p.lenencInt(uint64(len(v)))
+	p.str(v)
+}
+
+// reader walks a received payload.
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func newReader(b []byte) *reader { return &reader{b: b} }
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("sqlwire: truncated packet at offset %d", r.pos)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.pos }
+
+func (r *reader) byte1() byte {
+	if r.remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) uint16() uint16 {
+	if r.remaining() < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) uint32() uint32 {
+	if r.remaining() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) skip(n int) {
+	if r.remaining() < n {
+		r.fail()
+		return
+	}
+	r.pos += n
+}
+
+func (r *reader) bytesN(n int) []byte {
+	if n < 0 || r.remaining() < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}
+
+// strNul reads up to the next NUL byte (consumed, not returned).
+func (r *reader) strNul() string {
+	for i := r.pos; i < len(r.b); i++ {
+		if r.b[i] == 0 {
+			v := string(r.b[r.pos:i])
+			r.pos = i + 1
+			return v
+		}
+	}
+	r.fail()
+	return ""
+}
+
+// strEOF reads the rest of the payload.
+func (r *reader) strEOF() string {
+	v := string(r.b[r.pos:])
+	r.pos = len(r.b)
+	return v
+}
+
+// lenencInt decodes a length-encoded integer. The 0xfb NULL marker and
+// 0xff are invalid here and flagged as errors.
+func (r *reader) lenencInt() uint64 {
+	c := r.byte1()
+	switch {
+	case c < 0xfb:
+		return uint64(c)
+	case c == 0xfc:
+		return uint64(r.uint16())
+	case c == 0xfd:
+		b := r.bytesN(3)
+		if b == nil {
+			return 0
+		}
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16
+	case c == 0xfe:
+		b := r.bytesN(8)
+		if b == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(b)
+	default:
+		r.fail()
+		return 0
+	}
+}
+
+func (r *reader) lenencStr() string {
+	n := r.lenencInt()
+	if r.err != nil {
+		return ""
+	}
+	return string(r.bytesN(int(n)))
+}
+
+// ok/err/eof payload builders shared by server and tests.
+
+func okPayload(affected uint64) []byte {
+	var p packet
+	p.byte1(0x00)
+	p.lenencInt(affected)
+	p.lenencInt(0) // last insert id
+	p.uint16(statusAutocommit)
+	p.uint16(0) // warnings
+	return p.b
+}
+
+func errPayload(code uint16, sqlState, msg string) []byte {
+	var p packet
+	p.byte1(0xff)
+	p.uint16(code)
+	p.byte1('#')
+	if len(sqlState) != 5 {
+		sqlState = "HY000"
+	}
+	p.str(sqlState)
+	// Keep the whole packet well under the frame limit.
+	if len(msg) > 2048 {
+		msg = msg[:2048]
+	}
+	p.str(msg)
+	return p.b
+}
+
+func eofPayload() []byte {
+	var p packet
+	p.byte1(0xfe)
+	p.uint16(0) // warnings
+	p.uint16(statusAutocommit)
+	return p.b
+}
+
+// parseErrPayload decodes an ERR packet payload into a SQLError.
+func parseErrPayload(b []byte) *SQLError {
+	r := newReader(b)
+	r.byte1() // 0xff header
+	code := r.uint16()
+	state := "HY000"
+	if r.remaining() > 0 && r.b[r.pos] == '#' {
+		r.byte1()
+		state = string(r.bytesN(5))
+	}
+	msg := r.strEOF()
+	if r.err != nil {
+		msg = "malformed ERR packet"
+	}
+	return &SQLError{Code: code, SQLState: state, Message: msg}
+}
+
+// columnDefPayload renders a ColumnDefinition41 packet for col.
+func columnDefPayload(col Column) []byte {
+	var p packet
+	p.lenencStr("def")    // catalog
+	p.lenencStr("dedup")  // schema
+	p.lenencStr("")       // table
+	p.lenencStr("")       // org_table
+	p.lenencStr(col.Name) // name
+	p.lenencStr(col.Name) // org_name
+	p.byte1(0x0c)         // length of fixed fields
+	if col.Type == TypeVarString {
+		p.uint16(charsetUTF8)
+	} else {
+		p.uint16(63) // binary charset for numeric types
+	}
+	p.uint32(255) // column length
+	p.byte1(byte(col.Type))
+	p.uint16(0) // flags
+	p.byte1(0)  // decimals
+	p.uint16(0) // filler
+	return p.b
+}
+
+// rowPayload renders one text-protocol row.
+func rowPayload(row []Cell) []byte {
+	var p packet
+	for _, c := range row {
+		if c.Null {
+			p.byte1(0xfb)
+		} else {
+			p.lenencStr(c.S)
+		}
+	}
+	return p.b
+}

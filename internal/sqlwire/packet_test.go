@@ -1,0 +1,169 @@
+package sqlwire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+func TestLenencIntRoundtrip(t *testing.T) {
+	cases := []uint64{0, 1, 0xfa, 0xfb, 0xff, 0x100, 0xffff, 0x10000, 0xffffff, 0x1000000, 1 << 40, 1<<63 + 7}
+	for _, v := range cases {
+		var p packet
+		p.lenencInt(v)
+		r := newReader(p.b)
+		got := r.lenencInt()
+		if r.err != nil {
+			t.Fatalf("lenencInt(%d): decode error %v", v, r.err)
+		}
+		if got != v {
+			t.Fatalf("lenencInt roundtrip: got %d want %d", got, v)
+		}
+		if r.remaining() != 0 {
+			t.Fatalf("lenencInt(%d): %d trailing bytes", v, r.remaining())
+		}
+	}
+}
+
+func TestLenencStrRoundtrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", string(bytes.Repeat([]byte("x"), 300))} {
+		var p packet
+		p.lenencStr(s)
+		r := newReader(p.b)
+		if got := r.lenencStr(); got != s || r.err != nil {
+			t.Fatalf("lenencStr roundtrip %q: got %q err %v", s, got, r.err)
+		}
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := newReader([]byte{0xfc, 0x01}) // lenenc u16 missing a byte
+	r.lenencInt()
+	if r.err == nil {
+		t.Fatal("expected truncation error")
+	}
+	r = newReader(nil)
+	r.uint32()
+	if r.err == nil {
+		t.Fatal("expected truncation error on empty uint32")
+	}
+	r = newReader([]byte("no-nul"))
+	r.strNul()
+	if r.err == nil {
+		t.Fatal("expected truncation error on unterminated string")
+	}
+	r = newReader([]byte{0xff})
+	r.lenencInt()
+	if r.err == nil {
+		t.Fatal("0xff must not decode as a lenenc int")
+	}
+}
+
+func TestErrPayloadRoundtrip(t *testing.T) {
+	b := errPayload(ErrCodeMaxRows, "HY000", "max_rows_exceeded: 10 > 5")
+	e := parseErrPayload(b)
+	if e.Code != ErrCodeMaxRows || e.SQLState != "HY000" || e.Message != "max_rows_exceeded: 10 > 5" {
+		t.Fatalf("roundtrip mismatch: %+v", e)
+	}
+	// Oversized messages are truncated, not dropped.
+	long := string(bytes.Repeat([]byte("m"), 5000))
+	e = parseErrPayload(errPayload(ErrCodeUnknown, "", long))
+	if len(e.Message) != 2048 {
+		t.Fatalf("message length = %d, want 2048", len(e.Message))
+	}
+	if e.SQLState != "HY000" {
+		t.Fatalf("default sqlstate = %q", e.SQLState)
+	}
+}
+
+func TestSQLErrorString(t *testing.T) {
+	e := &SQLError{Code: 1045, SQLState: "28000", Message: "Access denied"}
+	if got := e.Error(); got != "ERROR 1045 (28000): Access denied" {
+		t.Fatalf("Error() = %q", got)
+	}
+	e = &SQLError{Code: 7, Message: "x"}
+	if got := e.Error(); got != "ERROR 7 (HY000): x" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestConnSequenceTracking(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := newConn(a), newConn(b)
+	done := make(chan error, 1)
+	go func() {
+		if err := ca.writePacket([]byte{1}); err != nil {
+			done <- err
+			return
+		}
+		if err := ca.writePacket([]byte{2, 2}); err != nil {
+			done <- err
+			return
+		}
+		done <- ca.flush()
+	}()
+	p1, err := cb.readPacket()
+	if err != nil || len(p1) != 1 {
+		t.Fatalf("packet 1: %v %v", p1, err)
+	}
+	p2, err := cb.readPacket()
+	if err != nil || len(p2) != 2 {
+		t.Fatalf("packet 2: %v %v", p2, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// A stale sequence id is rejected.
+	cb.seq = 9
+	go func() {
+		ca.writePacket([]byte{3})
+		ca.flush()
+	}()
+	if _, err := cb.readPacket(); err == nil {
+		t.Fatal("expected sequence mismatch error")
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca := newConn(a)
+	if err := ca.writePacket(make([]byte, maxPayload+1)); err == nil {
+		t.Fatal("expected oversize write to fail")
+	}
+	_ = newConn(b)
+}
+
+func TestNativePassword(t *testing.T) {
+	scr, err := newScramble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scr) != 20 {
+		t.Fatalf("scramble length %d", len(scr))
+	}
+	for _, c := range scr {
+		if c == 0 {
+			t.Fatal("scramble contains NUL byte")
+		}
+	}
+	tok := nativePassword(scr, "sekret")
+	if len(tok) != 20 {
+		t.Fatalf("token length %d", len(tok))
+	}
+	if !checkNativePassword(scr, tok, "sekret") {
+		t.Fatal("valid token rejected")
+	}
+	if checkNativePassword(scr, tok, "other") {
+		t.Fatal("wrong password accepted")
+	}
+	if checkNativePassword(scr, nil, "sekret") {
+		t.Fatal("empty token accepted for non-empty password")
+	}
+	if nativePassword(scr, "") != nil {
+		t.Fatal("empty password must produce an empty token")
+	}
+}

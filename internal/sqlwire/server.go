@@ -1,0 +1,430 @@
+package sqlwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+)
+
+// capPluginAuthLenencData marks an auth response sent as a
+// length-encoded string in the handshake response (CLIENT_PLUGIN_AUTH_
+// LENENC_CLIENT_DATA). The server never advertises it but must decode
+// responses from clients that set it anyway.
+const capPluginAuthLenencData = 0x00200000
+
+// ServerVersion is reported in the handshake. The "8.0" prefix keeps
+// version-sniffing drivers on their modern code paths.
+const ServerVersion = "8.0.0-dedupd"
+
+// Session carries per-connection state handed to the Executor.
+type Session struct {
+	ID         uint32
+	User       string
+	DB         string
+	RemoteAddr string
+}
+
+// Executor runs one SQL statement for a session. It is called from the
+// connection's goroutine; concurrent connections mean concurrent calls,
+// but calls for one session are sequential. ctx is cancelled when the
+// server force-closes during shutdown.
+type Executor interface {
+	Query(ctx context.Context, sess *Session, query string) (*Resultset, error)
+}
+
+// Hooks observe connection and query lifecycle for metrics. Nil
+// callbacks are skipped. OnConnect and OnDisconnect receive the
+// connection's session (before authentication its User is still empty),
+// which is what lets an Executor keep per-connection state keyed by
+// Session.ID. OnQuery runs after every COM_QUERY with the
+// executor's duration, the row count written, and its error (nil on
+// success).
+type Hooks struct {
+	OnConnect    func(sess *Session)
+	OnDisconnect func(sess *Session)
+	OnQuery      func(sess *Session, query string, d time.Duration, rows int, err error)
+}
+
+// Server serves the MySQL wire protocol on a listener. Configure the
+// fields before calling Serve; they must not change afterwards.
+type Server struct {
+	Exec     Executor
+	User     string // expected username; empty accepts any
+	Password string // mysql_native_password secret; empty accepts any
+	Logger   *slog.Logger
+	Hooks    Hooks
+
+	mu      sync.Mutex
+	lis     net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	nextID  uint32
+	queries sync.WaitGroup // in-flight executor calls
+	handler sync.WaitGroup // connection goroutines
+	base    context.Context
+	cancel  context.CancelFunc
+}
+
+// Serve accepts connections on lis until Shutdown (or a fatal listener
+// error). It blocks; run it in a goroutine.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("sqlwire: server closed")
+	}
+	s.lis = lis
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	if s.base == nil {
+		s.base, s.cancel = context.WithCancel(context.Background())
+	}
+	s.mu.Unlock()
+
+	for {
+		raw, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			raw.Close()
+			return nil
+		}
+		s.nextID++
+		id := s.nextID
+		s.conns[raw] = struct{}{}
+		s.handler.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(raw, id)
+	}
+}
+
+// Shutdown drains the server: the listener stops accepting, in-flight
+// queries get until ctx's deadline to finish, then every remaining
+// connection is severed. Safe to call once; returns ctx.Err() if the
+// drain deadline fired before in-flight queries completed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	if s.base == nil {
+		s.base, s.cancel = context.WithCancel(context.Background())
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.queries.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Sever everything still connected (idle clients included) and
+	// cancel any query that outlived the deadline.
+	s.cancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.handler.Wait()
+	return err
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+func (s *Server) handleConn(raw net.Conn, id uint32) {
+	defer s.handler.Done()
+	sess := &Session{ID: id, RemoteAddr: raw.RemoteAddr().String()}
+	defer func() {
+		raw.Close()
+		s.mu.Lock()
+		delete(s.conns, raw)
+		s.mu.Unlock()
+		if s.Hooks.OnDisconnect != nil {
+			s.Hooks.OnDisconnect(sess)
+		}
+	}()
+	if s.Hooks.OnConnect != nil {
+		s.Hooks.OnConnect(sess)
+	}
+
+	c := newConn(raw)
+	if err := s.handshake(c, sess); err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.logger().Debug("sql handshake failed", "conn", id, "remote", sess.RemoteAddr, "err", err)
+		}
+		return
+	}
+	s.logger().Debug("sql connection established", "conn", id, "remote", sess.RemoteAddr, "user", sess.User, "db", sess.DB)
+
+	for {
+		c.resetSeq()
+		payload, err := c.readPacket()
+		if err != nil {
+			return // client went away (or sent garbage framing)
+		}
+		if len(payload) == 0 {
+			continue
+		}
+		cmd, arg := payload[0], payload[1:]
+		switch cmd {
+		case ComQuit:
+			return
+		case ComPing:
+			if err := s.writeOK(c, 0); err != nil {
+				return
+			}
+		case ComInitDB:
+			sess.DB = string(arg)
+			if err := s.writeOK(c, 0); err != nil {
+				return
+			}
+		case ComQuery:
+			if err := s.runQuery(c, sess, string(arg)); err != nil {
+				return
+			}
+		default:
+			e := &SQLError{Code: 1047, SQLState: "08S01", Message: fmt.Sprintf("unknown command 0x%02x", cmd)}
+			if err := s.writeErr(c, e); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// runQuery executes one COM_QUERY and writes its response. The returned
+// error is a transport failure (connection unusable); executor errors
+// are written to the client as ERR packets and absorbed.
+func (s *Server) runQuery(c *conn, sess *Session, query string) error {
+	s.mu.Lock()
+	if s.closed {
+		// Draining: refuse new work but leave the connection intact so a
+		// pipelined client sees a clean error rather than a reset.
+		s.mu.Unlock()
+		return s.writeErr(c, &SQLError{Code: 1053, SQLState: "08S01", Message: "server shutdown in progress"})
+	}
+	ctx := s.base
+	s.queries.Add(1)
+	// Held until the response is flushed so a graceful drain delivers
+	// in-flight results instead of severing them mid-write.
+	defer s.queries.Done()
+	s.mu.Unlock()
+
+	start := time.Now()
+	rs, err := s.Exec.Query(ctx, sess, query)
+	d := time.Since(start)
+
+	rows := 0
+	if err == nil && rs != nil {
+		rows = len(rs.Rows)
+	}
+	if s.Hooks.OnQuery != nil {
+		s.Hooks.OnQuery(sess, query, d, rows, err)
+	}
+	if err != nil {
+		return s.writeErr(c, toSQLError(err, ctx))
+	}
+	return s.writeResultset(c, rs)
+}
+
+// toSQLError maps an executor error onto the ERR packet to send.
+func toSQLError(err error, ctx context.Context) *SQLError {
+	var se *SQLError
+	if errors.As(err, &se) {
+		return se
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &SQLError{Code: ErrCodeQueryInterrupted, SQLState: "70100", Message: "query execution was interrupted"}
+	}
+	return &SQLError{Code: ErrCodeUnknown, Message: err.Error()}
+}
+
+func (s *Server) writeOK(c *conn, affected uint64) error {
+	if err := c.writePacket(okPayload(affected)); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+func (s *Server) writeErr(c *conn, e *SQLError) error {
+	if err := c.writePacket(errPayload(e.Code, e.sqlState(), e.Message)); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+func (s *Server) writeResultset(c *conn, rs *Resultset) error {
+	if rs == nil || len(rs.Cols) == 0 {
+		var affected uint64
+		if rs != nil {
+			affected = rs.Affected
+		}
+		return s.writeOK(c, affected)
+	}
+	var head packet
+	head.lenencInt(uint64(len(rs.Cols)))
+	if err := c.writePacket(head.b); err != nil {
+		return err
+	}
+	for _, col := range rs.Cols {
+		if err := c.writePacket(columnDefPayload(col)); err != nil {
+			return err
+		}
+	}
+	if err := c.writePacket(eofPayload()); err != nil {
+		return err
+	}
+	for _, row := range rs.Rows {
+		if len(row) != len(rs.Cols) {
+			return fmt.Errorf("sqlwire: row has %d cells, want %d", len(row), len(rs.Cols))
+		}
+		if err := c.writePacket(rowPayload(row)); err != nil {
+			return err
+		}
+	}
+	if err := c.writePacket(eofPayload()); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+// handshake performs the V10 exchange and authentication on a fresh
+// connection, filling sess.User/sess.DB.
+func (s *Server) handshake(c *conn, sess *Session) error {
+	scramble, err := newScramble()
+	if err != nil {
+		return err
+	}
+
+	var p packet
+	p.byte1(10) // protocol version
+	p.strNul(ServerVersion)
+	p.uint32(sess.ID)
+	p.bytes(scramble[:8])
+	p.byte1(0)
+	p.uint16(uint16(serverCapabilities & 0xffff))
+	p.byte1(charsetUTF8)
+	p.uint16(statusAutocommit)
+	p.uint16(uint16(serverCapabilities >> 16))
+	p.byte1(21) // auth plugin data length (8 + 12 + NUL)
+	p.zeros(10) // reserved
+	p.bytes(scramble[8:])
+	p.byte1(0)
+	p.strNul(authPluginName)
+	if err := c.writePacket(p.b); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+
+	resp, err := c.readPacket()
+	if err != nil {
+		return err
+	}
+	r := newReader(resp)
+	caps := r.uint32()
+	if caps&capProtocol41 == 0 {
+		s.authFail(c)
+		return errors.New("client does not speak protocol 4.1")
+	}
+	r.uint32() // max packet size
+	r.byte1()  // charset
+	r.skip(23) // reserved
+	sess.User = r.strNul()
+	var authResp []byte
+	switch {
+	case caps&capPluginAuthLenencData != 0:
+		authResp = append([]byte(nil), r.bytesN(int(r.lenencInt()))...)
+	case caps&capSecureConnection != 0:
+		authResp = append([]byte(nil), r.bytesN(int(r.byte1()))...)
+	default:
+		authResp = []byte(r.strNul())
+	}
+	if caps&capConnectWithDB != 0 && r.remaining() > 0 {
+		sess.DB = r.strNul()
+	}
+	plugin := authPluginName
+	if caps&capPluginAuth != 0 && r.remaining() > 0 {
+		plugin = r.strNul()
+	}
+	if r.err != nil {
+		s.authFail(c)
+		return fmt.Errorf("malformed handshake response: %w", r.err)
+	}
+
+	if plugin != authPluginName {
+		// The client guessed another plugin; ask it to switch.
+		var sw packet
+		sw.byte1(0xfe)
+		sw.strNul(authPluginName)
+		sw.bytes(scramble)
+		sw.byte1(0)
+		if err := c.writePacket(sw.b); err != nil {
+			return err
+		}
+		if err := c.flush(); err != nil {
+			return err
+		}
+		if authResp, err = c.readPacket(); err != nil {
+			return err
+		}
+	}
+
+	if !s.authorize(sess.User, scramble, authResp) {
+		s.authFail(c)
+		return fmt.Errorf("access denied for user %q", sess.User)
+	}
+	return s.writeOK(c, 0)
+}
+
+// authorize checks the username and mysql_native_password token. An
+// empty configured password accepts any credential (open server).
+func (s *Server) authorize(user string, scramble, response []byte) bool {
+	if s.User != "" && user != s.User {
+		return false
+	}
+	if s.Password == "" {
+		return true
+	}
+	return checkNativePassword(scramble, response, s.Password)
+}
+
+func (s *Server) authFail(c *conn) {
+	e := errPayload(ErrCodeAccessDenied, "28000", "Access denied")
+	if c.writePacket(e) == nil {
+		c.flush()
+	}
+}

@@ -1,0 +1,482 @@
+package sqlwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// queryFunc adapts a function to the Executor interface.
+type queryFunc func(ctx context.Context, sess *Session, query string) (*Resultset, error)
+
+func (f queryFunc) Query(ctx context.Context, sess *Session, query string) (*Resultset, error) {
+	return f(ctx, sess, query)
+}
+
+// echoExec serves a fixed catalog of canned queries used across tests.
+func echoExec(ctx context.Context, sess *Session, query string) (*Resultset, error) {
+	switch {
+	case query == "select 1":
+		return &Resultset{
+			Cols: []Column{{Name: "one", Type: TypeLongLong}},
+			Rows: [][]Cell{{StringCell("1")}},
+		}, nil
+	case query == "nulls":
+		return &Resultset{
+			Cols: []Column{{Name: "a", Type: TypeVarString}, {Name: "b", Type: TypeDouble}},
+			Rows: [][]Cell{
+				{StringCell("x"), NullCell()},
+				{NullCell(), StringCell("2.5")},
+			},
+		}, nil
+	case query == "ok":
+		return &Resultset{Affected: 3}, nil
+	case query == "toobig":
+		return nil, &SQLError{Code: ErrCodeMaxRows, Message: "max_rows_exceeded: result larger than 5 rows"}
+	case query == "boom":
+		return nil, errors.New("kaboom")
+	case query == "whoami":
+		return &Resultset{
+			Cols: []Column{{Name: "user", Type: TypeVarString}, {Name: "db", Type: TypeVarString}},
+			Rows: [][]Cell{{StringCell(sess.User), StringCell(sess.DB)}},
+		}, nil
+	case strings.HasPrefix(query, "sleep"):
+		select {
+		case <-time.After(2 * time.Second):
+			return &Resultset{Affected: 0}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	default:
+		return nil, &SQLError{Code: 1064, SQLState: "42000", Message: "syntax error"}
+	}
+}
+
+// startServer boots a Server on a loopback listener and returns its
+// address plus a shutdown func.
+func startServer(t *testing.T, s *Server) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve(lis)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		<-done
+	})
+	return lis.Addr().String()
+}
+
+func TestQueryRoundtrip(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec)})
+	cl, err := Dial(addr, "root", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	rs, err := cl.Query("select 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Cols) != 1 || rs.Cols[0].Name != "one" || rs.Cols[0].Type != TypeLongLong {
+		t.Fatalf("columns: %+v", rs.Cols)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "1" {
+		t.Fatalf("rows: %+v", rs.Rows)
+	}
+
+	rs, err = cl.Query("nulls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Rows[0][1].Null || rs.Rows[0][0].S != "x" {
+		t.Fatalf("row 0: %+v", rs.Rows[0])
+	}
+	if !rs.Rows[1][0].Null || rs.Rows[1][1].S != "2.5" {
+		t.Fatalf("row 1: %+v", rs.Rows[1])
+	}
+
+	rs, err = cl.Query("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Cols) != 0 || rs.Affected != 3 {
+		t.Fatalf("OK resultset: %+v", rs)
+	}
+}
+
+func TestPingAndInitDB(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec)})
+	cl, err := Dial(addr, "alice", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.InitDB("dedup"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cl.Query("whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].S != "alice" || rs.Rows[0][1].S != "dedup" {
+		t.Fatalf("session state: %+v", rs.Rows[0])
+	}
+}
+
+func TestConnectWithDB(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec)})
+	cl, err := Dial(addr, "bob", "", "groups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs, err := cl.Query("whoami")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][1].S != "groups" {
+		t.Fatalf("db not selected at connect: %+v", rs.Rows[0])
+	}
+}
+
+func TestAuthentication(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec), User: "dedup", Password: "s3cret"})
+
+	cl, err := Dial(addr, "dedup", "s3cret", "")
+	if err != nil {
+		t.Fatalf("valid credentials rejected: %v", err)
+	}
+	cl.Close()
+
+	if _, err := Dial(addr, "dedup", "wrong", ""); err == nil {
+		t.Fatal("wrong password accepted")
+	} else {
+		var se *SQLError
+		if !errors.As(err, &se) || se.Code != ErrCodeAccessDenied {
+			t.Fatalf("want access-denied SQLError, got %v", err)
+		}
+	}
+	if _, err := Dial(addr, "other", "s3cret", ""); err == nil {
+		t.Fatal("wrong user accepted")
+	}
+}
+
+func TestExecutorErrors(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec)})
+	cl, err := Dial(addr, "root", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, err = cl.Query("toobig")
+	var se *SQLError
+	if !errors.As(err, &se) || se.Code != ErrCodeMaxRows || !strings.Contains(se.Message, "max_rows_exceeded") {
+		t.Fatalf("row-cap error: %v", err)
+	}
+
+	_, err = cl.Query("boom")
+	if !errors.As(err, &se) || se.Code != ErrCodeUnknown || se.Message != "kaboom" {
+		t.Fatalf("generic error: %v", err)
+	}
+
+	// The connection stays usable after an ERR packet.
+	if _, err := cl.Query("select 1"); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	var mu sync.Mutex
+	connects, disconnects, queries := 0, 0, 0
+	s := &Server{
+		Exec: queryFunc(echoExec),
+		Hooks: Hooks{
+			OnConnect:    func(*Session) { mu.Lock(); connects++; mu.Unlock() },
+			OnDisconnect: func(*Session) { mu.Lock(); disconnects++; mu.Unlock() },
+			OnQuery: func(sess *Session, q string, d time.Duration, rows int, err error) {
+				mu.Lock()
+				queries++
+				mu.Unlock()
+			},
+		},
+	}
+	addr := startServer(t, s)
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(addr, fmt.Sprintf("u%d", i), "", "")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 5; j++ {
+				if _, err := cl.Query("select 1"); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		c, d, q := connects, disconnects, queries
+		mu.Unlock()
+		if c == n && d == n && q == n*5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hooks: connects=%d disconnects=%d queries=%d", c, d, q)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestShutdownDrainsInflightQuery(t *testing.T) {
+	block := make(chan struct{})
+	s := &Server{Exec: queryFunc(func(ctx context.Context, sess *Session, q string) (*Resultset, error) {
+		if q == "slow" {
+			<-block
+			return &Resultset{Affected: 7}, nil
+		}
+		return echoExec(ctx, sess, q)
+	})}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+
+	cl, err := Dial(lis.Addr().String(), "root", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	type result struct {
+		rs  *Resultset
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rs, err := cl.Query("slow")
+		resCh <- result{rs, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query reach the executor
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// New connections are refused while draining.
+	if _, err := Dial(lis.Addr().String(), "root", "", ""); err == nil {
+		t.Fatal("dial succeeded during drain")
+	}
+
+	close(block) // let the in-flight query finish
+	r := <-resCh
+	if r.err != nil || r.rs.Affected != 7 {
+		t.Fatalf("in-flight query lost during drain: %+v %v", r.rs, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain should have completed cleanly: %v", err)
+	}
+}
+
+func TestShutdownDeadlineSeversConnections(t *testing.T) {
+	s := &Server{Exec: queryFunc(echoExec)}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+
+	cl, err := Dial(lis.Addr().String(), "root", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cl.Query("sleep")
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("severed query returned no error")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec)})
+	cl, err := Dial(addr, "root", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.c.resetSeq()
+	if err := cl.c.writePacket([]byte{0x1f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.c.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := parseErrPayload(p)
+	if e.Code != 1047 {
+		t.Fatalf("unknown command error: %+v", e)
+	}
+	// Connection still alive afterwards.
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuthSwitch exercises the path where the client initially offers a
+// different auth plugin and the server asks it to switch, as stock
+// drivers configured for caching_sha2_password do.
+func TestAuthSwitch(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec), Password: "pw"})
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := newConn(raw)
+
+	greet, err := c.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newReader(greet)
+	r.byte1()
+	r.strNul()
+	r.uint32()
+	scramble := append([]byte(nil), r.bytesN(8)...)
+	r.byte1()
+	r.uint16()
+	r.byte1()
+	r.uint16()
+	r.uint16()
+	r.byte1()
+	r.skip(10)
+	scramble = append(scramble, r.bytesN(12)...)
+	if r.err != nil {
+		t.Fatalf("parsing greeting: %v", r.err)
+	}
+
+	// Respond offering a plugin the server does not speak.
+	var p packet
+	p.uint32(capProtocol41 | capSecureConnection | capPluginAuth)
+	p.uint32(16 << 20)
+	p.byte1(charsetUTF8)
+	p.zeros(23)
+	p.strNul("root")
+	p.byte1(0)
+	p.strNul("caching_sha2_password")
+	if err := c.writePacket(p.b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := c.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw[0] != 0xfe {
+		t.Fatalf("expected auth switch request, got 0x%02x", sw[0])
+	}
+	sr := newReader(sw)
+	sr.byte1()
+	if plugin := sr.strNul(); plugin != "mysql_native_password" {
+		t.Fatalf("switch plugin = %q", plugin)
+	}
+	data := []byte(sr.strEOF())
+	if n := len(data); n > 0 && data[n-1] == 0 {
+		data = data[:n-1]
+	}
+	if err := c.writePacket(nativePassword(data, "pw")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	okp, err := c.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkOK(okp); err != nil {
+		t.Fatalf("auth switch login failed: %v", err)
+	}
+}
+
+func TestOldProtocolRejected(t *testing.T) {
+	addr := startServer(t, &Server{Exec: queryFunc(echoExec)})
+	raw, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	c := newConn(raw)
+	if _, err := c.readPacket(); err != nil {
+		t.Fatal(err)
+	}
+	var p packet
+	p.uint32(0) // no capabilities: pre-4.1 client
+	p.uint32(0)
+	p.byte1(0)
+	p.zeros(23)
+	p.strNul("root")
+	if err := c.writePacket(p.b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.flush(); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := c.readPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp[0] != 0xff {
+		t.Fatalf("expected ERR for pre-4.1 client, got 0x%02x", rp[0])
+	}
+}

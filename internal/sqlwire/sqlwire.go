@@ -1,0 +1,135 @@
+// Package sqlwire speaks the MySQL client/server wire protocol with no
+// dependencies outside the standard library. It is the network surface
+// that turns dedupd's embedded relational engine (internal/sqldb) into a
+// database other programs can reach: stock MySQL drivers and the mysql
+// CLI connect, authenticate, and run queries against the virtual dedup
+// catalog.
+//
+// The implemented subset is the one every client library exercises:
+//
+//   - Handshake V10 with mysql_native_password authentication (including
+//     the auth-switch round trip drivers perform when they guess a
+//     different default plugin).
+//   - COM_QUERY with text-protocol result sets: column-definition-41
+//     metadata, length-encoded row cells, NULL markers, and classic
+//     EOF terminators (CLIENT_DEPRECATE_EOF is intentionally not
+//     advertised, so both old and new clients take the same code path).
+//   - COM_PING, COM_INIT_DB, and COM_QUIT.
+//   - OK and ERR packets with protocol-41 SQL states.
+//
+// The Server accepts any number of concurrent connections, gives each a
+// context cancelled when the server shuts down, and drains gracefully:
+// Shutdown stops the accept loop, lets in-flight queries finish until
+// the deadline, then severs the remaining connections.
+//
+// Multi-packet payloads (>= 16 MiB) are not supported in either
+// direction; the hosting layer bounds result sets well below that (see
+// the max-rows cap in internal/server).
+package sqlwire
+
+import "fmt"
+
+// Command bytes of the text protocol.
+const (
+	ComQuit   = 0x01
+	ComInitDB = 0x02
+	ComQuery  = 0x03
+	ComPing   = 0x0e
+)
+
+// Capability flags (the subset the server advertises or inspects).
+const (
+	capLongPassword     = 0x00000001
+	capLongFlag         = 0x00000004
+	capConnectWithDB    = 0x00000008
+	capProtocol41       = 0x00000200
+	capTransactions     = 0x00002000
+	capSecureConnection = 0x00008000
+	capPluginAuth       = 0x00080000
+)
+
+// serverCapabilities is what the handshake advertises.
+const serverCapabilities = capLongPassword | capLongFlag | capConnectWithDB |
+	capProtocol41 | capTransactions | capSecureConnection | capPluginAuth
+
+// statusAutocommit is the only status flag the server ever reports.
+const statusAutocommit = 0x0002
+
+// charsetUTF8 is utf8_general_ci, the charset byte sent in the handshake
+// and in every column definition.
+const charsetUTF8 = 33
+
+// ColumnType is a MySQL protocol column type byte.
+type ColumnType byte
+
+// The column types the dedup catalog emits.
+const (
+	TypeLongLong  ColumnType = 0x08 // 64-bit integer
+	TypeDouble    ColumnType = 0x05 // float64
+	TypeVarString ColumnType = 0xfd // text
+	TypeTiny      ColumnType = 0x01 // bool (0/1)
+)
+
+// Column is one result-set column: its name and wire type.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Cell is one text-protocol cell: a NULL marker or a rendered value.
+type Cell struct {
+	Null bool
+	S    string
+}
+
+// NullCell is the NULL cell.
+func NullCell() Cell { return Cell{Null: true} }
+
+// StringCell renders s as a cell.
+func StringCell(s string) Cell { return Cell{S: s} }
+
+// Resultset is what an Executor returns for one query. With no columns
+// it renders as an OK packet carrying Affected; otherwise as a full
+// text-protocol result set.
+type Resultset struct {
+	Cols     []Column
+	Rows     [][]Cell
+	Affected uint64
+}
+
+// Error codes used by this server (MySQL-compatible where one exists).
+const (
+	// ErrCodeAccessDenied is ER_ACCESS_DENIED_ERROR.
+	ErrCodeAccessDenied = 1045
+	// ErrCodeUnknown is ER_UNKNOWN_ERROR, the catch-all for executor
+	// failures without a more specific code.
+	ErrCodeUnknown = 1105
+	// ErrCodeQueryInterrupted is ER_QUERY_INTERRUPTED (cancelled ctx).
+	ErrCodeQueryInterrupted = 1317
+	// ErrCodeMaxRows rejects a result set over the configured row cap.
+	// There is no standard MySQL code for a server-side row cap, so the
+	// server uses a code from the user-defined range; the message always
+	// begins with "max_rows_exceeded".
+	ErrCodeMaxRows = 4001
+)
+
+// SQLError is an error that renders as a specific ERR packet. Executors
+// return it (possibly wrapped) to control the code and SQL state seen by
+// clients; any other error becomes ErrCodeUnknown/HY000.
+type SQLError struct {
+	Code     uint16
+	SQLState string // 5 bytes; "HY000" when empty
+	Message  string
+}
+
+// Error implements error.
+func (e *SQLError) Error() string {
+	return fmt.Sprintf("ERROR %d (%s): %s", e.Code, e.sqlState(), e.Message)
+}
+
+func (e *SQLError) sqlState() string {
+	if len(e.SQLState) == 5 {
+		return e.SQLState
+	}
+	return "HY000"
+}

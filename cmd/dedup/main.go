@@ -58,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		estimateF = fs.Float64("estimate-f", 0, "estimate c from this duplicate fraction instead of -c")
 		agg       = fs.String("agg", "max", "SN aggregation: max, avg, max2")
 		approx    = fs.Bool("approx", false, "use the probabilistic q-gram index (recommended beyond ~10k rows)")
-		index     = fs.String("index", "", "nearest-neighbor index: exact, qgram, vptree, minhash (overrides -approx)")
+		index     = fs.String("index", "", "nearest-neighbor index: exact, pruned, qgram, vptree, minhash (overrides -approx)")
 		header    = fs.Bool("header", false, "skip the first CSV row")
 		blocked   = fs.Bool("blocked", false, "shard the corpus into blocks and solve them concurrently (-parallel workers); results are identical to the plain solve")
 		parallel  = fs.Int("parallel", 4, "worker count for -blocked block solves and exact-index phase-1 lookups")

@@ -82,6 +82,13 @@ const (
 	// IndexMinHash is MinHash-LSH over q-gram shingles — probabilistic,
 	// strongest when the metric is (or correlates with) Jaccard.
 	IndexMinHash Index = "minhash"
+	// IndexPruned is the signature-prefiltered exact scan: multi-index
+	// Hamming retrieval over 256-bit q-gram signatures plus certified
+	// lower bounds skip most metric calls while answering every query
+	// bit-for-bit like IndexExact. The prefilter engages for the
+	// edit-family metrics ("ed", "damerau") and transparently falls back
+	// to the exact scan elsewhere, so it is always safe to select.
+	IndexPruned Index = "pruned"
 )
 
 // Options configures a Deduper. The zero value selects edit distance, the
@@ -244,6 +251,14 @@ type RunReport struct {
 	// monolithic path.
 	BlocksSolved     int `json:"blocks_solved,omitempty"`
 	BoundaryResolves int `json:"boundary_resolves,omitempty"`
+	// Phase1Pruned / Phase1Candidates / Phase1Fallbacks instrument the
+	// signature prefilter (IndexPruned, monolithic or blocked): records
+	// excluded by a certified bound without a metric call, records
+	// exactly verified, and queries that fell back wholesale to the
+	// exact scan. All zero for other indexes.
+	Phase1Pruned     int64 `json:"phase1_pruned,omitempty"`
+	Phase1Candidates int64 `json:"phase1_candidates,omitempty"`
+	Phase1Fallbacks  int64 `json:"phase1_fallbacks,omitempty"`
 }
 
 // add accumulates a per-solve delta into a cumulative report.
@@ -264,6 +279,9 @@ func (r *RunReport) add(d RunReport) {
 	r.CacheHits += d.CacheHits
 	r.BlocksSolved += d.BlocksSolved
 	r.BoundaryResolves += d.BoundaryResolves
+	r.Phase1Pruned += d.Phase1Pruned
+	r.Phase1Candidates += d.Phase1Candidates
+	r.Phase1Fallbacks += d.Phase1Fallbacks
 }
 
 // String renders the report in the two-line per-phase form the dedup CLI
@@ -280,6 +298,10 @@ func (r RunReport) String() string {
 		s += fmt.Sprintf("\nblocked (block solves %d, boundary re-solves %d)",
 			r.BlocksSolved, r.BoundaryResolves)
 	}
+	if r.Phase1Pruned > 0 || r.Phase1Candidates > 0 || r.Phase1Fallbacks > 0 {
+		s += fmt.Sprintf("\nprefilter (pruned %d, verified %d, fallbacks %d)",
+			r.Phase1Pruned, r.Phase1Candidates, r.Phase1Fallbacks)
+	}
 	return s
 }
 
@@ -292,12 +314,13 @@ func (r RunReport) String() string {
 // only the first call at a new maximum pays for nearest-neighbor
 // computation.
 type Deduper struct {
-	records []Record
-	keys    []string
-	metric  distance.Metric
-	counter *distance.Counting // same metric, counted; indexes query through it
-	index   nnindex.Index
-	opts    Options
+	records   []Record
+	keys      []string
+	metric    distance.Metric
+	counter   *distance.Counting // same metric, counted; indexes query through it
+	index     nnindex.Index
+	indexKind Index // resolved Options.Index (defaults applied)
+	opts      Options
 
 	cacheS *core.NNRelation // widest size-cut relation computed so far
 	cacheD *core.NNRelation // widest diameter-cut relation computed so far
@@ -367,20 +390,27 @@ func New(records []Record, opts Options) (*Deduper, error) {
 		}
 	}
 	if opts.Blocking != nil {
-		// The blocked pipeline builds its own per-block exact indexes and
-		// runs partitioning in memory; neither an approximate global index
+		// The blocked pipeline builds its own per-block phase-1 indexes
+		// (exact, or signature-prefiltered for IndexPruned) and runs
+		// partitioning in memory; neither an approximate global index
 		// nor the SQL runner composes with it.
 		if opts.UseSQL {
 			return nil, fmt.Errorf("fuzzydup: Blocking is incompatible with UseSQL")
 		}
-		if kind != IndexExact {
-			return nil, fmt.Errorf("fuzzydup: Blocking requires the exact index, not %q", kind)
+		if kind != IndexExact && kind != IndexPruned {
+			return nil, fmt.Errorf("fuzzydup: Blocking requires the exact or pruned index, not %q", kind)
 		}
 	}
 	var index nnindex.Index
 	switch kind {
 	case IndexExact:
 		index = nnindex.NewExact(keys, counter)
+	case IndexPruned:
+		px, err := nnindex.NewPruned(keys, counter, nnindex.PrunedConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("fuzzydup: building index: %w", err)
+		}
+		index = px
 	case IndexQGram:
 		qg, err := nnindex.NewQGram(keys, counter, nnindex.QGramConfig{})
 		if err != nil {
@@ -398,7 +428,7 @@ func New(records []Record, opts Options) (*Deduper, error) {
 	default:
 		return nil, fmt.Errorf("fuzzydup: unknown index %q", kind)
 	}
-	return &Deduper{records: records, keys: keys, metric: counter, counter: counter, index: index, opts: opts}, nil
+	return &Deduper{records: records, keys: keys, metric: counter, counter: counter, index: index, indexKind: kind, opts: opts}, nil
 }
 
 // Len returns the number of records.
@@ -475,6 +505,9 @@ func (d *Deduper) solve(ctx context.Context, prob core.Problem) (Groups, error) 
 	delta.Phase1 = time.Since(t0)
 	delta.Lookups = p1.Lookups.Load()
 	delta.IndexProbes = p1.Probes.Load()
+	delta.Phase1Pruned = p1.Pruned.Load()
+	delta.Phase1Candidates = p1.Candidates.Load()
+	delta.Phase1Fallbacks = p1.Fallbacks.Load()
 	delta.CacheComputes = d.cacheComputes - computes0
 	delta.CacheHits = d.cacheHits - hits0
 	p1Span.Add("lookups", delta.Lookups)
@@ -565,6 +598,7 @@ func (d *Deduper) solveBlocked(ctx context.Context, prob core.Problem) (Groups, 
 		Stats:         &p1,
 		OnBlockSolved: bo.OnBlockSolved,
 		Restrict:      bo.Restrict,
+		Prefilter:     d.indexKind == IndexPruned,
 	})
 	if err != nil {
 		bSpan.End()
@@ -583,6 +617,9 @@ func (d *Deduper) solveBlocked(ctx context.Context, prob core.Problem) (Groups, 
 	delta.Phase2 = res.MergeTime
 	delta.Lookups = p1.Lookups.Load()
 	delta.IndexProbes = p1.Probes.Load()
+	delta.Phase1Pruned = p1.Pruned.Load()
+	delta.Phase1Candidates = p1.Candidates.Load()
+	delta.Phase1Fallbacks = p1.Fallbacks.Load()
 	delta.Groups = res.Partition.Groups
 	delta.DuplicateGroups = res.Partition.Duplicates
 	delta.Splits = res.Partition.Splits

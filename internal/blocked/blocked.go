@@ -104,6 +104,12 @@ type Options struct {
 	// across all block solves; the counters are atomic, so one value is
 	// shared by the whole worker pool.
 	Stats *core.Phase1Stats
+	// Prefilter builds each block's phase-1 index as a signature-
+	// prefiltered nnindex.Pruned instead of nnindex.Exact. Answers are
+	// bit-for-bit identical (the prefilter only skips records a
+	// certified bound excludes), so the partition is unchanged; on
+	// edit-family metrics most exact-metric calls are skipped.
+	Prefilter bool
 	// OnBlockSolved, when non-nil, is called once per block solve with
 	// the block size and the solve duration. Calls are sequential and
 	// deterministic in order.
@@ -233,7 +239,19 @@ type BlockResult struct {
 func SolveBlock(records []string, metric distance.Metric, prob core.Problem, opts core.Phase1Options) (*BlockResult, error) {
 	t0 := time.Now()
 	opts.Order = core.OrderSequential
-	idx := nnindex.NewExact(records, metric)
+	var idx nnindex.Index
+	if opts.Prefilter {
+		// Signature-prefiltered phase 1: bit-for-bit the exact answers
+		// (see internal/nnindex's Pruned), so the fixpoint proof and the
+		// guard's certificates are untouched.
+		px, err := nnindex.NewPruned(records, metric, nnindex.PrunedConfig{})
+		if err != nil {
+			return nil, err
+		}
+		idx = px
+	} else {
+		idx = nnindex.NewExact(records, metric)
+	}
 	rel, err := core.ComputeNN(idx, prob.Cut, prob.P, opts)
 	if err != nil {
 		return nil, err
@@ -498,8 +516,9 @@ func solveOne(keys []string, metric distance.Metric, prob core.Problem, members 
 		lprob.Exclude = func(a, b int) bool { return ex(members[a], members[b]) }
 	}
 	r, err := SolveBlock(local, metric, lprob, core.Phase1Options{
-		Ctx:   opts.Ctx,
-		Stats: opts.Stats,
+		Ctx:       opts.Ctx,
+		Stats:     opts.Stats,
+		Prefilter: opts.Prefilter,
 	})
 	if err != nil {
 		return nil, err

@@ -74,6 +74,11 @@ type Phase1Options struct {
 	// used. Counters are atomic, so one Stats value is safe across the
 	// parallel path, and callers may read them while the run is live.
 	Stats *Phase1Stats
+	// Prefilter asks callers that build their own per-shard indexes (the
+	// blocked pipeline's SolveBlock) to construct signature-prefiltered
+	// nnindex.Pruned indexes instead of Exact ones. ComputeNN itself
+	// ignores it — the index it receives is already built.
+	Prefilter bool
 }
 
 // Phase1Stats counts the work of one (or several) ComputeNN runs. All
@@ -89,6 +94,23 @@ type Phase1Stats struct {
 	// Workers is the lookup fan-out of the most recent run: 1 for the
 	// serial orders, the effective goroutine count under Parallel.
 	Workers atomic.Int32
+	// Pruned, Candidates, and Fallbacks mirror the prefiltered index's
+	// counters (nnindex.Pruned, or anything else implementing
+	// PrunedReporter): records excluded by a certified bound without an
+	// exact metric call, records exactly verified, and whole queries
+	// that fell back to the exact scan. All zero when the index carries
+	// no prefilter.
+	Pruned     atomic.Int64
+	Candidates atomic.Int64
+	Fallbacks  atomic.Int64
+}
+
+// PrunedReporter is implemented by indexes that prune with certified
+// bounds and account for it (nnindex.Pruned). ComputeNN snapshots the
+// cumulative counters around a run and adds the delta to its Stats, so
+// shared indexes attribute work to the runs that caused it.
+type PrunedReporter interface {
+	PrunedCounters() (pruned, candidates, fallbacks int64)
 }
 
 // addProbes is nil-safe so the hot path stays branch-light at the call
@@ -143,7 +165,22 @@ func ComputeNN(idx nnindex.Index, cut Cut, p float64, opts Phase1Options) (*NNRe
 		return neighbors
 	}
 
+	var reporter PrunedReporter
+	var pruned0, cands0, falls0 int64
+	if opts.Stats != nil {
+		if r, ok := idx.(PrunedReporter); ok {
+			reporter = r
+			pruned0, cands0, falls0 = r.PrunedCounters()
+		}
+	}
+
 	finish := func() (*NNRelation, error) {
+		if reporter != nil {
+			pruned1, cands1, falls1 := reporter.PrunedCounters()
+			opts.Stats.Pruned.Add(pruned1 - pruned0)
+			opts.Stats.Candidates.Add(cands1 - cands0)
+			opts.Stats.Fallbacks.Add(falls1 - falls0)
+		}
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
 				return nil, err

@@ -1,0 +1,206 @@
+package nnindex
+
+import "sort"
+
+// Multi-index Hamming banding (Gog & Venturini, "Fast and compact Hamming
+// distance index", SIGIR'16), refined for sparse signatures. Each
+// SigBits-bit signature is split into nBands disjoint, equal-width bands,
+// and every band gets its own exact-match table — but only NONZERO band
+// values are posted and probed. Q-gram Bloom signatures are sparse (a
+// handful of set bits out of SigBits), so all-zero bands are the common
+// case and posting them would make value 0 collide across nearly the
+// whole relation, drowning retrieval in candidates that share nothing.
+//
+// Pigeonhole guarantee (per query): let z = NonzeroBands(q), the number
+// of bands where q is nonzero. If a signature shares no nonzero band
+// with q, it differs from q in each of those z bands, and each differing
+// band contributes at least one differing bit — so its Hamming distance
+// from q is at least z. Contrapositive: every signature within Hamming
+// radius z-1 of q agrees with it on at least one nonzero band and is
+// therefore retrieved. Candidates(q) thus misses only signatures at
+// Hamming distance >= NonzeroBands(q), which is exactly the certificate
+// the Pruned index converts into an edit-distance floor (see pruned.go).
+//
+// Each band table is a flat sorted []uint64 of band values with a
+// parallel []int32 of record IDs, ordered by (value, ID): lookups are two
+// binary searches and a contiguous scan, and — because (value, ID) is a
+// total order independent of insertion order — the built tables, and
+// hence candidate sets, are identical under any permutation of Add calls.
+
+// DefaultBands is the band count used when a config leaves it zero: 16
+// bands of 16 bits over the 256-bit signature, certifying — per query —
+// Hamming >= NonzeroBands(q) for every non-candidate.
+const DefaultBands = 16
+
+// BandIndex is an immutable multi-index Hamming table set over a fixed
+// set of signatures. Build one with a BandBuilder; afterwards any number
+// of goroutines may query it concurrently.
+type BandIndex struct {
+	nBands   int
+	bandBits int
+	n        int
+	vals     [][]uint64 // per band: band values, sorted by (value, ID)
+	ids      [][]int32  // per band: record IDs, parallel to vals
+}
+
+// BandBuilder accumulates (ID, signature) pairs and freezes them into a
+// BandIndex.
+type BandBuilder struct {
+	nBands   int
+	bandBits int
+	n        int
+	vals     [][]uint64
+	ids      [][]int32
+}
+
+// NewBandBuilder validates the band count and returns an empty builder.
+// nBands must divide SigBits evenly into bands of at most 64 bits that do
+// not straddle word boundaries.
+func NewBandBuilder(nBands int) (*BandBuilder, error) {
+	if nBands <= 0 || SigBits%nBands != 0 {
+		return nil, errBadBands(nBands)
+	}
+	bandBits := SigBits / nBands
+	if bandBits > 64 || 64%bandBits != 0 {
+		return nil, errBadBands(nBands)
+	}
+	return &BandBuilder{
+		nBands:   nBands,
+		bandBits: bandBits,
+		vals:     make([][]uint64, nBands),
+		ids:      make([][]int32, nBands),
+	}, nil
+}
+
+type errBadBands int
+
+func (e errBadBands) Error() string {
+	return "nnindex: band count must evenly divide the signature into word-aligned bands of <= 64 bits"
+}
+
+// Add appends one record's signature to the tables of its nonzero bands
+// (zero bands are never posted). IDs need not be added in order: Build
+// sorts by (value, ID), so the finished index is insertion-order
+// independent.
+func (b *BandBuilder) Add(id int, sig Signature) {
+	for j := 0; j < b.nBands; j++ {
+		if v := bandValue(sig, j, b.bandBits); v != 0 {
+			b.vals[j] = append(b.vals[j], v)
+			b.ids[j] = append(b.ids[j], int32(id))
+		}
+	}
+	b.n++
+}
+
+// Build freezes the accumulated pairs into an immutable BandIndex. The
+// builder must not be reused afterwards.
+func (b *BandBuilder) Build() *BandIndex {
+	for j := 0; j < b.nBands; j++ {
+		sort.Sort(&bandRows{vals: b.vals[j], ids: b.ids[j]})
+	}
+	return &BandIndex{
+		nBands:   b.nBands,
+		bandBits: b.bandBits,
+		n:        b.n,
+		vals:     b.vals,
+		ids:      b.ids,
+	}
+}
+
+// bandRows sorts one band's parallel (value, ID) arrays by that pair.
+type bandRows struct {
+	vals []uint64
+	ids  []int32
+}
+
+func (r *bandRows) Len() int { return len(r.vals) }
+func (r *bandRows) Less(i, j int) bool {
+	if r.vals[i] != r.vals[j] {
+		return r.vals[i] < r.vals[j]
+	}
+	return r.ids[i] < r.ids[j]
+}
+func (r *bandRows) Swap(i, j int) {
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+	r.ids[i], r.ids[j] = r.ids[j], r.ids[i]
+}
+
+// bandValue extracts band j of a signature. Validation guarantees bands
+// are word-aligned (bandBits divides 64), so no band straddles two words.
+func bandValue(sig Signature, j, bandBits int) uint64 {
+	start := j * bandBits
+	v := sig[start/64] >> (start % 64)
+	if bandBits < 64 {
+		v &= 1<<bandBits - 1
+	}
+	return v
+}
+
+// Len returns the number of signatures indexed.
+func (bi *BandIndex) Len() int { return bi.n }
+
+// Bands returns the band count the signature is split into.
+func (bi *BandIndex) Bands() int { return bi.nBands }
+
+// NonzeroBands returns the number of bands where sig is nonzero: every
+// signature NOT retrieved by Candidates(sig) is at Hamming distance
+// >= NonzeroBands(sig) from sig. A zero signature certifies nothing
+// (NonzeroBands = 0, empty candidate set).
+func (bi *BandIndex) NonzeroBands(sig Signature) int {
+	nz := 0
+	for j := 0; j < bi.nBands; j++ {
+		if bandValue(sig, j, bi.bandBits) != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// AppendCandidates appends to out the IDs of every indexed signature that
+// agrees with sig on at least one nonzero band — a certified superset of
+// the Hamming ball of radius NonzeroBands(sig)-1 around sig —
+// deduplicated and sorted ascending. The query's own ID, if indexed and
+// nonzero, is included (it matches all of its nonzero bands). out is
+// reused to avoid allocation; pass out[:0].
+func (bi *BandIndex) AppendCandidates(sig Signature, out []int32) []int32 {
+	for j := 0; j < bi.nBands; j++ {
+		v := bandValue(sig, j, bi.bandBits)
+		if v == 0 {
+			continue
+		}
+		vals := bi.vals[j]
+		lo := sort.Search(len(vals), func(i int) bool { return vals[i] >= v })
+		for i := lo; i < len(vals) && vals[i] == v; i++ {
+			out = append(out, bi.ids[j][i])
+		}
+	}
+	if len(out) == 0 {
+		return out
+	}
+	sort.Sort(int32Slice(out))
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Candidates is the allocation-per-call convenience form of
+// AppendCandidates, returning plain ints for tests and diagnostics.
+func (bi *BandIndex) Candidates(sig Signature) []int {
+	raw := bi.AppendCandidates(sig, nil)
+	out := make([]int, len(raw))
+	for i, id := range raw {
+		out[i] = int(id)
+	}
+	return out
+}
+
+type int32Slice []int32
+
+func (s int32Slice) Len() int           { return len(s) }
+func (s int32Slice) Less(i, j int) bool { return s[i] < s[j] }
+func (s int32Slice) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }

@@ -1,0 +1,220 @@
+package nnindex
+
+import (
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randSig(r *rand.Rand) Signature {
+	var s Signature
+	for w := range s {
+		s[w] = r.Uint64()
+	}
+	return s
+}
+
+// nearSig flips up to maxFlips random bits, yielding a signature at small
+// Hamming distance.
+func nearSig(r *rand.Rand, s Signature, maxFlips int) Signature {
+	for f := r.Intn(maxFlips + 1); f > 0; f-- {
+		b := r.Intn(SigBits)
+		s[b/64] ^= 1 << (b % 64)
+	}
+	return s
+}
+
+// sparseSig sets nBits random bits — the realistic regime: q-gram Bloom
+// signatures carry a handful of set bits, so most bands are zero.
+func sparseSig(r *rand.Rand, nBits int) Signature {
+	var s Signature
+	for i := 0; i < nBits; i++ {
+		b := r.Intn(SigBits)
+		s[b/64] |= 1 << (b % 64)
+	}
+	return s
+}
+
+func hamming(a, b Signature) int {
+	n := 0
+	for w := range a {
+		n += bits.OnesCount64(a[w] ^ b[w])
+	}
+	return n
+}
+
+func buildBands(t *testing.T, nBands int, sigs []Signature) *BandIndex {
+	t.Helper()
+	bb, err := NewBandBuilder(nBands)
+	if err != nil {
+		t.Fatalf("NewBandBuilder(%d): %v", nBands, err)
+	}
+	for i, s := range sigs {
+		bb.Add(i, s)
+	}
+	return bb.Build()
+}
+
+func TestBandBuilderValidation(t *testing.T) {
+	for _, bad := range []int{-1, 0, 2, 3, 5, 7, 24, 512} {
+		if _, err := NewBandBuilder(bad); err == nil {
+			t.Errorf("NewBandBuilder(%d): expected error", bad)
+		}
+	}
+	for _, good := range []int{4, 8, 16, 32, 64, 128, 256} {
+		if _, err := NewBandBuilder(good); err != nil {
+			t.Errorf("NewBandBuilder(%d): %v", good, err)
+		}
+	}
+}
+
+// TestBandValuesCoverSignature: the band decomposition must partition the
+// signature's bits — reassembling the band values reproduces it exactly,
+// so no bit is dropped from (or double-counted in) the pigeonhole
+// argument.
+func TestBandValuesCoverSignature(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, nBands := range []int{4, 16, 64, 256} {
+		bandBits := SigBits / nBands
+		for trial := 0; trial < 50; trial++ {
+			sig := randSig(r)
+			var back Signature
+			for j := 0; j < nBands; j++ {
+				v := bandValue(sig, j, bandBits)
+				if bandBits < 64 && v >= 1<<bandBits {
+					t.Fatalf("band %d value %#x exceeds width %d", j, v, bandBits)
+				}
+				start := j * bandBits
+				back[start/64] |= v << (start % 64)
+			}
+			if back != sig {
+				t.Fatalf("nBands=%d: band values do not reassemble the signature", nBands)
+			}
+		}
+	}
+}
+
+// TestBandIndexRadiusRecall exhaustively verifies the per-query
+// pigeonhole guarantee against brute-force Hamming distance: every
+// indexed signature within Hamming radius NonzeroBands(q)-1 of a query
+// must be retrieved, for dense and sparse signatures, and for queries
+// both inside and outside the corpus.
+func TestBandIndexRadiusRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, nBands := range []int{4, 8, 16, 32} {
+		for trial := 0; trial < 20; trial++ {
+			n := 5 + r.Intn(60)
+			sigs := make([]Signature, n)
+			for i := range sigs {
+				switch {
+				case i > 0 && r.Intn(2) == 0:
+					sigs[i] = nearSig(r, sigs[r.Intn(i)], nBands+8)
+				case r.Intn(2) == 0:
+					sigs[i] = sparseSig(r, 1+r.Intn(20))
+				default:
+					sigs[i] = randSig(r)
+				}
+			}
+			bi := buildBands(t, nBands, sigs)
+			queries := append(append([]Signature{}, sigs...),
+				nearSig(r, sigs[r.Intn(n)], nBands-1), randSig(r),
+				sparseSig(r, 1+r.Intn(20)), Signature{})
+			for qi, q := range queries {
+				got := bi.Candidates(q)
+				nz := bi.NonzeroBands(q)
+				if nz == 0 && len(got) != 0 {
+					t.Fatalf("zero-signature query retrieved candidates: %v", got)
+				}
+				inCands := make(map[int]bool, len(got))
+				for _, id := range got {
+					inCands[id] = true
+				}
+				for i, s := range sigs {
+					if h := hamming(q, s); h < nz && !inCands[i] {
+						t.Fatalf("nBands=%d trial=%d query=%d: record %d at Hamming %d < nz=%d not retrieved",
+							nBands, trial, qi, i, h, nz)
+					}
+				}
+				if !sortedUniqueInts(got) {
+					t.Fatalf("candidates not sorted-unique: %v", got)
+				}
+			}
+		}
+	}
+}
+
+// TestBandIndexMonotoneAdd: adding a record never removes a true
+// candidate — the candidate set over the original corpus is preserved
+// (and the new record appears exactly when it shares a band).
+func TestBandIndexMonotoneAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const nBands = 16
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(40)
+		sigs := make([]Signature, n)
+		for i := range sigs {
+			sigs[i] = randSig(r)
+		}
+		before := buildBands(t, nBands, sigs)
+		extra := nearSig(r, sigs[r.Intn(n)], r.Intn(2*nBands))
+		after := buildBands(t, nBands, append(append([]Signature{}, sigs...), extra))
+		for qi := 0; qi < n; qi++ {
+			was := before.Candidates(sigs[qi])
+			now := after.Candidates(sigs[qi])
+			inNow := make(map[int]bool, len(now))
+			for _, id := range now {
+				inNow[id] = true
+			}
+			for _, id := range was {
+				if !inNow[id] {
+					t.Fatalf("trial=%d query=%d: candidate %d lost after adding a record", trial, qi, id)
+				}
+			}
+		}
+	}
+}
+
+// TestBandIndexPermutationInvariance: the built tables — and hence every
+// candidate set — must not depend on Add order.
+func TestBandIndexPermutationInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const nBands = 16
+	n := 40
+	sigs := make([]Signature, n)
+	for i := range sigs {
+		if i > 0 && i%3 == 0 {
+			sigs[i] = sigs[i-1] // duplicates stress the (value, ID) tie order
+		} else {
+			sigs[i] = randSig(r)
+		}
+	}
+	reference := buildBands(t, nBands, sigs)
+	for trial := 0; trial < 10; trial++ {
+		bb, err := NewBandBuilder(nBands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Perm(n) {
+			bb.Add(i, sigs[i])
+		}
+		shuffled := bb.Build()
+		for qi := 0; qi < n; qi++ {
+			want := reference.Candidates(sigs[qi])
+			got := shuffled.Candidates(sigs[qi])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial=%d query=%d: candidates differ under insertion permutation\ngot:  %v\nwant: %v",
+					trial, qi, got, want)
+			}
+		}
+	}
+}
+
+func sortedUniqueInts(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -71,8 +71,8 @@ type JobSpec struct {
 	// are solved concurrently (at Parallel workers), and a boundary guard
 	// re-solves any block whose neighborhoods might cross a block edge —
 	// the results are identical to a plain batch job, only faster on
-	// large, blockable datasets. Requires the exact index; incompatible
-	// with use_sql and incremental.
+	// large, blockable datasets. Requires the exact or pruned index;
+	// incompatible with use_sql and incremental.
 	Blocked bool `json:"blocked,omitempty"`
 	// Incremental runs the job against the dataset's incremental session
 	// instead of solving from scratch: the first such job builds the
@@ -190,8 +190,8 @@ func (spec *JobSpec) normalize() ([]sweepPoint, error) {
 		if spec.UseSQL {
 			return nil, &specError{"blocked jobs do not support use_sql"}
 		}
-		if spec.Index != string(fuzzydup.IndexExact) {
-			return nil, &specError{fmt.Sprintf("blocked jobs require the exact index, not %q", spec.Index)}
+		if spec.Index != string(fuzzydup.IndexExact) && spec.Index != string(fuzzydup.IndexPruned) {
+			return nil, &specError{fmt.Sprintf("blocked jobs require the exact or pruned index, not %q", spec.Index)}
 		}
 	}
 	if spec.Distributed {
@@ -826,6 +826,9 @@ func (e *Engine) solve(j *job) error {
 			e.metrics.blocksSolved.Add(int64(point.BlocksSolved))
 			e.metrics.boundaryResolves.Add(int64(point.BoundaryResolves))
 		}
+		e.metrics.phase1Pruned.Add(point.Phase1Pruned)
+		e.metrics.phase1Candidates.Add(point.Phase1Candidates)
+		e.metrics.phase1Fallbacks.Add(point.Phase1Fallbacks)
 		reps := make([]int, len(groups))
 		for i, g := range groups {
 			reps[i] = d.Representative(g)

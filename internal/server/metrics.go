@@ -45,6 +45,14 @@ var httpLatencyBucketsMs = []float64{
 //	                       "distributed": hist} — the same durations
 //	                       split by job kind
 //	distance_calls         metric invocations across all jobs (cumulative)
+//	phase1_pruned          records batch phase 1's signature prefilter
+//	                       excluded by a certified bound without a metric
+//	                       call (pruned-index jobs; cumulative)
+//	phase1_candidates      records batch phase 1 exactly verified after
+//	                       prefiltering (pruned-index jobs; cumulative)
+//	phase1_fallbacks       phase-1 queries the prefilter answered via a
+//	                       full exact scan (non-edit metric, degenerate
+//	                       signature, or whole-relation k; cumulative)
 //	blocks_solved          block solves run by blocked jobs (cumulative,
 //	                       all guard rounds included)
 //	boundary_resolves      block re-solves triggered by the boundary guard
@@ -106,6 +114,10 @@ type Metrics struct {
 	cacheHits     *expvar.Int
 	cacheComputes *expvar.Int
 	distanceCalls *expvar.Int
+
+	phase1Pruned     *expvar.Int
+	phase1Candidates *expvar.Int
+	phase1Fallbacks  *expvar.Int
 
 	blocksSolved     *expvar.Int
 	boundaryResolves *expvar.Int
@@ -178,6 +190,9 @@ func newMetrics() *Metrics {
 		cacheHits:        new(expvar.Int),
 		cacheComputes:    new(expvar.Int),
 		distanceCalls:    new(expvar.Int),
+		phase1Pruned:     new(expvar.Int),
+		phase1Candidates: new(expvar.Int),
+		phase1Fallbacks:  new(expvar.Int),
 		blocksSolved:     new(expvar.Int),
 		boundaryResolves: new(expvar.Int),
 
@@ -243,6 +258,9 @@ func newMetrics() *Metrics {
 	m.root.Set("phase1_cache_hits", m.cacheHits)
 	m.root.Set("phase1_cache_computes", m.cacheComputes)
 	m.root.Set("distance_calls", m.distanceCalls)
+	m.root.Set("phase1_pruned", m.phase1Pruned)
+	m.root.Set("phase1_candidates", m.phase1Candidates)
+	m.root.Set("phase1_fallbacks", m.phase1Fallbacks)
 	m.root.Set("blocks_solved", m.blocksSolved)
 	m.root.Set("boundary_resolves", m.boundaryResolves)
 	m.root.Set("block_solve_duration_ms", m.blockSolveDuration)

@@ -59,6 +59,9 @@ func (m *Metrics) servePrometheus(w http.ResponseWriter) {
 	counter("dedupd_phase1_cache_hits_total", "Sweep points served from a job's phase-1 cache.", m.cacheHits)
 	counter("dedupd_phase1_cache_computes_total", "Sweep points that ran the full NN computation.", m.cacheComputes)
 	counter("dedupd_distance_calls_total", "Metric invocations across all jobs.", m.distanceCalls)
+	counter("dedupd_phase1_pruned_total", "Records the phase-1 signature prefilter excluded without a metric call.", m.phase1Pruned)
+	counter("dedupd_phase1_candidates_total", "Records batch phase 1 exactly verified after prefiltering.", m.phase1Candidates)
+	counter("dedupd_phase1_fallbacks_total", "Phase-1 queries the prefilter answered via a full exact scan.", m.phase1Fallbacks)
 	counter("dedupd_blocks_solved_total", "Block solves run by blocked jobs.", m.blocksSolved)
 	counter("dedupd_boundary_resolves_total", "Block re-solves triggered by the boundary guard.", m.boundaryResolves)
 	hist("dedupd_block_solve_duration_ms", "Per-block solve durations of blocked jobs.", m.blockSolveDuration)
